@@ -1,0 +1,1 @@
+bench/ablation.ml: Algorithm1 Algorithm2 Array Direction Linalg List Loewner Metrics Mfti Printf Random_sys Realify Rf Sampling Statespace Stdlib Svd_reduce Tangential Util

@@ -1,0 +1,1 @@
+bench/fig1.ml: Array Descriptor Linalg Loewner Mfti Plot Printf Random_sys Sampling Statespace Svd_reduce Sys Tangential Util

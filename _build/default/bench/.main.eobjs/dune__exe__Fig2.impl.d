@@ -1,0 +1,1 @@
+bench/fig2.ml: Algorithm1 Array Cmat Cx Descriptor Linalg Metrics Mfti Plot Printf Random_sys Sampling Statespace Sys Util Vfti

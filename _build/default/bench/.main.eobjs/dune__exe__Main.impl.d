@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Fig1 Fig2 List Micro Minsample Printf Scale String Sys Table1

@@ -1,0 +1,1 @@
+bench/minsample.ml: Algorithm1 List Metrics Mfti Printf Random_sys Sampling Statespace Stdlib Svd_reduce Util Vfti

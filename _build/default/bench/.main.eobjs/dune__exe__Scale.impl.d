@@ -1,0 +1,1 @@
+bench/scale.ml: Array Linalg List Printf Rf Sampling Statespace Stdlib Util

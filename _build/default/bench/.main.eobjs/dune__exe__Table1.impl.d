@@ -1,0 +1,1 @@
+bench/table1.ml: Algorithm1 Algorithm2 Array Descriptor Linalg List Mfti Printf Rf Sampling Statespace String Tangential Util Vfit Vfti

@@ -1,0 +1,37 @@
+(* Experiment harness: regenerates every table and figure of the paper.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- fig1    -- singular-value patterns
+     dune exec bench/main.exe -- fig2    -- Bode comparison
+     dune exec bench/main.exe -- table1  -- noisy-PDN algorithm table
+     dune exec bench/main.exe -- minsample -- Theorem 3.5 / sampling sweep
+     dune exec bench/main.exe -- ablation  -- design-choice ablations
+     dune exec bench/main.exe -- scale     -- dense vs sparse MNA scaling
+     dune exec bench/main.exe -- micro     -- bechamel micro-benchmarks *)
+
+let commands =
+  [ ("fig1", Fig1.run);
+    ("fig2", Fig2.run);
+    ("table1", Table1.run);
+    ("minsample", Minsample.run);
+    ("ablation", Ablation.run);
+    ("scale", Scale.run);
+    ("micro", Micro.run) ]
+
+let run_all () =
+  List.iter (fun (_, f) -> f ()) commands
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] | [ _; "all" ] -> run_all ()
+  | [ _; cmd ] ->
+    (match List.assoc_opt cmd commands with
+     | Some f -> f ()
+     | None ->
+       Printf.eprintf "unknown experiment %S; available: all %s\n" cmd
+         (String.concat " " (List.map fst commands));
+       exit 1)
+  | _ ->
+    Printf.eprintf "usage: main.exe [all|%s]\n"
+      (String.concat "|" (List.map fst commands));
+    exit 1

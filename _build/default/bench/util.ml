@@ -1,0 +1,40 @@
+(* Shared helpers for the experiment harness. *)
+
+let time_it f =
+  let t0 = Sys.time () in
+  let result = f () in
+  (result, Sys.time () -. t0)
+
+let heading title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let subheading title =
+  Printf.printf "\n--- %s ---\n%!" title
+
+(* Print one series as "index value" lines, for gnuplot-style reuse. *)
+let print_series ~name values =
+  Printf.printf "# series: %s (%d points)\n" name (Array.length values);
+  Array.iteri (fun i v -> Printf.printf "%d %.6e\n" (i + 1) v) values
+
+(* Print aligned rows. *)
+let print_table ~header rows =
+  let widths =
+    Array.mapi
+      (fun i h ->
+        List.fold_left (fun acc row -> Stdlib.max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      (Array.of_list header)
+  in
+  let print_row cells =
+    List.iteri
+      (fun i c -> Printf.printf "%-*s  " widths.(i) c)
+      cells;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') (Array.to_list widths));
+  List.iter print_row rows;
+  Printf.printf "%!"
+
+let fmt_sci x = Printf.sprintf "%.2e" x
+let fmt_time t = Printf.sprintf "%.3f" t

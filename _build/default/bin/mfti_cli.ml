@@ -1,0 +1,318 @@
+(* mfti: command-line macromodeling tool.
+
+   Subcommands:
+     fit      fit a Touchstone file with MFTI / VFTI / recursive MFTI
+     gen      generate a synthetic workload (PDN or RLC ladder) as Touchstone
+     compare  run every algorithm on a Touchstone file and print a table
+     info     summarize a Touchstone file
+
+   Examples:
+     mfti gen pdn --ports 8 --out board.s8p
+     mfti fit board.s8p --algorithm mfti --width 2
+     mfti compare board.s8p *)
+
+open Statespace
+open Mfti
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* shared arguments *)
+
+let touchstone_arg =
+  let doc = "Touchstone (.sNp) file with sampled network parameters." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let width_arg =
+  let doc = "Tangential block width t (0 = full: t = port count)." in
+  Arg.(value & opt int 0 & info [ "width"; "t" ] ~docv:"T" ~doc)
+
+let rank_tol_arg =
+  let doc =
+    "Relative singular-value cutoff for the model order (0 = automatic \
+     gap detection, for noise-free data)."
+  in
+  Arg.(value & opt float 0. & info [ "rank-tol" ] ~docv:"TOL" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (directions, placement, noise)." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let load path =
+  let data = Rf.Touchstone.read_file path in
+  if data.Rf.Touchstone.parameter <> Rf.Touchstone.S then
+    Printf.eprintf "note: treating %s data as generic frequency response\n"
+      (match data.Rf.Touchstone.parameter with
+       | Rf.Touchstone.Y -> "Y" | Rf.Touchstone.Z -> "Z" | Rf.Touchstone.S -> "S");
+  data
+
+let weight_of_width ~samples w =
+  if w = 0 then Tangential.Full
+  else begin
+    let p, m = Sampling.port_dims samples in
+    ignore p;
+    ignore m;
+    Tangential.Uniform w
+  end
+
+let rank_rule_of_tol tol =
+  if tol <= 0. then Svd_reduce.Gap else Svd_reduce.Tol tol
+
+(* ------------------------------------------------------------------ *)
+(* fit *)
+
+let algorithm_arg =
+  let alg =
+    Arg.enum
+      [ ("mfti", `Mfti); ("vfti", `Vfti); ("mfti2", `Mfti2); ("vf", `Vf) ]
+  in
+  let doc = "Fitting algorithm: $(b,mfti) (Algorithm 1), $(b,vfti) \
+             (vector-format baseline), $(b,mfti2) (recursive Algorithm 2), \
+             or $(b,vf) (vector fitting)." in
+  Arg.(value & opt alg `Mfti & info [ "algorithm"; "a" ] ~docv:"ALG" ~doc)
+
+let poles_arg =
+  let doc = "Pole count for vector fitting." in
+  Arg.(value & opt int 50 & info [ "poles" ] ~docv:"N" ~doc)
+
+let save_model_arg =
+  let doc = "Write the fitted state-space model to this file              (mfti-descriptor-v1 text format; reload with              Statespace.Descriptor.load)." in
+  Arg.(value & opt (some string) None & info [ "save-model" ] ~docv:"FILE" ~doc)
+
+let plot_arg =
+  let doc = "Write an SVG of the per-frequency relative fit error." in
+  Arg.(value & opt (some string) None & info [ "plot" ] ~docv:"FILE" ~doc)
+
+let symmetrize_arg =
+  let doc = "Symmetrize the data ((S + S^T)/2) before fitting — noise              reduction for reciprocal devices." in
+  Arg.(value & flag & info [ "symmetrize" ] ~doc)
+
+let run_fit path algorithm width rank_tol seed poles save_model plot symmetrize =
+  let data = load path in
+  let samples = Tangential.trim_even data.Rf.Touchstone.samples in
+  let samples = if symmetrize then Sampling.symmetrize samples else samples in
+  let rank_rule = rank_rule_of_tol rank_tol in
+  let directions = Direction.Orthonormal seed in
+  let describe name model rank =
+    Printf.printf "%s\n" (Metrics.report ~name model samples);
+    Printf.printf "retained order: %d; stable: %b; real: %b\n" rank
+      (Poles.is_stable model) (Descriptor.is_real model);
+    if data.Rf.Touchstone.parameter = Rf.Touchstone.S then
+      match Rf.Passivity.check model with
+      | Rf.Passivity.Passive -> Printf.printf "passivity: passive\n"
+      | Rf.Passivity.Feedthrough_violation sd ->
+        Printf.printf "passivity: VIOLATED at infinite frequency (sigma D = %.4f)\n" sd
+      | Rf.Passivity.Violations fs ->
+        Printf.printf "passivity: sigma_max(S) crosses 1 at %d frequencies (first %.4g Hz)\n"
+          (List.length fs) (List.hd fs)
+      | exception Invalid_argument msg ->
+        Printf.printf "passivity: not checkable (%s)\n" msg
+  in
+  let post_process name model =
+    (match save_model with
+     | None -> ()
+     | Some file ->
+       Descriptor.save file model;
+       Printf.printf "saved model -> %s\n" file);
+    match plot with
+    | None -> ()
+    | Some file ->
+      let errs = Metrics.err_vector model samples in
+      let points =
+        Array.mapi (fun i e -> (samples.(i).Sampling.freq, e)) errs
+      in
+      Plot.Svg.write_file file
+        ~title:(name ^ " fit: per-frequency relative error")
+        ~xlabel:"frequency (Hz)" ~ylabel:"|H - S| / |S|"
+        ~xaxis:Plot.Svg.Log ~yaxis:Plot.Svg.Log
+        [ { Plot.Svg.label = name; points } ];
+      Printf.printf "wrote error plot -> %s\n" file
+  in
+  (match algorithm with
+   | `Mfti ->
+     let options =
+       { Algorithm1.default_options with
+         weight = weight_of_width ~samples width; rank_rule; directions }
+     in
+     let r = Algorithm1.fit ~options samples in
+     describe "MFTI" r.Algorithm1.model r.Algorithm1.rank;
+     post_process "MFTI" r.Algorithm1.model
+   | `Vfti ->
+     let options = { Vfti.default_options with rank_rule; directions } in
+     let r = Vfti.fit ~options samples in
+     describe "VFTI" r.Algorithm1.model r.Algorithm1.rank;
+     post_process "VFTI" r.Algorithm1.model
+   | `Mfti2 ->
+     let options =
+       { Algorithm2.default_options with
+         weight = (if width = 0 then Tangential.Uniform 2
+                   else Tangential.Uniform width);
+         rank_rule; directions }
+     in
+     let r = Algorithm2.fit ~options samples in
+     Printf.printf "recursive MFTI: used %d/%d units in %d iterations\n"
+       r.Algorithm2.selected_units r.Algorithm2.total_units
+       r.Algorithm2.iterations;
+     describe "MFTI-2" r.Algorithm2.model r.Algorithm2.rank;
+     post_process "MFTI-2" r.Algorithm2.model
+   | `Vf ->
+     let options = { Vfit.Vf.default_options with n_poles = poles } in
+     let model, _ = Vfit.Vf.fit ~options samples in
+     Printf.printf "VF: order %d, ERR %.3e\n" (Vfit.Vf.order model)
+       (Vfit.Vf.err model samples);
+     post_process "VF" (Vfit.Vf.to_descriptor model));
+  0
+
+let fit_cmd =
+  let info = Cmd.info "fit" ~doc:"Fit a macromodel to sampled data." in
+  Cmd.v info
+    Term.(const run_fit $ touchstone_arg $ algorithm_arg $ width_arg
+          $ rank_tol_arg $ seed_arg $ poles_arg $ save_model_arg $ plot_arg
+          $ symmetrize_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gen *)
+
+let kind_arg =
+  let kind = Arg.enum [ ("pdn", `Pdn); ("ladder", `Ladder) ] in
+  let doc = "Workload kind: $(b,pdn) (power distribution network) or \
+             $(b,ladder) (RLC transmission line)." in
+  Arg.(required & pos 0 (some kind) None & info [] ~docv:"KIND" ~doc)
+
+let out_arg =
+  let doc = "Output Touchstone file (port count must match extension)." in
+  Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+
+let ports_arg =
+  let doc = "Number of ports for the PDN." in
+  Arg.(value & opt int 4 & info [ "ports" ] ~docv:"P" ~doc)
+
+let points_arg =
+  let doc = "Number of frequency points." in
+  Arg.(value & opt int 100 & info [ "points"; "n" ] ~docv:"N" ~doc)
+
+let flo_arg =
+  let doc = "Lowest frequency (Hz)." in
+  Arg.(value & opt float 1e6 & info [ "f-lo" ] ~docv:"HZ" ~doc)
+
+let fhi_arg =
+  let doc = "Highest frequency (Hz)." in
+  Arg.(value & opt float 3e9 & info [ "f-hi" ] ~docv:"HZ" ~doc)
+
+let noise_arg =
+  let doc = "Relative measurement-noise level (e.g. 0.001 = -60 dB)." in
+  Arg.(value & opt float 0. & info [ "noise" ] ~docv:"LEVEL" ~doc)
+
+let run_gen kind out ports points flo fhi noise seed =
+  let freqs = Sampling.logspace flo fhi points in
+  let samples =
+    match kind with
+    | `Pdn ->
+      let grid = Stdlib.max 3 (int_of_float (ceil (sqrt (float_of_int (2 * ports))))) in
+      let spec =
+        { Rf.Pdn.default_spec with nx = grid; ny = grid; ports;
+          decaps = Stdlib.max 2 (ports / 2); seed }
+      in
+      Rf.Pdn.scattering spec ~z0:50. freqs
+    | `Ladder -> Rf.Ladder.scattering Rf.Ladder.default_spec ~z0:50. freqs
+  in
+  let samples =
+    if noise > 0. then Rf.Noise.add_relative ~seed ~level:noise samples
+    else samples
+  in
+  let expected = Rf.Touchstone.ports_of_filename out in
+  let actual, _ = Sampling.port_dims samples in
+  if expected <> actual then begin
+    Printf.eprintf "error: workload has %d ports but %s implies %d\n" actual
+      out expected;
+    1
+  end
+  else begin
+    Rf.Touchstone.write_file out
+      { Rf.Touchstone.parameter = Rf.Touchstone.S; z0 = 50.; samples }
+      ~comment:"generated by mfti gen";
+    Printf.printf "wrote %d samples, %d ports -> %s\n" (Array.length samples)
+      actual out;
+    0
+  end
+
+let gen_cmd =
+  let info = Cmd.info "gen" ~doc:"Generate a synthetic workload as Touchstone." in
+  Cmd.v info
+    Term.(const run_gen $ kind_arg $ out_arg $ ports_arg $ points_arg
+          $ flo_arg $ fhi_arg $ noise_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compare *)
+
+let run_compare path rank_tol seed =
+  let data = load path in
+  let samples = Tangential.trim_even data.Rf.Touchstone.samples in
+  let rank_rule = rank_rule_of_tol rank_tol in
+  let directions = Direction.Orthonormal seed in
+  Printf.printf "%-22s %8s %10s %12s\n" "algorithm" "order" "time(s)" "ERR";
+  let row name f =
+    let t0 = Sys.time () in
+    let order, err = f () in
+    Printf.printf "%-22s %8d %10.3f %12.3e\n%!" name order (Sys.time () -. t0) err
+  in
+  row "VFTI" (fun () ->
+      let options = { Vfti.default_options with rank_rule; directions } in
+      let r = Vfti.fit ~options samples in
+      (r.Algorithm1.rank, Metrics.err r.Algorithm1.model samples));
+  row "MFTI-1 (t=2)" (fun () ->
+      let options =
+        { Algorithm1.default_options with
+          weight = Tangential.Uniform 2; rank_rule; directions }
+      in
+      let r = Algorithm1.fit ~options samples in
+      (r.Algorithm1.rank, Metrics.err r.Algorithm1.model samples));
+  row "MFTI-1 (full)" (fun () ->
+      let r =
+        Algorithm1.fit
+          ~options:{ Algorithm1.default_options with rank_rule; directions }
+          samples
+      in
+      (r.Algorithm1.rank, Metrics.err r.Algorithm1.model samples));
+  row "MFTI-2 (recursive)" (fun () ->
+      let options =
+        { Algorithm2.default_options with rank_rule; directions }
+      in
+      let r = Algorithm2.fit ~options samples in
+      (r.Algorithm2.rank, Metrics.err r.Algorithm2.model samples));
+  row "VF (n=50)" (fun () ->
+      let model, _ =
+        Vfit.Vf.fit ~options:{ Vfit.Vf.default_options with n_poles = 50 } samples
+      in
+      (Vfit.Vf.order model, Vfit.Vf.err model samples));
+  0
+
+let compare_cmd =
+  let info = Cmd.info "compare" ~doc:"Run every algorithm and tabulate." in
+  Cmd.v info Term.(const run_compare $ touchstone_arg $ rank_tol_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* info *)
+
+let run_info path =
+  let data = load path in
+  let samples = data.Rf.Touchstone.samples in
+  let p, m = Sampling.port_dims samples in
+  let k = Array.length samples in
+  Printf.printf "%s: %d samples, %dx%d matrices, z0 = %g ohm\n" path k p m
+    data.Rf.Touchstone.z0;
+  Printf.printf "band: %.4g Hz .. %.4g Hz\n" samples.(0).Sampling.freq
+    samples.(k - 1).Sampling.freq;
+  Printf.printf "max singular value over samples: %.6f %s\n"
+    (Rf.Sparams.max_singular_value samples)
+    (if Rf.Sparams.max_singular_value samples <= 1. +. 1e-9 then "(passive)"
+     else "(NOT passive)");
+  0
+
+let info_cmd =
+  let info = Cmd.info "info" ~doc:"Summarize a Touchstone file." in
+  Cmd.v info Term.(const run_info $ touchstone_arg)
+
+let () =
+  let doc = "matrix-format tangential interpolation macromodeling" in
+  let info = Cmd.info "mfti" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ fit_cmd; gen_cmd; compare_cmd; info_cmd ]))

@@ -1,0 +1,1 @@
+examples/crosstalk.ml: Algorithm1 Cmat Cx Descriptor Linalg List Metrics Mfti Printf Rf Sampling Statespace Stdlib Timedomain

@@ -1,0 +1,1 @@
+examples/eye_diagram.ml: Algorithm1 Array Cmat Cx Float Linalg List Metrics Mfti Printf Rf Sampling Statespace Stdlib String Timedomain

@@ -1,0 +1,1 @@
+examples/eye_diagram.mli:

@@ -1,0 +1,1 @@
+examples/interconnect.ml: Algorithm1 Cmat Cx Descriptor Linalg List Metrics Mfti Printf Random_sys Sampling Statespace Vfti

@@ -1,0 +1,1 @@
+examples/large_scale.ml: Algorithm1 Metrics Mfti Printf Rf Sampling Statespace Stdlib Sys Tangential

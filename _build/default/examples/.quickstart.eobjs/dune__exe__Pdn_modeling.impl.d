@@ -1,0 +1,1 @@
+examples/pdn_modeling.ml: Algorithm1 Algorithm2 Array Descriptor Float Metrics Mfti Printf Rf Sampling Statespace Svd_reduce Tangential Vfti

@@ -1,0 +1,1 @@
+examples/pdn_modeling.mli:

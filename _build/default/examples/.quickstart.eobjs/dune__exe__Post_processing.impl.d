@@ -1,0 +1,1 @@
+examples/post_processing.ml: Algorithm1 Array Descriptor Linalg List Metrics Mfti Printf Reduction Rf Sampling Stabilize Statespace Stdlib Svd_reduce Tangential

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algorithm1 Array Descriptor List Metrics Mfti Poles Printf Rf Sampling Statespace Svd_reduce

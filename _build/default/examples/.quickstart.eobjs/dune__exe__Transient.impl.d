@@ -1,0 +1,1 @@
+examples/transient.ml: Algorithm1 Array Cmat Cx Descriptor Linalg List Mfti Printf Rf Sampling Statespace Stdlib Timedomain

@@ -1,0 +1,52 @@
+(* Quickstart: macromodel an RLC interconnect from frequency samples.
+
+   1. build a 10-section RLC transmission-line model (the "device under
+      test" standing in for an EM solver or a VNA measurement);
+   2. sample its scattering matrix at a handful of frequencies;
+   3. recover a state-space macromodel with MFTI (paper Algorithm 1);
+   4. check the model against frequencies that were never sampled.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Statespace
+open Mfti
+
+let () =
+  (* 1. the device: a lossy RLC ladder, 2 ports, order 20 *)
+  let line = Rf.Ladder.default_spec in
+  let dut = Rf.Ladder.scattering_model line ~z0:50. in
+  Printf.printf "device under test: %d states, %d ports\n"
+    (Descriptor.order dut) (Descriptor.inputs dut);
+
+  (* 2. sample S(f) at 22 log-spaced frequencies *)
+  let freqs = Sampling.logspace 1e6 2e10 22 in
+  let samples = Sampling.sample_system dut freqs in
+  Printf.printf "sampled %d scattering matrices from %.0e to %.0e Hz\n"
+    (Array.length samples) freqs.(0) freqs.(Array.length freqs - 1);
+
+  (* 3. fit: matrix-format tangential interpolation *)
+  let result = Algorithm1.fit samples in
+  Printf.printf "MFTI recovered a model of order %d\n" result.Algorithm1.rank;
+
+  (* 4. validate off the sampling grid *)
+  let validation = Sampling.sample_system dut (Sampling.logspace 3e6 1e10 31) in
+  Printf.printf "%s\n" (Metrics.report ~name:"MFTI" result.Algorithm1.model validation);
+  Printf.printf "model is %s and %s\n"
+    (if Descriptor.is_real result.Algorithm1.model then "real" else "complex")
+    (if Poles.is_stable result.Algorithm1.model then "stable" else "UNSTABLE");
+
+  (* bonus: how few samples would have sufficed?  Theorem 3.5 counts all
+     states; modes resonating outside the sampled band are weakly
+     observable, so real devices want a small margin on top. *)
+  let k_min =
+    Svd_reduce.minimal_samples ~order:(Descriptor.order dut)
+      ~rank_d:2 ~inputs:2 ~outputs:2
+  in
+  Printf.printf "theorem 3.5 bound: %d samples; sweeping around it:\n" k_min;
+  List.iter
+    (fun k ->
+      let r2 = Algorithm1.fit (Sampling.sample_system dut (Sampling.logspace 1e6 2e10 k)) in
+      Printf.printf "  %s\n"
+        (Metrics.report ~name:(Printf.sprintf "MFTI, %2d samples" k)
+           r2.Algorithm1.model validation))
+    [ k_min - 4; k_min; k_min + 4 ]

@@ -1,0 +1,1 @@
+lib/core/algorithm1.ml: Direction Loewner Realify Statespace Svd_reduce Tangential

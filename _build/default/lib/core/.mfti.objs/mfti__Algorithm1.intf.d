@@ -1,0 +1,1 @@
+lib/core/algorithm1.mli: Direction Loewner Statespace Svd_reduce Tangential

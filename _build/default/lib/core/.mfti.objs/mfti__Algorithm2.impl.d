@@ -1,0 +1,1 @@
+lib/core/algorithm2.ml: Array Cmat Cx Direction Float Linalg List Loewner Realify Statespace Stdlib Svd_reduce Tangential

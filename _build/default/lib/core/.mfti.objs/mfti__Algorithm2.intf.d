@@ -1,0 +1,1 @@
+lib/core/algorithm2.mli: Direction Statespace Svd_reduce Tangential

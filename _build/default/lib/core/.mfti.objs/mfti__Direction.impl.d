@@ -1,0 +1,1 @@
+lib/core/direction.ml: Cmat Cx Linalg Printf Qr Rng

@@ -1,0 +1,1 @@
+lib/core/loewner.ml: Array Cmat Cx Linalg Sylvester Tangential

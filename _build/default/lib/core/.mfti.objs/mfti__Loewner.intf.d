@@ -1,0 +1,1 @@
+lib/core/loewner.mli: Linalg Tangential

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Array Cmat Descriptor Linalg Printf Sampling Statespace Stdlib Svd

@@ -1,0 +1,1 @@
+lib/core/realify.ml: Array Cmat Cx Linalg List Loewner Stdlib

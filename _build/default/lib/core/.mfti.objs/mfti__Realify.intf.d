@@ -1,0 +1,1 @@
+lib/core/realify.mli: Linalg Loewner

@@ -1,0 +1,1 @@
+lib/core/svd_reduce.ml: Array Cmat Cx Float Linalg Loewner Statespace Stdlib Svd

@@ -1,0 +1,1 @@
+lib/core/svd_reduce.mli: Linalg Loewner Statespace

@@ -1,0 +1,1 @@
+lib/core/tangential.ml: Array Cmat Cx Descriptor Direction Float Hashtbl Linalg List Printf Sampling Statespace Stdlib

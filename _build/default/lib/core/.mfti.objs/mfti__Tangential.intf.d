@@ -1,0 +1,1 @@
+lib/core/tangential.mli: Direction Linalg Statespace

@@ -1,0 +1,1 @@
+lib/core/vfti.ml: Algorithm1 Direction Svd_reduce Tangential

@@ -1,0 +1,1 @@
+lib/core/vfti.mli: Algorithm1 Direction Statespace Svd_reduce

@@ -1,0 +1,37 @@
+type options = {
+  weight : Tangential.weight;
+  directions : Direction.kind;
+  real_model : bool;
+  mode : Svd_reduce.mode;
+  rank_rule : Svd_reduce.rank_rule;
+}
+
+let default_options =
+  { weight = Tangential.Full;
+    directions = Direction.Orthonormal 0;
+    real_model = true;
+    mode = Svd_reduce.default_mode;
+    rank_rule = Svd_reduce.default_rank_rule }
+
+type result = {
+  model : Statespace.Descriptor.t;
+  rank : int;
+  sigma : float array;
+  data : Tangential.t;
+  loewner : Loewner.t;
+}
+
+let fit ?(options = default_options) samples =
+  let data =
+    Tangential.build ~directions:options.directions ~weight:options.weight samples
+  in
+  let pencil = Loewner.build data in
+  let pencil = if options.real_model then Realify.apply pencil else pencil in
+  let reduced =
+    Svd_reduce.reduce ~mode:options.mode ~rank_rule:options.rank_rule pencil
+  in
+  { model = reduced.Svd_reduce.model;
+    rank = reduced.Svd_reduce.rank;
+    sigma = reduced.Svd_reduce.sigma;
+    data;
+    loewner = pencil }

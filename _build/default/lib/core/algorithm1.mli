@@ -1,0 +1,31 @@
+(** MFTI of noise-free data — paper Algorithm 1, end to end.
+
+    Pipeline: matrix-format tangential data (eqs. 6-9) -> Loewner pencil
+    (eqs. 11-12) -> realification (Lemma 3.2) -> SVD projection
+    (Lemma 3.4) -> descriptor model.  With [weight = Full] and
+    orthonormal directions, the model matches every sampled matrix
+    exactly when the sampling is sufficient (Lemma 3.1 / Theorem 3.5). *)
+
+type options = {
+  weight : Tangential.weight;       (** block widths [t_i] *)
+  directions : Direction.kind;
+  real_model : bool;                (** apply Lemma 3.2 before the SVD *)
+  mode : Svd_reduce.mode;
+  rank_rule : Svd_reduce.rank_rule;
+}
+
+val default_options : options
+(** [Full] weights, orthonormal directions, realification on, stacked
+    SVD, gap-based rank detection. *)
+
+type result = {
+  model : Statespace.Descriptor.t;
+  rank : int;                (** model order retained by the SVD *)
+  sigma : float array;       (** singular values behind the rank choice *)
+  data : Tangential.t;       (** the interpolation data used *)
+  loewner : Loewner.t;       (** the (possibly realified) pencil *)
+}
+
+(** [fit ?options samples] runs Algorithm 1.  Needs an even number of
+    samples at distinct positive frequencies. *)
+val fit : ?options:options -> Statespace.Sampling.sample array -> result

@@ -1,0 +1,193 @@
+open Linalg
+
+type options = {
+  weight : Tangential.weight;
+  directions : Direction.kind;
+  batch : int;
+  threshold : float;
+  max_iterations : int;
+  real_model : bool;
+  mode : Svd_reduce.mode;
+  rank_rule : Svd_reduce.rank_rule;
+}
+
+let default_options =
+  { weight = Tangential.Uniform 2;
+    directions = Direction.Orthonormal 0;
+    batch = 8;
+    threshold = 1e-3;
+    max_iterations = 64;
+    real_model = true;
+    mode = Svd_reduce.default_mode;
+    rank_rule = Svd_reduce.default_rank_rule }
+
+type result = {
+  model : Statespace.Descriptor.t;
+  rank : int;
+  sigma : float array;
+  selected_units : int;
+  total_units : int;
+  iterations : int;
+  history : float array;
+}
+
+(* One selectable unit: a tangential column with its conjugate partner,
+   plus the aligned left row pair, and the data needed for residuals. *)
+type unit_data = {
+  col_orig : int;
+  col_conj : int;
+  row_orig : int;
+  row_conj : int;
+  lambda_u : Cx.t;
+  r_col : Cmat.t;   (* m x 1 *)
+  w_col : Cmat.t;   (* p x 1 *)
+  mu_u : Cx.t;
+  l_row : Cmat.t;   (* 1 x p *)
+  v_row : Cmat.t;   (* 1 x m *)
+  norm_u : float;   (* |w| + |v| for normalization *)
+}
+
+let block_offsets sizes =
+  let off = Array.make (Array.length sizes) 0 in
+  for i = 1 to Array.length sizes - 1 do
+    off.(i) <- off.(i - 1) + sizes.(i - 1)
+  done;
+  off
+
+let make_units (data : Tangential.t) (pencil : Loewner.t) =
+  let rs = pencil.Loewner.right_sizes and ls = pencil.Loewner.left_sizes in
+  let npairs = Array.length rs / 2 in
+  if Array.length ls <> Array.length rs then
+    invalid_arg "Algorithm2: left/right block counts differ";
+  let roff = block_offsets rs and loff = block_offsets ls in
+  let units = ref [] in
+  for g = 0 to npairs - 1 do
+    let t_r = rs.(2 * g) and t_l = ls.(2 * g) in
+    if t_r <> t_l then
+      invalid_arg "Algorithm2: left and right widths must match per block pair";
+    let rb = data.Tangential.right.(2 * g) in
+    let lb = data.Tangential.left.(2 * g) in
+    for j = 0 to t_r - 1 do
+      let r_col = Cmat.col rb.Tangential.r j in
+      let w_col = Cmat.col rb.Tangential.w j in
+      let l_row = Cmat.row lb.Tangential.l j in
+      let v_row = Cmat.row lb.Tangential.v j in
+      units :=
+        { col_orig = roff.(2 * g) + j;
+          col_conj = roff.((2 * g) + 1) + j;
+          row_orig = loff.(2 * g) + j;
+          row_conj = loff.((2 * g) + 1) + j;
+          lambda_u = rb.Tangential.lambda;
+          r_col; w_col;
+          mu_u = lb.Tangential.mu;
+          l_row; v_row;
+          norm_u = Cmat.norm_fro w_col +. Cmat.norm_fro v_row }
+        :: !units
+    done
+  done;
+  Array.of_list (List.rev !units)
+
+(* Strided initial visit order: [0, k0, 2k0, ..., 1, k0+1, ...]. *)
+let strided_order n k0 =
+  let order = Array.make n 0 in
+  let pos = ref 0 in
+  for r = 0 to k0 - 1 do
+    let i = ref r in
+    while !i < n do
+      order.(!pos) <- !i;
+      incr pos;
+      i := !i + k0
+    done
+  done;
+  order
+
+let sub_pencil (pencil : Loewner.t) units selected =
+  let n = List.length selected in
+  let cols = Array.make (2 * n) 0 and rows = Array.make (2 * n) 0 in
+  List.iteri
+    (fun i u ->
+      cols.(2 * i) <- units.(u).col_orig;
+      cols.((2 * i) + 1) <- units.(u).col_conj;
+      rows.(2 * i) <- units.(u).row_orig;
+      rows.((2 * i) + 1) <- units.(u).row_conj)
+    selected;
+  let pick m = Cmat.select_rows (Cmat.select_cols m cols) rows in
+  { Loewner.ll = pick pencil.Loewner.ll;
+    sll = pick pencil.Loewner.sll;
+    w = Cmat.select_cols pencil.Loewner.w cols;
+    v = Cmat.select_rows pencil.Loewner.v rows;
+    r = Cmat.select_cols pencil.Loewner.r cols;
+    l = Cmat.select_rows pencil.Loewner.l rows;
+    lambda = Array.map (fun c -> pencil.Loewner.lambda.(c)) cols;
+    mu = Array.map (fun r -> pencil.Loewner.mu.(r)) rows;
+    right_sizes = Array.make (2 * n) 1;
+    left_sizes = Array.make (2 * n) 1 }
+
+let unit_residual model u =
+  let hr = Statespace.Descriptor.eval model u.lambda_u in
+  let right = Cmat.norm_fro (Cmat.sub (Cmat.mul hr u.r_col) u.w_col) in
+  let hl = Statespace.Descriptor.eval model u.mu_u in
+  let left = Cmat.norm_fro (Cmat.sub (Cmat.mul u.l_row hl) u.v_row) in
+  (right +. left) /. Stdlib.max u.norm_u 1e-300
+
+let fit ?(options = default_options) samples =
+  if options.batch < 1 then invalid_arg "Algorithm2: batch must be >= 1";
+  if options.max_iterations < 1 then
+    invalid_arg "Algorithm2: max_iterations must be >= 1";
+  let data =
+    Tangential.build ~directions:options.directions ~weight:options.weight samples
+  in
+  let pencil = Loewner.build data in
+  let units = make_units data pencil in
+  let total = Array.length units in
+  let remaining = ref (Array.to_list (strided_order total options.batch)) in
+  let selected = ref [] in
+  let history = ref [] in
+  let take n lst =
+    let rec go n acc = function
+      | rest when n = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> go (n - 1) (x :: acc) rest
+    in
+    go n [] lst
+  in
+  let rec loop iter =
+    let batch, rest = take options.batch !remaining in
+    selected := !selected @ batch;
+    remaining := rest;
+    let sub = sub_pencil pencil units !selected in
+    let sub = if options.real_model then Realify.apply sub else sub in
+    let reduced =
+      Svd_reduce.reduce ~mode:options.mode ~rank_rule:options.rank_rule sub
+    in
+    let model = reduced.Svd_reduce.model in
+    match !remaining with
+    | [] ->
+      history := Float.nan :: !history;
+      (model, reduced, iter)
+    | rest ->
+      let errs =
+        List.map (fun u -> (u, unit_residual model units.(u))) rest
+      in
+      let mean =
+        List.fold_left (fun acc (_, e) -> acc +. e) 0. errs
+        /. float_of_int (List.length errs)
+      in
+      history := mean :: !history;
+      if mean <= options.threshold || iter >= options.max_iterations then
+        (model, reduced, iter)
+      else begin
+        (* Visit the worst-fitting held-out units next. *)
+        let sorted = List.sort (fun (_, a) (_, b) -> compare b a) errs in
+        remaining := List.map fst sorted;
+        loop (iter + 1)
+      end
+  in
+  let model, reduced, iterations = loop 1 in
+  { model;
+    rank = reduced.Svd_reduce.rank;
+    sigma = reduced.Svd_reduce.sigma;
+    selected_units = List.length !selected;
+    total_units = total;
+    iterations;
+    history = Array.of_list (List.rev !history) }

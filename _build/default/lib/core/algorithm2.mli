@@ -1,0 +1,46 @@
+(** Recursive MFTI of noisy data — paper Algorithm 2.
+
+    Instead of using every tangential column/row at once (whose cost
+    grows quickly with the pencil size), the recursion starts from a
+    small strided subset, builds a model, measures the tangential
+    residual on the *held-out* data, and moves the [batch] worst-fitting
+    units into the active set — repeating until the mean held-out
+    residual falls below [threshold] or the data is exhausted.  The full
+    Loewner pencil is assembled once and submatrices are selected per
+    iteration (the paper's "update instead of recompute" step).
+
+    A selection unit is one tangential column together with its
+    conjugate partner (plus the aligned row pair), so realification
+    stays applicable to every intermediate model.  Residuals are
+    normalized by the data norms, making [threshold] scale-free. *)
+
+type options = {
+  weight : Tangential.weight;
+  directions : Direction.kind;
+  batch : int;             (** k0: units moved per iteration (>= 1) *)
+  threshold : float;       (** Th: mean relative held-out residual target *)
+  max_iterations : int;
+  real_model : bool;
+  mode : Svd_reduce.mode;
+  rank_rule : Svd_reduce.rank_rule;
+}
+
+val default_options : options
+
+type result = {
+  model : Statespace.Descriptor.t;
+  rank : int;
+  sigma : float array;
+  selected_units : int;    (** units in the final active set *)
+  total_units : int;
+  iterations : int;
+  history : float array;   (** mean held-out relative residual per iteration
+                               ([nan] for the final one when nothing is
+                               held out) *)
+}
+
+(** [fit ?options samples] runs the recursion.  Same sample requirements
+    as {!Algorithm1.fit}; additionally the left and right tangential
+    widths must match (they always do with [Full], [Uniform] or a
+    pairwise-equal [Per_sample] weighting). *)
+val fit : ?options:options -> Statespace.Sampling.sample array -> result

@@ -1,0 +1,40 @@
+open Linalg
+
+type kind =
+  | Identity_cycle
+  | Orthonormal of int
+  | Random_unit of int
+
+let check ~ports ~size name =
+  if ports < 1 then invalid_arg (name ^ ": ports must be >= 1");
+  if size < 1 || size > ports then
+    invalid_arg
+      (Printf.sprintf "%s: direction size %d must be in [1, %d]" name size ports)
+
+(* Distinct, reproducible stream per (seed, block, side). *)
+let block_rng seed block side =
+  Rng.create ((seed * 1_000_003) + (block * 2) + side)
+
+let tall kind ~block ~ports ~size ~side =
+  check ~ports ~size "Mfti.Direction";
+  match kind with
+  | Identity_cycle ->
+    Cmat.init ports size (fun i jcol ->
+        if i = ((block * size) + jcol) mod ports then Cx.one else Cx.zero)
+  | Orthonormal seed ->
+    let rng = block_rng seed block side in
+    Qr.orthonormalize (Cmat.random_real rng ports size)
+  | Random_unit seed ->
+    let rng = block_rng seed block side in
+    let m = Cmat.random_real rng ports size in
+    let q = Cmat.copy m in
+    for jcol = 0 to size - 1 do
+      let c = Cmat.col q jcol in
+      let nrm = Cmat.vec_norm c in
+      if nrm > 0. then Cmat.set_col q jcol (Cmat.scale_float (1. /. nrm) c)
+    done;
+    q
+
+let right kind ~block ~ports ~size = tall kind ~block ~ports ~size ~side:0
+let left kind ~block ~ports ~size =
+  Cmat.transpose (tall kind ~block ~ports ~size ~side:1)

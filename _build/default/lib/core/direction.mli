@@ -1,0 +1,29 @@
+(** Interpolation-direction generators.
+
+    The tangential directions [R_i] (m x t) and [L_i] (t x p) of the
+    paper's eqs. (6)-(7) are "arbitrarily chosen"; their conditioning
+    still matters.  All generators produce *real* matrices so that the
+    conjugate-sample closure can reuse them unchanged and Lemma 3.2's
+    realification applies.  Algorithm 1 step 1 asks for orthonormal
+    directions — that is {!Orthonormal}. *)
+
+type kind =
+  | Identity_cycle
+      (** columns of the identity, cycling through ports from block to
+          block; deterministic, probes every port across samples *)
+  | Orthonormal of int
+      (** seeded random matrices with orthonormalized columns (the
+          paper's recommended choice) *)
+  | Random_unit of int
+      (** seeded random unit-norm columns, not mutually orthogonal —
+          the weakest choice, kept for ablation *)
+
+(** [right kind ~block ~ports ~size] is the [ports x size] direction
+    [R_i] for right-data block number [block].  [size <= ports]
+    required for [Orthonormal] (columns cannot be orthonormal
+    otherwise). *)
+val right : kind -> block:int -> ports:int -> size:int -> Linalg.Cmat.t
+
+(** [left kind ~block ~ports ~size] is the [size x ports] direction
+    [L_i]. *)
+val left : kind -> block:int -> ports:int -> size:int -> Linalg.Cmat.t

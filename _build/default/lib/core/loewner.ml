@@ -1,0 +1,95 @@
+open Linalg
+
+type t = {
+  ll : Cmat.t;
+  sll : Cmat.t;
+  w : Cmat.t;
+  v : Cmat.t;
+  r : Cmat.t;
+  l : Cmat.t;
+  lambda : Cx.t array;
+  mu : Cx.t array;
+  right_sizes : int array;
+  left_sizes : int array;
+}
+
+let build (data : Tangential.t) =
+  let right = data.Tangential.right and left = data.Tangential.left in
+  let right_sizes = Tangential.right_sizes data in
+  let left_sizes = Tangential.left_sizes data in
+  let kr = Array.fold_left ( + ) 0 right_sizes in
+  let kl = Array.fold_left ( + ) 0 left_sizes in
+  let m = data.Tangential.inputs and p = data.Tangential.outputs in
+  let col_off = Array.make (Array.length right_sizes) 0 in
+  for i = 1 to Array.length right_sizes - 1 do
+    col_off.(i) <- col_off.(i - 1) + right_sizes.(i - 1)
+  done;
+  let row_off = Array.make (Array.length left_sizes) 0 in
+  for i = 1 to Array.length left_sizes - 1 do
+    row_off.(i) <- row_off.(i - 1) + left_sizes.(i - 1)
+  done;
+  let ll = Cmat.zeros kl kr and sll = Cmat.zeros kl kr in
+  let w = Cmat.zeros p kr and r = Cmat.zeros m kr in
+  let v = Cmat.zeros kl m and l = Cmat.zeros kl p in
+  let lambda = Array.make kr Cx.zero and mu = Array.make kl Cx.zero in
+  Array.iteri
+    (fun j (rb : Tangential.right_block) ->
+      let off = col_off.(j) in
+      Cmat.set_sub w ~r:0 ~c:off rb.Tangential.w;
+      Cmat.set_sub r ~r:0 ~c:off rb.Tangential.r;
+      for c = 0 to right_sizes.(j) - 1 do
+        lambda.(off + c) <- rb.Tangential.lambda
+      done)
+    right;
+  Array.iteri
+    (fun i (lb : Tangential.left_block) ->
+      let off = row_off.(i) in
+      Cmat.set_sub v ~r:off ~c:0 lb.Tangential.v;
+      Cmat.set_sub l ~r:off ~c:0 lb.Tangential.l;
+      for c = 0 to left_sizes.(i) - 1 do
+        mu.(off + c) <- lb.Tangential.mu
+      done)
+    left;
+  Array.iteri
+    (fun i (lb : Tangential.left_block) ->
+      Array.iteri
+        (fun j (rb : Tangential.right_block) ->
+          let denom = Cx.sub lb.Tangential.mu rb.Tangential.lambda in
+          if Cx.abs denom = 0. then
+            invalid_arg "Loewner.build: coincident left and right points";
+          let inv = Cx.inv denom in
+          let vr = Cmat.mul lb.Tangential.v rb.Tangential.r in
+          let lw = Cmat.mul lb.Tangential.l rb.Tangential.w in
+          let blk = Cmat.scale inv (Cmat.sub vr lw) in
+          let sblk =
+            Cmat.scale inv
+              (Cmat.sub
+                 (Cmat.scale lb.Tangential.mu vr)
+                 (Cmat.scale rb.Tangential.lambda lw))
+          in
+          Cmat.set_sub ll ~r:row_off.(i) ~c:col_off.(j) blk;
+          Cmat.set_sub sll ~r:row_off.(i) ~c:col_off.(j) sblk)
+        right)
+    left;
+  { ll; sll; w; v; r; l; lambda; mu; right_sizes; left_sizes }
+
+let sylvester_residuals t =
+  let lw = Cmat.mul t.l t.w in
+  let vr = Cmat.mul t.v t.r in
+  let scale_cols m diag = Cmat.mapi (fun _ jcol x -> Cx.mul x diag.(jcol)) m in
+  let scale_rows m diag = Cmat.mapi (fun i _ x -> Cx.mul diag.(i) x) m in
+  let res1 =
+    Cmat.sub
+      (Cmat.sub (scale_cols t.ll t.lambda) (scale_rows t.ll t.mu))
+      (Cmat.sub lw vr)
+  in
+  let res2 =
+    Cmat.sub
+      (Cmat.sub (scale_cols t.sll t.lambda) (scale_rows t.sll t.mu))
+      (Cmat.sub (scale_cols lw t.lambda) (scale_rows vr t.mu))
+  in
+  (Cmat.norm_fro res1, Cmat.norm_fro res2)
+
+let ll_via_sylvester t =
+  let f = Cmat.sub (Cmat.mul t.l t.w) (Cmat.mul t.v t.r) in
+  Sylvester.solve_diag ~mu:t.mu ~lambda:t.lambda f

@@ -1,0 +1,37 @@
+(** Block Loewner and shifted Loewner matrices — paper eqs. (11)-(13).
+
+    Block [(i,j)] of [LL] is [(V_i R_j - L_i W_j) / (mu_i - lambda_j)];
+    of [sLL] it is [(mu_i V_i R_j - lambda_j L_i W_j) / (mu_i - lambda_j)].
+    Rows follow the left data, columns the right data.  The stacked
+    direction/data matrices [R, W, L, V] and the expanded diagonal points
+    [Lambda, M] of eqs. (8)-(9) are kept alongside, because the
+    realization (Lemma 3.1) and the Sylvester identities (13) need them. *)
+
+type t = {
+  ll : Linalg.Cmat.t;        (** Loewner matrix, [kl x kr] *)
+  sll : Linalg.Cmat.t;       (** shifted Loewner matrix, [kl x kr] *)
+  w : Linalg.Cmat.t;         (** stacked right data, [p x kr] *)
+  v : Linalg.Cmat.t;         (** stacked left data, [kl x m] *)
+  r : Linalg.Cmat.t;         (** stacked right directions, [m x kr] *)
+  l : Linalg.Cmat.t;         (** stacked left directions, [kl x p] *)
+  lambda : Linalg.Cx.t array; (** expanded right points, length [kr] *)
+  mu : Linalg.Cx.t array;     (** expanded left points, length [kl] *)
+  right_sizes : int array;   (** block widths along the columns *)
+  left_sizes : int array;    (** block widths along the rows *)
+}
+
+(** [build data] assembles the matrices.  Raises [Invalid_argument] when
+    a left and right point coincide (the divided difference is then
+    undefined; distinct sample frequencies guarantee this never fires). *)
+val build : Tangential.t -> t
+
+(** Frobenius residuals of the two Sylvester identities (13):
+    [LL Lambda - M LL = L W - V R] and
+    [sLL Lambda - M sLL = L W Lambda - M V R].  Both are zero up to
+    roundoff for a correctly assembled pencil. *)
+val sylvester_residuals : t -> float * float
+
+(** Assemble [LL] by solving the first Sylvester identity instead of the
+    divided-difference formula (the "or solve from (13)" alternative in
+    Algorithm 1 step 3) — used to cross-check {!build}. *)
+val ll_via_sylvester : t -> Linalg.Cmat.t

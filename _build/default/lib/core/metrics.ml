@@ -1,0 +1,28 @@
+open Linalg
+open Statespace
+
+let err_vector model samples =
+  Array.map
+    (fun smp ->
+      let h = Descriptor.eval_freq model smp.Sampling.freq in
+      let denom = Svd.norm2 smp.Sampling.s in
+      let num = Svd.norm2 (Cmat.sub h smp.Sampling.s) in
+      if denom = 0. then num else num /. denom)
+    samples
+
+let err model samples =
+  let e = err_vector model samples in
+  let k = Array.length e in
+  if k = 0 then 0.
+  else begin
+    let sum2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. e in
+    sqrt sum2 /. sqrt (float_of_int k)
+  end
+
+let max_err model samples =
+  Array.fold_left Stdlib.max 0. (err_vector model samples)
+
+let report ~name model samples =
+  Printf.sprintf "%s: order %d, ERR %.3e, max err %.3e over %d samples"
+    name (Descriptor.order model) (err model samples) (max_err model samples)
+    (Array.length samples)

@@ -1,0 +1,18 @@
+(** Fit-quality metrics — the error measures of the paper's Section 5.
+
+    [err_i = |H(j 2 pi f_i) - S(f_i)|_2 / |S(f_i)|_2] (spectral norms)
+    and [ERR = |err|_2 / sqrt k]. *)
+
+(** Per-sample relative errors [err_i]. *)
+val err_vector :
+  Statespace.Descriptor.t -> Statespace.Sampling.sample array -> float array
+
+(** The aggregate [ERR]. *)
+val err : Statespace.Descriptor.t -> Statespace.Sampling.sample array -> float
+
+(** Worst per-sample relative error. *)
+val max_err : Statespace.Descriptor.t -> Statespace.Sampling.sample array -> float
+
+(** A one-line textual fit report. *)
+val report :
+  name:string -> Statespace.Descriptor.t -> Statespace.Sampling.sample array -> string

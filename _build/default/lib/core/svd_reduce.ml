@@ -1,0 +1,93 @@
+open Linalg
+
+type mode = Pencil of Cx.t option | Stacked
+type rank_rule = Fixed of int | Tol of float | Gap | Auto_noise
+
+type result = {
+  model : Statespace.Descriptor.t;
+  rank : int;
+  sigma : float array;
+}
+
+let default_mode = Stacked
+let default_rank_rule = Gap
+
+let pick_rank rule (d : Svd.t) =
+  let n = Array.length d.Svd.sigma in
+  match rule with
+  | Fixed r ->
+    if r < 1 then invalid_arg "Svd_reduce: rank must be >= 1";
+    Stdlib.min r n
+  | Tol tol -> Stdlib.max 1 (Svd.rank ~rtol:tol d)
+  | Gap -> Stdlib.max 1 (Svd.rank_gap d)
+  | Auto_noise ->
+    if n = 0 || d.Svd.sigma.(0) = 0. then 0
+    else begin
+      (* Noise floods the tail of the spectrum with slowly decaying
+         singular values; their median estimates the floor.  Keep modes a
+         comfortable factor above it.  Falls back to the gap rule when
+         the tail is pure roundoff (noise-free data). *)
+      let tail = Array.sub d.Svd.sigma (n - (n / 4) - 1) ((n / 4) + 1) in
+      Array.sort compare tail;
+      let floor_est = tail.(Array.length tail / 2) in
+      if floor_est <= 1e-12 *. d.Svd.sigma.(0) then
+        Stdlib.max 1 (Svd.rank_gap d)
+      else begin
+        let thresh = 5. *. floor_est in
+        let count = ref 0 in
+        Array.iter (fun s -> if s > thresh then incr count) d.Svd.sigma;
+        Stdlib.max 1 !count
+      end
+    end
+
+let pencil_matrix ?(x0 = None) (t : Loewner.t) =
+  let x0 =
+    match x0 with
+    | Some x -> x
+    | None ->
+      if Array.length t.Loewner.lambda = 0 then
+        invalid_arg "Svd_reduce: empty pencil";
+      t.Loewner.lambda.(0)
+  in
+  (x0, Cmat.sub (Cmat.scale x0 t.Loewner.ll) t.Loewner.sll)
+
+let reduce ?(mode = default_mode) ?(rank_rule = default_rank_rule)
+    (t : Loewner.t) =
+  let y, x, sigma =
+    match mode with
+    | Pencil x0 ->
+      let _, p = pencil_matrix ~x0 t in
+      let d = Svd.decompose p in
+      (d.Svd.u, d.Svd.v, d.Svd.sigma)
+    | Stacked ->
+      let row = Svd.decompose (Cmat.hcat t.Loewner.ll t.Loewner.sll) in
+      let col = Svd.decompose (Cmat.vcat t.Loewner.ll t.Loewner.sll) in
+      (row.Svd.u, col.Svd.v, row.Svd.sigma)
+  in
+  let rank =
+    let d_for_rank = { Svd.u = y; sigma; v = x } in
+    pick_rank rank_rule d_for_rank
+  in
+  let yk = Cmat.sub_matrix y ~r:0 ~c:0 ~rows:(Cmat.rows y) ~cols:rank in
+  let xk = Cmat.sub_matrix x ~r:0 ~c:0 ~rows:(Cmat.rows x) ~cols:rank in
+  let e = Cmat.neg (Cmat.mul_cn yk (Cmat.mul t.Loewner.ll xk)) in
+  let a = Cmat.neg (Cmat.mul_cn yk (Cmat.mul t.Loewner.sll xk)) in
+  let b = Cmat.mul_cn yk t.Loewner.v in
+  let c = Cmat.mul t.Loewner.w xk in
+  let p = Cmat.rows t.Loewner.w and m = Cmat.cols t.Loewner.v in
+  let d = Cmat.zeros p m in
+  let model = Statespace.Descriptor.create ~e ~a ~b ~c ~d in
+  { model; rank; sigma }
+
+let fig1_singular_values ?x0 (t : Loewner.t) =
+  let _, p = pencil_matrix ~x0 t in
+  ( Svd.values t.Loewner.ll, Svd.values t.Loewner.sll, Svd.values p )
+
+let minimal_samples ~order ~rank_d ~inputs ~outputs =
+  if order < 1 || rank_d < 0 || inputs < 1 || outputs < 1 then
+    invalid_arg "Svd_reduce.minimal_samples: bad arguments";
+  let cap = Stdlib.min inputs outputs in
+  let k =
+    int_of_float (Float.ceil (float_of_int (order + rank_d) /. float_of_int cap))
+  in
+  if k land 1 = 1 then k + 1 else Stdlib.max k 2

@@ -1,0 +1,52 @@
+(** SVD projection of the Loewner pencil to a minimal model —
+    paper Lemmas 3.3-3.4 and Theorem 3.5.
+
+    The raw pencil has rank at most [order + rank D] (Lemma 3.3); the
+    singular values of [x0 LL - sLL] exhibit a sharp drop at that rank
+    (paper Fig. 1).  Projecting with the dominant singular subspaces
+    gives the descriptor realization
+    [E = -Y* LL X, A = -Y* sLL X, B = Y* V, C = W X]. *)
+
+(** How to choose the projection subspaces. *)
+type mode =
+  | Pencil of Linalg.Cx.t option
+      (** SVD of [x0 LL - sLL] (Lemma 3.4); [None] picks [x0 =
+          lambda.(0)] as the paper suggests.  Complex [x0] generally
+          yields a complex (but equivalent) model. *)
+  | Stacked
+      (** [Y] from svd [[LL sLL]], [X] from svd [[LL; sLL]] — the
+          Lefteriu-Antoulas practical variant; keeps realified pencils
+          real. *)
+
+(** How many singular values to keep. *)
+type rank_rule =
+  | Fixed of int        (** exact order (clipped to the pencil size) *)
+  | Tol of float        (** keep sigma > tol * sigma_max *)
+  | Gap                 (** the largest log10 drop ({!Linalg.Svd.rank_gap}) *)
+  | Auto_noise
+      (** estimate the noise floor from the tail of the spectrum (median
+          of the last quarter) and keep sigma above a small multiple of
+          it — a tolerance-free rule for noisy data (an extension beyond
+          the paper, which sets the threshold by hand) *)
+
+type result = {
+  model : Statespace.Descriptor.t;
+  rank : int;              (** retained order *)
+  sigma : float array;     (** singular values the rank decision saw *)
+}
+
+val default_mode : mode       (* Stacked *)
+val default_rank_rule : rank_rule  (* Gap *)
+
+(** [reduce ?mode ?rank_rule loewner] projects and realizes. *)
+val reduce : ?mode:mode -> ?rank_rule:rank_rule -> Loewner.t -> result
+
+(** Singular values of [LL], [sLL] and [x0 LL - sLL] — the three curves
+    of the paper's Fig. 1.  [x0] defaults to [lambda.(0)]. *)
+val fig1_singular_values :
+  ?x0:Linalg.Cx.t -> Loewner.t -> float array * float array * float array
+
+(** Theorem 3.5: the empirical minimum number of (noise-free) samples,
+    [ceil ((order + rank_d) / min (m, p))], rounded up to even so the
+    conjugate split works. *)
+val minimal_samples : order:int -> rank_d:int -> inputs:int -> outputs:int -> int

@@ -1,0 +1,103 @@
+open Linalg
+open Statespace
+
+type right_block = { lambda : Cx.t; r : Cmat.t; w : Cmat.t }
+type left_block = { mu : Cx.t; l : Cmat.t; v : Cmat.t }
+
+type t = {
+  right : right_block array;
+  left : left_block array;
+  inputs : int;
+  outputs : int;
+}
+
+type weight =
+  | Full
+  | Uniform of int
+  | Per_sample of int array
+
+let trim_even samples =
+  let n = Array.length samples in
+  if n land 1 = 0 then samples else Array.sub samples 0 (n - 1)
+
+let validate_samples samples =
+  let k = Array.length samples in
+  if k < 2 then invalid_arg "Tangential.build: need at least 2 samples";
+  if k land 1 = 1 then
+    invalid_arg "Tangential.build: need an even number of samples (see trim_even)";
+  Array.iter
+    (fun smp ->
+      if smp.Sampling.freq <= 0. then
+        invalid_arg "Tangential.build: frequencies must be positive")
+    samples;
+  let seen = Hashtbl.create k in
+  Array.iter
+    (fun smp ->
+      if Hashtbl.mem seen smp.Sampling.freq then
+        invalid_arg "Tangential.build: duplicate sampling frequency";
+      Hashtbl.add seen smp.Sampling.freq ())
+    samples
+
+let widths ~k ~cap weight =
+  let check t =
+    if t < 1 || t > cap then
+      invalid_arg
+        (Printf.sprintf "Tangential.build: width %d outside [1, %d]" t cap)
+  in
+  match weight with
+  | Full -> Array.make k cap
+  | Uniform t ->
+    check t;
+    Array.make k t
+  | Per_sample ts ->
+    if Array.length ts <> k then
+      invalid_arg "Tangential.build: Per_sample weight length must equal sample count";
+    Array.iter check ts;
+    ts
+
+let build ?(directions = Direction.Orthonormal 0) ?(weight = Full) samples =
+  validate_samples samples;
+  let p, m = Sampling.port_dims samples in
+  let k = Array.length samples in
+  let cap = Stdlib.min m p in
+  let ts = widths ~k ~cap weight in
+  let right = ref [] and left = ref [] in
+  for i = 0 to (k / 2) - 1 do
+    (* Even positions (paper's odd 1-based indices) are right data. *)
+    let sr = samples.(2 * i) and sl = samples.((2 * i) + 1) in
+    let t_r = ts.(2 * i) and t_l = ts.((2 * i) + 1) in
+    let lambda = Cx.jw (2. *. Float.pi *. sr.Sampling.freq) in
+    let r = Direction.right directions ~block:i ~ports:m ~size:t_r in
+    let w = Cmat.mul sr.Sampling.s r in
+    right := { lambda = Cx.conj lambda; r; w = Cmat.conj w }
+             :: { lambda; r; w } :: !right;
+    let mu = Cx.jw (2. *. Float.pi *. sl.Sampling.freq) in
+    let l = Direction.left directions ~block:i ~ports:p ~size:t_l in
+    let v = Cmat.mul l sl.Sampling.s in
+    left := { mu = Cx.conj mu; l; v = Cmat.conj v } :: { mu; l; v } :: !left
+  done;
+  { right = Array.of_list (List.rev !right);
+    left = Array.of_list (List.rev !left);
+    inputs = m; outputs = p }
+
+let build_vector ?(directions = Direction.Orthonormal 0) samples =
+  build ~directions ~weight:(Uniform 1) samples
+
+let right_width t = Array.fold_left (fun acc b -> acc + Cmat.cols b.r) 0 t.right
+let left_width t = Array.fold_left (fun acc b -> acc + Cmat.rows b.l) 0 t.left
+let right_sizes t = Array.map (fun b -> Cmat.cols b.r) t.right
+let left_sizes t = Array.map (fun b -> Cmat.rows b.l) t.left
+
+let residual_right model blk =
+  let h = Descriptor.eval model blk.lambda in
+  Cmat.norm_fro (Cmat.sub (Cmat.mul h blk.r) blk.w)
+
+let residual_left model blk =
+  let h = Descriptor.eval model blk.mu in
+  Cmat.norm_fro (Cmat.sub (Cmat.mul blk.l h) blk.v)
+
+let max_residual model t =
+  let acc = ref 0. in
+  Array.iter (fun b -> acc := Stdlib.max !acc (residual_right model b)) t.right;
+  Array.iter (fun b -> acc := Stdlib.max !acc (residual_left model b)) t.left;
+  !acc

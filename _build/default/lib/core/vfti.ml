@@ -1,0 +1,22 @@
+type options = {
+  directions : Direction.kind;
+  real_model : bool;
+  mode : Svd_reduce.mode;
+  rank_rule : Svd_reduce.rank_rule;
+}
+
+let default_options =
+  { directions = Direction.Orthonormal 0;
+    real_model = true;
+    mode = Svd_reduce.default_mode;
+    rank_rule = Svd_reduce.default_rank_rule }
+
+let fit ?(options = default_options) samples =
+  let opts =
+    { Algorithm1.weight = Tangential.Uniform 1;
+      directions = options.directions;
+      real_model = options.real_model;
+      mode = options.mode;
+      rank_rule = options.rank_rule }
+  in
+  Algorithm1.fit ~options:opts samples

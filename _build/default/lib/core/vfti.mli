@@ -1,0 +1,19 @@
+(** Vector-format tangential interpolation — the paper's baseline
+    (Section 2.1, after Lefteriu-Antoulas).
+
+    Exactly the MFTI pipeline restricted to width-1 tangential blocks:
+    each sampled matrix contributes one column (right data) or one row
+    (left data) along a single direction, so most of the matrix is never
+    seen by the interpolant.  Exposed with the same options/result shape
+    as {!Algorithm1} so the two are drop-in comparable. *)
+
+type options = {
+  directions : Direction.kind;
+  real_model : bool;
+  mode : Svd_reduce.mode;
+  rank_rule : Svd_reduce.rank_rule;
+}
+
+val default_options : options
+
+val fit : ?options:options -> Statespace.Sampling.sample array -> Algorithm1.result

@@ -1,0 +1,1 @@
+lib/linalg/eig.ml: Array Cmat Cx Float Lu Rng Stdlib

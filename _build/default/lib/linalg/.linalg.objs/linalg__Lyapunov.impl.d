@@ -1,0 +1,1 @@
+lib/linalg/lyapunov.ml: Cmat Float Lu Stdlib

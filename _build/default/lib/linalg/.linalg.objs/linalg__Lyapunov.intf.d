@@ -1,0 +1,1 @@
+lib/linalg/lyapunov.mli: Cmat

@@ -1,0 +1,1 @@
+lib/linalg/rmat.ml: Array Format List Printf Rng Stdlib

@@ -1,0 +1,1 @@
+lib/linalg/rng.ml: Array Cx Float Int64 Stdlib

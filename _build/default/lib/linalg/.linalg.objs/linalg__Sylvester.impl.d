@@ -1,0 +1,1 @@
+lib/linalg/sylvester.ml: Array Cmat Cx Stdlib

@@ -1,0 +1,1 @@
+lib/linalg/sylvester.mli: Cmat Cx

@@ -1,0 +1,56 @@
+exception Not_positive_definite of int
+
+let factorize a =
+  let n, n' = Cmat.dims a in
+  if n <> n' then invalid_arg "Chol.factorize: matrix not square";
+  let l = Cmat.zeros n n in
+  for jcol = 0 to n - 1 do
+    (* diagonal entry *)
+    let acc = ref (Cx.re (Cmat.get a jcol jcol)) in
+    for k = 0 to jcol - 1 do
+      acc := !acc -. Cx.abs2 (Cmat.get l jcol k)
+    done;
+    if !acc <= 0. || not (Float.is_finite !acc) then
+      raise (Not_positive_definite jcol);
+    let d = sqrt !acc in
+    Cmat.set l jcol jcol (Cx.of_float d);
+    for i = jcol + 1 to n - 1 do
+      let s = ref (Cmat.get a i jcol) in
+      for k = 0 to jcol - 1 do
+        s := Cx.sub !s (Cx.mul (Cmat.get l i k) (Cx.conj (Cmat.get l jcol k)))
+      done;
+      Cmat.set l i jcol (Cx.scale (1. /. d) !s)
+    done
+  done;
+  l
+
+let solve l b =
+  let n = Cmat.rows l in
+  if Cmat.rows b <> n then invalid_arg "Chol.solve: dimension mismatch";
+  let x = Cmat.copy b in
+  let nrhs = Cmat.cols b in
+  for jcol = 0 to nrhs - 1 do
+    (* forward: L y = b *)
+    for i = 0 to n - 1 do
+      let s = ref (Cmat.get x i jcol) in
+      for k = 0 to i - 1 do
+        s := Cx.sub !s (Cx.mul (Cmat.get l i k) (Cmat.get x k jcol))
+      done;
+      Cmat.set x i jcol (Cx.div !s (Cmat.get l i i))
+    done;
+    (* backward: L* x = y *)
+    for i = n - 1 downto 0 do
+      let s = ref (Cmat.get x i jcol) in
+      for k = i + 1 to n - 1 do
+        s := Cx.sub !s (Cx.mul (Cx.conj (Cmat.get l k i)) (Cmat.get x k jcol))
+      done;
+      Cmat.set x i jcol (Cx.div !s (Cmat.get l i i))
+    done
+  done;
+  x
+
+let is_positive_definite a =
+  match factorize a with
+  | _ -> true
+  | exception Not_positive_definite _ -> false
+  | exception Invalid_argument _ -> false

@@ -1,0 +1,18 @@
+(** Cholesky factorization of Hermitian positive-definite matrices.
+
+    [A = L L*] with lower-triangular [L].  Used for fast SPD solves and
+    as a positive-definiteness test. *)
+
+exception Not_positive_definite of int
+(** Raised with the failing pivot index. *)
+
+(** [factorize a] returns lower-triangular [L].  Only the lower triangle
+    of [a] is read (the strict upper triangle is ignored, so slightly
+    non-Hermitian inputs from roundoff are fine). *)
+val factorize : Cmat.t -> Cmat.t
+
+(** [solve l b] solves [L L* x = b] given the factor [l]. *)
+val solve : Cmat.t -> Cmat.t -> Cmat.t
+
+(** [is_positive_definite a] tests by attempting the factorization. *)
+val is_positive_definite : Cmat.t -> bool

@@ -1,0 +1,46 @@
+type t = Complex.t = { re : float; im : float }
+
+let zero = Complex.zero
+let one = Complex.one
+let j = { re = 0.; im = 1. }
+let make re im = { re; im }
+let of_float x = { re = x; im = 0. }
+let of_int n = { re = float_of_int n; im = 0. }
+let jw w = { re = 0.; im = w }
+let re z = z.re
+let im z = z.im
+let conj = Complex.conj
+let neg = Complex.neg
+let add = Complex.add
+let sub = Complex.sub
+let mul = Complex.mul
+let div = Complex.div
+let inv = Complex.inv
+let scale a z = { re = a *. z.re; im = a *. z.im }
+let abs = Complex.norm
+let abs2 = Complex.norm2
+let arg = Complex.arg
+let sqrt = Complex.sqrt
+let exp = Complex.exp
+let polar = Complex.polar
+
+let add_mul acc a b =
+  { re = acc.re +. (a.re *. b.re) -. (a.im *. b.im);
+    im = acc.im +. (a.re *. b.im) +. (a.im *. b.re) }
+
+let equal ~tol a b = abs (sub a b) <= tol
+let is_finite z = Float.is_finite z.re && Float.is_finite z.im
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+end
+
+let pp ppf z =
+  if z.im >= 0. then Format.fprintf ppf "%.6g+%.6gj" z.re z.im
+  else Format.fprintf ppf "%.6g-%.6gj" z.re (Stdlib.abs_float z.im)
+
+let to_string z = Format.asprintf "%a" pp z

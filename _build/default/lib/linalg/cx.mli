@@ -1,0 +1,70 @@
+(** Complex scalars.
+
+    A thin layer over {!Stdlib.Complex} that adds the helpers the rest of
+    the library needs: mixed real/complex arithmetic, comparisons with
+    tolerances, and printers.  The type is [Stdlib.Complex.t], so values
+    interoperate directly with the standard library. *)
+
+type t = Complex.t = { re : float; im : float }
+
+val zero : t
+val one : t
+
+(** The imaginary unit [j] (EE convention). *)
+val j : t
+
+val make : float -> float -> t
+
+(** [of_float x] is the complex number [x + 0j]. *)
+val of_float : float -> t
+
+(** [of_int n] is the complex number [n + 0j]. *)
+val of_int : int -> t
+
+(** [jw w] is [0 + wj]: a point on the imaginary axis.  Macromodeling
+    evaluates transfer functions at [jw (2 *. pi *. f)]. *)
+val jw : float -> t
+
+val re : t -> float
+val im : t -> float
+val conj : t -> t
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val inv : t -> t
+
+(** [scale a z] multiplies [z] by the real scalar [a]. *)
+val scale : float -> t -> t
+
+(** Modulus [|z|], computed without undue overflow. *)
+val abs : t -> float
+
+(** Squared modulus [|z|^2]. *)
+val abs2 : t -> float
+
+val arg : t -> float
+val sqrt : t -> t
+val exp : t -> t
+val polar : float -> float -> t
+
+(** [add_mul acc a b] is [acc + a*b]; the inner-product workhorse. *)
+val add_mul : t -> t -> t -> t
+
+(** [equal ~tol a b] holds when [|a - b| <= tol]. *)
+val equal : tol:float -> t -> t -> bool
+
+val is_finite : t -> bool
+
+(** Infix operators, intended for local [open Cx.Infix]. *)
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+end
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,294 @@
+exception No_convergence
+
+let eps = 2.2e-16
+
+(* Parlett–Reinsch balancing with powers of two (exact in floating point):
+   scale D a D^{-1} so that row and column norms are comparable. *)
+let balance a =
+  let n = Cmat.rows a in
+  let m = Cmat.copy a in
+  let re = Cmat.unsafe_re m and im = Cmat.unsafe_im m in
+  let magnitude k = Stdlib.sqrt ((re.(k) *. re.(k)) +. (im.(k) *. im.(k))) in
+  let converged = ref false in
+  let rounds = ref 0 in
+  while not !converged && !rounds < 20 do
+    converged := true;
+    incr rounds;
+    for i = 0 to n - 1 do
+      let rnorm = ref 0. and cnorm = ref 0. in
+      for jcol = 0 to n - 1 do
+        if jcol <> i then begin
+          rnorm := !rnorm +. magnitude (i + (jcol * n));
+          cnorm := !cnorm +. magnitude (jcol + (i * n))
+        end
+      done;
+      if !rnorm > 0. && !cnorm > 0. then begin
+        let f = ref 1. in
+        let s = !cnorm +. !rnorm in
+        while !cnorm < !rnorm /. 2. do
+          f := !f *. 2.;
+          cnorm := !cnorm *. 4.
+        done;
+        while !cnorm >= !rnorm *. 2. do
+          f := !f /. 2.;
+          cnorm := !cnorm /. 4.
+        done;
+        if (!cnorm +. !rnorm) /. !f < 0.95 *. s && !f <> 1. then begin
+          converged := false;
+          let fi = 1. /. !f in
+          (* row i *= fi ; column i *= f *)
+          for jcol = 0 to n - 1 do
+            let k = i + (jcol * n) in
+            re.(k) <- re.(k) *. fi;
+            im.(k) <- im.(k) *. fi
+          done;
+          for r = 0 to n - 1 do
+            let k = r + (i * n) in
+            re.(k) <- re.(k) *. !f;
+            im.(k) <- im.(k) *. !f
+          done
+        end
+      end
+    done
+  done;
+  m
+
+(* Householder similarity reduction to upper Hessenberg form. *)
+let hessenberg a =
+  let n = Cmat.rows a in
+  let h = Cmat.copy a in
+  let re = Cmat.unsafe_re h and im = Cmat.unsafe_im h in
+  for k = 0 to n - 3 do
+    let koff = k * n in
+    (* Reflector for x = h[k+1:n, k]. *)
+    let xnorm2 = ref 0. in
+    for i = k + 1 to n - 1 do
+      xnorm2 := !xnorm2 +. (re.(koff + i) *. re.(koff + i)) +. (im.(koff + i) *. im.(koff + i))
+    done;
+    let xnorm = Stdlib.sqrt !xnorm2 in
+    if xnorm > 0. then begin
+      let ar = re.(koff + k + 1) and ai = im.(koff + k + 1) in
+      let amag = Stdlib.sqrt ((ar *. ar) +. (ai *. ai)) in
+      let br, bi =
+        if amag = 0. then (-.xnorm, 0.)
+        else (-.xnorm *. ar /. amag, -.xnorm *. ai /. amag)
+      in
+      let u0r = ar -. br and u0i = ai -. bi in
+      let u0mag2 = (u0r *. u0r) +. (u0i *. u0i) in
+      if u0mag2 > 0. then begin
+        let unorm2 = 2. *. (!xnorm2 +. (xnorm *. amag)) in
+        let tau = 2. *. u0mag2 /. unorm2 in
+        (* v = u / u0, v(k+1) = 1; store v in a scratch array. *)
+        let vre = Array.make n 0. and vim = Array.make n 0. in
+        vre.(k + 1) <- 1.;
+        let inv = 1. /. u0mag2 in
+        for i = k + 2 to n - 1 do
+          let xr = re.(koff + i) and xi = im.(koff + i) in
+          vre.(i) <- ((xr *. u0r) +. (xi *. u0i)) *. inv;
+          vim.(i) <- ((xi *. u0r) -. (xr *. u0i)) *. inv
+        done;
+        (* H := P H P with P = I - tau v v*.  Left: rows k+1..n-1. *)
+        for jcol = k to n - 1 do
+          let joff = jcol * n in
+          let sr = ref 0. and si = ref 0. in
+          for i = k + 1 to n - 1 do
+            let vr = vre.(i) and vi = -.vim.(i) in
+            let cr = re.(joff + i) and ci = im.(joff + i) in
+            sr := !sr +. (vr *. cr) -. (vi *. ci);
+            si := !si +. (vr *. ci) +. (vi *. cr)
+          done;
+          let sr = tau *. !sr and si = tau *. !si in
+          for i = k + 1 to n - 1 do
+            let vr = vre.(i) and vi = vim.(i) in
+            re.(joff + i) <- re.(joff + i) -. (vr *. sr) +. (vi *. si);
+            im.(joff + i) <- im.(joff + i) -. (vr *. si) -. (vi *. sr)
+          done
+        done;
+        (* Right: columns k+1..n-1 of every row. s = H v. *)
+        for i = 0 to n - 1 do
+          let sr = ref 0. and si = ref 0. in
+          for jcol = k + 1 to n - 1 do
+            let vr = vre.(jcol) and vi = vim.(jcol) in
+            let cr = re.(i + (jcol * n)) and ci = im.(i + (jcol * n)) in
+            sr := !sr +. (cr *. vr) -. (ci *. vi);
+            si := !si +. (cr *. vi) +. (ci *. vr)
+          done;
+          let sr = tau *. !sr and si = tau *. !si in
+          for jcol = k + 1 to n - 1 do
+            (* H[i,j] -= s_i * conj(v_j):
+               re -= sr*vr + si*vi ; im -= si*vr - sr*vi *)
+            let vr = vre.(jcol) and vi = vim.(jcol) in
+            let k' = i + (jcol * n) in
+            re.(k') <- re.(k') -. (sr *. vr) -. (si *. vi);
+            im.(k') <- im.(k') -. (si *. vr) +. (sr *. vi)
+          done
+        done;
+        (* Explicitly set the annihilated entries. *)
+        re.(koff + k + 1) <- br;
+        im.(koff + k + 1) <- bi;
+        for i = k + 2 to n - 1 do
+          re.(koff + i) <- 0.;
+          im.(koff + i) <- 0.
+        done
+      end
+    end
+  done;
+  h
+
+(* Explicit single-shift QR with Wilkinson shifts on the Hessenberg h. *)
+let qr_eigenvalues h =
+  let n = Cmat.rows h in
+  let re = Cmat.unsafe_re h and im = Cmat.unsafe_im h in
+  let get i jcol = Cx.make re.(i + (jcol * n)) im.(i + (jcol * n)) in
+  let set i jcol (z : Cx.t) =
+    re.(i + (jcol * n)) <- z.re;
+    im.(i + (jcol * n)) <- z.im
+  in
+  let mag i jcol =
+    let k = i + (jcol * n) in
+    Stdlib.sqrt ((re.(k) *. re.(k)) +. (im.(k) *. im.(k)))
+  in
+  let values = Array.make n Cx.zero in
+  let hi = ref (n - 1) in
+  let iter_this = ref 0 in
+  let total_budget = ref (60 * (n + 1)) in
+  while !hi >= 0 do
+    if !hi = 0 then begin
+      values.(0) <- get 0 0;
+      hi := -1
+    end
+    else begin
+      (* Deflate any negligible subdiagonals in [0..hi]. *)
+      for i = 0 to !hi - 1 do
+        if mag (i + 1) i <= eps *. (mag i i +. mag (i + 1) (i + 1)) then
+          set (i + 1) i Cx.zero
+      done;
+      if mag !hi (!hi - 1) = 0. then begin
+        values.(!hi) <- get !hi !hi;
+        decr hi;
+        iter_this := 0
+      end
+      else begin
+        decr total_budget;
+        if !total_budget <= 0 then raise No_convergence;
+        incr iter_this;
+        (* Active window [lo..hi]. *)
+        let lo = ref !hi in
+        while !lo > 0 && mag !lo (!lo - 1) <> 0. do
+          decr lo
+        done;
+        let lo = !lo in
+        (* Wilkinson shift from the trailing 2x2 block. *)
+        let shift =
+          if !iter_this mod 12 = 0 then
+            (* exceptional shift breaks rare cycling *)
+            Cx.of_float (mag !hi (!hi - 1) +. (if !hi >= 2 then mag (!hi - 1) (!hi - 2) else 0.))
+          else begin
+            let a = get (!hi - 1) (!hi - 1) and b = get (!hi - 1) !hi in
+            let c = get !hi (!hi - 1) and d = get !hi !hi in
+            let tr2 = Cx.scale 0.5 (Cx.sub a d) in
+            let disc = Cx.sqrt (Cx.add (Cx.mul tr2 tr2) (Cx.mul b c)) in
+            let l1 = Cx.add d (Cx.add tr2 disc) in
+            let l2 = Cx.add d (Cx.sub tr2 disc) in
+            (* pick the eigenvalue closer to d *)
+            if Cx.abs (Cx.sub l1 d) <= Cx.abs (Cx.sub l2 d) then l1 else l2
+          end
+        in
+        (* Shifted explicit QR step on [lo..hi] via Givens rotations. *)
+        for i = lo to !hi do
+          set i i (Cx.sub (get i i) shift)
+        done;
+        let cs = Array.make (!hi - lo) 0. in
+        let ss = Array.make (!hi - lo) Cx.zero in
+        for k = lo to !hi - 1 do
+          let a = get k k and b = get (k + 1) k in
+          let r = Stdlib.sqrt (Cx.abs2 a +. Cx.abs2 b) in
+          let c, s =
+            if r = 0. then (1., Cx.zero)
+            else begin
+              let amag = Cx.abs a in
+              if amag = 0. then (0., Cx.scale (1. /. r) (Cx.conj b))
+              else
+                ( amag /. r,
+                  Cx.scale (1. /. (r *. amag)) (Cx.mul a (Cx.conj b)) )
+            end
+          in
+          cs.(k - lo) <- c;
+          ss.(k - lo) <- s;
+          (* rows k, k+1 := G * rows  with G = [[c, s], [-conj s, c]] *)
+          for jcol = k to !hi do
+            let top = get k jcol and bot = get (k + 1) jcol in
+            set k jcol (Cx.add (Cx.scale c top) (Cx.mul s bot));
+            set (k + 1) jcol (Cx.sub (Cx.scale c bot) (Cx.mul (Cx.conj s) top))
+          done
+        done;
+        for k = lo to !hi - 1 do
+          let c = cs.(k - lo) and s = ss.(k - lo) in
+          (* columns k, k+1 := columns * G^H with G^H = [[c, -s],[conj s, c]] *)
+          let top_row = Stdlib.min (k + 2) !hi in
+          for i = lo to top_row do
+            let left = get i k and right = get i (k + 1) in
+            set i k (Cx.add (Cx.scale c left) (Cx.mul (Cx.conj s) right));
+            set i (k + 1) (Cx.sub (Cx.scale c right) (Cx.mul s left))
+          done
+        done;
+        for i = lo to !hi do
+          set i i (Cx.add (get i i) shift)
+        done
+      end
+    end
+  done;
+  values
+
+let eigenvalues a =
+  let n, n' = Cmat.dims a in
+  if n <> n' then invalid_arg "Eig.eigenvalues: matrix not square";
+  if n = 0 then [||]
+  else if n = 1 then [| Cmat.get a 0 0 |]
+  else qr_eigenvalues (hessenberg (balance a))
+
+let eigenvalues_real r = eigenvalues (Cmat.of_real r)
+
+let sort_by_magnitude vs =
+  let copy = Array.copy vs in
+  Array.sort (fun a b -> compare (Cx.abs b) (Cx.abs a)) copy;
+  copy
+
+let right_vectors a values =
+  let n, n' = Cmat.dims a in
+  if n <> n' then invalid_arg "Eig.right_vectors: matrix not square";
+  let vectors = Cmat.create n (Array.length values) in
+  let anorm = Stdlib.max (Cmat.norm_fro a) 1e-300 in
+  let rng = Rng.create 987 in
+  Array.iteri
+    (fun idx lambda ->
+      (* shift slightly off the eigenvalue so the solve stays regular *)
+      let shift = Cx.add lambda (Cx.of_float (1e-10 *. anorm)) in
+      let shifted = Cmat.sub a (Cmat.scale shift (Cmat.identity n)) in
+      let factor =
+        match Lu.factorize shifted with
+        | f -> Some f
+        | exception Lu.Singular _ -> None
+      in
+      let factor =
+        match factor with
+        | Some f -> f
+        | None ->
+          (* exactly singular: nudge harder *)
+          let shift = Cx.add lambda (Cx.of_float (1e-6 *. anorm)) in
+          Lu.factorize (Cmat.sub a (Cmat.scale shift (Cmat.identity n)))
+      in
+      let v = ref (Cmat.random rng n 1) in
+      for _ = 1 to 3 do
+        let w = Lu.solve factor !v in
+        let nrm = Cmat.vec_norm w in
+        if nrm > 0. && Float.is_finite nrm then
+          v := Cmat.scale_float (1. /. nrm) w
+      done;
+      Cmat.set_col vectors idx !v)
+    values;
+  vectors
+
+let eigen a =
+  let values = eigenvalues a in
+  (values, right_vectors a values)

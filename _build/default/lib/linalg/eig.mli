@@ -1,0 +1,30 @@
+(** Dense complex eigenvalues.
+
+    Parlett–Reinsch balancing, Householder reduction to upper Hessenberg
+    form, then explicit single-shift QR iteration with Wilkinson shifts
+    and deflation.  Only eigenvalues are produced — that is all the
+    vector-fitting pole relocation and model stability analysis need. *)
+
+exception No_convergence
+(** Raised when the QR iteration fails to deflate within the iteration
+    budget (essentially never happens on balanced matrices). *)
+
+(** Eigenvalues of a square complex matrix, in no particular order. *)
+val eigenvalues : Cmat.t -> Cx.t array
+
+(** Eigenvalues of a real matrix (conjugate-paired up to roundoff). *)
+val eigenvalues_real : Rmat.t -> Cx.t array
+
+(** [sort_by_magnitude vs] returns a copy sorted by decreasing modulus. *)
+val sort_by_magnitude : Cx.t array -> Cx.t array
+
+(** [right_vectors a values] computes (approximate) right eigenvectors
+    for the given eigenvalues by shifted inverse iteration: column [i]
+    satisfies [A v_i ~ values.(i) v_i], normalized to unit length.
+    Robust for simple, reasonably separated eigenvalues; for (nearly)
+    defective clusters the returned vectors may be nearly parallel —
+    check the residual if that matters. *)
+val right_vectors : Cmat.t -> Cx.t array -> Cmat.t
+
+(** [eigen a] is [eigenvalues a] paired with {!right_vectors}. *)
+val eigen : Cmat.t -> Cx.t array * Cmat.t

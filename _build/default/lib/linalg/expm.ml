@@ -1,0 +1,57 @@
+(* Scaling and squaring with Padé(6,6).
+
+   e^A ~ q(A)^{-1} p(A) with p the numerator of the diagonal Padé
+   approximant; accurate once |A|/2^s is below ~0.5.  The approximant
+   coefficients c_k satisfy c_0 = 1, c_{k+1} = c_k (d - k)/((2d - k)(k+1))
+   for degree d. *)
+
+let pade_degree = 6
+
+let coefficients =
+  let c = Array.make (pade_degree + 1) 1. in
+  for k = 0 to pade_degree - 1 do
+    let fk = float_of_int k and fd = float_of_int pade_degree in
+    c.(k + 1) <- c.(k) *. ((fd -. fk) /. ((((2. *. fd) -. fk)) *. (fk +. 1.)))
+  done;
+  c
+
+let expm a =
+  let n, n' = Cmat.dims a in
+  if n <> n' then invalid_arg "Expm.expm: matrix not square";
+  if n = 0 then Cmat.create 0 0
+  else begin
+    let norm = Cmat.norm_one a in
+    (* scale so |A / 2^s| <= 0.5 *)
+    let s =
+      if norm <= 0.5 then 0
+      else Stdlib.max 0 (int_of_float (Float.ceil (Float.log2 (norm /. 0.5))))
+    in
+    let scaled = Cmat.scale_float (1. /. (2. ** float_of_int s)) a in
+    (* p = sum c_k A^k split into even (q even part) and odd powers so
+       that q(A) = even - odd, p(A) = even + odd *)
+    let even = ref (Cmat.identity n) in
+    let odd = ref (Cmat.scale_float coefficients.(1) scaled) in
+    let power = ref (Cmat.copy scaled) in
+    for k = 2 to pade_degree do
+      power := Cmat.mul !power scaled;
+      let term = Cmat.scale_float coefficients.(k) !power in
+      if k land 1 = 0 then even := Cmat.add !even term
+      else odd := Cmat.add !odd term
+    done;
+    let p = Cmat.add !even !odd in
+    let q = Cmat.sub !even !odd in
+    let r =
+      match Lu.factorize q with
+      | exception Lu.Singular _ ->
+        invalid_arg "Expm.expm: Pade denominator singular (pathological matrix)"
+      | f -> Lu.solve f p
+    in
+    (* undo the scaling by repeated squaring *)
+    let result = ref r in
+    for _ = 1 to s do
+      result := Cmat.mul !result !result
+    done;
+    !result
+  end
+
+let expm_scaled a t = expm (Cmat.scale_float t a)

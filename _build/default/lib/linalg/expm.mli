@@ -1,0 +1,13 @@
+(** Matrix exponential.
+
+    Scaling-and-squaring with a diagonal Padé(6,6) approximant — the
+    classic Moler–Van Loan "method 3".  Used for exact discretization of
+    LTI models ([x(t+h) = e^{Ah} x(t) + ...]), which gives the reference
+    solutions the time-domain integrators are tested against. *)
+
+(** [expm a] computes [e^A] for square [a]. *)
+val expm : Cmat.t -> Cmat.t
+
+(** [expm_scaled a t] computes [e^{At}] without forming [At] at the call
+    site. *)
+val expm_scaled : Cmat.t -> float -> Cmat.t

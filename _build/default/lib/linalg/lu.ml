@@ -1,0 +1,122 @@
+type factor = { lu : Cmat.t; piv : int array; swaps : int }
+
+exception Singular of int
+
+let factorize a =
+  let n, n' = Cmat.dims a in
+  if n <> n' then invalid_arg "Lu.factorize: matrix not square";
+  let lu = Cmat.copy a in
+  let re = Cmat.unsafe_re lu and im = Cmat.unsafe_im lu in
+  let piv = Array.init n (fun i -> i) in
+  let swaps = ref 0 in
+  for k = 0 to n - 1 do
+    (* Partial pivot: largest modulus in column k at or below the diagonal. *)
+    let koff = k * n in
+    let best = ref k and best_mag = ref 0. in
+    for i = k to n - 1 do
+      let mag = (re.(koff + i) *. re.(koff + i)) +. (im.(koff + i) *. im.(koff + i)) in
+      if mag > !best_mag then begin
+        best := i;
+        best_mag := mag
+      end
+    done;
+    if !best_mag = 0. then raise (Singular k);
+    if !best <> k then begin
+      incr swaps;
+      let p = !best in
+      let tmp = piv.(k) in
+      piv.(k) <- piv.(p);
+      piv.(p) <- tmp;
+      for jcol = 0 to n - 1 do
+        let o = jcol * n in
+        let tr = re.(o + k) and ti = im.(o + k) in
+        re.(o + k) <- re.(o + p);
+        im.(o + k) <- im.(o + p);
+        re.(o + p) <- tr;
+        im.(o + p) <- ti
+      done
+    end;
+    (* Eliminate below the pivot. *)
+    let pr = re.(koff + k) and pi = im.(koff + k) in
+    let pmag = (pr *. pr) +. (pi *. pi) in
+    for i = k + 1 to n - 1 do
+      (* multiplier = a_ik / pivot *)
+      let ar = re.(koff + i) and ai = im.(koff + i) in
+      let mr = ((ar *. pr) +. (ai *. pi)) /. pmag in
+      let mi = ((ai *. pr) -. (ar *. pi)) /. pmag in
+      re.(koff + i) <- mr;
+      im.(koff + i) <- mi;
+      if mr <> 0. || mi <> 0. then
+        for jcol = k + 1 to n - 1 do
+          let o = jcol * n in
+          let ur = re.(o + k) and ui = im.(o + k) in
+          re.(o + i) <- re.(o + i) -. (mr *. ur) +. (mi *. ui);
+          im.(o + i) <- im.(o + i) -. (mr *. ui) -. (mi *. ur)
+        done
+    done
+  done;
+  { lu; piv; swaps = !swaps }
+
+let solve f b =
+  let n = Cmat.rows f.lu in
+  if Cmat.rows b <> n then invalid_arg "Lu.solve: dimension mismatch";
+  let nrhs = Cmat.cols b in
+  let x = Cmat.select_rows b f.piv in
+  let xr = Cmat.unsafe_re x and xi = Cmat.unsafe_im x in
+  let re = Cmat.unsafe_re f.lu and im = Cmat.unsafe_im f.lu in
+  for jcol = 0 to nrhs - 1 do
+    let xoff = jcol * n in
+    (* Forward substitution with unit-diagonal L. *)
+    for k = 0 to n - 1 do
+      let br = xr.(xoff + k) and bi = xi.(xoff + k) in
+      if br <> 0. || bi <> 0. then begin
+        let koff = k * n in
+        for i = k + 1 to n - 1 do
+          let lr = re.(koff + i) and li = im.(koff + i) in
+          xr.(xoff + i) <- xr.(xoff + i) -. (lr *. br) +. (li *. bi);
+          xi.(xoff + i) <- xi.(xoff + i) -. (lr *. bi) -. (li *. br)
+        done
+      end
+    done;
+    (* Back substitution with U. *)
+    for k = n - 1 downto 0 do
+      let koff = k * n in
+      let ur = re.(koff + k) and ui = im.(koff + k) in
+      let umag = (ur *. ur) +. (ui *. ui) in
+      let br = xr.(xoff + k) and bi = xi.(xoff + k) in
+      let sr = ((br *. ur) +. (bi *. ui)) /. umag in
+      let si = ((bi *. ur) -. (br *. ui)) /. umag in
+      xr.(xoff + k) <- sr;
+      xi.(xoff + k) <- si;
+      if sr <> 0. || si <> 0. then
+        for i = 0 to k - 1 do
+          let ar = re.(koff + i) and ai = im.(koff + i) in
+          xr.(xoff + i) <- xr.(xoff + i) -. (ar *. sr) +. (ai *. si);
+          xi.(xoff + i) <- xi.(xoff + i) -. (ar *. si) -. (ai *. sr)
+        done
+    done
+  done;
+  x
+
+let solve_mat a b = solve (factorize a) b
+
+let det f =
+  let n = Cmat.rows f.lu in
+  let acc = ref (if f.swaps land 1 = 1 then Cx.make (-1.) 0. else Cx.one) in
+  for k = 0 to n - 1 do
+    acc := Cx.mul !acc (Cmat.get f.lu k k)
+  done;
+  !acc
+
+let inverse a =
+  let n = Cmat.rows a in
+  solve (factorize a) (Cmat.identity n)
+
+let rcond_est a =
+  match factorize a with
+  | exception Singular _ -> 0.
+  | f ->
+    let n = Cmat.rows a in
+    let inv = solve f (Cmat.identity n) in
+    let denom = Cmat.norm_one a *. Cmat.norm_one inv in
+    if denom = 0. then 0. else 1. /. denom

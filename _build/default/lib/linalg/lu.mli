@@ -1,0 +1,27 @@
+(** LU factorization with partial pivoting, for complex matrices.
+
+    This is the kernel behind every transfer-function evaluation
+    [H(s) = C (sE - A)^{-1} B + D]: one factorization per frequency
+    point, reused across all right-hand sides. *)
+
+type factor
+
+exception Singular of int
+(** Raised (with the offending elimination step) when a pivot is exactly
+    zero; near-singular systems go through but [cond_est] flags them. *)
+
+(** [factorize a] computes [P A = L U] for square [a]. *)
+val factorize : Cmat.t -> factor
+
+(** [solve f b] solves [A X = B] for every column of [b]. *)
+val solve : factor -> Cmat.t -> Cmat.t
+
+(** [solve_mat a b] is [solve (factorize a) b]. *)
+val solve_mat : Cmat.t -> Cmat.t -> Cmat.t
+
+val det : factor -> Cx.t
+val inverse : Cmat.t -> Cmat.t
+
+(** Reciprocal condition estimate [1 / (norm1 A * norm1 A^-1)] — cheap and
+    adequate for sanity checks, not a LAPACK-grade estimator. *)
+val rcond_est : Cmat.t -> float

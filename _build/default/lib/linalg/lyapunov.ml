@@ -1,0 +1,61 @@
+exception Not_stable
+
+(* sign([[A, Q]; [0, -A*]]) = [[-I, 2X]; [0, I]] with X the Lyapunov
+   solution.  The Newton iteration Z <- (Z + Z^{-1})/2 preserves the
+   block-triangular structure, so it reduces to coupled n x n updates
+     F <- (cF + F^{-1}/c)/2,   G <- (cG + F^{-1} G F^{-*}/c)/2
+   with the usual norm scaling c; F -> -I and G -> 2X quadratically for
+   stable A. *)
+
+let max_iterations = 100
+let tolerance = 1e-13
+
+let solve ~a ~q =
+  let n, n' = Cmat.dims a in
+  let m, m' = Cmat.dims q in
+  if n <> n' || m <> m' || n <> m then
+    invalid_arg "Lyapunov.solve: A and Q must be square of equal size";
+  if n = 0 then Cmat.create 0 0
+  else begin
+    let f = ref (Cmat.copy a) in
+    let g = ref (Cmat.copy q) in
+    let rec iterate k =
+      if k > max_iterations then raise Not_stable;
+      let finv =
+        match Lu.factorize !f with
+        | exception Lu.Singular _ -> raise Not_stable
+        | fact -> Lu.solve fact (Cmat.identity n)
+      in
+      let nf = Cmat.norm_fro !f and nfi = Cmat.norm_fro finv in
+      if not (Float.is_finite nf && Float.is_finite nfi) || nf = 0. then
+        raise Not_stable;
+      let c = sqrt (nfi /. nf) in
+      let f' =
+        Cmat.scale_float 0.5
+          (Cmat.add (Cmat.scale_float c !f) (Cmat.scale_float (1. /. c) finv))
+      in
+      (* F^{-1} G F^{-*} *)
+      let middle = Cmat.mul finv (Cmat.mul !g (Cmat.ctranspose finv)) in
+      let g' =
+        Cmat.scale_float 0.5
+          (Cmat.add (Cmat.scale_float c !g) (Cmat.scale_float (1. /. c) middle))
+      in
+      let delta =
+        Cmat.norm_fro (Cmat.sub f' !f) /. Stdlib.max (Cmat.norm_fro f') 1e-300
+      in
+      f := f';
+      g := g';
+      if delta > tolerance then iterate (k + 1)
+    in
+    iterate 1;
+    (* F must have converged to -I *)
+    let id_err =
+      Cmat.norm_fro (Cmat.add !f (Cmat.identity n)) /. sqrt (float_of_int n)
+    in
+    if id_err > 1e-6 then raise Not_stable;
+    Cmat.scale_float 0.5 !g
+  end
+
+let residual ~a ~q x =
+  Cmat.norm_fro
+    (Cmat.add (Cmat.add (Cmat.mul a x) (Cmat.mul x (Cmat.ctranspose a))) q)

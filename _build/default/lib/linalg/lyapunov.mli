@@ -1,0 +1,19 @@
+(** Continuous-time Lyapunov equations [A X + X A* + Q = 0].
+
+    Solved with the matrix sign-function iteration
+    [Z <- (Z + Z^{-1})/2] applied to the Hamiltonian-like embedding
+    [[A, Q]; [0, -A*]] — quadratically convergent for any stable [A]
+    (all eigenvalues in the open left half-plane), requiring only LU
+    solves.  This powers the controllability/observability Gramians
+    behind balanced truncation. *)
+
+exception Not_stable
+(** Raised when the iteration fails to converge, which for this equation
+    means [A] has eigenvalues on or right of the imaginary axis. *)
+
+(** [solve ~a ~q] returns [X] with [A X + X A* + Q = 0].  [q] must be
+    square of the same size (typically Hermitian: [B B*] or [C* C]). *)
+val solve : a:Cmat.t -> q:Cmat.t -> Cmat.t
+
+(** Frobenius norm of [A X + X A* + Q] (for tests). *)
+val residual : a:Cmat.t -> q:Cmat.t -> Cmat.t -> float

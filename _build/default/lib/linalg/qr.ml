@@ -1,0 +1,170 @@
+(* Householder QR.
+
+   For each column x we pick beta = -exp(j arg x0) * |x| and u = x - beta e1.
+   That phase makes u* x real, so H = I - 2 u u* / |u|^2 is Hermitian,
+   unitary and maps x to beta e1.  We store v = u / u0 (so v0 = 1) packed
+   below the diagonal, plus the real coefficient tau = 2 |u0|^2 / |u|^2:
+   H = I - tau v v*. *)
+
+type factor = { qr : Cmat.t; tau : float array; nref : int }
+
+let factorize a =
+  let m, n = Cmat.dims a in
+  let qr = Cmat.copy a in
+  let re = Cmat.unsafe_re qr and im = Cmat.unsafe_im qr in
+  let nref = Stdlib.min m n in
+  let tau = Array.make nref 0. in
+  for k = 0 to nref - 1 do
+    let koff = k * m in
+    (* norm of x = qr[k:m, k] *)
+    let xnorm2 = ref 0. in
+    for i = k to m - 1 do
+      xnorm2 := !xnorm2 +. (re.(koff + i) *. re.(koff + i)) +. (im.(koff + i) *. im.(koff + i))
+    done;
+    let xnorm = Stdlib.sqrt !xnorm2 in
+    if xnorm = 0. then tau.(k) <- 0.
+    else begin
+      let ar = re.(koff + k) and ai = im.(koff + k) in
+      let amag = Stdlib.sqrt ((ar *. ar) +. (ai *. ai)) in
+      (* beta = -exp(j arg a) * xnorm  (if a = 0 take arg = 0) *)
+      let br, bi =
+        if amag = 0. then (-.xnorm, 0.)
+        else (-.xnorm *. ar /. amag, -.xnorm *. ai /. amag)
+      in
+      (* u0 = a - beta; |u|^2 = 2 (xnorm^2 + xnorm*|a|) *)
+      let u0r = ar -. br and u0i = ai -. bi in
+      let u0mag2 = (u0r *. u0r) +. (u0i *. u0i) in
+      if u0mag2 = 0. then
+        (* x is already beta e1 (or underflowed): nothing to reflect *)
+        tau.(k) <- 0.
+      else begin
+      let unorm2 = 2. *. (!xnorm2 +. (xnorm *. amag)) in
+      tau.(k) <- 2. *. u0mag2 /. unorm2;
+      (* Normalize below-diagonal entries to v = u / u0. *)
+      let inv = 1. /. u0mag2 in
+      for i = k + 1 to m - 1 do
+        let xr = re.(koff + i) and xi = im.(koff + i) in
+        (* x / u0 = x * conj(u0) / |u0|^2 *)
+        re.(koff + i) <- ((xr *. u0r) +. (xi *. u0i)) *. inv;
+        im.(koff + i) <- ((xi *. u0r) -. (xr *. u0i)) *. inv
+      done;
+      re.(koff + k) <- br;
+      im.(koff + k) <- bi;
+      (* Apply H to the remaining columns: c -= tau * v * (v* c). *)
+      for jcol = k + 1 to n - 1 do
+        let joff = jcol * m in
+        (* s = v* c with v0 = 1 *)
+        let sr = ref re.(joff + k) and si = ref im.(joff + k) in
+        for i = k + 1 to m - 1 do
+          let vr = re.(koff + i) and vi = -.im.(koff + i) in
+          let cr = re.(joff + i) and ci = im.(joff + i) in
+          sr := !sr +. (vr *. cr) -. (vi *. ci);
+          si := !si +. (vr *. ci) +. (vi *. cr)
+        done;
+        let sr = tau.(k) *. !sr and si = tau.(k) *. !si in
+        re.(joff + k) <- re.(joff + k) -. sr;
+        im.(joff + k) <- im.(joff + k) -. si;
+        for i = k + 1 to m - 1 do
+          let vr = re.(koff + i) and vi = im.(koff + i) in
+          re.(joff + i) <- re.(joff + i) -. (vr *. sr) +. (vi *. si);
+          im.(joff + i) <- im.(joff + i) -. (vr *. si) -. (vi *. sr)
+        done
+      done
+      end
+    end
+  done;
+  { qr; tau; nref }
+
+let r f =
+  let m, n = Cmat.dims f.qr in
+  let k = Stdlib.min m n in
+  Cmat.init k n (fun i jcol -> if jcol >= i then Cmat.get f.qr i jcol else Cx.zero)
+
+(* Apply one reflector H_k (Hermitian) to b in place. *)
+let apply_reflector f k b =
+  let m = Cmat.rows f.qr in
+  let re = Cmat.unsafe_re f.qr and im = Cmat.unsafe_im f.qr in
+  let br = Cmat.unsafe_re b and bi = Cmat.unsafe_im b in
+  let nrhs = Cmat.cols b in
+  let koff = k * m in
+  let t = f.tau.(k) in
+  if t <> 0. then
+    for jcol = 0 to nrhs - 1 do
+      let joff = jcol * m in
+      let sr = ref br.(joff + k) and si = ref bi.(joff + k) in
+      for i = k + 1 to m - 1 do
+        let vr = re.(koff + i) and vi = -.im.(koff + i) in
+        let cr = br.(joff + i) and ci = bi.(joff + i) in
+        sr := !sr +. (vr *. cr) -. (vi *. ci);
+        si := !si +. (vr *. ci) +. (vi *. cr)
+      done;
+      let sr = t *. !sr and si = t *. !si in
+      br.(joff + k) <- br.(joff + k) -. sr;
+      bi.(joff + k) <- bi.(joff + k) -. si;
+      for i = k + 1 to m - 1 do
+        let vr = re.(koff + i) and vi = im.(koff + i) in
+        br.(joff + i) <- br.(joff + i) -. (vr *. sr) +. (vi *. si);
+        bi.(joff + i) <- bi.(joff + i) -. (vr *. si) -. (vi *. sr)
+      done
+    done
+
+let apply_qh f b =
+  let m = Cmat.rows f.qr in
+  if Cmat.rows b <> m then invalid_arg "Qr.apply_qh: dimension mismatch";
+  let x = Cmat.copy b in
+  (* Q = H_0 ... H_{r-1}; each H Hermitian, so Q* = H_{r-1} ... H_0. *)
+  for k = 0 to f.nref - 1 do
+    apply_reflector f k x
+  done;
+  x
+
+let apply_q f b =
+  let m = Cmat.rows f.qr in
+  if Cmat.rows b <> m then invalid_arg "Qr.apply_q: dimension mismatch";
+  let x = Cmat.copy b in
+  for k = f.nref - 1 downto 0 do
+    apply_reflector f k x
+  done;
+  x
+
+let thin_q f =
+  let m, _ = Cmat.dims f.qr in
+  let k = f.nref in
+  let e = Cmat.init m k (fun i jcol -> if i = jcol then Cx.one else Cx.zero) in
+  apply_q f e
+
+let solve_ls a b =
+  let m, n = Cmat.dims a in
+  if m < n then invalid_arg "Qr.solve_ls: underdetermined system";
+  if Cmat.rows b <> m then invalid_arg "Qr.solve_ls: rhs dimension mismatch";
+  let f = factorize a in
+  let qtb = apply_qh f b in
+  let nrhs = Cmat.cols b in
+  let x = Cmat.sub_matrix qtb ~r:0 ~c:0 ~rows:n ~cols:nrhs in
+  let xr = Cmat.unsafe_re x and xi = Cmat.unsafe_im x in
+  let qre = Cmat.unsafe_re f.qr and qim = Cmat.unsafe_im f.qr in
+  for jcol = 0 to nrhs - 1 do
+    let joff = jcol * n in
+    for k = n - 1 downto 0 do
+      let koff = k * m in
+      let ur = qre.(koff + k) and ui = qim.(koff + k) in
+      let umag = (ur *. ur) +. (ui *. ui) in
+      if umag = 0. then invalid_arg "Qr.solve_ls: rank-deficient matrix";
+      let br = xr.(joff + k) and bi = xi.(joff + k) in
+      let sr = ((br *. ur) +. (bi *. ui)) /. umag in
+      let si = ((bi *. ur) -. (br *. ui)) /. umag in
+      xr.(joff + k) <- sr;
+      xi.(joff + k) <- si;
+      for i = 0 to k - 1 do
+        let ar = qre.(koff + i) and ai = qim.(koff + i) in
+        xr.(joff + i) <- xr.(joff + i) -. (ar *. sr) +. (ai *. si);
+        xi.(joff + i) <- xi.(joff + i) -. (ar *. si) -. (ai *. sr)
+      done
+    done
+  done;
+  x
+
+let orthonormalize a =
+  let m, n = Cmat.dims a in
+  if m < n then invalid_arg "Qr.orthonormalize: more columns than rows";
+  thin_q (factorize a)

@@ -1,0 +1,32 @@
+(** Householder QR factorization of complex matrices.
+
+    The reflector phases are chosen so that each [H_k] is Hermitian with a
+    real coefficient, which keeps [Q] application numerically clean.  Used
+    for least-squares solves (vector fitting) and for orthonormalizing
+    interpolation directions. *)
+
+type factor
+
+(** [factorize a] for any [m x n] (both [m >= n] and [m < n] accepted). *)
+val factorize : Cmat.t -> factor
+
+(** The [min(m,n) x n] upper-triangular factor. *)
+val r : factor -> Cmat.t
+
+(** [apply_qh f b] computes [Q* B] ([b] has [m] rows). *)
+val apply_qh : factor -> Cmat.t -> Cmat.t
+
+(** [apply_q f b] computes [Q B]. *)
+val apply_q : factor -> Cmat.t -> Cmat.t
+
+(** Thin orthonormal factor: [m x min(m,n)] with [Q* Q = I]. *)
+val thin_q : factor -> Cmat.t
+
+(** [solve_ls a b] minimizes [|A x - B|_F] for full-column-rank [a]
+    ([m >= n]).  Raises [Invalid_argument] on rank deficiency detected via
+    a zero diagonal of [R]. *)
+val solve_ls : Cmat.t -> Cmat.t -> Cmat.t
+
+(** [orthonormalize a] returns a matrix with orthonormal columns spanning
+    the columns of [a] (thin [Q]).  [a] must have [m >= n]. *)
+val orthonormalize : Cmat.t -> Cmat.t

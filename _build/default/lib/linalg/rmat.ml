@@ -1,0 +1,158 @@
+type t = { rows : int; cols : int; data : float array }
+
+let check_dims rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Rmat: negative dimension"
+
+let create rows cols =
+  check_dims rows cols;
+  { rows; cols; data = Array.make (rows * cols) 0. }
+
+let zeros = create
+
+let init rows cols f =
+  let m = create rows cols in
+  for jcol = 0 to cols - 1 do
+    for i = 0 to rows - 1 do
+      m.data.(i + (jcol * rows)) <- f i jcol
+    done
+  done;
+  m
+
+let identity n = init n n (fun i jcol -> if i = jcol then 1. else 0.)
+
+let of_rows rows_list =
+  match rows_list with
+  | [] -> create 0 0
+  | first :: _ ->
+    let rows = List.length rows_list and cols = List.length first in
+    let m = create rows cols in
+    List.iteri
+      (fun i row ->
+        if List.length row <> cols then invalid_arg "Rmat.of_rows: ragged rows";
+        List.iteri (fun jcol x -> m.data.(i + (jcol * rows)) <- x) row)
+      rows_list;
+    m
+
+let random rng rows cols = init rows cols (fun _ _ -> Rng.gaussian rng)
+let dims m = (m.rows, m.cols)
+let get m i jcol = m.data.(i + (jcol * m.rows))
+let set m i jcol x = m.data.(i + (jcol * m.rows)) <- x
+let copy m = { m with data = Array.copy m.data }
+
+let transpose m =
+  init m.cols m.rows (fun i jcol -> get m jcol i)
+
+let map f m = { m with data = Array.map f m.data }
+
+let same_dims a b op =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg (Printf.sprintf "Rmat.%s: dimension mismatch %dx%d vs %dx%d"
+                   op a.rows a.cols b.rows b.cols)
+
+let add a b =
+  same_dims a b "add";
+  { a with data = Array.init (Array.length a.data) (fun k -> a.data.(k) +. b.data.(k)) }
+
+let sub a b =
+  same_dims a b "sub";
+  { a with data = Array.init (Array.length a.data) (fun k -> a.data.(k) -. b.data.(k)) }
+
+let scale s m = { m with data = Array.map (fun x -> s *. x) m.data }
+let neg m = scale (-1.) m
+
+let mul a b =
+  if a.cols <> b.rows then
+    invalid_arg (Printf.sprintf "Rmat.mul: %dx%d * %dx%d" a.rows a.cols b.rows b.cols);
+  let c = create a.rows b.cols in
+  (* Column-major gemm: accumulate column jcol of C from columns of A. *)
+  for jcol = 0 to b.cols - 1 do
+    let coff = jcol * a.rows in
+    for k = 0 to a.cols - 1 do
+      let bkj = b.data.(k + (jcol * b.rows)) in
+      if bkj <> 0. then begin
+        let aoff = k * a.rows in
+        for i = 0 to a.rows - 1 do
+          c.data.(coff + i) <- c.data.(coff + i) +. (a.data.(aoff + i) *. bkj)
+        done
+      end
+    done
+  done;
+  c
+
+let mul_tn a b =
+  if a.rows <> b.rows then invalid_arg "Rmat.mul_tn: dimension mismatch";
+  let c = create a.cols b.cols in
+  for jcol = 0 to b.cols - 1 do
+    for i = 0 to a.cols - 1 do
+      let aoff = i * a.rows and boff = jcol * b.rows in
+      let acc = ref 0. in
+      for k = 0 to a.rows - 1 do
+        acc := !acc +. (a.data.(aoff + k) *. b.data.(boff + k))
+      done;
+      c.data.(i + (jcol * a.cols)) <- !acc
+    done
+  done;
+  c
+
+let col m jcol = Array.sub m.data (jcol * m.rows) m.rows
+let row m i = Array.init m.cols (fun jcol -> get m i jcol)
+
+let set_col m jcol v =
+  if Array.length v <> m.rows then invalid_arg "Rmat.set_col: length mismatch";
+  Array.blit v 0 m.data (jcol * m.rows) m.rows
+
+let sub_matrix m ~r ~c ~rows ~cols =
+  if r < 0 || c < 0 || r + rows > m.rows || c + cols > m.cols then
+    invalid_arg "Rmat.sub_matrix: block out of range";
+  init rows cols (fun i jcol -> get m (r + i) (c + jcol))
+
+let set_sub m ~r ~c blk =
+  if r < 0 || c < 0 || r + blk.rows > m.rows || c + blk.cols > m.cols then
+    invalid_arg "Rmat.set_sub: block out of range";
+  for jcol = 0 to blk.cols - 1 do
+    Array.blit blk.data (jcol * blk.rows) m.data (r + ((c + jcol) * m.rows)) blk.rows
+  done
+
+let hcat a b =
+  if a.rows <> b.rows then invalid_arg "Rmat.hcat: row mismatch";
+  let m = create a.rows (a.cols + b.cols) in
+  Array.blit a.data 0 m.data 0 (Array.length a.data);
+  Array.blit b.data 0 m.data (Array.length a.data) (Array.length b.data);
+  m
+
+let vcat a b =
+  if a.cols <> b.cols then invalid_arg "Rmat.vcat: column mismatch";
+  let m = create (a.rows + b.rows) a.cols in
+  set_sub m ~r:0 ~c:0 a;
+  set_sub m ~r:a.rows ~c:0 b;
+  m
+
+let norm_fro m =
+  Stdlib.sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. m.data)
+
+let max_abs m = Array.fold_left (fun acc x -> Stdlib.max acc (abs_float x)) 0. m.data
+
+let trace m =
+  let n = Stdlib.min m.rows m.cols in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. get m i i
+  done;
+  !acc
+
+let equal ~tol a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Array.for_all2 (fun x y -> abs_float (x -. y) <= tol) a.data b.data
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "@[<h>";
+    for jcol = 0 to m.cols - 1 do
+      if jcol > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%10.4g" (get m i jcol)
+    done;
+    Format.fprintf ppf "@]";
+    if i < m.rows - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,49 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+(* SplitMix64 output function (Steele, Lea, Flood 2014). *)
+let bits t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = bits t in
+  { state = Int64.mul seed 0x2545F4914F6CDD1DL }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (bits t) 1) (Int64.of_int n))
+
+let uniform t =
+  (* 53 high-quality bits into the mantissa. *)
+  let x = Int64.shift_right_logical (bits t) 11 in
+  Int64.to_float x *. 0x1p-53
+
+let range t lo hi = lo +. ((hi -. lo) *. uniform t)
+
+let gaussian t =
+  let rec draw () =
+    let u = uniform t in
+    if u <= 1e-300 then draw () else u
+  in
+  let u1 = draw () and u2 = uniform t in
+  Stdlib.sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let complex_gaussian t =
+  let re = gaussian t in
+  let im = gaussian t in
+  Cx.make re im
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let k = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(k);
+    a.(k) <- tmp
+  done

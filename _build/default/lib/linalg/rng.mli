@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random numbers.
+
+    Every stochastic choice in the library (interpolation directions,
+    random test systems, measurement noise) goes through this module so
+    that experiments are reproducible from a single integer seed.  The
+    generator is SplitMix64, which is small, fast and has no bad seeds. *)
+
+type t
+
+(** [create seed] makes an independent generator.  Equal seeds produce
+    equal streams. *)
+val create : int -> t
+
+(** [split rng] derives a fresh generator whose stream is independent of
+    subsequent draws from [rng]. *)
+val split : t -> t
+
+(** Next raw 64-bit value. *)
+val bits : t -> int64
+
+(** [int rng n] draws uniformly from [0 .. n-1].  [n] must be positive. *)
+val int : t -> int -> int
+
+(** Uniform in [[0, 1)]. *)
+val uniform : t -> float
+
+(** [range rng lo hi] draws uniformly from [[lo, hi)]. *)
+val range : t -> float -> float -> float
+
+(** Standard normal deviate (Box–Muller). *)
+val gaussian : t -> float
+
+(** Complex number with independent standard normal parts. *)
+val complex_gaussian : t -> Cx.t
+
+(** [shuffle rng a] permutes [a] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,205 @@
+type builder = {
+  brows : int;
+  bcols : int;
+  mutable entries : (int * int * float * float) list;
+  mutable count : int;
+}
+
+type t = {
+  rows : int;
+  cols : int;
+  colptr : int array;
+  rowind : int array;
+  re : float array;
+  im : float array;
+}
+
+let create ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Sparse.create: negative dimension";
+  { brows = rows; bcols = cols; entries = []; count = 0 }
+
+let add b i jcol (z : Cx.t) =
+  if i < 0 || i >= b.brows || jcol < 0 || jcol >= b.bcols then
+    invalid_arg "Sparse.add: index out of range";
+  if z.Cx.re <> 0. || z.Cx.im <> 0. then begin
+    b.entries <- (i, jcol, z.Cx.re, z.Cx.im) :: b.entries;
+    b.count <- b.count + 1
+  end
+
+let compress b =
+  (* bucket by column, then sort and merge duplicates within each column *)
+  let per_col = Array.make b.bcols [] in
+  List.iter
+    (fun (i, jcol, re, im) -> per_col.(jcol) <- (i, re, im) :: per_col.(jcol))
+    b.entries;
+  let colptr = Array.make (b.bcols + 1) 0 in
+  let merged = Array.make b.bcols [||] in
+  for jcol = 0 to b.bcols - 1 do
+    let sorted =
+      List.sort (fun (i1, _, _) (i2, _, _) -> compare i1 i2) per_col.(jcol)
+    in
+    (* merge equal row indices *)
+    let out = ref [] in
+    List.iter
+      (fun (i, re, im) ->
+        match !out with
+        | (i0, re0, im0) :: rest when i0 = i ->
+          out := (i0, re0 +. re, im0 +. im) :: rest
+        | _ -> out := (i, re, im) :: !out)
+      sorted;
+    let arr =
+      Array.of_list
+        (List.rev_map (fun e -> e) !out
+         |> List.filter (fun (_, re, im) -> re <> 0. || im <> 0.))
+    in
+    merged.(jcol) <- arr;
+    colptr.(jcol + 1) <- colptr.(jcol) + Array.length arr
+  done;
+  let nnz = colptr.(b.bcols) in
+  let rowind = Array.make nnz 0 in
+  let re = Array.make nnz 0. and im = Array.make nnz 0. in
+  for jcol = 0 to b.bcols - 1 do
+    Array.iteri
+      (fun k (i, vre, vim) ->
+        let p = colptr.(jcol) + k in
+        rowind.(p) <- i;
+        re.(p) <- vre;
+        im.(p) <- vim)
+      merged.(jcol)
+  done;
+  { rows = b.brows; cols = b.bcols; colptr; rowind; re; im }
+
+let nnz t = t.colptr.(t.cols)
+let dims t = (t.rows, t.cols)
+
+let scale_add ~alpha a ~beta b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Sparse.scale_add: dimension mismatch";
+  let out = create ~rows:a.rows ~cols:a.cols in
+  let scatter (m : t) (z : Cx.t) =
+    for jcol = 0 to m.cols - 1 do
+      for p = m.colptr.(jcol) to m.colptr.(jcol + 1) - 1 do
+        add out m.rowind.(p) jcol (Cx.mul z (Cx.make m.re.(p) m.im.(p)))
+      done
+    done
+  in
+  scatter a alpha;
+  scatter b beta;
+  compress out
+
+let mul_vec t x =
+  if Cmat.rows x <> t.cols || Cmat.cols x <> 1 then
+    invalid_arg "Sparse.mul_vec: expected a column vector of matching size";
+  let y = Cmat.zeros t.rows 1 in
+  let yr = Cmat.unsafe_re y and yi = Cmat.unsafe_im y in
+  let xr = Cmat.unsafe_re x and xi = Cmat.unsafe_im x in
+  for jcol = 0 to t.cols - 1 do
+    let vr = xr.(jcol) and vi = xi.(jcol) in
+    if vr <> 0. || vi <> 0. then
+      for p = t.colptr.(jcol) to t.colptr.(jcol + 1) - 1 do
+        let i = t.rowind.(p) in
+        let ar = t.re.(p) and ai = t.im.(p) in
+        yr.(i) <- yr.(i) +. (ar *. vr) -. (ai *. vi);
+        yi.(i) <- yi.(i) +. (ar *. vi) +. (ai *. vr)
+      done
+  done;
+  y
+
+let to_dense t =
+  let m = Cmat.zeros t.rows t.cols in
+  for jcol = 0 to t.cols - 1 do
+    for p = t.colptr.(jcol) to t.colptr.(jcol + 1) - 1 do
+      Cmat.set m t.rowind.(p) jcol (Cx.make t.re.(p) t.im.(p))
+    done
+  done;
+  m
+
+let rcm_ordering t =
+  let n, n' = (t.rows, t.cols) in
+  if n <> n' then invalid_arg "Sparse.rcm_ordering: matrix not square";
+  (* adjacency of A + A^T as sorted neighbor lists *)
+  let neighbors = Array.make n [] in
+  for jcol = 0 to n - 1 do
+    for p = t.colptr.(jcol) to t.colptr.(jcol + 1) - 1 do
+      let i = t.rowind.(p) in
+      if i <> jcol then begin
+        neighbors.(i) <- jcol :: neighbors.(i);
+        neighbors.(jcol) <- i :: neighbors.(jcol)
+      end
+    done
+  done;
+  let neighbors = Array.map (List.sort_uniq compare) neighbors in
+  let degree = Array.map List.length neighbors in
+  let visited = Array.make n false in
+  let order = Array.make n 0 in
+  let pos = ref 0 in
+  let queue = Queue.create () in
+  (* process every connected component, starting from a minimum-degree
+     node (a cheap stand-in for a pseudo-peripheral vertex) *)
+  let next_start () =
+    let best = ref (-1) in
+    for i = 0 to n - 1 do
+      if (not visited.(i))
+         && (!best < 0 || degree.(i) < degree.(!best)) then best := i
+    done;
+    if !best < 0 then None else Some !best
+  in
+  let rec component () =
+    match next_start () with
+    | None -> ()
+    | Some start ->
+      visited.(start) <- true;
+      Queue.push start queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        order.(!pos) <- v;
+        incr pos;
+        let fresh =
+          List.filter (fun u -> not visited.(u)) neighbors.(v)
+          |> List.sort (fun a b -> compare degree.(a) degree.(b))
+        in
+        List.iter
+          (fun u ->
+            visited.(u) <- true;
+            Queue.push u queue)
+          fresh
+      done;
+      component ()
+  in
+  component ();
+  (* reverse for RCM *)
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    out.(i) <- order.(n - 1 - i)
+  done;
+  out
+
+let permute t ~perm =
+  let n, n' = (t.rows, t.cols) in
+  if n <> n' then invalid_arg "Sparse.permute: matrix not square";
+  if Array.length perm <> n then invalid_arg "Sparse.permute: bad permutation length";
+  let inv = Array.make n (-1) in
+  Array.iteri
+    (fun newpos old ->
+      if old < 0 || old >= n || inv.(old) >= 0 then
+        invalid_arg "Sparse.permute: not a permutation";
+      inv.(old) <- newpos)
+    perm;
+  let b = create ~rows:n ~cols:n in
+  for jcol = 0 to n - 1 do
+    for p = t.colptr.(jcol) to t.colptr.(jcol + 1) - 1 do
+      add b inv.(t.rowind.(p)) inv.(jcol) (Cx.make t.re.(p) t.im.(p))
+    done
+  done;
+  compress b
+
+let of_dense ?(drop_tol = 0.) d =
+  let rows, cols = Cmat.dims d in
+  let b = create ~rows ~cols in
+  for jcol = 0 to cols - 1 do
+    for i = 0 to rows - 1 do
+      let z = Cmat.get d i jcol in
+      if Cx.abs z > drop_tol then add b i jcol z
+    done
+  done;
+  compress b

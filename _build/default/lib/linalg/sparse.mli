@@ -1,0 +1,51 @@
+(** Sparse complex matrices (compressed sparse column).
+
+    MNA matrices are extremely sparse (a handful of entries per row);
+    at a few hundred states dense LU is fine, but plane-grid PDNs reach
+    thousands of states where dense O(n^3) sweeps become the bottleneck.
+    Assembly happens in triplet form (duplicates accumulate, matching
+    MNA stamping); computation uses CSC. *)
+
+(** Mutable triplet builder. *)
+type builder
+
+(** Immutable CSC matrix. *)
+type t = private {
+  rows : int;
+  cols : int;
+  colptr : int array;   (** length [cols + 1] *)
+  rowind : int array;   (** length [nnz], row indices, sorted per column *)
+  re : float array;
+  im : float array;
+}
+
+val create : rows:int -> cols:int -> builder
+
+(** [add b i j z] accumulates [z] onto entry [(i, j)]. *)
+val add : builder -> int -> int -> Cx.t -> unit
+
+(** Compress to CSC (duplicates summed, explicit zeros kept out). *)
+val compress : builder -> t
+
+val nnz : t -> int
+val dims : t -> int * int
+
+(** [scale_add ~alpha a ~beta b] = [alpha A + beta B] (same dims). *)
+val scale_add : alpha:Cx.t -> t -> beta:Cx.t -> t -> t
+
+(** [mul_vec a x] = [A x] for a dense vector ([n x 1] {!Cmat.t}). *)
+val mul_vec : t -> Cmat.t -> Cmat.t
+
+val to_dense : t -> Cmat.t
+val of_dense : ?drop_tol:float -> Cmat.t -> t
+
+(** Reverse Cuthill–McKee ordering of the symmetrized pattern — the
+    classic bandwidth-reducing permutation, which curbs LU fill on
+    mesh-like (MNA) matrices.  Returns [perm] with
+    [perm.(new_position) = old_index]. *)
+val rcm_ordering : t -> int array
+
+(** [permute a ~perm] applies the symmetric permutation:
+    [B(i, j) = A(perm.(i), perm.(j))].  [perm] must be a permutation of
+    [0 .. n-1] for square [a]. *)
+val permute : t -> perm:int array -> t

@@ -1,0 +1,255 @@
+(* Left-looking sparse LU with partial pivoting (Gilbert-Peierls; the
+   organization follows CSparse's cs_lu).
+
+   L is built column by column with *original* row indices and a unit
+   diagonal stored explicitly as each column's first entry; pinv maps an
+   original row to its pivot step (-1 while not yet pivotal).  Solving
+   L x = A(:,k) only touches the entries reachable from A(:,k)'s pattern
+   in L's graph, found by DFS in topological order. *)
+
+exception Singular of int
+
+(* growable parallel arrays for the factors *)
+type growbuf = {
+  mutable idx : int array;
+  mutable re : float array;
+  mutable im : float array;
+  mutable len : int;
+}
+
+let growbuf_make n =
+  { idx = Array.make (Stdlib.max n 16) 0;
+    re = Array.make (Stdlib.max n 16) 0.;
+    im = Array.make (Stdlib.max n 16) 0.;
+    len = 0 }
+
+let growbuf_push g i vre vim =
+  if g.len = Array.length g.idx then begin
+    let cap = 2 * g.len in
+    let idx = Array.make cap 0 and re = Array.make cap 0. and im = Array.make cap 0. in
+    Array.blit g.idx 0 idx 0 g.len;
+    Array.blit g.re 0 re 0 g.len;
+    Array.blit g.im 0 im 0 g.len;
+    g.idx <- idx;
+    g.re <- re;
+    g.im <- im
+  end;
+  g.idx.(g.len) <- i;
+  g.re.(g.len) <- vre;
+  g.im.(g.len) <- vim;
+  g.len <- g.len + 1
+
+type ordering = [ `Natural | `Rcm ]
+
+type factor = {
+  n : int;
+  lp : int array;       (* n+1 column pointers into l *)
+  l : growbuf;          (* row indices in PIVOT order after finalization *)
+  up : int array;
+  u : growbuf;          (* row indices are pivot steps, as emitted *)
+  pinv : int array;     (* (permuted) row -> pivot step *)
+  sym_perm : int array option;  (* new_position -> original index *)
+}
+
+let factorize_core (a : Sparse.t) =
+  let n, n' = Sparse.dims a in
+  if n <> n' then invalid_arg "Sparse_lu.factorize: matrix not square";
+  let acolptr = a.Sparse.colptr and arowind = a.Sparse.rowind in
+  let are = a.Sparse.re and aim = a.Sparse.im in
+  let l = growbuf_make (4 * Sparse.nnz a) in
+  let u = growbuf_make (4 * Sparse.nnz a) in
+  let lp = Array.make (n + 1) 0 in
+  let up = Array.make (n + 1) 0 in
+  let pinv = Array.make n (-1) in
+  let xre = Array.make n 0. and xim = Array.make n 0. in
+  let marked = Array.make n false in
+  let xi = Array.make n 0 in         (* reach, xi[top..n-1] in toporder *)
+  let stack = Array.make n 0 in
+  let pstack = Array.make n 0 in
+  for k = 0 to n - 1 do
+    lp.(k) <- l.len;
+    up.(k) <- u.len;
+    (* --- symbolic: reach of A(:,k) through L --- *)
+    let top = ref n in
+    let dfs start =
+      let head = ref 0 in
+      stack.(0) <- start;
+      while !head >= 0 do
+        let j = stack.(!head) in
+        let jnew = pinv.(j) in
+        if not marked.(j) then begin
+          marked.(j) <- true;
+          (* skip the unit diagonal (first entry of column jnew) *)
+          pstack.(!head) <- (if jnew < 0 then 0 else lp.(jnew) + 1)
+        end;
+        let p_end = if jnew < 0 then 0 else lp.(jnew + 1) in
+        let advanced = ref false in
+        let p = ref pstack.(!head) in
+        while (not !advanced) && !p < p_end do
+          let i = l.idx.(!p) in
+          incr p;
+          if not marked.(i) then begin
+            pstack.(!head) <- !p;
+            incr head;
+            stack.(!head) <- i;
+            advanced := true
+          end
+        done;
+        if not !advanced then begin
+          (* postorder: all descendants done *)
+          decr head;
+          decr top;
+          xi.(!top) <- j
+        end
+      done
+    in
+    for p = acolptr.(k) to acolptr.(k + 1) - 1 do
+      let i = arowind.(p) in
+      if not marked.(i) then dfs i
+    done;
+    (* --- numeric: x = L \ A(:,k) on the reach --- *)
+    for p = !top to n - 1 do
+      xre.(xi.(p)) <- 0.;
+      xim.(xi.(p)) <- 0.
+    done;
+    for p = acolptr.(k) to acolptr.(k + 1) - 1 do
+      xre.(arowind.(p)) <- are.(p);
+      xim.(arowind.(p)) <- aim.(p)
+    done;
+    for px = !top to n - 1 do
+      let j = xi.(px) in
+      let jnew = pinv.(j) in
+      if jnew >= 0 then begin
+        (* unit diagonal: x[j] is final; eliminate below *)
+        let xjr = xre.(j) and xji = xim.(j) in
+        if xjr <> 0. || xji <> 0. then
+          for p = lp.(jnew) + 1 to lp.(jnew + 1) - 1 do
+            let i = l.idx.(p) in
+            let lr = l.re.(p) and li = l.im.(p) in
+            xre.(i) <- xre.(i) -. (lr *. xjr) +. (li *. xji);
+            xim.(i) <- xim.(i) -. (lr *. xji) -. (li *. xjr)
+          done
+      end
+    done;
+    (* --- pivot: largest modulus among non-pivotal rows --- *)
+    let ipiv = ref (-1) and best = ref 0. in
+    for p = !top to n - 1 do
+      let i = xi.(p) in
+      if pinv.(i) < 0 then begin
+        let mag = (xre.(i) *. xre.(i)) +. (xim.(i) *. xim.(i)) in
+        if mag > !best then begin
+          best := mag;
+          ipiv := i
+        end
+      end
+      else
+        (* finished U entry for pivotal row *)
+        growbuf_push u pinv.(i) xre.(i) xim.(i)
+    done;
+    if !ipiv < 0 || !best = 0. then raise (Singular k);
+    let ipiv = !ipiv in
+    pinv.(ipiv) <- k;
+    (* pivot onto U's diagonal *)
+    growbuf_push u k xre.(ipiv) xim.(ipiv);
+    let pr = xre.(ipiv) and pi = xim.(ipiv) in
+    let pmag = (pr *. pr) +. (pi *. pi) in
+    (* L column: unit diagonal first, then scaled subdiagonal entries *)
+    growbuf_push l ipiv 1. 0.;
+    for p = !top to n - 1 do
+      let i = xi.(p) in
+      if pinv.(i) < 0 && (xre.(i) <> 0. || xim.(i) <> 0.) then begin
+        (* x_i / pivot *)
+        let vr = ((xre.(i) *. pr) +. (xim.(i) *. pi)) /. pmag in
+        let vi = ((xim.(i) *. pr) -. (xre.(i) *. pi)) /. pmag in
+        growbuf_push l i vr vi
+      end
+    done;
+    (* clear marks and x *)
+    for p = !top to n - 1 do
+      marked.(xi.(p)) <- false;
+      xre.(xi.(p)) <- 0.;
+      xim.(xi.(p)) <- 0.
+    done
+  done;
+  lp.(n) <- l.len;
+  up.(n) <- u.len;
+  (* rows without a pivot can only happen on structural singularity,
+     which the zero-pivot test above already catches for square systems *)
+  (* convert L's row indices to pivot order *)
+  for p = 0 to l.len - 1 do
+    l.idx.(p) <- pinv.(l.idx.(p))
+  done;
+  (n, lp, l, up, u, pinv)
+
+let factorize ?(ordering = `Natural) (a : Sparse.t) =
+  match ordering with
+  | `Natural ->
+    let n, lp, l, up, u, pinv = factorize_core a in
+    { n; lp; l; up; u; pinv; sym_perm = None }
+  | `Rcm ->
+    let perm = Sparse.rcm_ordering a in
+    let n, lp, l, up, u, pinv = factorize_core (Sparse.permute a ~perm) in
+    { n; lp; l; up; u; pinv; sym_perm = Some perm }
+
+let solve f b =
+  if Cmat.rows b <> f.n then invalid_arg "Sparse_lu.solve: dimension mismatch";
+  let nrhs = Cmat.cols b in
+  (* with a symmetric ordering, solve A' x' = b' where b'_i = b_{perm i}
+     and x_{perm i} = x'_i *)
+  let b =
+    match f.sym_perm with
+    | None -> b
+    | Some perm -> Cmat.select_rows b perm
+  in
+  let x = Cmat.zeros f.n nrhs in
+  let xr = Cmat.unsafe_re x and xi_ = Cmat.unsafe_im x in
+  let br = Cmat.unsafe_re b and bi = Cmat.unsafe_im b in
+  for jcol = 0 to nrhs - 1 do
+    let off = jcol * f.n in
+    (* permute: y = P b (row i of b goes to position pinv[i]) *)
+    for i = 0 to f.n - 1 do
+      xr.(off + f.pinv.(i)) <- br.(off + i);
+      xi_.(off + f.pinv.(i)) <- bi.(off + i)
+    done;
+    (* forward: L y = Pb, unit diagonal; columns in pivot order *)
+    for k = 0 to f.n - 1 do
+      let yr = xr.(off + k) and yi = xi_.(off + k) in
+      if yr <> 0. || yi <> 0. then
+        for p = f.lp.(k) + 1 to f.lp.(k + 1) - 1 do
+          let i = f.l.idx.(p) in
+          let lr = f.l.re.(p) and li = f.l.im.(p) in
+          xr.(off + i) <- xr.(off + i) -. (lr *. yr) +. (li *. yi);
+          xi_.(off + i) <- xi_.(off + i) -. (lr *. yi) -. (li *. yr)
+        done
+    done;
+    (* backward: U x = y; column k of U ends with its diagonal *)
+    for k = f.n - 1 downto 0 do
+      let dpos = f.up.(k + 1) - 1 in
+      let ur = f.u.re.(dpos) and ui = f.u.im.(dpos) in
+      let umag = (ur *. ur) +. (ui *. ui) in
+      let yr = xr.(off + k) and yi = xi_.(off + k) in
+      let sr = ((yr *. ur) +. (yi *. ui)) /. umag in
+      let si = ((yi *. ur) -. (yr *. ui)) /. umag in
+      xr.(off + k) <- sr;
+      xi_.(off + k) <- si;
+      if sr <> 0. || si <> 0. then
+        for p = f.up.(k) to dpos - 1 do
+          let i = f.u.idx.(p) in
+          let ar = f.u.re.(p) and ai = f.u.im.(p) in
+          xr.(off + i) <- xr.(off + i) -. (ar *. sr) +. (ai *. si);
+          xi_.(off + i) <- xi_.(off + i) -. (ar *. si) -. (ai *. sr)
+        done
+    done
+  done;
+  (match f.sym_perm with
+   | None -> x
+   | Some perm ->
+     let out = Cmat.zeros f.n nrhs in
+     for jcol = 0 to nrhs - 1 do
+       for i = 0 to f.n - 1 do
+         Cmat.set out perm.(i) jcol (Cmat.get x i jcol)
+       done
+     done;
+     out)
+
+let fill f = f.l.len + f.u.len

@@ -1,0 +1,28 @@
+(** Sparse LU factorization (Gilbert–Peierls, partial pivoting).
+
+    Left-looking column LU: each column is a sparse triangular solve
+    whose nonzero pattern comes from a depth-first reachability search,
+    so the work is proportional to the fill actually produced — the
+    classic approach behind CSparse/KLU-class circuit solvers.  With MNA
+    matrices this turns the per-frequency solve from dense O(n^3) into
+    nearly O(nnz) and makes thousand-state PDN sweeps cheap. *)
+
+type factor
+
+exception Singular of int
+(** Raised with the failing column when no usable pivot exists. *)
+
+(** How to order columns before factorization.  [`Rcm] applies the
+    reverse Cuthill–McKee permutation symmetrically first, typically
+    reducing fill substantially on mesh-like matrices; [`Natural] (the
+    default) keeps the given order. *)
+type ordering = [ `Natural | `Rcm ]
+
+(** [factorize ?ordering a] for square [a]. *)
+val factorize : ?ordering:ordering -> Sparse.t -> factor
+
+(** [solve f b] solves [A X = B] for dense right-hand sides. *)
+val solve : factor -> Cmat.t -> Cmat.t
+
+(** Fill statistics: [nnz L + nnz U]. *)
+val fill : factor -> int

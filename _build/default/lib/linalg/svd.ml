@@ -1,0 +1,613 @@
+type t = { u : Cmat.t; sigma : float array; v : Cmat.t }
+
+let max_sweeps = 60
+let conv_tol = 1e-15
+
+(* One-sided Jacobi on the columns of b (m x n, m >= 1), accumulating the
+   rotations into v (n x n).  After convergence the columns of b are
+   mutually orthogonal; their norms are the singular values. *)
+let jacobi_orthogonalize b v =
+  let m, n = Cmat.dims b in
+  let br = Cmat.unsafe_re b and bi = Cmat.unsafe_im b in
+  let vr = Cmat.unsafe_re v and vi = Cmat.unsafe_im v in
+  let nv = Cmat.rows v in
+  (* Rotate columns p,q of a matrix with raw arrays (rows = len):
+     new_p = c*col_p - (sr + j si)*col_q ; new_q = s*col_p + (cr + j ci)*col_q
+     where the second column coefficients carry the phase. *)
+  let rotate re im len p q c s phr phi =
+    (* coefficients: col_p' = c*col_p - s*e^{-j phase}*col_q
+                     col_q' = s*col_p + c*e^{-j phase}*col_q
+       with e^{-j phase} = phr - j phi  (phr,phi = cos,sin of phase) *)
+    let poff = p * len and qoff = q * len in
+    let er = phr and ei = -.phi in
+    for i = 0 to len - 1 do
+      let pr = re.(poff + i) and pi = im.(poff + i) in
+      let qr = re.(qoff + i) and qi = im.(qoff + i) in
+      (* eq = e^{-j phase} * col_q entry *)
+      let eqr = (er *. qr) -. (ei *. qi) in
+      let eqi = (er *. qi) +. (ei *. qr) in
+      re.(poff + i) <- (c *. pr) -. (s *. eqr);
+      im.(poff + i) <- (c *. pi) -. (s *. eqi);
+      re.(qoff + i) <- (s *. pr) +. (c *. eqr);
+      im.(qoff + i) <- (s *. pi) +. (c *. eqi)
+    done
+  in
+  let col_norm2_direct jcol =
+    let off = jcol * m in
+    let acc = ref 0. in
+    for i = 0 to m - 1 do
+      acc := !acc +. (br.(off + i) *. br.(off + i)) +. (bi.(off + i) *. bi.(off + i))
+    done;
+    !acc
+  in
+  (* Column norms are cached and updated analytically after each rotation
+     (the rotated 2x2 Gram diagonal), then refreshed at the start of every
+     sweep to stop floating-point drift. *)
+  let norms = Array.make n 0. in
+  let refresh_norms () =
+    for jcol = 0 to n - 1 do
+      norms.(jcol) <- col_norm2_direct jcol
+    done
+  in
+  let col_dot p q =
+    (* b_p^H b_q *)
+    let poff = p * m and qoff = q * m in
+    let accr = ref 0. and acci = ref 0. in
+    for i = 0 to m - 1 do
+      let ar = br.(poff + i) and ai = -.bi.(poff + i) in
+      let cr = br.(qoff + i) and ci = bi.(qoff + i) in
+      accr := !accr +. (ar *. cr) -. (ai *. ci);
+      acci := !acci +. (ar *. ci) +. (ai *. cr)
+    done;
+    (!accr, !acci)
+  in
+  let sweep () =
+    refresh_norms ();
+    let worst = ref 0. in
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let app = norms.(p) and aqq = norms.(q) in
+        if app > 0. && aqq > 0. then begin
+          let dr, di = col_dot p q in
+          let alpha = Stdlib.sqrt ((dr *. dr) +. (di *. di)) in
+          let rel = alpha /. Stdlib.sqrt (app *. aqq) in
+          if rel > !worst then worst := rel;
+          if rel > conv_tol then begin
+            (* phase of apq *)
+            let phr = dr /. alpha and phi = di /. alpha in
+            (* real symmetric 2x2 [[app, alpha], [alpha, aqq]] *)
+            let theta = (aqq -. app) /. (2. *. alpha) in
+            let tparam =
+              let sign = if theta >= 0. then 1. else -1. in
+              sign /. (abs_float theta +. Stdlib.sqrt (1. +. (theta *. theta)))
+            in
+            let c = 1. /. Stdlib.sqrt (1. +. (tparam *. tparam)) in
+            let s = tparam *. c in
+            rotate br bi m p q c s phr phi;
+            rotate vr vi nv p q c s phr phi;
+            (* rotated Gram diagonal: exact update of the two norms *)
+            let cs2 = 2. *. c *. s *. alpha in
+            let c2 = c *. c and s2 = s *. s in
+            norms.(p) <- (c2 *. app) -. cs2 +. (s2 *. aqq);
+            norms.(q) <- (s2 *. app) +. cs2 +. (c2 *. aqq)
+          end
+        end
+      done
+    done;
+    !worst
+  in
+  let rec loop k =
+    if k < max_sweeps then
+      let worst = sweep () in
+      if worst > conv_tol then loop (k + 1)
+  in
+  loop 0
+
+(* Orthonormal completion: replace (near-)zero columns of u, in index
+   order, with unit vectors orthogonal to all current columns. *)
+let complete_columns u zero_cols =
+  let m, _ = Cmat.dims u in
+  List.iter
+    (fun jcol ->
+      (* Try canonical basis vectors until one survives orthogonalization. *)
+      let rec try_basis e =
+        if e >= m then ()  (* pathological; leave zero *)
+        else begin
+          let cand = Cmat.init m 1 (fun i _ -> if i = e then Cx.one else Cx.zero) in
+          let cand = ref cand in
+          for k = 0 to Cmat.cols u - 1 do
+            if k <> jcol then begin
+              let uk = Cmat.col u k in
+              let coef = Cmat.vec_dot uk !cand in
+              cand := Cmat.sub !cand (Cmat.scale coef uk)
+            end
+          done;
+          let nrm = Cmat.vec_norm !cand in
+          if nrm > 1e-8 then Cmat.set_col u jcol (Cmat.scale_float (1. /. nrm) !cand)
+          else try_basis (e + 1)
+        end
+      in
+      try_basis 0)
+    zero_cols
+
+let decompose_tall a =
+  let m, n = Cmat.dims a in
+  let b = Cmat.copy a in
+  let v = Cmat.identity n in
+  jacobi_orthogonalize b v;
+  (* Column norms are the singular values. *)
+  let sig2 = Array.init n (fun jcol ->
+      let c = Cmat.col b jcol in
+      Cmat.vec_norm c)
+  in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare sig2.(j) sig2.(i)) order;
+  let sigma = Array.map (fun i -> sig2.(i)) order in
+  let bs = Cmat.select_cols b order in
+  let vs = Cmat.select_cols v order in
+  (* Normalize U columns; collect the ones we must complete. *)
+  let u = Cmat.create m n in
+  let smax = if n > 0 then sigma.(0) else 0. in
+  let zero_cols = ref [] in
+  for jcol = 0 to n - 1 do
+    if sigma.(jcol) > 1e-100 && (smax = 0. || sigma.(jcol) > 1e-15 *. smax) then
+      Cmat.set_col u jcol (Cmat.scale_float (1. /. sigma.(jcol)) (Cmat.col bs jcol))
+    else zero_cols := jcol :: !zero_cols
+  done;
+  complete_columns u (List.rev !zero_cols);
+  { u; sigma; v = vs }
+
+(* ------------------------------------------------------------------ *)
+(* Golub-Kahan SVD: Householder bidiagonalization, phase normalization,
+   then implicit-shift QR on the real bidiagonal.  O(m n^2) overall,
+   roughly an order of magnitude faster than cyclic Jacobi at the pencil
+   sizes the Loewner pipeline produces. *)
+
+exception No_convergence
+
+(* Givens rotation [c s; -s c] [f; g] = [r; 0]. *)
+let givens f g =
+  if g = 0. then (1., 0., f)
+  else if f = 0. then (0., 1., g)
+  else begin
+    let r = Float.hypot f g in
+    let r = if f >= 0. then r else -.r in
+    (f /. r, g /. r, r)
+  end
+
+(* Rotate columns p and q of a complex matrix by a real rotation:
+   col_p' = c col_p + s col_q ; col_q' = -s col_p + c col_q. *)
+let rotate_cols_real m p q c s =
+  let rows = Cmat.rows m in
+  let re = Cmat.unsafe_re m and im = Cmat.unsafe_im m in
+  let poff = p * rows and qoff = q * rows in
+  for i = 0 to rows - 1 do
+    let pr = re.(poff + i) and pi = im.(poff + i) in
+    let qr = re.(qoff + i) and qi = im.(qoff + i) in
+    re.(poff + i) <- (c *. pr) +. (s *. qr);
+    im.(poff + i) <- (c *. pi) +. (s *. qi);
+    re.(qoff + i) <- (c *. qr) -. (s *. pr);
+    im.(qoff + i) <- (c *. qi) -. (s *. pi)
+  done
+
+(* One implicit-shift Golub-Kahan step on the window [lo..hi] of the
+   real bidiagonal (d, e), accumulating rotations into u and v. *)
+let gk_step d e u v lo hi =
+  (* Wilkinson shift from the trailing 2x2 of B^T B *)
+  let dm = d.(hi - 1) and dn = d.(hi) and em = e.(hi - 1) in
+  let el = if hi - 1 > lo then e.(hi - 2) else 0. in
+  let a11 = (dm *. dm) +. (el *. el) in
+  let a22 = (dn *. dn) +. (em *. em) in
+  let a12 = dm *. em in
+  let mu =
+    if a12 = 0. then a22
+    else begin
+      let delta = (a11 -. a22) /. 2. in
+      let sgn = if delta >= 0. then 1. else -1. in
+      a22 -. (a12 *. a12 /. (delta +. (sgn *. Float.hypot delta a12)))
+    end
+  in
+  let y0 = (d.(lo) *. d.(lo)) -. mu in
+  let z0 = d.(lo) *. e.(lo) in
+  let bulge = ref 0. in
+  for k = lo to hi - 1 do
+    let c, s, _ =
+      if k = lo then givens y0 z0 else givens e.(k - 1) !bulge
+    in
+    if k > lo then e.(k - 1) <- (c *. e.(k - 1)) +. (s *. !bulge);
+    (* right rotation on columns k, k+1 *)
+    let dk = d.(k) and ek = e.(k) and dk1 = d.(k + 1) in
+    d.(k) <- (c *. dk) +. (s *. ek);
+    e.(k) <- (c *. ek) -. (s *. dk);
+    let below = s *. dk1 in
+    d.(k + 1) <- c *. dk1;
+    rotate_cols_real v k (k + 1) c s;
+    (* left rotation on rows k, k+1 kills the subdiagonal bulge *)
+    let c2, s2, r2 = givens d.(k) below in
+    d.(k) <- r2;
+    let ek' = e.(k) and dk1' = d.(k + 1) in
+    e.(k) <- (c2 *. ek') +. (s2 *. dk1');
+    d.(k + 1) <- (c2 *. dk1') -. (s2 *. ek');
+    if k < hi - 1 then begin
+      bulge := s2 *. e.(k + 1);
+      e.(k + 1) <- c2 *. e.(k + 1)
+    end;
+    rotate_cols_real u k (k + 1) c2 s2
+  done
+
+let eps = 2.2e-16
+
+(* Iterate the bidiagonal QR to convergence. *)
+let bidiag_qr d e u v =
+  let n = Array.length d in
+  if n > 1 then begin
+    let anorm =
+      let acc = ref 0. in
+      Array.iter (fun x -> acc := Stdlib.max !acc (abs_float x)) d;
+      Array.iter (fun x -> acc := Stdlib.max !acc (abs_float x)) e;
+      !acc
+    in
+    if anorm > 0. then begin
+      (* exact zeros on the diagonal stall the chase; a sub-roundoff
+         perturbation is invisible at working precision *)
+      for k = 0 to n - 1 do
+        if abs_float d.(k) <= eps *. eps *. anorm then
+          d.(k) <- eps *. eps *. anorm
+      done;
+      let budget = ref (60 * n) in
+      let hi = ref (n - 1) in
+      while !hi > 0 do
+        for k = 0 to !hi - 1 do
+          if abs_float e.(k) <= eps *. (abs_float d.(k) +. abs_float d.(k + 1))
+          then e.(k) <- 0.
+        done;
+        if e.(!hi - 1) = 0. then decr hi
+        else begin
+          decr budget;
+          if !budget <= 0 then raise No_convergence;
+          let lo = ref (!hi - 1) in
+          while !lo > 0 && e.(!lo - 1) <> 0. do
+            decr lo
+          done;
+          gk_step d e u v !lo !hi
+        end
+      done
+    end
+  end
+
+(* Complex Householder bidiagonalization of a (m >= n); returns
+   (u, d, e, v) with a = u (bidiag d, e) v^H, u: m x n, v: n x n. *)
+let bidiagonalize a =
+  let m, n = Cmat.dims a in
+  let b = Cmat.copy a in
+  let re = Cmat.unsafe_re b and im = Cmat.unsafe_im b in
+  (* reflector scratch *)
+  let taul = Array.make n 0. in
+  let taur = Array.make (Stdlib.max 0 (n - 1)) 0. in
+  for k = 0 to n - 1 do
+    (* left reflector annihilating column k below the diagonal *)
+    let koff = k * m in
+    let xnorm2 = ref 0. in
+    for i = k to m - 1 do
+      xnorm2 := !xnorm2 +. (re.(koff + i) *. re.(koff + i)) +. (im.(koff + i) *. im.(koff + i))
+    done;
+    let xnorm = Stdlib.sqrt !xnorm2 in
+    if xnorm > 0. then begin
+      let ar = re.(koff + k) and ai = im.(koff + k) in
+      let amag = Stdlib.sqrt ((ar *. ar) +. (ai *. ai)) in
+      let br, bi =
+        if amag = 0. then (-.xnorm, 0.)
+        else (-.xnorm *. ar /. amag, -.xnorm *. ai /. amag)
+      in
+      let u0r = ar -. br and u0i = ai -. bi in
+      let u0mag2 = (u0r *. u0r) +. (u0i *. u0i) in
+      if u0mag2 > 0. then begin
+        let unorm2 = 2. *. (!xnorm2 +. (xnorm *. amag)) in
+        taul.(k) <- 2. *. u0mag2 /. unorm2;
+        let inv = 1. /. u0mag2 in
+        for i = k + 1 to m - 1 do
+          let xr = re.(koff + i) and xi = im.(koff + i) in
+          re.(koff + i) <- ((xr *. u0r) +. (xi *. u0i)) *. inv;
+          im.(koff + i) <- ((xi *. u0r) -. (xr *. u0i)) *. inv
+        done;
+        re.(koff + k) <- br;
+        im.(koff + k) <- bi;
+        for jcol = k + 1 to n - 1 do
+          let joff = jcol * m in
+          let sr = ref re.(joff + k) and si = ref im.(joff + k) in
+          for i = k + 1 to m - 1 do
+            let vr = re.(koff + i) and vi = -.im.(koff + i) in
+            let cr = re.(joff + i) and ci = im.(joff + i) in
+            sr := !sr +. (vr *. cr) -. (vi *. ci);
+            si := !si +. (vr *. ci) +. (vi *. cr)
+          done;
+          let sr = taul.(k) *. !sr and si = taul.(k) *. !si in
+          re.(joff + k) <- re.(joff + k) -. sr;
+          im.(joff + k) <- im.(joff + k) -. si;
+          for i = k + 1 to m - 1 do
+            let vr = re.(koff + i) and vi = im.(koff + i) in
+            re.(joff + i) <- re.(joff + i) -. (vr *. sr) +. (vi *. si);
+            im.(joff + i) <- im.(joff + i) -. (vr *. si) -. (vi *. sr)
+          done
+        done
+      end
+    end;
+    (* right reflector annihilating row k beyond the superdiagonal *)
+    if k < n - 2 then begin
+      (* z = conj of row k entries k+1..n-1 *)
+      let len = n - 1 - k in
+      let zr = Array.make len 0. and zi = Array.make len 0. in
+      for j = 0 to len - 1 do
+        let idx = k + ((k + 1 + j) * m) in
+        zr.(j) <- re.(idx);
+        zi.(j) <- -.im.(idx)
+      done;
+      let znorm2 = ref 0. in
+      Array.iteri (fun j x -> znorm2 := !znorm2 +. (x *. x) +. (zi.(j) *. zi.(j))) zr;
+      let znorm = Stdlib.sqrt !znorm2 in
+      if znorm > 0. then begin
+        let ar = zr.(0) and ai = zi.(0) in
+        let amag = Stdlib.sqrt ((ar *. ar) +. (ai *. ai)) in
+        let br, bi =
+          if amag = 0. then (-.znorm, 0.)
+          else (-.znorm *. ar /. amag, -.znorm *. ai /. amag)
+        in
+        let u0r = ar -. br and u0i = ai -. bi in
+        let u0mag2 = (u0r *. u0r) +. (u0i *. u0i) in
+        if u0mag2 > 0. then begin
+          let unorm2 = 2. *. (!znorm2 +. (znorm *. amag)) in
+          taur.(k) <- 2. *. u0mag2 /. unorm2;
+          let inv = 1. /. u0mag2 in
+          (* v_j = z_j / u0, v_0 = 1; store conj(v_j) back into row k *)
+          let vre = Array.make len 0. and vim = Array.make len 0. in
+          vre.(0) <- 1.;
+          for j = 1 to len - 1 do
+            vre.(j) <- ((zr.(j) *. u0r) +. (zi.(j) *. u0i)) *. inv;
+            vim.(j) <- ((zi.(j) *. u0r) -. (zr.(j) *. u0i)) *. inv
+          done;
+          (* apply P = I - tau v v^H from the right to rows k..m-1:
+             row := row - tau (row . v) v^H  (v^H entries conj(v)) *)
+          for i = k to m - 1 do
+            let sr = ref 0. and si = ref 0. in
+            for j = 0 to len - 1 do
+              let cidx = i + ((k + 1 + j) * m) in
+              let rr = re.(cidx) and ri = im.(cidx) in
+              (* row_j * v_j *)
+              sr := !sr +. (rr *. vre.(j)) -. (ri *. vim.(j));
+              si := !si +. (rr *. vim.(j)) +. (ri *. vre.(j))
+            done;
+            let sr = taur.(k) *. !sr and si = taur.(k) *. !si in
+            for j = 0 to len - 1 do
+              let cidx = i + ((k + 1 + j) * m) in
+              (* subtract s * conj(v_j) *)
+              let vr = vre.(j) and vi = -.vim.(j) in
+              re.(cidx) <- re.(cidx) -. (sr *. vr) +. (si *. vi);
+              im.(cidx) <- im.(cidx) -. (sr *. vi) -. (si *. vr)
+            done
+          done;
+          (* store v (j >= 1) in row k for later accumulation; the row is
+             now [d, beta', 0...] plus our stash *)
+          for j = 1 to len - 1 do
+            let cidx = k + ((k + 1 + j) * m) in
+            re.(cidx) <- vre.(j);
+            im.(cidx) <- vim.(j)
+          done
+        end
+      end
+    end
+  done;
+  (* accumulate thin U by applying left reflectors to [I; 0] *)
+  let u = Cmat.create m n in
+  let ure = Cmat.unsafe_re u and uim = Cmat.unsafe_im u in
+  for k = 0 to n - 1 do
+    ure.(k + (k * m)) <- 1.
+  done;
+  for k = n - 1 downto 0 do
+    if taul.(k) <> 0. then
+      for jcol = 0 to n - 1 do
+        let joff = jcol * m in
+        let koff = k * m in
+        let sr = ref ure.(joff + k) and si = ref uim.(joff + k) in
+        for i = k + 1 to m - 1 do
+          let vr = re.(koff + i) and vi = -.im.(koff + i) in
+          let cr = ure.(joff + i) and ci = uim.(joff + i) in
+          sr := !sr +. (vr *. cr) -. (vi *. ci);
+          si := !si +. (vr *. ci) +. (vi *. cr)
+        done;
+        let sr = taul.(k) *. !sr and si = taul.(k) *. !si in
+        ure.(joff + k) <- ure.(joff + k) -. sr;
+        uim.(joff + k) <- uim.(joff + k) -. si;
+        for i = k + 1 to m - 1 do
+          let vr = re.(koff + i) and vi = im.(koff + i) in
+          ure.(joff + i) <- ure.(joff + i) -. (vr *. sr) +. (vi *. si);
+          uim.(joff + i) <- uim.(joff + i) -. (vr *. si) -. (vi *. sr)
+        done
+      done
+  done;
+  (* accumulate V by applying right reflectors (v stored in rows) *)
+  let v = Cmat.identity n in
+  let vre_m = Cmat.unsafe_re v and vim_m = Cmat.unsafe_im v in
+  for k = n - 3 downto 0 do
+    if taur.(k) <> 0. then begin
+      let len = n - 1 - k in
+      (* reload v from the stash in row k *)
+      let wre = Array.make len 0. and wim = Array.make len 0. in
+      wre.(0) <- 1.;
+      for j = 1 to len - 1 do
+        let cidx = k + ((k + 1 + j) * m) in
+        wre.(j) <- re.(cidx);
+        wim.(j) <- im.(cidx)
+      done;
+      (* V := P V with P = I - tau w w^H acting on rows k+1..n-1 of V *)
+      for jcol = 0 to n - 1 do
+        let joff = jcol * n in
+        let sr = ref 0. and si = ref 0. in
+        for j = 0 to len - 1 do
+          let idx = joff + k + 1 + j in
+          let wr = wre.(j) and wi = -.wim.(j) in
+          let cr = vre_m.(idx) and ci = vim_m.(idx) in
+          sr := !sr +. (wr *. cr) -. (wi *. ci);
+          si := !si +. (wr *. ci) +. (wi *. cr)
+        done;
+        let sr = taur.(k) *. !sr and si = taur.(k) *. !si in
+        for j = 0 to len - 1 do
+          let idx = joff + k + 1 + j in
+          let wr = wre.(j) and wi = wim.(j) in
+          vre_m.(idx) <- vre_m.(idx) -. (wr *. sr) +. (wi *. si);
+          vim_m.(idx) <- vim_m.(idx) -. (wr *. si) -. (wi *. sr)
+        done
+      done
+    end
+  done;
+  (* extract the complex bidiagonal *)
+  let dc = Array.init n (fun k -> Cmat.get b k k) in
+  let ec = Array.init (Stdlib.max 0 (n - 1)) (fun k -> Cmat.get b k (k + 1)) in
+  (u, dc, ec, v)
+
+let decompose_gk_tall a =
+  let m, n = Cmat.dims a in
+  ignore m;
+  let u, dc, ec, v = bidiagonalize a in
+  (* phase-normalize the bidiagonal to real nonnegative entries;
+     fold the phases into U and V column scalings *)
+  let d = Array.make n 0. and e = Array.make (Stdlib.max 0 (n - 1)) 0. in
+  let dr = ref Cx.one in
+  for k = 0 to n - 1 do
+    (* effective diagonal after right phase: dc_k * dr *)
+    let dk = Cx.mul dc.(k) !dr in
+    let mag = Cx.abs dk in
+    d.(k) <- mag;
+    let dl = if mag = 0. then Cx.one else Cx.scale (1. /. mag) dk in
+    (* fold dl into U column k *)
+    let urow = Cmat.rows u in
+    let ure = Cmat.unsafe_re u and uim = Cmat.unsafe_im u in
+    let off = k * urow in
+    for i = 0 to urow - 1 do
+      let xr = ure.(off + i) and xi = uim.(off + i) in
+      ure.(off + i) <- (xr *. dl.Cx.re) -. (xi *. dl.Cx.im);
+      uim.(off + i) <- (xr *. dl.Cx.im) +. (xi *. dl.Cx.re)
+    done;
+    (* fold dr into V column k *)
+    let vrow = Cmat.rows v in
+    let vre = Cmat.unsafe_re v and vim = Cmat.unsafe_im v in
+    let voff = k * vrow in
+    let drc = !dr in
+    for i = 0 to vrow - 1 do
+      let xr = vre.(voff + i) and xi = vim.(voff + i) in
+      vre.(voff + i) <- (xr *. drc.Cx.re) -. (xi *. drc.Cx.im);
+      vim.(voff + i) <- (xr *. drc.Cx.im) +. (xi *. drc.Cx.re)
+    done;
+    if k < n - 1 then begin
+      (* superdiagonal after phases: conj(dl) * ec_k * dr_{k+1}; choose
+         dr_{k+1} to make it real nonnegative *)
+      let g = Cx.mul (Cx.conj dl) ec.(k) in
+      let gmag = Cx.abs g in
+      e.(k) <- gmag;
+      dr := if gmag = 0. then Cx.one else Cx.conj (Cx.scale (1. /. gmag) g)
+    end
+  done;
+  bidiag_qr d e u v;
+  (* signs, then sort descending *)
+  for k = 0 to n - 1 do
+    if d.(k) < 0. then begin
+      d.(k) <- -.d.(k);
+      let urow = Cmat.rows u in
+      let ure = Cmat.unsafe_re u and uim = Cmat.unsafe_im u in
+      let off = k * urow in
+      for i = 0 to urow - 1 do
+        ure.(off + i) <- -.ure.(off + i);
+        uim.(off + i) <- -.uim.(off + i)
+      done
+    end
+  done;
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare d.(j) d.(i)) order;
+  { u = Cmat.select_cols u order;
+    sigma = Array.map (fun i -> d.(i)) order;
+    v = Cmat.select_cols v order }
+
+type algorithm = Auto | Jacobi | Golub_kahan
+
+let decompose ?(algorithm = Auto) a =
+  let m, n = Cmat.dims a in
+  if m = 0 || n = 0 then { u = Cmat.create m 0; sigma = [||]; v = Cmat.create n 0 }
+  else begin
+    let tall x =
+      match algorithm with
+      | Jacobi -> decompose_tall x
+      | Golub_kahan -> decompose_gk_tall x
+      | Auto ->
+        (* Jacobi is competitive (and slightly more accurate on the
+           smallest singular values) below ~32 columns *)
+        if Cmat.cols x <= 32 then decompose_tall x else decompose_gk_tall x
+    in
+    if m >= n then tall a
+    else begin
+      (* A = (A^H)^H: svd(A^H) = U' S V'^H  =>  A = V' S U'^H *)
+      let d = tall (Cmat.ctranspose a) in
+      { u = d.v; sigma = d.sigma; v = d.u }
+    end
+  end
+
+let reconstruct d =
+  let k = Array.length d.sigma in
+  let us = Cmat.init (Cmat.rows d.u) k (fun i jcol ->
+      Cx.scale d.sigma.(jcol) (Cmat.get d.u i jcol))
+  in
+  Cmat.mul us (Cmat.ctranspose d.v)
+
+let rank ~rtol d =
+  if Array.length d.sigma = 0 || d.sigma.(0) = 0. then 0
+  else begin
+    let thresh = rtol *. d.sigma.(0) in
+    let count = ref 0 in
+    Array.iter (fun s -> if s > thresh then incr count) d.sigma;
+    !count
+  end
+
+let rank_gap ?(floor = 1e-13) d =
+  let n = Array.length d.sigma in
+  if n = 0 || d.sigma.(0) = 0. then 0
+  else begin
+    let cutoff = floor *. d.sigma.(0) in
+    (* Only consider gaps whose left edge is above the noise floor. *)
+    let best = ref n and best_gap = ref 1.0 (* require at least 10x drop *) in
+    for i = 0 to n - 2 do
+      if d.sigma.(i) > cutoff then begin
+        let lo = Stdlib.max d.sigma.(i + 1) (1e-300) in
+        let gap = log10 (d.sigma.(i) /. lo) in
+        if gap > !best_gap then begin
+          best_gap := gap;
+          best := i + 1
+        end
+      end
+    done;
+    (* If everything below cutoff counts as zero and no explicit gap was
+       found, fall back to the floor-based rank. *)
+    if !best = n then begin
+      let count = ref 0 in
+      Array.iter (fun s -> if s > cutoff then incr count) d.sigma;
+      !count
+    end
+    else !best
+  end
+
+let norm2 a =
+  let d = decompose a in
+  if Array.length d.sigma = 0 then 0. else d.sigma.(0)
+
+let pinv ?(rtol = 1e-12) a =
+  let d = decompose a in
+  let k = Array.length d.sigma in
+  if k = 0 then Cmat.create (Cmat.cols a) (Cmat.rows a)
+  else begin
+    let thresh = rtol *. d.sigma.(0) in
+    let vs = Cmat.init (Cmat.rows d.v) k (fun i jcol ->
+        if d.sigma.(jcol) > thresh then
+          Cx.scale (1. /. d.sigma.(jcol)) (Cmat.get d.v i jcol)
+        else Cx.zero)
+    in
+    Cmat.mul vs (Cmat.ctranspose d.u)
+  end
+
+let values a = (decompose a).sigma

@@ -1,0 +1,29 @@
+let check ~mu ~lambda f =
+  let rows, cols = Cmat.dims f in
+  if Array.length mu <> rows || Array.length lambda <> cols then
+    invalid_arg "Sylvester: diagonal lengths do not match the right-hand side"
+
+let solve_diag ~mu ~lambda f =
+  check ~mu ~lambda f;
+  Cmat.mapi
+    (fun i jcol fij ->
+      let denom = Cx.sub lambda.(jcol) mu.(i) in
+      if Cx.abs denom = 0. then
+        invalid_arg "Sylvester.solve_diag: lambda_j = mu_i makes the equation singular";
+      Cx.div fij denom)
+    f
+
+let residual ~mu ~lambda x f =
+  check ~mu ~lambda f;
+  let rows, cols = Cmat.dims x in
+  if Cmat.dims f <> (rows, cols) then invalid_arg "Sylvester.residual: dimension mismatch";
+  let acc = ref 0. in
+  for jcol = 0 to cols - 1 do
+    for i = 0 to rows - 1 do
+      let lhs = Cx.sub (Cx.mul (Cmat.get x i jcol) lambda.(jcol))
+                  (Cx.mul mu.(i) (Cmat.get x i jcol)) in
+      let d = Cx.sub lhs (Cmat.get f i jcol) in
+      acc := !acc +. Cx.abs2 d
+    done
+  done;
+  Stdlib.sqrt !acc

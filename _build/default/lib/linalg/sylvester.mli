@@ -1,0 +1,15 @@
+(** Sylvester equations with diagonal coefficients.
+
+    The Loewner matrices of tangential interpolation satisfy
+    [X L - M X = F] with [L = diag lambda] and [M = diag mu]
+    (paper eq. (13)).  With diagonal coefficients the solution is
+    entrywise: [X_ij = F_ij / (lambda_j - mu_i)]. *)
+
+(** [solve_diag ~mu ~lambda f] solves [X diag(lambda) - diag(mu) X = F].
+    Raises [Invalid_argument] if some [lambda_j = mu_i] (singular
+    equation) or on dimension mismatch. *)
+val solve_diag : mu:Cx.t array -> lambda:Cx.t array -> Cmat.t -> Cmat.t
+
+(** [residual ~mu ~lambda x f] is the Frobenius norm of
+    [X diag(lambda) - diag(mu) X - F], for verifying eq. (13). *)
+val residual : mu:Cx.t array -> lambda:Cx.t array -> Cmat.t -> Cmat.t -> float

@@ -1,0 +1,1 @@
+lib/plot/svg.ml: Array Buffer Float List Printf Stdlib String

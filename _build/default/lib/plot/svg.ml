@@ -1,0 +1,180 @@
+type axis = Linear | Log
+
+type series = {
+  label : string;
+  points : (float * float) array;
+}
+
+let default_colors =
+  [| "#1f77b4"; "#d62728"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b";
+     "#e377c2"; "#17becf" |]
+
+let margin_left = 70.
+let margin_right = 20.
+let margin_top = 40.
+let margin_bottom = 55.
+
+let transform axis v = match axis with Linear -> v | Log -> log10 v
+
+let usable (xaxis, yaxis) (x, y) =
+  Float.is_finite x && Float.is_finite y
+  && (match xaxis with Linear -> true | Log -> x > 0.)
+  && (match yaxis with Linear -> true | Log -> y > 0.)
+
+(* tick positions covering [lo, hi] in transformed coordinates *)
+let ticks axis lo hi =
+  match axis with
+  | Log ->
+    (* decade ticks *)
+    let first = Float.ceil lo and last = Float.floor hi in
+    let out = ref [] in
+    let v = ref first in
+    while !v <= last +. 1e-9 do
+      out := !v :: !out;
+      v := !v +. Stdlib.max 1. (Float.round ((hi -. lo) /. 8.))
+    done;
+    List.rev !out
+  | Linear ->
+    let span = hi -. lo in
+    if span <= 0. then [ lo ]
+    else begin
+      let raw = span /. 6. in
+      let mag = 10. ** Float.floor (log10 raw) in
+      let step =
+        let r = raw /. mag in
+        if r < 1.5 then mag else if r < 3.5 then 2. *. mag else 5. *. mag
+      in
+      let first = Float.ceil (lo /. step) *. step in
+      let out = ref [] in
+      let v = ref first in
+      while !v <= hi +. (1e-9 *. span) do
+        out := !v :: !out;
+        v := !v +. step
+      done;
+      List.rev !out
+    end
+
+let tick_label axis v =
+  match axis with
+  | Log ->
+    let e = int_of_float (Float.round v) in
+    if abs_float (v -. Float.round v) < 1e-6 then Printf.sprintf "1e%d" e
+    else Printf.sprintf "%.3g" (10. ** v)
+  | Linear -> Printf.sprintf "%.3g" v
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render ?(width = 760) ?(height = 480) ?(colors = default_colors)
+    ~title ~xlabel ~ylabel ~xaxis ~yaxis series_list =
+  let axes = (xaxis, yaxis) in
+  let cleaned =
+    List.map
+      (fun s ->
+        { s with
+          points =
+            Array.of_list
+              (List.filter (usable axes) (Array.to_list s.points)) })
+      series_list
+    |> List.filter (fun s -> Array.length s.points > 0)
+  in
+  if cleaned = [] then invalid_arg "Svg.render: nothing to plot";
+  let all =
+    List.concat_map (fun s -> Array.to_list s.points) cleaned
+    |> List.map (fun (x, y) -> (transform xaxis x, transform yaxis y))
+  in
+  let xs = List.map fst all and ys = List.map snd all in
+  let pad lo hi =
+    if hi -. lo < 1e-12 then (lo -. 1., hi +. 1.)
+    else (lo -. (0.03 *. (hi -. lo)), hi +. (0.03 *. (hi -. lo)))
+  in
+  let xlo, xhi = pad (List.fold_left min infinity xs) (List.fold_left max neg_infinity xs) in
+  let ylo, yhi = pad (List.fold_left min infinity ys) (List.fold_left max neg_infinity ys) in
+  let w = float_of_int width and h = float_of_int height in
+  let plot_w = w -. margin_left -. margin_right in
+  let plot_h = h -. margin_top -. margin_bottom in
+  let px x = margin_left +. (plot_w *. (x -. xlo) /. (xhi -. xlo)) in
+  let py y = margin_top +. (plot_h *. (1. -. ((y -. ylo) /. (yhi -. ylo)))) in
+  let buf = Buffer.create 16384 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+       viewBox=\"0 0 %d %d\" font-family=\"sans-serif\" font-size=\"12\">\n"
+    width height width height;
+  out "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" width height;
+  out "<text x=\"%g\" y=\"22\" text-anchor=\"middle\" font-size=\"15\">%s</text>\n"
+    (w /. 2.) (escape title);
+  (* frame *)
+  out "<rect x=\"%g\" y=\"%g\" width=\"%g\" height=\"%g\" fill=\"none\" \
+       stroke=\"#333\"/>\n" margin_left margin_top plot_w plot_h;
+  (* ticks + grid *)
+  List.iter
+    (fun tv ->
+      if tv >= xlo && tv <= xhi then begin
+        let x = px tv in
+        out "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"#ddd\"/>\n"
+          x margin_top x (margin_top +. plot_h);
+        out "<text x=\"%g\" y=\"%g\" text-anchor=\"middle\">%s</text>\n" x
+          (margin_top +. plot_h +. 18.) (tick_label xaxis tv)
+      end)
+    (ticks xaxis xlo xhi);
+  List.iter
+    (fun tv ->
+      if tv >= ylo && tv <= yhi then begin
+        let y = py tv in
+        out "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"#ddd\"/>\n"
+          margin_left y (margin_left +. plot_w) y;
+        out "<text x=\"%g\" y=\"%g\" text-anchor=\"end\">%s</text>\n"
+          (margin_left -. 6.) (y +. 4.) (tick_label yaxis tv)
+      end)
+    (ticks yaxis ylo yhi);
+  (* axis labels *)
+  out "<text x=\"%g\" y=\"%g\" text-anchor=\"middle\">%s</text>\n" (w /. 2.)
+    (h -. 12.) (escape xlabel);
+  out "<text x=\"16\" y=\"%g\" text-anchor=\"middle\" \
+       transform=\"rotate(-90 16 %g)\">%s</text>\n"
+    (h /. 2.) (h /. 2.) (escape ylabel);
+  (* series *)
+  List.iteri
+    (fun idx s ->
+      let color = colors.(idx mod Array.length colors) in
+      let path = Buffer.create 1024 in
+      Array.iteri
+        (fun i (x, y) ->
+          let cmd = if i = 0 then 'M' else 'L' in
+          Buffer.add_string path
+            (Printf.sprintf "%c%.2f %.2f " cmd
+               (px (transform xaxis x))
+               (py (transform yaxis y))))
+        s.points;
+      out "<path d=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"1.6\"/>\n"
+        (Buffer.contents path) color;
+      (* legend *)
+      let ly = margin_top +. 14. +. (16. *. float_of_int idx) in
+      out "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"%s\" \
+           stroke-width=\"2.5\"/>\n"
+        (margin_left +. plot_w -. 150.) ly (margin_left +. plot_w -. 125.) ly
+        color;
+      out "<text x=\"%g\" y=\"%g\">%s</text>\n"
+        (margin_left +. plot_w -. 118.) (ly +. 4.) (escape s.label))
+    cleaned;
+  out "</svg>\n";
+  Buffer.contents buf
+
+let write_file path ?width ?height ?colors ~title ~xlabel ~ylabel ~xaxis
+    ~yaxis series_list =
+  let svg =
+    render ?width ?height ?colors ~title ~xlabel ~ylabel ~xaxis ~yaxis
+      series_list
+  in
+  let oc = open_out path in
+  output_string oc svg;
+  close_out oc

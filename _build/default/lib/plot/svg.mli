@@ -1,0 +1,28 @@
+(** Minimal dependency-free SVG line charts.
+
+    Enough to render the paper's figures (singular-value patterns, Bode
+    magnitudes) straight from the bench harness: linear/log axes with
+    decade ticks, multiple series with a legend, nothing interactive.
+    Output is a self-contained [.svg] file. *)
+
+type axis = Linear | Log
+
+type series = {
+  label : string;
+  points : (float * float) array;  (** (x, y); non-finite points are skipped *)
+}
+
+(** [render ?width ?height ?colors ~title ~xlabel ~ylabel ~xaxis ~yaxis series]
+    returns the SVG document.  On a log axis, nonpositive values are
+    dropped.  Raises [Invalid_argument] when nothing remains to plot. *)
+val render :
+  ?width:int -> ?height:int -> ?colors:string array ->
+  title:string -> xlabel:string -> ylabel:string ->
+  xaxis:axis -> yaxis:axis -> series list -> string
+
+(** [write_file path ...] renders straight to disk. *)
+val write_file :
+  string ->
+  ?width:int -> ?height:int -> ?colors:string array ->
+  title:string -> xlabel:string -> ylabel:string ->
+  xaxis:axis -> yaxis:axis -> series list -> unit

@@ -1,0 +1,1 @@
+lib/rf/coupled_lines.ml: Mna Sparams Statespace

@@ -1,0 +1,1 @@
+lib/rf/coupled_lines.mli: Mna Statespace

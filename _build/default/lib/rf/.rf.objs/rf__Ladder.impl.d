@@ -1,0 +1,1 @@
+lib/rf/ladder.ml: Mna Sparams Statespace

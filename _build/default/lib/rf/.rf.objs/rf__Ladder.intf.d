@@ -1,0 +1,1 @@
+lib/rf/ladder.mli: Mna Statespace

@@ -1,0 +1,1 @@
+lib/rf/mna.ml: Array Cmat Cx Float Linalg List Printf Sparse Sparse_lu Statespace

@@ -1,0 +1,1 @@
+lib/rf/mna.mli: Linalg Statespace

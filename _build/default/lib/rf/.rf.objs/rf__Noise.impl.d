@@ -1,0 +1,1 @@
+lib/rf/noise.ml: Array Cmat Cx Linalg Rng Statespace

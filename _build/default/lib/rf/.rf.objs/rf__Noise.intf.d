@@ -1,0 +1,1 @@
+lib/rf/noise.mli: Statespace

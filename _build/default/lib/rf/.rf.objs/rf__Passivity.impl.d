@@ -1,0 +1,1 @@
+lib/rf/passivity.ml: Array Cmat Cx Descriptor Eig Float Linalg List Lu Statespace Stdlib Svd

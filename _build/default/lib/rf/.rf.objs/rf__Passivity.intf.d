@@ -1,0 +1,1 @@
+lib/rf/passivity.mli: Statespace

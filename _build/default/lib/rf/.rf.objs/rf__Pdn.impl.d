@@ -1,0 +1,1 @@
+lib/rf/pdn.ml: Array Linalg Mna Rng Sparams Statespace

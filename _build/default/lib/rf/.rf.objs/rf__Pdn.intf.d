@@ -1,0 +1,1 @@
+lib/rf/pdn.mli: Mna Statespace

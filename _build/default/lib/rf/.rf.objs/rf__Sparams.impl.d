@@ -1,0 +1,1 @@
+lib/rf/sparams.ml: Array Cmat Float Linalg Lu Printf Statespace Stdlib Svd

@@ -1,0 +1,1 @@
+lib/rf/sparams.mli: Linalg Statespace

@@ -1,0 +1,1 @@
+lib/rf/touchstone.ml: Array Buffer Cmat Cx Filename Float Format Linalg List Option Printf Statespace String

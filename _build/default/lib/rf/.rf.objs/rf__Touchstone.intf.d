@@ -1,0 +1,1 @@
+lib/rf/touchstone.mli: Statespace

@@ -1,0 +1,1 @@
+lib/rf/twoport.ml: Cmat Cx Linalg List Printf

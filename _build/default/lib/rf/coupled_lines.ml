@@ -1,0 +1,91 @@
+type spec = {
+  lines : int;
+  sections : int;
+  series_r : float;
+  series_l : float;
+  shunt_c : float;
+  coupling_k : float;
+  mutual_c : float;
+}
+
+let default_spec =
+  { lines = 3; sections = 8; series_r = 0.3; series_l = 2e-9;
+    shunt_c = 0.8e-12; coupling_k = 0.35; mutual_c = 0.25e-12 }
+
+let validate spec =
+  if spec.lines < 2 then invalid_arg "Coupled_lines.build: need >= 2 lines";
+  if spec.sections < 1 then invalid_arg "Coupled_lines.build: need >= 1 section";
+  if spec.coupling_k < 0. || spec.coupling_k >= 1. then
+    invalid_arg "Coupled_lines.build: coupling_k must be in [0, 1)"
+
+let build spec =
+  validate spec;
+  (* node (l, k) = 1 + l*(sections+1) + k, k = 0 .. sections *)
+  let node l k = 1 + (l * (spec.sections + 1)) + k in
+  let nodes = 1 + (spec.lines * (spec.sections + 1)) in
+  let circuit = ref (Mna.create ~nodes) in
+  (* series branches first, so their inductive indices are predictable:
+     branch (l, k) has index l*sections + k *)
+  for l = 0 to spec.lines - 1 do
+    for k = 0 to spec.sections - 1 do
+      circuit :=
+        Mna.add !circuit
+          (Mna.Rl_branch
+             { a = node l k; b = node l (k + 1);
+               ohms = spec.series_r; henries = spec.series_l })
+    done
+  done;
+  (* inductive coupling between corresponding cells of adjacent lines *)
+  let m = spec.coupling_k *. spec.series_l in
+  if m > 0. then
+    for l = 0 to spec.lines - 2 do
+      for k = 0 to spec.sections - 1 do
+        circuit :=
+          Mna.add !circuit
+            (Mna.Mutual
+               { k1 = (l * spec.sections) + k;
+                 k2 = ((l + 1) * spec.sections) + k;
+                 henries = m })
+      done
+    done;
+  (* shunt and inter-line capacitance at every interior/far node *)
+  for l = 0 to spec.lines - 1 do
+    for k = 1 to spec.sections do
+      circuit :=
+        Mna.add !circuit
+          (Mna.Capacitor { a = node l k; b = 0; farads = spec.shunt_c })
+    done
+  done;
+  if spec.mutual_c > 0. then
+    for l = 0 to spec.lines - 2 do
+      for k = 1 to spec.sections do
+        circuit :=
+          Mna.add !circuit
+            (Mna.Capacitor
+               { a = node l k; b = node (l + 1) k; farads = spec.mutual_c })
+      done
+    done;
+  (* ports: near ends then far ends *)
+  for l = 0 to spec.lines - 1 do
+    let _, c = Mna.add_port !circuit ~plus:(node l 0) ~minus:0 in
+    circuit := c
+  done;
+  for l = 0 to spec.lines - 1 do
+    let _, c = Mna.add_port !circuit ~plus:(node l spec.sections) ~minus:0 in
+    circuit := c
+  done;
+  !circuit
+
+let scattering_model spec ~z0 =
+  Sparams.descriptor_z_to_s ~z0 (Mna.to_descriptor (build spec))
+
+let scattering spec ~z0 freqs =
+  Statespace.Sampling.sample_system (scattering_model spec ~z0) freqs
+
+let near_port spec ~line =
+  if line < 0 || line >= spec.lines then invalid_arg "Coupled_lines.near_port";
+  line
+
+let far_port spec ~line =
+  if line < 0 || line >= spec.lines then invalid_arg "Coupled_lines.far_port";
+  spec.lines + line

@@ -1,0 +1,34 @@
+(** Coupled multiconductor transmission lines.
+
+    [lines] parallel conductors, each a cascade of [sections] lumped RLC
+    cells, with inductive (mutual-[k]) and capacitive coupling between
+    adjacent conductors — the canonical crosstalk structure the paper's
+    introduction motivates ("signal delay and crosstalk").  Ports:
+    [2*lines], ordered near end of line 0, 1, ... then far end of line
+    0, 1, ... — so with 3 lines, port 0 drives the aggressor and ports
+    1/4 observe near/far-end victim noise. *)
+
+type spec = {
+  lines : int;          (** number of conductors, >= 2 *)
+  sections : int;       (** cells per conductor, >= 1 *)
+  series_r : float;     (** ohms per cell *)
+  series_l : float;     (** henries per cell *)
+  shunt_c : float;      (** farads per cell (to ground) *)
+  coupling_k : float;   (** inductive coupling coefficient to the
+                            neighbouring conductor, in [0, 1) *)
+  mutual_c : float;     (** farads per cell between adjacent conductors *)
+}
+
+val default_spec : spec
+
+val build : spec -> Mna.t
+
+(** Scattering samples / model at reference [z0]. *)
+val scattering : spec -> z0:float -> float array -> Statespace.Sampling.sample array
+
+val scattering_model : spec -> z0:float -> Statespace.Descriptor.t
+
+(** Port index helpers. *)
+val near_port : spec -> line:int -> int
+
+val far_port : spec -> line:int -> int

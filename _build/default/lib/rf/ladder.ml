@@ -1,0 +1,41 @@
+type spec = {
+  sections : int;
+  series_r : float;
+  series_l : float;
+  shunt_c : float;
+  shunt_g : float;
+  termination : float;
+}
+
+let default_spec =
+  { sections = 10; series_r = 0.5; series_l = 2e-9; shunt_c = 1e-12;
+    shunt_g = 0.; termination = 50. }
+
+let build spec =
+  if spec.sections < 1 then invalid_arg "Ladder.build: need at least one section";
+  (* nodes: 0 = ground, 1 = input, 1+k = after cell k *)
+  let nodes = spec.sections + 2 in
+  let circuit = ref (Mna.create ~nodes) in
+  for k = 0 to spec.sections - 1 do
+    let a = 1 + k and b = 2 + k in
+    circuit :=
+      Mna.add !circuit
+        (Mna.Rl_branch { a; b; ohms = spec.series_r; henries = spec.series_l });
+    circuit := Mna.add !circuit (Mna.Capacitor { a = b; b = 0; farads = spec.shunt_c });
+    if spec.shunt_g > 0. then
+      circuit :=
+        Mna.add !circuit (Mna.Resistor { a = b; b = 0; ohms = 1. /. spec.shunt_g })
+  done;
+  if spec.termination > 0. then
+    circuit :=
+      Mna.add !circuit
+        (Mna.Resistor { a = spec.sections + 1; b = 0; ohms = spec.termination });
+  let _, c = Mna.add_port !circuit ~plus:1 ~minus:0 in
+  let _, c = Mna.add_port c ~plus:(spec.sections + 1) ~minus:0 in
+  c
+
+let scattering_model spec ~z0 =
+  Sparams.descriptor_z_to_s ~z0 (Mna.to_descriptor (build spec))
+
+let scattering spec ~z0 freqs =
+  Statespace.Sampling.sample_system (scattering_model spec ~z0) freqs

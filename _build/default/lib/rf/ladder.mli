@@ -1,0 +1,26 @@
+(** RLC ladder / lossy transmission-line segment workloads.
+
+    A cascade of [sections] identical cells — series R+L, shunt C (+G) —
+    is the textbook lumped model of an interconnect line and makes a
+    well-conditioned quickstart example: 2 ports, order [2*sections],
+    known physics (delay, ringing, characteristic impedance). *)
+
+type spec = {
+  sections : int;      (** number of RLC cells, >= 1 *)
+  series_r : float;    (** ohms per cell *)
+  series_l : float;    (** henries per cell *)
+  shunt_c : float;     (** farads per cell *)
+  shunt_g : float;     (** siemens per cell (0 allowed) *)
+  termination : float; (** load resistance at the far end, ohms (0 = open) *)
+}
+
+val default_spec : spec
+
+(** Build the two-port (input = node 1, output = far end) ladder. *)
+val build : spec -> Mna.t
+
+(** Scattering samples of the ladder at reference [z0]. *)
+val scattering : spec -> z0:float -> float array -> Statespace.Sampling.sample array
+
+(** The underlying scattering descriptor model. *)
+val scattering_model : spec -> z0:float -> Statespace.Descriptor.t

@@ -1,0 +1,33 @@
+open Linalg
+
+let add_relative ~seed ~level samples =
+  if level < 0. then invalid_arg "Noise.add_relative: level must be >= 0";
+  let rng = Rng.create seed in
+  let scale = level /. sqrt 2. in
+  Array.map
+    (fun smp ->
+      let s =
+        Cmat.map
+          (fun x ->
+            let g = Cx.scale scale (Rng.complex_gaussian rng) in
+            Cx.mul x (Cx.add Cx.one g))
+          smp.Statespace.Sampling.s
+      in
+      { smp with Statespace.Sampling.s })
+    samples
+
+let add_floor ~seed ~sigma samples =
+  if sigma < 0. then invalid_arg "Noise.add_floor: sigma must be >= 0";
+  let rng = Rng.create seed in
+  let scale = sigma /. sqrt 2. in
+  Array.map
+    (fun smp ->
+      let s =
+        Cmat.map
+          (fun x -> Cx.add x (Cx.scale scale (Rng.complex_gaussian rng)))
+          smp.Statespace.Sampling.s
+      in
+      { smp with Statespace.Sampling.s })
+    samples
+
+let snr_db_to_level snr = 10. ** (-.snr /. 20.)

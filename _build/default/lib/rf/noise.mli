@@ -1,0 +1,24 @@
+(** Measurement-noise injection.
+
+    Table 1 of the paper interpolates *measured* (hence noisy) data; our
+    synthetic stand-in adds seeded complex Gaussian noise so every run is
+    reproducible.  Two flavours: relative (each entry perturbed in
+    proportion to its own magnitude — like VNA linearity error) and
+    absolute-floor (like receiver noise). *)
+
+(** [add_relative ~seed ~level samples] perturbs each entry [x] to
+    [x * (1 + level * (g1 + j g2) / sqrt 2)] with standard normals
+    [g1, g2].  [level = 0.01] is roughly a -40 dB error. *)
+val add_relative :
+  seed:int -> level:float ->
+  Statespace.Sampling.sample array -> Statespace.Sampling.sample array
+
+(** [add_floor ~seed ~sigma samples] adds i.i.d. complex Gaussian noise
+    of standard deviation [sigma] to every entry. *)
+val add_floor :
+  seed:int -> sigma:float ->
+  Statespace.Sampling.sample array -> Statespace.Sampling.sample array
+
+(** [snr_db_to_level snr] converts a signal-to-noise ratio in dB to the
+    [level] argument of {!add_relative} ([level = 10^(-snr/20)]). *)
+val snr_db_to_level : float -> float

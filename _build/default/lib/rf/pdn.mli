@@ -1,0 +1,51 @@
+(** Synthetic power-distribution-network workload.
+
+    The paper's Example 2 uses measured data from a proprietary 14-port
+    INC-board PDN [Min, Georgia Tech 2004].  As a substitute we
+    synthesize a PDN with the same modeling-relevant character: a
+    power/ground plane pair modeled as an RL grid with distributed plane
+    capacitance, decoupling capacitors (series RLC) scattered over the
+    plane, and ports at distinct grid locations.  Such a structure has
+    many closely spaced resonances and strongly frequency-dependent
+    coupling — exactly what makes the Table 1 tests (noisy and
+    ill-conditioned sampling) hard.
+
+    The generated system is an impedance-parameter descriptor model;
+    scattering samples come from {!Sparams.descriptor_z_to_s}. *)
+
+type spec = {
+  nx : int;            (** grid columns (>= 2) *)
+  ny : int;            (** grid rows (>= 2) *)
+  ports : int;         (** number of ports, <= nx*ny *)
+  decaps : int;        (** number of decoupling capacitors, <= nx*ny *)
+  cell_r : float;      (** plane segment resistance, ohms *)
+  cell_l : float;      (** plane segment inductance, henries *)
+  cell_c : float;      (** plane capacitance per node, farads *)
+  cell_g : float;      (** dielectric-loss conductance per node, siemens *)
+  decap_c : float;     (** decap capacitance, farads *)
+  decap_esr : float;   (** decap equivalent series resistance, ohms *)
+  decap_esl : float;   (** decap equivalent series inductance, henries *)
+  seed : int;          (** placement randomization *)
+}
+
+val default_spec : spec
+
+(** The Example 2 stand-in: an 8x8 plane with 14 ports and 12 decaps
+    (descriptor order about 200). *)
+val example2_spec : spec
+
+(** Build the circuit; ports are placed at distinct random grid nodes,
+    each referenced to ground. *)
+val build : spec -> Mna.t
+
+(** [scattering spec ~z0 freqs] returns the sampled S-parameters. *)
+val scattering : spec -> z0:float -> float array -> Statespace.Sampling.sample array
+
+(** Same samples through the sparse MNA path ({!Mna.impedance_sparse} +
+    per-sample Z->S conversion) — use for grids beyond ~15x15 where the
+    dense descriptor sweep becomes cubic-cost. *)
+val scattering_sparse :
+  spec -> z0:float -> float array -> Statespace.Sampling.sample array
+
+(** The underlying scattering descriptor model (for reference curves). *)
+val scattering_model : spec -> z0:float -> Statespace.Descriptor.t

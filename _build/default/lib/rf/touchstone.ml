@@ -1,0 +1,183 @@
+open Linalg
+
+type number_format = Ri | Ma | Db
+type parameter = S | Y | Z
+
+type t = {
+  parameter : parameter;
+  z0 : float;
+  samples : Statespace.Sampling.sample array;
+}
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let strip_comment line =
+  match String.index_opt line '!' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+type options = {
+  funit : float;            (* multiplier to Hz *)
+  opt_parameter : parameter;
+  opt_format : number_format;
+  opt_z0 : float;
+}
+
+let default_options = { funit = 1e9; opt_parameter = S; opt_format = Ma; opt_z0 = 50. }
+
+let parse_option_line line =
+  let tokens =
+    String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) line)
+    |> List.filter (fun s -> s <> "")
+    |> List.map String.uppercase_ascii
+  in
+  let rec go opts = function
+    | [] -> opts
+    | "#" :: rest -> go opts rest
+    | "HZ" :: rest -> go { opts with funit = 1. } rest
+    | "KHZ" :: rest -> go { opts with funit = 1e3 } rest
+    | "MHZ" :: rest -> go { opts with funit = 1e6 } rest
+    | "GHZ" :: rest -> go { opts with funit = 1e9 } rest
+    | "S" :: rest -> go { opts with opt_parameter = S } rest
+    | "Y" :: rest -> go { opts with opt_parameter = Y } rest
+    | "Z" :: rest -> go { opts with opt_parameter = Z } rest
+    | "RI" :: rest -> go { opts with opt_format = Ri } rest
+    | "MA" :: rest -> go { opts with opt_format = Ma } rest
+    | "DB" :: rest -> go { opts with opt_format = Db } rest
+    | "R" :: value :: rest ->
+      (match float_of_string_opt value with
+       | Some z0 when z0 > 0. -> go { opts with opt_z0 = z0 } rest
+       | Some _ | None -> fail "invalid reference impedance in option line")
+    | tok :: _ -> fail "unsupported option token %S" tok
+  in
+  go default_options tokens
+
+let decode fmt (x, y) =
+  match fmt with
+  | Ri -> Cx.make x y
+  | Ma -> Cx.polar x (y *. Float.pi /. 180.)
+  | Db -> Cx.polar (10. ** (x /. 20.)) (y *. Float.pi /. 180.)
+
+let encode fmt (z : Cx.t) =
+  match fmt with
+  | Ri -> (z.Cx.re, z.Cx.im)
+  | Ma -> (Cx.abs z, Cx.arg z *. 180. /. Float.pi)
+  | Db ->
+    let m = Cx.abs z in
+    let mdb = if m <= 0. then -400. else 20. *. log10 m in
+    (mdb, Cx.arg z *. 180. /. Float.pi)
+
+(* Entry order within one frequency record. *)
+let entry_order nports =
+  if nports = 2 then [| (0, 0); (1, 0); (0, 1); (1, 1) |]
+  else
+    Array.init (nports * nports) (fun k -> (k / nports, k mod nports))
+
+let parse ~nports text =
+  if nports < 1 then invalid_arg "Touchstone.parse: nports must be >= 1";
+  let lines = String.split_on_char '\n' text in
+  let options = ref None in
+  let numbers = ref [] in
+  List.iter
+    (fun raw ->
+      let line = String.trim (strip_comment raw) in
+      if line <> "" then
+        if line.[0] = '#' then begin
+          match !options with
+          | Some _ -> fail "duplicate option line"
+          | None -> options := Some (parse_option_line line)
+        end
+        else
+          String.split_on_char ' '
+            (String.map (function '\t' -> ' ' | c -> c) line)
+          |> List.iter (fun tok ->
+              if tok <> "" then
+                match float_of_string_opt tok with
+                | Some x -> numbers := x :: !numbers
+                | None -> fail "unexpected token %S in data" tok))
+    lines;
+  let opts = Option.value !options ~default:default_options in
+  let data = Array.of_list (List.rev !numbers) in
+  let per_record = 1 + (2 * nports * nports) in
+  if Array.length data = 0 then fail "no data records";
+  if Array.length data mod per_record <> 0 then
+    fail "data length %d is not a multiple of %d values per frequency point"
+      (Array.length data) per_record;
+  let nrec = Array.length data / per_record in
+  let order = entry_order nports in
+  let samples =
+    Array.init nrec (fun k ->
+        let base = k * per_record in
+        let freq = data.(base) *. opts.funit in
+        let s = Cmat.zeros nports nports in
+        Array.iteri
+          (fun e (i, jcol) ->
+            let x = data.(base + 1 + (2 * e)) in
+            let y = data.(base + 2 + (2 * e)) in
+            Cmat.set s i jcol (decode opts.opt_format (x, y)))
+          order;
+        { Statespace.Sampling.freq; s })
+  in
+  (* The spec requires ascending frequencies; tolerate but sort. *)
+  Array.sort
+    (fun a b ->
+      compare a.Statespace.Sampling.freq b.Statespace.Sampling.freq)
+    samples;
+  { parameter = opts.opt_parameter; z0 = opts.opt_z0; samples }
+
+let print ?(format = Ri) ?comment t =
+  let buf = Buffer.create 4096 in
+  (match comment with
+   | Some c ->
+     String.split_on_char '\n' c
+     |> List.iter (fun line -> Buffer.add_string buf ("! " ^ line ^ "\n"))
+   | None -> ());
+  let fmt_name = match format with Ri -> "RI" | Ma -> "MA" | Db -> "DB" in
+  let param_name = match t.parameter with S -> "S" | Y -> "Y" | Z -> "Z" in
+  Buffer.add_string buf
+    (Printf.sprintf "# HZ %s %s R %g\n" param_name fmt_name t.z0);
+  Array.iter
+    (fun smp ->
+      let s = smp.Statespace.Sampling.s in
+      let nports = Cmat.rows s in
+      let order = entry_order nports in
+      Buffer.add_string buf (Printf.sprintf "%.10g" smp.Statespace.Sampling.freq);
+      Array.iteri
+        (fun e (i, jcol) ->
+          let x, y = encode format (Cmat.get s i jcol) in
+          (* wrap long records: one matrix row per line for n >= 3 *)
+          if nports >= 3 && e mod nports = 0 && e > 0 then
+            Buffer.add_string buf "\n ";
+          Buffer.add_string buf (Printf.sprintf " %.10g %.10g" x y))
+        order;
+      Buffer.add_char buf '\n')
+    t.samples;
+  Buffer.contents buf
+
+let ports_of_filename name =
+  let base = Filename.basename name in
+  match String.rindex_opt base '.' with
+  | None -> fail "filename %S has no extension" name
+  | Some i ->
+    let ext = String.lowercase_ascii (String.sub base (i + 1) (String.length base - i - 1)) in
+    let len = String.length ext in
+    if len >= 3 && ext.[0] = 's' && ext.[len - 1] = 'p' then
+      match int_of_string_opt (String.sub ext 1 (len - 2)) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> fail "cannot read port count from extension %S" ext
+    else fail "expected a .sNp extension, got %S" ext
+
+let read_file path =
+  let nports = ports_of_filename path in
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse ~nports text
+
+let write_file path ?format ?comment t =
+  let oc = open_out path in
+  output_string oc (print ?format ?comment t);
+  close_out oc

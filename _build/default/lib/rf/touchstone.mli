@@ -1,0 +1,35 @@
+(** Touchstone v1 (.sNp) reader/writer.
+
+    The industry interchange format for sampled network parameters, and
+    the natural input to the fitting CLI.  Supports RI / MA / DB number
+    formats, Hz/kHz/MHz/GHz units, S/Y/Z parameters and any port count.
+    Ordering follows the v1 specification: 2-port data is column-major
+    (S11 S21 S12 S22); other port counts are row-major with arbitrary
+    line wrapping. *)
+
+type number_format = Ri | Ma | Db
+type parameter = S | Y | Z
+
+type t = {
+  parameter : parameter;
+  z0 : float;
+  samples : Statespace.Sampling.sample array;  (** frequencies in Hz *)
+}
+
+exception Parse_error of string
+
+(** [parse ~nports text] parses the body of a Touchstone file.  The port
+    count is not recorded in v1 files — it comes from the file extension
+    — so it must be supplied. *)
+val parse : nports:int -> string -> t
+
+(** [print ?format ?comment data] renders a v1 file (Hz, chosen number
+    format, default [Ri]). *)
+val print : ?format:number_format -> ?comment:string -> t -> string
+
+(** [ports_of_filename "x.s4p"] extracts 4; raises {!Parse_error} when
+    the extension is not [.sNp]. *)
+val ports_of_filename : string -> int
+
+val read_file : string -> t
+val write_file : string -> ?format:number_format -> ?comment:string -> t -> unit

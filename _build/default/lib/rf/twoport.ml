@@ -1,0 +1,89 @@
+open Linalg
+
+let check_two_port name m =
+  if Cmat.dims m <> (2, 2) then
+    invalid_arg (Printf.sprintf "Twoport.%s: expected a 2x2 matrix" name)
+
+let series_impedance z =
+  Cmat.of_rows [ [ Cx.one; z ]; [ Cx.zero; Cx.one ] ]
+
+let shunt_admittance y =
+  Cmat.of_rows [ [ Cx.one; Cx.zero ]; [ y; Cx.one ] ]
+
+let line ~z0 ~theta =
+  if z0 <= 0. then invalid_arg "Twoport.line: z0 must be positive";
+  let c = cos theta and s = sin theta in
+  Cmat.of_rows
+    [ [ Cx.of_float c; Cx.make 0. (z0 *. s) ];
+      [ Cx.make 0. (s /. z0); Cx.of_float c ] ]
+
+let cascade a b =
+  check_two_port "cascade" a;
+  check_two_port "cascade" b;
+  Cmat.mul a b
+
+let chain = function
+  | [] -> Cmat.identity 2
+  | first :: rest -> List.fold_left cascade first rest
+
+let s_of_abcd ~z0 m =
+  check_two_port "s_of_abcd" m;
+  if z0 <= 0. then invalid_arg "Twoport.s_of_abcd: z0 must be positive";
+  let a = Cmat.get m 0 0 and b = Cmat.get m 0 1 in
+  let c = Cmat.get m 1 0 and d = Cmat.get m 1 1 in
+  let b' = Cx.scale (1. /. z0) b in
+  let c' = Cx.scale z0 c in
+  let denom = Cx.add (Cx.add a b') (Cx.add c' d) in
+  if Cx.abs denom = 0. then
+    invalid_arg "Twoport.s_of_abcd: degenerate network";
+  let inv = Cx.inv denom in
+  let det = Cx.sub (Cx.mul a d) (Cx.mul b c) in
+  Cmat.of_rows
+    [ [ Cx.mul inv (Cx.sub (Cx.add a b') (Cx.add c' d));
+        Cx.mul inv (Cx.scale 2. det) ];
+      [ Cx.scale 2. inv;
+        Cx.mul inv (Cx.add (Cx.sub b' a) (Cx.sub d c')) ] ]
+
+let abcd_of_s ~z0 s =
+  check_two_port "abcd_of_s" s;
+  if z0 <= 0. then invalid_arg "Twoport.abcd_of_s: z0 must be positive";
+  let s11 = Cmat.get s 0 0 and s12 = Cmat.get s 0 1 in
+  let s21 = Cmat.get s 1 0 and s22 = Cmat.get s 1 1 in
+  if Cx.abs s21 = 0. then
+    invalid_arg "Twoport.abcd_of_s: S21 = 0 has no chain representation";
+  let two_s21 = Cx.scale 2. s21 in
+  let p = Cx.mul (Cx.add Cx.one s11) (Cx.sub Cx.one s22) in
+  let q = Cx.mul (Cx.add Cx.one s11) (Cx.add Cx.one s22) in
+  let r = Cx.mul (Cx.sub Cx.one s11) (Cx.sub Cx.one s22) in
+  let t = Cx.mul (Cx.sub Cx.one s11) (Cx.add Cx.one s22) in
+  let ss = Cx.mul s12 s21 in
+  Cmat.of_rows
+    [ [ Cx.div (Cx.add p ss) two_s21;
+        Cx.scale z0 (Cx.div (Cx.sub q ss) two_s21) ];
+      [ Cx.scale (1. /. z0) (Cx.div (Cx.sub r ss) two_s21);
+        Cx.div (Cx.add t ss) two_s21 ] ]
+
+let cascade_s ~z0 s1 s2 =
+  s_of_abcd ~z0 (cascade (abcd_of_s ~z0 s1) (abcd_of_s ~z0 s2))
+
+let inverse m =
+  check_two_port "inverse" m;
+  let a = Cmat.get m 0 0 and b = Cmat.get m 0 1 in
+  let c = Cmat.get m 1 0 and d = Cmat.get m 1 1 in
+  let det = Cx.sub (Cx.mul a d) (Cx.mul b c) in
+  if Cx.abs det = 0. then invalid_arg "Twoport.inverse: singular chain matrix";
+  let inv = Cx.inv det in
+  Cmat.of_rows
+    [ [ Cx.mul inv d; Cx.neg (Cx.mul inv b) ];
+      [ Cx.neg (Cx.mul inv c); Cx.mul inv a ] ]
+
+let deembed ~fixture measured = cascade (inverse fixture) measured
+
+let input_impedance ~load m =
+  check_two_port "input_impedance" m;
+  let a = Cmat.get m 0 0 and b = Cmat.get m 0 1 in
+  let c = Cmat.get m 1 0 and d = Cmat.get m 1 1 in
+  let denom = Cx.add (Cx.mul c load) d in
+  if Cx.abs denom = 0. then
+    invalid_arg "Twoport.input_impedance: singular termination";
+  Cx.div (Cx.add (Cx.mul a load) b) denom

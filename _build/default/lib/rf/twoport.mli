@@ -1,0 +1,49 @@
+(** Two-port network algebra (ABCD / chain parameters).
+
+    The chain representation composes by matrix product, which makes
+    cascading trivially associative — the standard way to build up
+    lines, matching networks and de-embedding structures.  All matrices
+    here are [2 x 2] complex ({!Linalg.Cmat.t}); frequency dependence is
+    handled by evaluating per frequency point. *)
+
+(** [series_impedance z] — ABCD of a series element: [[1, Z], [0, 1]]. *)
+val series_impedance : Linalg.Cx.t -> Linalg.Cmat.t
+
+(** [shunt_admittance y] — ABCD of a shunt element: [[1, 0], [Y, 1]]. *)
+val shunt_admittance : Linalg.Cx.t -> Linalg.Cmat.t
+
+(** Ideal transmission line of characteristic impedance [z0] and
+    electrical length [theta] radians (lossless):
+    [[cos t, j z0 sin t], [j sin t / z0, cos t]]. *)
+val line : z0:float -> theta:float -> Linalg.Cmat.t
+
+(** [cascade a b] is the chain product [a * b] ([a] nearest the source). *)
+val cascade : Linalg.Cmat.t -> Linalg.Cmat.t -> Linalg.Cmat.t
+
+(** [chain list] cascades many sections (identity for []). *)
+val chain : Linalg.Cmat.t list -> Linalg.Cmat.t
+
+(** [s_of_abcd ~z0 m] converts chain to scattering parameters at a real
+    reference impedance.  Raises [Invalid_argument] on a degenerate
+    network ([A + B/z0 + C z0 + D = 0]). *)
+val s_of_abcd : z0:float -> Linalg.Cmat.t -> Linalg.Cmat.t
+
+(** [abcd_of_s ~z0 s] inverts {!s_of_abcd}.  Raises [Invalid_argument]
+    when [S21 = 0] (no transmission: the chain form does not exist). *)
+val abcd_of_s : z0:float -> Linalg.Cmat.t -> Linalg.Cmat.t
+
+(** [cascade_s ~z0 s1 s2] cascades two-ports given as S-parameters. *)
+val cascade_s : z0:float -> Linalg.Cmat.t -> Linalg.Cmat.t -> Linalg.Cmat.t
+
+(** [input_impedance ~load m] — impedance seen at port 1 with [load] at
+    port 2: [(A Zl + B) / (C Zl + D)]. *)
+val input_impedance : load:Linalg.Cx.t -> Linalg.Cmat.t -> Linalg.Cx.t
+
+(** Chain inverse: [cascade m (inverse m) = I].  Raises
+    [Invalid_argument] on a singular chain matrix. *)
+val inverse : Linalg.Cmat.t -> Linalg.Cmat.t
+
+(** [deembed ~fixture measured] strips a known input fixture from a
+    measured cascade: returns [inverse fixture * measured].  Apply with
+    a right-side fixture as [cascade measured (inverse fixture)]. *)
+val deembed : fixture:Linalg.Cmat.t -> Linalg.Cmat.t -> Linalg.Cmat.t

@@ -1,0 +1,1 @@
+lib/statespace/descriptor.ml: Array Cmat Cx Float Format Linalg List Lu Printf Stdlib String Svd

@@ -1,0 +1,1 @@
+lib/statespace/descriptor.mli: Format Linalg

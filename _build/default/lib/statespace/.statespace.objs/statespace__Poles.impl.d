@@ -1,0 +1,1 @@
+lib/statespace/poles.ml: Array Cmat Cx Descriptor Eig Linalg List Lu Stdlib

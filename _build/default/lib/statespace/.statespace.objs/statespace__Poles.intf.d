@@ -1,0 +1,1 @@
+lib/statespace/poles.mli: Descriptor Linalg

@@ -1,0 +1,1 @@
+lib/statespace/random_sys.ml: Cmat Cx Descriptor Float Linalg Rng Stdlib

@@ -1,0 +1,1 @@
+lib/statespace/random_sys.mli: Descriptor

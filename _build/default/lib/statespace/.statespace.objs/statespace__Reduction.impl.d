@@ -1,0 +1,1 @@
+lib/statespace/reduction.ml: Array Cmat Cx Descriptor Linalg Lu Lyapunov Stdlib Svd

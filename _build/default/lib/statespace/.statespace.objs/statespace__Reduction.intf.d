@@ -1,0 +1,1 @@
+lib/statespace/reduction.mli: Descriptor

@@ -1,0 +1,1 @@
+lib/statespace/sampling.ml: Array Cmat Cx Descriptor Float Linalg Stdlib

@@ -1,0 +1,1 @@
+lib/statespace/sampling.mli: Descriptor Linalg

@@ -1,0 +1,1 @@
+lib/statespace/stabilize.ml: Array Cmat Cx Descriptor Eig Linalg Lu Stdlib

@@ -1,0 +1,1 @@
+lib/statespace/stabilize.mli: Descriptor

@@ -1,0 +1,1 @@
+lib/statespace/timedomain.ml: Array Cmat Cx Descriptor Float Lazy Linalg Lu Option Printf Rng

@@ -1,0 +1,1 @@
+lib/statespace/timedomain.mli: Descriptor Linalg

@@ -1,0 +1,165 @@
+open Linalg
+
+type t = { e : Cmat.t; a : Cmat.t; b : Cmat.t; c : Cmat.t; d : Cmat.t }
+
+exception Singular_pencil of Cx.t
+
+let create ~e ~a ~b ~c ~d =
+  let n, n2 = Cmat.dims e in
+  let na, na2 = Cmat.dims a in
+  let nb, m = Cmat.dims b in
+  let p, nc = Cmat.dims c in
+  let pd, md = Cmat.dims d in
+  if n <> n2 || na <> na2 || n <> na then
+    invalid_arg "Descriptor.create: E and A must be square of equal size";
+  if nb <> n then invalid_arg "Descriptor.create: B row count must match order";
+  if nc <> n then invalid_arg "Descriptor.create: C column count must match order";
+  if pd <> p || md <> m then
+    invalid_arg "Descriptor.create: D must be (outputs x inputs)";
+  { e; a; b; c; d }
+
+let of_state_space ~a ~b ~c ~d =
+  create ~e:(Cmat.identity (Cmat.rows a)) ~a ~b ~c ~d
+
+let order sys = Cmat.rows sys.a
+let inputs sys = Cmat.cols sys.b
+let outputs sys = Cmat.rows sys.c
+
+let eval sys s =
+  if order sys = 0 then sys.d
+  else begin
+    let pencil = Cmat.sub (Cmat.scale s sys.e) sys.a in
+    match Lu.factorize pencil with
+    | exception Lu.Singular _ -> raise (Singular_pencil s)
+    | f -> Cmat.add (Cmat.mul sys.c (Lu.solve f sys.b)) sys.d
+  end
+
+let eval_freq sys f = eval sys (Cx.jw (2. *. Float.pi *. f))
+let dc_gain sys = eval sys Cx.zero
+
+let is_real ?(tol = 1e-8) sys =
+  let part m =
+    let scale = Stdlib.max (Cmat.norm_fro m) 1e-300 in
+    Cmat.max_imag m <= tol *. scale
+  in
+  part sys.e && part sys.a && part sys.b && part sys.c && part sys.d
+
+let realify ?(tol = 1e-8) sys =
+  let strip m = Cmat.of_real (Cmat.to_real ~tol m) in
+  { e = strip sys.e; a = strip sys.a; b = strip sys.b; c = strip sys.c;
+    d = strip sys.d }
+
+let to_proper ?(rtol = 1e-11) sys =
+  let n = order sys in
+  if n = 0 then sys
+  else begin
+    let d = Svd.decompose sys.e in
+    let r = Svd.rank ~rtol d in
+    if r = n then sys
+    else begin
+      (* coordinates: x = V z, equations premultiplied by U^H:
+         [Sigma_r z1'; 0] = U^H A V z + U^H B u *)
+      let u = d.Svd.u and v = d.Svd.v in
+      let at = Cmat.mul_cn u (Cmat.mul sys.a v) in
+      let bt = Cmat.mul_cn u sys.b in
+      let ct = Cmat.mul sys.c v in
+      let a11 = Cmat.sub_matrix at ~r:0 ~c:0 ~rows:r ~cols:r in
+      let a12 = Cmat.sub_matrix at ~r:0 ~c:r ~rows:r ~cols:(n - r) in
+      let a21 = Cmat.sub_matrix at ~r ~c:0 ~rows:(n - r) ~cols:r in
+      let a22 = Cmat.sub_matrix at ~r ~c:r ~rows:(n - r) ~cols:(n - r) in
+      let b1 = Cmat.sub_matrix bt ~r:0 ~c:0 ~rows:r ~cols:(inputs sys) in
+      let b2 = Cmat.sub_matrix bt ~r ~c:0 ~rows:(n - r) ~cols:(inputs sys) in
+      let c1 = Cmat.sub_matrix ct ~r:0 ~c:0 ~rows:(outputs sys) ~cols:r in
+      let c2 = Cmat.sub_matrix ct ~r:0 ~c:r ~rows:(outputs sys) ~cols:(n - r) in
+      let a22f =
+        match Lu.factorize a22 with
+        | exception Lu.Singular _ ->
+          invalid_arg
+            "Descriptor.to_proper: algebraic block singular (index > 1)"
+        | f -> f
+      in
+      (* z2 = -A22^{-1} (A21 z1 + B2 u) *)
+      let s_a21 = Lu.solve a22f a21 in
+      let s_b2 = Lu.solve a22f b2 in
+      let e' =
+        Cmat.init r r (fun i jcol ->
+            if i = jcol then Cx.of_float d.Svd.sigma.(i) else Cx.zero)
+      in
+      let a' = Cmat.sub a11 (Cmat.mul a12 s_a21) in
+      let b' = Cmat.sub b1 (Cmat.mul a12 s_b2) in
+      let c' = Cmat.sub c1 (Cmat.mul c2 s_a21) in
+      let d' = Cmat.sub sys.d (Cmat.mul c2 s_b2) in
+      create ~e:e' ~a:a' ~b:b' ~c:c' ~d:d'
+    end
+  end
+
+let save path sys =
+  let oc = open_out path in
+  let p = outputs sys and m = inputs sys and n = order sys in
+  Printf.fprintf oc "mfti-descriptor-v1\n%d %d %d\n" n m p;
+  let dump name mat =
+    Printf.fprintf oc "%s\n" name;
+    let rows, cols = Cmat.dims mat in
+    for i = 0 to rows - 1 do
+      for jcol = 0 to cols - 1 do
+        let z = Cmat.get mat i jcol in
+        if jcol > 0 then output_char oc ' ';
+        Printf.fprintf oc "%.17g %.17g" z.Cx.re z.Cx.im
+      done;
+      output_char oc '\n'
+    done
+  in
+  dump "E" sys.e;
+  dump "A" sys.a;
+  dump "B" sys.b;
+  dump "C" sys.c;
+  dump "D" sys.d;
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let fail fmt = Printf.ksprintf (fun s -> close_in ic; failwith (path ^ ": " ^ s)) fmt in
+  let line () = try input_line ic with End_of_file -> fail "unexpected end of file" in
+  if String.trim (line ()) <> "mfti-descriptor-v1" then fail "bad header";
+  let n, m, p =
+    match String.split_on_char ' ' (String.trim (line ())) with
+    | [ a; b; c ] ->
+      (try (int_of_string a, int_of_string b, int_of_string c)
+       with _ -> fail "bad dimensions")
+    | _ -> fail "bad dimension line"
+  in
+  let read_matrix name rows cols =
+    if String.trim (line ()) <> name then fail "expected matrix %s" name;
+    Cmat.init rows cols (fun _ _ -> Cx.zero) |> fun mat ->
+    for i = 0 to rows - 1 do
+      let toks =
+        String.split_on_char ' ' (String.trim (line ()))
+        |> List.filter (fun s -> s <> "")
+      in
+      if List.length toks <> 2 * cols then
+        fail "matrix %s row %d: expected %d numbers" name i (2 * cols);
+      List.iteri
+        (fun k tok ->
+          match float_of_string_opt tok with
+          | None -> fail "matrix %s row %d: bad number %S" name i tok
+          | Some v ->
+            let jcol = k / 2 in
+            let z = Cmat.get mat i jcol in
+            if k land 1 = 0 then Cmat.set mat i jcol { z with Cx.re = v }
+            else Cmat.set mat i jcol { z with Cx.im = v })
+        toks
+    done;
+    mat
+  in
+  let e = read_matrix "E" n n in
+  let a = read_matrix "A" n n in
+  let b = read_matrix "B" n m in
+  let c = read_matrix "C" p n in
+  let d = read_matrix "D" p m in
+  close_in ic;
+  create ~e ~a ~b ~c ~d
+
+let pp ppf sys =
+  Format.fprintf ppf "descriptor system: order %d, %d inputs, %d outputs%s"
+    (order sys) (inputs sys) (outputs sys)
+    (if is_real sys then " (real)" else " (complex)")

@@ -1,0 +1,76 @@
+(** Descriptor (generalized state-space) systems.
+
+    [E x' = A x + B u,  y = C x + D u] — paper eq. (1).  [E] may be
+    singular; the only requirement for frequency-domain evaluation is
+    that the pencil [sE - A] is regular at the evaluation points.
+    Matrices are complex; models produced by the realified MFTI pipeline
+    have numerically real entries (see {!is_real}). *)
+
+type t = private {
+  e : Linalg.Cmat.t;  (** n x n *)
+  a : Linalg.Cmat.t;  (** n x n *)
+  b : Linalg.Cmat.t;  (** n x m *)
+  c : Linalg.Cmat.t;  (** p x n *)
+  d : Linalg.Cmat.t;  (** p x m *)
+}
+
+(** [create ~e ~a ~b ~c ~d] checks dimension consistency. *)
+val create :
+  e:Linalg.Cmat.t -> a:Linalg.Cmat.t -> b:Linalg.Cmat.t -> c:Linalg.Cmat.t ->
+  d:Linalg.Cmat.t -> t
+
+(** [of_state_space ~a ~b ~c ~d] uses [E = I]. *)
+val of_state_space :
+  a:Linalg.Cmat.t -> b:Linalg.Cmat.t -> c:Linalg.Cmat.t -> d:Linalg.Cmat.t -> t
+
+(** State dimension [n]. *)
+val order : t -> int
+
+(** Number of inputs [m]. *)
+val inputs : t -> int
+
+(** Number of outputs [p]. *)
+val outputs : t -> int
+
+exception Singular_pencil of Linalg.Cx.t
+(** Raised by {!eval} when [sE - A] is singular at the requested point. *)
+
+(** [eval sys s] is the transfer matrix [H(s) = C (sE - A)^{-1} B + D]. *)
+val eval : t -> Linalg.Cx.t -> Linalg.Cmat.t
+
+(** [eval_freq sys f] evaluates at [s = j 2 pi f]. *)
+val eval_freq : t -> float -> Linalg.Cmat.t
+
+(** [dc_gain sys] is [H(0)]. *)
+val dc_gain : t -> Linalg.Cmat.t
+
+(** True when all matrices are numerically real (relative tol). *)
+val is_real : ?tol:float -> t -> bool
+
+(** Force real parts, failing loudly when the imaginary residue is above
+    the tolerance. *)
+val realify : ?tol:float -> t -> t
+
+(** [to_proper ?rtol sys] eliminates the algebraic (singular-[E]) part:
+    the state space is split along the singular vectors of [E] and the
+    algebraic states are solved out (index-1 Kron reduction), giving an
+    equivalent model with nonsingular [E] and an explicit feedthrough
+    [D].  The transfer function is preserved exactly.  MNA netlists and
+    noise-free Loewner models are the typical inputs.
+
+    [rtol] is the relative rank cut on the singular values of [E]
+    (default [1e-11]).  Raises [Invalid_argument] when the algebraic
+    subsystem is itself singular (a higher-index descriptor, e.g. a pure
+    C-loop); such circuits need topological preprocessing first. *)
+val to_proper : ?rtol:float -> t -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** [save path sys] writes the model as a plain-text file (dimensions,
+    then E, A, B, C, D entries as "re im" pairs, row-major) — a stable
+    interchange format that diffs cleanly and loads anywhere. *)
+val save : string -> t -> unit
+
+(** [load path] reads a model written by {!save}.  Raises [Failure] with
+    a location message on malformed input. *)
+val load : string -> t

@@ -1,0 +1,64 @@
+open Linalg
+
+type spec = {
+  order : int;
+  ports : int;
+  rank_d : int;
+  freq_lo : float;
+  freq_hi : float;
+  damping : float;
+  seed : int;
+}
+
+let default_spec =
+  { order = 20; ports = 2; rank_d = 2; freq_lo = 10.; freq_hi = 1e5;
+    damping = 0.05; seed = 0 }
+
+let generate spec =
+  if spec.order < 1 then invalid_arg "Random_sys.generate: order must be >= 1";
+  if spec.ports < 1 then invalid_arg "Random_sys.generate: ports must be >= 1";
+  if spec.rank_d < 0 || spec.rank_d > spec.ports then
+    invalid_arg "Random_sys.generate: rank_d must be in [0, ports]";
+  let rng = Rng.create spec.seed in
+  let n = spec.order and p = spec.ports in
+  let npairs = n / 2 in
+  let nreal = n - (2 * npairs) in
+  (* Resonant frequencies spread logarithmically across the band, with a
+     little jitter so no two systems share poles. *)
+  let log_lo = log10 spec.freq_lo and log_hi = log10 spec.freq_hi in
+  let resonance k count =
+    let t = if count <= 1 then 0.5 else float_of_int k /. float_of_int (count - 1) in
+    let jitter = 0.02 *. Rng.gaussian rng in
+    10. ** (log_lo +. ((log_hi -. log_lo) *. t) +. jitter)
+  in
+  let a = Cmat.zeros n n in
+  for k = 0 to npairs - 1 do
+    let w = 2. *. Float.pi *. resonance k npairs in
+    let zeta = spec.damping *. (0.5 +. Rng.uniform rng) in
+    let i = 2 * k in
+    Cmat.set a i i (Cx.of_float (-.zeta *. w));
+    Cmat.set a i (i + 1) (Cx.of_float w);
+    Cmat.set a (i + 1) i (Cx.of_float (-.w));
+    Cmat.set a (i + 1) (i + 1) (Cx.of_float (-.zeta *. w))
+  done;
+  for k = 0 to nreal - 1 do
+    let w = 2. *. Float.pi *. resonance k (Stdlib.max nreal 1) in
+    let i = (2 * npairs) + k in
+    Cmat.set a i i (Cx.of_float (-.w))
+  done;
+  let b = Cmat.random_real rng n p in
+  let c = Cmat.random_real rng p n in
+  let d =
+    if spec.rank_d = 0 then Cmat.zeros p p
+    else begin
+      let d1 = Cmat.random_real rng p spec.rank_d in
+      let d2 = Cmat.random_real rng spec.rank_d p in
+      Cmat.scale_float (1. /. sqrt (float_of_int spec.rank_d)) (Cmat.mul d1 d2)
+    end
+  in
+  Descriptor.of_state_space ~a ~b ~c ~d
+
+let example1 ?(seed = 2010) () =
+  generate
+    { order = 150; ports = 30; rank_d = 30; freq_lo = 10.; freq_hi = 1e5;
+      damping = 0.05; seed }

@@ -1,0 +1,30 @@
+(** Reproducible random stable test systems.
+
+    The paper's Example 1 samples an "order-150 system with 30 ports"; its
+    origin is unspecified, so we generate one with exactly controlled
+    [order], port count and [rank D] — the only quantities Lemma 3.3 and
+    Theorem 3.5 depend on.  Poles are placed stably (negative real parts)
+    with resonant frequencies spread logarithmically across a band, so
+    the frequency response is lively in the sampling range. *)
+
+type spec = {
+  order : int;          (** state dimension; >= 1 *)
+  ports : int;          (** inputs = outputs = ports (MNA-style) *)
+  rank_d : int;         (** rank of the direct-feedthrough term *)
+  freq_lo : float;      (** lower edge of the resonance band, Hz *)
+  freq_hi : float;      (** upper edge of the resonance band, Hz *)
+  damping : float;      (** pole damping ratio scale, e.g. 0.05 *)
+  seed : int;
+}
+
+val default_spec : spec
+
+(** [generate spec] builds a real stable state-space system ([E = I]).
+    Roughly half the states form complex-conjugate resonant pairs (stored
+    as real 2x2 blocks); the rest are real poles.  [B], [C] are dense
+    random, [D] is a random product of rank [rank_d].  *)
+val generate : spec -> Descriptor.t
+
+(** The paper's Example 1 system: order 150, 30 ports, full-rank D,
+    resonances spread over 10 Hz – 100 kHz. *)
+val example1 : ?seed:int -> unit -> Descriptor.t

@@ -1,0 +1,81 @@
+open Linalg
+
+type result = {
+  model : Descriptor.t;
+  hankel : float array;
+  retained : int;
+  error_bound : float;
+}
+
+(* Hermitian-PSD square root factor via SVD: M = U diag(s) U* -> factor
+   L = U diag(sqrt s).  Robust to semidefiniteness, unlike Cholesky. *)
+let psd_factor m =
+  let d = Svd.decompose m in
+  let k = Array.length d.Svd.sigma in
+  Cmat.init (Cmat.rows m) k (fun i jcol ->
+      Cx.scale (sqrt (Stdlib.max d.Svd.sigma.(jcol) 0.)) (Cmat.get d.Svd.u i jcol))
+
+let balanced_truncation ?(rtol = 1e-8) ?order sys =
+  let target = order in
+  if Descriptor.order sys = 0 then invalid_arg "Reduction: empty model";
+  (* eliminate any algebraic part, then absorb the nonsingular E:
+     A' = E^{-1} A, B' = E^{-1} B *)
+  let sys = Descriptor.to_proper sys in
+  let a', b' =
+    match Lu.factorize sys.Descriptor.e with
+    | exception Lu.Singular _ ->
+      invalid_arg "Reduction.balanced_truncation: E singular after index reduction"
+    | f -> (Lu.solve f sys.Descriptor.a, Lu.solve f sys.Descriptor.b)
+  in
+  (* Gramians: A'P + PA'* + B'B'* = 0 ;  A'*Q + QA' + C*C = 0 *)
+  let p = Lyapunov.solve ~a:a' ~q:(Cmat.mul b' (Cmat.ctranspose b')) in
+  let q =
+    Lyapunov.solve ~a:(Cmat.ctranspose a')
+      ~q:(Cmat.mul (Cmat.ctranspose sys.Descriptor.c) sys.Descriptor.c)
+  in
+  let lp = psd_factor p in
+  let lq = psd_factor q in
+  (* Hankel singular values: svd of Lq* Lp *)
+  let core = Cmat.mul_cn lq lp in
+  let d = Svd.decompose core in
+  let hankel = d.Svd.sigma in
+  let total = Array.length hankel in
+  let retained =
+    match target with
+    | Some r ->
+      if r < 1 then invalid_arg "Reduction: order must be >= 1";
+      Stdlib.min r total
+    | None ->
+      if total = 0 || hankel.(0) = 0. then 1
+      else begin
+        let thresh = rtol *. hankel.(0) in
+        let count = ref 0 in
+        Array.iter (fun s -> if s > thresh then incr count) hankel;
+        Stdlib.max 1 !count
+      end
+  in
+  (* balancing projection (square-root method):
+     T = Lp V S^{-1/2},  Ti = S^{-1/2} U* Lq* *)
+  let sqrt_inv = Array.init retained (fun i -> 1. /. sqrt hankel.(i)) in
+  let vr =
+    Cmat.init (Cmat.rows d.Svd.v) retained (fun i jcol ->
+        Cx.scale sqrt_inv.(jcol) (Cmat.get d.Svd.v i jcol))
+  in
+  let ur =
+    Cmat.init (Cmat.rows d.Svd.u) retained (fun i jcol ->
+        Cx.scale sqrt_inv.(jcol) (Cmat.get d.Svd.u i jcol))
+  in
+  let t = Cmat.mul lp vr in
+  let ti = Cmat.mul_cn ur (Cmat.ctranspose lq) in
+  let a_r = Cmat.mul ti (Cmat.mul a' t) in
+  let b_r = Cmat.mul ti b' in
+  let c_r = Cmat.mul sys.Descriptor.c t in
+  let model = Descriptor.of_state_space ~a:a_r ~b:b_r ~c:c_r ~d:sys.Descriptor.d in
+  let error_bound =
+    let acc = ref 0. in
+    for i = retained to total - 1 do
+      acc := !acc +. hankel.(i)
+    done;
+    2. *. !acc
+  in
+  { model; hankel; retained; error_bound }

@@ -1,0 +1,32 @@
+(** Balanced truncation — Gramian-based model order reduction.
+
+    A fitted macromodel often carries more states than its responses
+    warrant (rank decisions under noise are conservative).  Balanced
+    truncation computes the controllability and observability Gramians,
+    transforms the model so both equal [diag(hankel)], and discards the
+    states with small Hankel singular values.  The classic twice-the-tail
+    H-infinity error bound applies:
+    [|H - H_r|_inf <= 2 * sum_{i>r} hankel_i].
+
+    Requires a *stable* model with (numerically) invertible [E]; the
+    implicit [E^{-1}] is absorbed before the Gramian solves.  Models
+    whose [E] is structurally singular (noise-free Loewner models with a
+    feedthrough encoded as modes at infinity) are rejected — reduce the
+    proper part or refit with a rank tolerance. *)
+
+type result = {
+  model : Descriptor.t;       (** reduced model, [E = I] *)
+  hankel : float array;       (** all Hankel singular values, descending *)
+  retained : int;
+  error_bound : float;        (** [2 * sum of the discarded hankel values] *)
+}
+
+(** [balanced_truncation ?rtol ?order sys] keeps [order] states when
+    given, otherwise every Hankel value above [rtol * hankel.(0)]
+    (default [rtol = 1e-8]).
+
+    Raises [Invalid_argument] when [E] is numerically singular and
+    {!Linalg.Lyapunov.Not_stable} when the model is not asymptotically
+    stable. *)
+val balanced_truncation :
+  ?rtol:float -> ?order:int -> Descriptor.t -> result

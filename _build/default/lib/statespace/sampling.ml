@@ -1,0 +1,92 @@
+open Linalg
+
+type sample = { freq : float; s : Cmat.t }
+
+let linspace lo hi n =
+  if n < 2 then invalid_arg "Sampling.linspace: need at least 2 points";
+  let step = (hi -. lo) /. float_of_int (n - 1) in
+  Array.init n (fun i -> if i = n - 1 then hi else lo +. (float_of_int i *. step))
+
+let logspace lo hi n =
+  if lo <= 0. || hi <= 0. then invalid_arg "Sampling.logspace: bounds must be positive";
+  Array.map (fun x -> 10. ** x) (linspace (log10 lo) (log10 hi) n)
+
+let clustered ~lo ~hi ~split ~fraction n =
+  if fraction < 0. || fraction > 1. then invalid_arg "Sampling.clustered: fraction in [0,1]";
+  if not (lo < split && split < hi) then
+    invalid_arg "Sampling.clustered: need lo < split < hi";
+  let n_hi = int_of_float (Float.round (fraction *. float_of_int n)) in
+  let n_hi = Stdlib.min (Stdlib.max n_hi 0) n in
+  let n_lo = n - n_hi in
+  let band lo hi k =
+    if k >= 2 then linspace lo hi k else if k = 1 then [| lo |] else [||]
+  in
+  let low = band lo split n_lo in
+  (* Start the upper band strictly above the split to avoid a duplicate. *)
+  let eps = (hi -. split) /. (float_of_int (Stdlib.max n_hi 1) *. 10.) in
+  let high = band (split +. eps) hi n_hi in
+  Array.append low high
+
+let sample_system sys freqs =
+  Array.map (fun freq -> { freq; s = Descriptor.eval_freq sys freq }) freqs
+
+let of_matrices freqs ms =
+  if Array.length freqs <> Array.length ms then
+    invalid_arg "Sampling.of_matrices: length mismatch";
+  Array.map2 (fun freq s -> { freq; s }) freqs ms
+
+let port_dims samples =
+  if Array.length samples = 0 then invalid_arg "Sampling.port_dims: no samples";
+  let p, m = Cmat.dims samples.(0).s in
+  Array.iter
+    (fun smp ->
+      if Cmat.dims smp.s <> (p, m) then
+        invalid_arg "Sampling.port_dims: inconsistent sample dimensions")
+    samples;
+  (p, m)
+
+let interpolate samples freqs =
+  let k = Array.length samples in
+  if k = 0 then invalid_arg "Sampling.interpolate: no samples";
+  for i = 0 to k - 2 do
+    if samples.(i).freq >= samples.(i + 1).freq then
+      invalid_arg "Sampling.interpolate: samples must be sorted by frequency"
+  done;
+  Array.map
+    (fun f ->
+      if f <= samples.(0).freq then { samples.(0) with freq = f }
+      else if f >= samples.(k - 1).freq then { samples.(k - 1) with freq = f }
+      else begin
+        (* binary search for the bracketing pair *)
+        let lo = ref 0 and hi = ref (k - 1) in
+        while !hi - !lo > 1 do
+          let mid = (!lo + !hi) / 2 in
+          if samples.(mid).freq <= f then lo := mid else hi := mid
+        done;
+        let a = samples.(!lo) and b = samples.(!hi) in
+        let t = (f -. a.freq) /. (b.freq -. a.freq) in
+        let s =
+          Cmat.add
+            (Cmat.scale_float (1. -. t) a.s)
+            (Cmat.scale_float t b.s)
+        in
+        { freq = f; s }
+      end)
+    freqs
+
+let symmetrize samples =
+  Array.map
+    (fun smp ->
+      let s =
+        Cmat.scale_float 0.5 (Cmat.add smp.s (Cmat.transpose smp.s))
+      in
+      { smp with s })
+    samples
+
+let max_conjugate_mismatch sys freqs =
+  Array.fold_left
+    (fun acc f ->
+      let pos = Descriptor.eval sys (Cx.jw (2. *. Float.pi *. f)) in
+      let neg = Descriptor.eval sys (Cx.jw (-2. *. Float.pi *. f)) in
+      Stdlib.max acc (Cmat.norm_fro (Cmat.sub neg (Cmat.conj pos))))
+    0. freqs

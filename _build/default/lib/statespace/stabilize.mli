@@ -1,0 +1,27 @@
+(** Stability enforcement for fitted macromodels.
+
+    Interpolation of noisy data routinely produces models with a few
+    poles just across the imaginary axis.  The standard repair — the
+    state-space analogue of vector fitting's pole flipping — reflects
+    every unstable eigenvalue into the left half-plane through a modal
+    (eigenvector) transformation, leaving the stable modes bit-exact.
+    The transfer function changes only by the reflected modes'
+    contributions, which for near-axis noise poles is below the noise
+    floor.
+
+    Requires a diagonalizable proper part; singular-[E] models go
+    through {!Descriptor.to_proper} first. *)
+
+type result = {
+  model : Descriptor.t;
+  flipped : int;          (** number of reflected eigenvalues *)
+  max_residual : float;   (** worst relative eigen-residual of the modal
+                              decomposition — a sanity indicator, small
+                              (<1e-6) when the flip is trustworthy *)
+}
+
+(** [reflect ?min_decay sys] mirrors eigenvalues with [Re >= 0] to
+    [Re = -max(|Re|, min_decay * |eig|)] (default [min_decay = 1e-9]).
+    A model that is already stable is returned unchanged (with
+    [flipped = 0]). *)
+val reflect : ?min_decay:float -> Descriptor.t -> result

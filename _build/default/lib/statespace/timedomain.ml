@@ -1,0 +1,165 @@
+open Linalg
+
+type method_ = Trapezoidal | Backward_euler | Bdf2
+
+type result = { times : float array; outputs : Cmat.t }
+
+let factor_or name m =
+  match Lu.factorize m with
+  | exception Lu.Singular _ ->
+    invalid_arg (Printf.sprintf "Timedomain.simulate: %s pencil is singular" name)
+  | f -> f
+
+let simulate ?(method_ = Trapezoidal) sys ~input ~dt ~steps =
+  if dt <= 0. then invalid_arg "Timedomain.simulate: dt must be positive";
+  if steps < 1 then invalid_arg "Timedomain.simulate: steps must be >= 1";
+  let open Descriptor in
+  let n = order sys and m = inputs sys and p = outputs sys in
+  let check_input u t =
+    if Cmat.dims u <> (m, 1) then
+      invalid_arg
+        (Printf.sprintf "Timedomain.simulate: input at t=%g is %dx%d, expected %dx1"
+           t (Cmat.rows u) (Cmat.cols u) m);
+    u
+  in
+  (* Backward-Euler operator, used as the startup step for the
+     multistep/undamped methods: L-stable, so it also projects
+     inconsistent descriptor initial conditions onto the constraints. *)
+  let be_factor =
+    factor_or "backward-Euler"
+      (Cmat.sub sys.e (Cmat.scale (Cx.of_float dt) sys.a))
+  in
+  let be_step x u_next =
+    let rhs =
+      Cmat.add (Cmat.mul sys.e x)
+        (Cmat.scale (Cx.of_float dt) (Cmat.mul sys.b u_next))
+    in
+    Lu.solve be_factor rhs
+  in
+  let times = Array.init (steps + 1) (fun k -> float_of_int k *. dt) in
+  let outputs = Cmat.zeros p (steps + 1) in
+  let x = ref (Cmat.zeros n 1) in
+  let x_prev = ref (Cmat.zeros n 1) in
+  let u = ref (check_input (input 0.) 0.) in
+  (* Consistent initialization: with singular E the algebraic states must
+     satisfy their constraint at t = 0+ (a step input "jumps" through the
+     feedthrough path).  A vanishing-step backward-Euler solve leaves the
+     dynamic states untouched (up to O(delta)) and projects the algebraic
+     ones onto the constraint. *)
+  let delta = dt *. 1e-6 in
+  (match Lu.factorize (Cmat.sub sys.e (Cmat.scale (Cx.of_float delta) sys.a)) with
+   | exception Lu.Singular _ -> ()  (* fall back to the raw initial state *)
+   | f ->
+     let rhs =
+       Cmat.add (Cmat.mul sys.e !x)
+         (Cmat.scale (Cx.of_float delta) (Cmat.mul sys.b !u))
+     in
+     x := Lu.solve f rhs);
+  let emit k u_k =
+    let y = Cmat.add (Cmat.mul sys.c !x) (Cmat.mul sys.d u_k) in
+    Cmat.set_sub outputs ~r:0 ~c:k y
+  in
+  emit 0 !u;
+  (* method-specific operators *)
+  let half = Cx.of_float (dt /. 2.) in
+  let trap_factor =
+    lazy (factor_or "trapezoidal" (Cmat.sub sys.e (Cmat.scale half sys.a)))
+  in
+  let trap_rhs_mat = lazy (Cmat.add sys.e (Cmat.scale half sys.a)) in
+  let trap_half_b = lazy (Cmat.scale half sys.b) in
+  let bdf2_factor =
+    lazy
+      (factor_or "BDF2"
+         (Cmat.sub
+            (Cmat.scale_float (3. /. (2. *. dt)) sys.e)
+            sys.a))
+  in
+  for k = 1 to steps do
+    let t = times.(k) in
+    let u_next = check_input (input t) t in
+    let x_new =
+      match method_ with
+      | Backward_euler -> be_step !x u_next
+      | Trapezoidal ->
+        if k = 1 then be_step !x u_next
+        else begin
+          let rhs =
+            Cmat.add
+              (Cmat.mul (Lazy.force trap_rhs_mat) !x)
+              (Cmat.mul (Lazy.force trap_half_b) (Cmat.add !u u_next))
+          in
+          Lu.solve (Lazy.force trap_factor) rhs
+        end
+      | Bdf2 ->
+        if k = 1 then be_step !x u_next
+        else begin
+          (* (3/(2dt) E - A) x+ = E (4 x - x-) / (2dt) + B u+ *)
+          let hist =
+            Cmat.scale_float (1. /. (2. *. dt))
+              (Cmat.mul sys.e
+                 (Cmat.sub (Cmat.scale_float 4. !x) !x_prev))
+          in
+          let rhs = Cmat.add hist (Cmat.mul sys.b u_next) in
+          Lu.solve (Lazy.force bdf2_factor) rhs
+        end
+    in
+    x_prev := !x;
+    x := x_new;
+    u := u_next;
+    emit k !u
+  done;
+  { times; outputs }
+
+let step_response ?method_ sys ~port ~dt ~steps =
+  let m = Descriptor.inputs sys in
+  if port < 0 || port >= m then invalid_arg "Timedomain.step_response: bad port";
+  let u = Cmat.init m 1 (fun i _ -> if i = port then Cx.one else Cx.zero) in
+  simulate ?method_ sys ~input:(fun _ -> u) ~dt ~steps
+
+module Waveform = struct
+  let step ?(t0 = 0.) ?(amplitude = 1.) () t = if t >= t0 then amplitude else 0.
+
+  let edge ~start ~duration t =
+    if duration <= 0. then if t >= start then 1. else 0.
+    else if t <= start then 0.
+    else if t >= start +. duration then 1.
+    else (t -. start) /. duration
+
+  let pulse ?(t0 = 0.) ~rise ~width ?fall ?(amplitude = 1.) () t =
+    let fall = Option.value fall ~default:rise in
+    let up = edge ~start:t0 ~duration:rise t in
+    let down = edge ~start:(t0 +. rise +. width) ~duration:fall t in
+    amplitude *. (up -. down)
+
+  let ramp ?(t0 = 0.) ~rise ?(amplitude = 1.) () t =
+    amplitude *. edge ~start:t0 ~duration:rise t
+
+  let sine ~freq ?(amplitude = 1.) ?(phase = 0.) () t =
+    amplitude *. sin ((2. *. Float.pi *. freq *. t) +. phase)
+
+  let prbs ~seed ~bit_period ~rise ?(amplitude = 1.) () =
+    if bit_period <= 0. then invalid_arg "Waveform.prbs: bit_period must be positive";
+    (* deterministic bit for index k, via a tiny hash of (seed, k) *)
+    let bit k =
+      if k < 0 then 0.
+      else begin
+        let rng = Rng.create ((seed * 1_000_003) + k) in
+        if Rng.int rng 2 = 1 then 1. else 0.
+      end
+    in
+    fun t ->
+      let k = int_of_float (Float.floor (t /. bit_period)) in
+      let b_prev = bit (k - 1) and b = bit k in
+      let frac = t -. (float_of_int k *. bit_period) in
+      let level =
+        if rise <= 0. || frac >= rise then b
+        else b_prev +. ((b -. b_prev) *. (frac /. rise))
+      in
+      amplitude *. level
+
+  let on_port ~ports ~port w =
+    if port < 0 || port >= ports then invalid_arg "Waveform.on_port: bad port";
+    fun t ->
+      Cmat.init ports 1 (fun i _ ->
+          if i = port then Cx.of_float (w t) else Cx.zero)
+end

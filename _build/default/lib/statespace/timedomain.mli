@@ -1,0 +1,62 @@
+(** Time-domain simulation of descriptor systems.
+
+    Three fixed-step implicit integrators:
+    - {!Trapezoidal} (default): 2nd order, A-stable, no numerical
+      damping — the circuit-simulator workhorse.  Ringing-prone on
+      descriptor constraints, so the first step is backward Euler and
+      the initial state is projected onto the algebraic constraints.
+    - {!Backward_euler}: 1st order, L-stable, damps everything.
+    - {!Bdf2}: 2nd order, L-stable (Gear's method) — best of both for
+      stiff macromodels.
+
+    This is what a circuit simulator does with a fitted macromodel, and
+    it is how the [transient] example validates models beyond the
+    frequency domain. *)
+
+type method_ = Trapezoidal | Backward_euler | Bdf2
+
+type result = {
+  times : float array;         (** k+1 instants, starting at 0 *)
+  outputs : Linalg.Cmat.t;     (** p x (k+1): column k is y(t_k) *)
+}
+
+(** [simulate ?method_ sys ~input ~dt ~steps] integrates from
+    [x(0) = 0] (projected onto the algebraic constraints when [E] is
+    singular).  [input t] must return an [m x 1] vector.  Raises
+    [Invalid_argument] if an integrator pencil is singular or on bad
+    arguments. *)
+val simulate :
+  ?method_:method_ ->
+  Descriptor.t -> input:(float -> Linalg.Cmat.t) -> dt:float -> steps:int -> result
+
+(** [step_response sys ~port ~dt ~steps] applies a unit step on input
+    [port] (0-based) and zero elsewhere. *)
+val step_response :
+  ?method_:method_ -> Descriptor.t -> port:int -> dt:float -> steps:int -> result
+
+(** Scalar stimulus shapes, to be lifted onto a port with {!on_port}. *)
+module Waveform : sig
+  (** Unit step at [t0] (default 0). *)
+  val step : ?t0:float -> ?amplitude:float -> unit -> float -> float
+
+  (** Trapezoidal pulse: rises linearly over [rise] starting at [t0],
+      holds for [width], falls over [fall] (default [= rise]). *)
+  val pulse :
+    ?t0:float -> rise:float -> width:float -> ?fall:float ->
+    ?amplitude:float -> unit -> float -> float
+
+  (** Saturating ramp: linear up to [amplitude] at [t0 + rise]. *)
+  val ramp : ?t0:float -> rise:float -> ?amplitude:float -> unit -> float -> float
+
+  val sine : freq:float -> ?amplitude:float -> ?phase:float -> unit -> float -> float
+
+  (** Seeded pseudo-random bit stream with the given bit period and
+      rise/fall time — the standard eye-diagram stimulus. *)
+  val prbs :
+    seed:int -> bit_period:float -> rise:float -> ?amplitude:float -> unit ->
+    float -> float
+
+  (** [on_port ~ports ~port w] turns a scalar waveform into the
+      [input] function expected by {!simulate} (zero on other ports). *)
+  val on_port : ports:int -> port:int -> (float -> float) -> float -> Linalg.Cmat.t
+end

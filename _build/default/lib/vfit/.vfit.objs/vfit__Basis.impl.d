@@ -1,0 +1,1 @@
+lib/vfit/basis.ml: Array Cx Float Linalg List Rmat

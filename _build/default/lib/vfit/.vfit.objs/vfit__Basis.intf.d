@@ -1,0 +1,1 @@
+lib/vfit/basis.mli: Linalg

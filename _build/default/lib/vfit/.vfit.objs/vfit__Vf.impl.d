@@ -1,0 +1,1 @@
+lib/vfit/vf.ml: Array Basis Cmat Cx Descriptor Eig Float Linalg List Logs Qr Rmat Sampling Statespace Stdlib Svd

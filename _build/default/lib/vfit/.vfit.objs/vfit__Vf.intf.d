@@ -1,0 +1,1 @@
+lib/vfit/vf.mli: Basis Linalg Statespace

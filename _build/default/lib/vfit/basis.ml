@@ -1,0 +1,162 @@
+open Linalg
+
+type group =
+  | Real of float
+  | Pair of Cx.t
+
+type t = { groups : group array }
+
+let group_size = function Real _ -> 1 | Pair _ -> 2
+
+let size t = Array.fold_left (fun acc g -> acc + group_size g) 0 t.groups
+
+let poles t =
+  let out = ref [] in
+  Array.iter
+    (fun g ->
+      match g with
+      | Real a -> out := Cx.of_float a :: !out
+      | Pair a -> out := Cx.conj a :: a :: !out)
+    t.groups;
+  Array.of_list (List.rev !out)
+
+let initial ~n ~freq_lo ~freq_hi =
+  if n < 1 then invalid_arg "Basis.initial: need at least one pole";
+  if freq_lo <= 0. || freq_hi <= freq_lo then
+    invalid_arg "Basis.initial: need 0 < freq_lo < freq_hi";
+  let npairs = n / 2 in
+  let groups = ref [] in
+  let log_lo = log10 (2. *. Float.pi *. freq_lo) in
+  let log_hi = log10 (2. *. Float.pi *. freq_hi) in
+  for k = 0 to npairs - 1 do
+    let t =
+      if npairs = 1 then 0.5
+      else float_of_int k /. float_of_int (npairs - 1)
+    in
+    let w = 10. ** (log_lo +. ((log_hi -. log_lo) *. t)) in
+    groups := Pair (Cx.make (-.w /. 100.) w) :: !groups
+  done;
+  if n land 1 = 1 then begin
+    let w = 10. ** ((log_lo +. log_hi) /. 2.) in
+    groups := Real (-.w) :: !groups
+  end;
+  { groups = Array.of_list (List.rev !groups) }
+
+let of_poles arr =
+  let snapped =
+    Array.map
+      (fun (p : Cx.t) ->
+        if abs_float p.Cx.im <= 1e-8 *. (1. +. Cx.abs p) then
+          Cx.make p.Cx.re 0.
+        else p)
+      arr
+  in
+  let groups = ref [] in
+  let used = Array.make (Array.length snapped) false in
+  Array.iteri
+    (fun i p ->
+      if not used.(i) then begin
+        used.(i) <- true;
+        if Cx.im p = 0. then groups := Real (Cx.re p) :: !groups
+        else begin
+          let target = Cx.conj p in
+          (* consume the nearest unused conjugate partner if present *)
+          let best = ref (-1) and best_d = ref infinity in
+          Array.iteri
+            (fun j q ->
+              if (not used.(j)) && j <> i then begin
+                let d = Cx.abs (Cx.sub q target) in
+                if d < !best_d then begin
+                  best := j;
+                  best_d := d
+                end
+              end)
+            snapped;
+          if !best >= 0 && !best_d <= 1e-6 *. (1. +. Cx.abs p) then
+            used.(!best) <- true;
+          let rep = if Cx.im p > 0. then p else Cx.conj p in
+          groups := Pair rep :: !groups
+        end
+      end)
+    snapped;
+  { groups = Array.of_list (List.rev !groups) }
+
+let row t s =
+  let out = Array.make (size t) Cx.zero in
+  let pos = ref 0 in
+  Array.iter
+    (fun g ->
+      match g with
+      | Real a ->
+        out.(!pos) <- Cx.inv (Cx.sub s (Cx.of_float a));
+        incr pos
+      | Pair a ->
+        let pa = Cx.inv (Cx.sub s a) in
+        let pc = Cx.inv (Cx.sub s (Cx.conj a)) in
+        out.(!pos) <- Cx.add pa pc;
+        out.(!pos + 1) <- Cx.mul Cx.j (Cx.sub pa pc);
+        pos := !pos + 2)
+    t.groups;
+  out
+
+let residues t coeffs =
+  if Array.length coeffs <> size t then
+    invalid_arg "Basis.residues: coefficient count mismatch";
+  let out = ref [] in
+  let pos = ref 0 in
+  Array.iter
+    (fun g ->
+      match g with
+      | Real _ ->
+        out := Cx.of_float coeffs.(!pos) :: !out;
+        incr pos
+      | Pair _ ->
+        (* coeff' * (1/(s-a) + 1/(s-abar)) + coeff'' * (j/(s-a) - j/(s-abar))
+           = (c' + j c'')/(s-a) + (c' - j c'')/(s-abar) *)
+        let c = Cx.make coeffs.(!pos) coeffs.(!pos + 1) in
+        out := Cx.conj c :: c :: !out;
+        pos := !pos + 2)
+    t.groups;
+  Array.of_list (List.rev !out)
+
+let relocation_matrix t sigma_coeffs =
+  let n = size t in
+  if Array.length sigma_coeffs <> n then
+    invalid_arg "Basis.relocation_matrix: coefficient count mismatch";
+  let m = Rmat.create n n in
+  let pos = ref 0 in
+  Array.iter
+    (fun g ->
+      match g with
+      | Real a ->
+        let i = !pos in
+        Rmat.set m i i a;
+        (* subtract b c~: b = 1 *)
+        for jcol = 0 to n - 1 do
+          Rmat.set m i jcol (Rmat.get m i jcol -. sigma_coeffs.(jcol))
+        done;
+        incr pos
+      | Pair p ->
+        let i = !pos in
+        let alpha = Cx.re p and beta = Cx.im p in
+        Rmat.set m i i alpha;
+        Rmat.set m i (i + 1) beta;
+        Rmat.set m (i + 1) i (-.beta);
+        Rmat.set m (i + 1) (i + 1) alpha;
+        (* b = [2; 0] *)
+        for jcol = 0 to n - 1 do
+          Rmat.set m i jcol (Rmat.get m i jcol -. (2. *. sigma_coeffs.(jcol)))
+        done;
+        pos := !pos + 2)
+    t.groups;
+  m
+
+let enforce_stability t =
+  { groups =
+      Array.map
+        (fun g ->
+          match g with
+          | Real a -> Real (if a > 0. then -.a else a)
+          | Pair p ->
+            if Cx.re p > 0. then Pair (Cx.make (-.Cx.re p) (Cx.im p)) else Pair p)
+        t.groups }

@@ -1,0 +1,47 @@
+(** Partial-fraction basis with real coefficients for vector fitting.
+
+    A pole set closed under conjugation is stored as groups — real poles
+    and complex pairs (upper-half-plane representative).  Each real pole
+    carries one real coefficient; each pair carries two (the residue's
+    real and imaginary part), using Gustavsen's real-arithmetic
+    parametrization so every least-squares problem stays real and fitted
+    models have real impulse responses. *)
+
+type group =
+  | Real of float          (** pole on the real axis *)
+  | Pair of Linalg.Cx.t    (** pole with [im > 0]; the conjugate is implied *)
+
+type t = { groups : group array }
+
+(** Number of scalar coefficients = number of poles. *)
+val size : t -> int
+
+(** The full conjugate-closed pole list (length [size]). *)
+val poles : t -> Linalg.Cx.t array
+
+(** [initial ~n ~freq_lo ~freq_hi] — standard VF starting poles: [n/2]
+    complex pairs with imaginary parts log-spaced over the band and real
+    parts [-im/100]; one extra real pole when [n] is odd. *)
+val initial : n:int -> freq_lo:float -> freq_hi:float -> t
+
+(** [of_poles arr] groups an arbitrary conjugate-closed pole array;
+    poles with tiny imaginary part are snapped to the real axis.
+    Unpaired complex poles are paired with their implied conjugate. *)
+val of_poles : Linalg.Cx.t array -> t
+
+(** [row t s] evaluates the basis functions at [s]: a length-[size]
+    complex row such that [sum_n coeff_n * row_n = sum residues/(s-a)]
+    for real coefficient vectors. *)
+val row : t -> Linalg.Cx.t -> Linalg.Cx.t array
+
+(** [residues t coeffs] converts real coefficients (length [size]) into
+    per-pole complex residues aligned with {!poles}. *)
+val residues : t -> float array -> Linalg.Cx.t array
+
+(** [relocation_matrix t sigma_coeffs] is the real matrix
+    [A - b c~^T] whose eigenvalues are the zeros of the sigma function —
+    the relocated poles (Gustavsen's appendix formulation). *)
+val relocation_matrix : t -> float array -> Linalg.Rmat.t
+
+(** Reflect any right-half-plane group into the left half plane. *)
+val enforce_stability : t -> t

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Chol Cmat Cx Eig Expm Float Format Fun Linalg List Lu Lyapunov Printf QCheck QCheck_alcotest Qr Rmat Rng Sparse Sparse_lu Svd Sylvester

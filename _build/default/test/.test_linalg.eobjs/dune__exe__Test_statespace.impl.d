@@ -1,0 +1,1 @@
+test/test_statespace.ml: Alcotest Array Cmat Cx Descriptor Eig Filename Linalg List Poles Printf QCheck QCheck_alcotest Random_sys Reduction Sampling Stabilize Statespace Stdlib Svd Sys Timedomain

@@ -1,0 +1,1 @@
+test/test_vfit.ml: Alcotest Array Basis Cmat Cx Descriptor Eig Linalg List Random_sys Rng Sampling Statespace Stdlib Vf Vfit

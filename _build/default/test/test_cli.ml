@@ -1,0 +1,98 @@
+(* End-to-end smoke tests for the mfti command-line tool.
+
+   The test binary runs in _build/default/test/, and the dune rule
+   declares the CLI as a dependency, so it sits at ../bin/mfti_cli.exe. *)
+
+let cli =
+  (* resolve relative to this test binary, so it works under both
+     `dune runtest` (cwd = _build/default/test) and `dune exec` *)
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "mfti_cli.exe"))
+
+let run args =
+  let out = Filename.temp_file "mfti_cli" ".out" in
+  let cmd = Printf.sprintf "%s %s > %s 2>&1" (Filename.quote cli) args out in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  (code, text)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let check_contains what needle text =
+  if not (contains ~needle text) then
+    Alcotest.failf "%s: expected %S in output:\n%s" what needle text
+
+let workload = Filename.concat (Filename.get_temp_dir_name ()) "mfti_cli_test.s2p"
+
+let test_gen () =
+  let code, text =
+    run (Printf.sprintf "gen ladder --points 40 --f-hi 2e10 --out %s" workload)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "gen" "wrote 40 samples, 2 ports" text;
+  Alcotest.(check bool) "file exists" true (Sys.file_exists workload)
+
+let test_info () =
+  let code, text = run (Printf.sprintf "info %s" workload) in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "info" "40 samples, 2x2 matrices" text;
+  check_contains "info" "passive" text
+
+let test_fit () =
+  let code, text = run (Printf.sprintf "fit %s" workload) in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "fit" "MFTI: order" text;
+  check_contains "fit" "stable: true" text;
+  check_contains "fit" "passivity:" text
+
+let test_fit_save_and_plot () =
+  let tmp = Filename.get_temp_dir_name () in
+  let model = Filename.concat tmp "mfti_cli_model.txt" in
+  let plot = Filename.concat tmp "mfti_cli_err.svg" in
+  let code, text =
+    run (Printf.sprintf "fit %s --symmetrize --save-model %s --plot %s"
+           workload model plot)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "save" "saved model" text;
+  check_contains "plot" "wrote error plot" text;
+  Alcotest.(check bool) "model file" true (Sys.file_exists model);
+  Alcotest.(check bool) "plot file" true (Sys.file_exists plot);
+  Sys.remove model;
+  Sys.remove plot
+
+let test_fit_vf () =
+  let code, text = run (Printf.sprintf "fit %s --algorithm vf --poles 21" workload) in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "vf fit" "VF: order 21" text
+
+let test_compare () =
+  let code, text = run (Printf.sprintf "compare %s" workload) in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "compare" "VFTI" text;
+  check_contains "compare" "MFTI-1 (full)" text;
+  check_contains "compare" "VF (n=50)" text
+
+let test_bad_input () =
+  let code, _ = run "fit /nonexistent.s2p" in
+  Alcotest.(check bool) "nonzero exit" true (code <> 0);
+  let code, _ = run "gen ladder --out /tmp/wrong_ports.s7p" in
+  Alcotest.(check bool) "port mismatch rejected" true (code <> 0)
+
+let () =
+  Alcotest.run "cli"
+    [ ("mfti_cli",
+       [ Alcotest.test_case "gen" `Quick test_gen;
+         Alcotest.test_case "info" `Quick test_info;
+         Alcotest.test_case "fit" `Quick test_fit;
+         Alcotest.test_case "fit vf" `Quick test_fit_vf;
+         Alcotest.test_case "fit save/plot" `Quick test_fit_save_and_plot;
+         Alcotest.test_case "compare" `Quick test_compare;
+         Alcotest.test_case "bad input" `Quick test_bad_input ]) ]

@@ -1,0 +1,999 @@
+(* Tests for the dense linear-algebra substrate. *)
+
+open Linalg
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if abs_float (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.12g, got %.12g (tol %.1g)" msg expected actual tol
+
+let check_small ?(tol = 1e-9) msg x =
+  if abs_float x > tol then Alcotest.failf "%s: |%.3g| exceeds tol %.1g" msg x tol
+
+let cx re im = Cx.make re im
+
+(* ------------------------------------------------------------------ *)
+(* Cx *)
+
+let test_cx_arith () =
+  let a = cx 1. 2. and b = cx 3. (-1.) in
+  let sum = Cx.add a b in
+  check_float "re(a+b)" 4. sum.Cx.re;
+  check_float "im(a+b)" 1. sum.Cx.im;
+  let prod = Cx.mul a b in
+  (* (1+2j)(3-j) = 3 - j + 6j - 2j^2 = 5 + 5j *)
+  check_float "re(a*b)" 5. prod.Cx.re;
+  check_float "im(a*b)" 5. prod.Cx.im;
+  let q = Cx.div prod b in
+  check_float "re(a*b/b)" a.Cx.re q.Cx.re;
+  check_float "im(a*b/b)" a.Cx.im q.Cx.im
+
+let test_cx_abs_conj () =
+  let a = cx 3. 4. in
+  check_float "|3+4j|" 5. (Cx.abs a);
+  check_float "|3+4j|^2" 25. (Cx.abs2 a);
+  let c = Cx.conj a in
+  check_float "conj im" (-4.) c.Cx.im;
+  check_float "conj re" 3. c.Cx.re;
+  Alcotest.(check bool) "equal tol" true (Cx.equal ~tol:1e-12 a (cx 3. 4.))
+
+let test_cx_polar () =
+  let z = Cx.polar 2. (Float.pi /. 2.) in
+  check_close ~tol:1e-12 "polar re" 0. z.Cx.re;
+  check_close ~tol:1e-12 "polar im" 2. z.Cx.im;
+  check_close ~tol:1e-12 "arg" (Float.pi /. 2.) (Cx.arg z)
+
+let test_cx_add_mul () =
+  let acc = cx 1. 1. and a = cx 2. 3. and b = cx (-1.) 4. in
+  let got = Cx.add_mul acc a b in
+  let expect = Cx.add acc (Cx.mul a b) in
+  check_float "add_mul re" expect.Cx.re got.Cx.re;
+  check_float "add_mul im" expect.Cx.im got.Cx.im
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_float "same stream" (Rng.uniform a) (Rng.uniform b)
+  done
+
+let test_rng_uniform_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.uniform rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 11 in
+  let n = 20000 in
+  let sum = ref 0. and sum2 = ref 0. in
+  for _ = 1 to n do
+    let x = Rng.gaussian rng in
+    sum := !sum +. x;
+    sum2 := !sum2 +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sum2 /. float_of_int n) -. (mean *. mean) in
+  check_close ~tol:0.05 "gaussian mean" 0. mean;
+  check_close ~tol:0.1 "gaussian var" 1. var
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 3 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    let k = Rng.int rng 5 in
+    Alcotest.(check bool) "bound" true (k >= 0 && k < 5);
+    seen.(k) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+(* ------------------------------------------------------------------ *)
+(* Rmat *)
+
+let test_rmat_mul () =
+  let a = Rmat.of_rows [ [ 1.; 2. ]; [ 3.; 4. ] ] in
+  let b = Rmat.of_rows [ [ 5.; 6. ]; [ 7.; 8. ] ] in
+  let c = Rmat.mul a b in
+  check_float "c00" 19. (Rmat.get c 0 0);
+  check_float "c01" 22. (Rmat.get c 0 1);
+  check_float "c10" 43. (Rmat.get c 1 0);
+  check_float "c11" 50. (Rmat.get c 1 1)
+
+let test_rmat_transpose () =
+  let a = Rmat.of_rows [ [ 1.; 2.; 3. ]; [ 4.; 5.; 6. ] ] in
+  let t = Rmat.transpose a in
+  Alcotest.(check (pair int int)) "dims" (3, 2) (Rmat.dims t);
+  check_float "t(2,1)" 6. (Rmat.get t 2 1);
+  check_float "t(0,1)" 4. (Rmat.get t 0 1)
+
+let test_rmat_mul_tn () =
+  let rng = Rng.create 5 in
+  let a = Rmat.random rng 7 4 and b = Rmat.random rng 7 3 in
+  let direct = Rmat.mul (Rmat.transpose a) b in
+  let fused = Rmat.mul_tn a b in
+  Alcotest.(check bool) "mul_tn = T*B" true (Rmat.equal ~tol:1e-12 direct fused)
+
+let test_rmat_blocks () =
+  let a = Rmat.of_rows [ [ 1.; 2. ]; [ 3.; 4. ] ] in
+  let b = Rmat.of_rows [ [ 5. ]; [ 6. ] ] in
+  let h = Rmat.hcat a b in
+  Alcotest.(check (pair int int)) "hcat dims" (2, 3) (Rmat.dims h);
+  check_float "hcat entry" 6. (Rmat.get h 1 2);
+  let v = Rmat.vcat a (Rmat.of_rows [ [ 7.; 8. ] ]) in
+  Alcotest.(check (pair int int)) "vcat dims" (3, 2) (Rmat.dims v);
+  check_float "vcat entry" 8. (Rmat.get v 2 1);
+  let s = Rmat.sub_matrix h ~r:0 ~c:1 ~rows:2 ~cols:2 in
+  check_float "sub entry" 4. (Rmat.get s 1 0)
+
+let test_rmat_norms () =
+  let a = Rmat.of_rows [ [ 3.; 0. ]; [ 0.; 4. ] ] in
+  check_float "fro" 5. (Rmat.norm_fro a);
+  check_float "max_abs" 4. (Rmat.max_abs a);
+  check_float "trace" 7. (Rmat.trace a)
+
+(* ------------------------------------------------------------------ *)
+(* Cmat *)
+
+let naive_mul a b =
+  let m = Cmat.rows a and n = Cmat.cols b and kk = Cmat.cols a in
+  Cmat.init m n (fun i jcol ->
+      let acc = ref Cx.zero in
+      for k = 0 to kk - 1 do
+        acc := Cx.add_mul !acc (Cmat.get a i k) (Cmat.get b k jcol)
+      done;
+      !acc)
+
+let test_cmat_mul () =
+  let rng = Rng.create 17 in
+  let a = Cmat.random rng 6 5 and b = Cmat.random rng 5 4 in
+  let fast = Cmat.mul a b and slow = naive_mul a b in
+  Alcotest.(check bool) "gemm matches naive" true (Cmat.equal ~tol:1e-12 fast slow)
+
+let test_cmat_mul_cn () =
+  let rng = Rng.create 18 in
+  let a = Cmat.random rng 6 3 and b = Cmat.random rng 6 4 in
+  let direct = Cmat.mul (Cmat.ctranspose a) b in
+  let fused = Cmat.mul_cn a b in
+  Alcotest.(check bool) "mul_cn = A* B" true (Cmat.equal ~tol:1e-12 direct fused)
+
+let test_cmat_ctranspose () =
+  let a = Cmat.of_rows [ [ cx 1. 2.; cx 3. 4. ] ] in
+  let h = Cmat.ctranspose a in
+  Alcotest.(check (pair int int)) "dims" (2, 1) (Cmat.dims h);
+  let z = Cmat.get h 1 0 in
+  check_float "conj re" 3. z.Cx.re;
+  check_float "conj im" (-4.) z.Cx.im
+
+let test_cmat_blocks () =
+  let a = Cmat.identity 2 in
+  let b = Cmat.zeros 2 1 in
+  let c = Cmat.zeros 1 2 in
+  let d = Cmat.scalar (cx 5. 0.) in
+  let m = Cmat.blocks [ [ a; b ]; [ c; d ] ] in
+  Alcotest.(check (pair int int)) "dims" (3, 3) (Cmat.dims m);
+  check_float "corner" 5. (Cmat.get m 2 2).Cx.re;
+  check_float "id part" 1. (Cmat.get m 1 1).Cx.re;
+  let bd = Cmat.blkdiag [ a; d ] in
+  Alcotest.(check (pair int int)) "blkdiag dims" (3, 3) (Cmat.dims bd);
+  check_float "blkdiag corner" 5. (Cmat.get bd 2 2).Cx.re;
+  check_float "blkdiag off" 0. (Cmat.get bd 0 2).Cx.re
+
+let test_cmat_select () =
+  let m = Cmat.init 4 4 (fun i jcol -> cx (float_of_int (10 * i + jcol)) 0.) in
+  let r = Cmat.select_rows m [| 3; 1 |] in
+  check_float "row sel" 31. (Cmat.get r 0 1).Cx.re;
+  check_float "row sel2" 12. (Cmat.get r 1 2).Cx.re;
+  let c = Cmat.select_cols m [| 2; 0 |] in
+  check_float "col sel" 2. (Cmat.get c 0 0).Cx.re;
+  check_float "col sel2" 30. (Cmat.get c 3 1).Cx.re
+
+let test_cmat_real_round_trip () =
+  let rng = Rng.create 23 in
+  let r = Rmat.random rng 3 4 in
+  let c = Cmat.of_real r in
+  check_small "max_imag of real" (Cmat.max_imag c);
+  let back = Cmat.to_real ~tol:1e-12 c in
+  Alcotest.(check bool) "round trip" true (Rmat.equal ~tol:0. r back);
+  let noisy = Cmat.add c (Cmat.scale (cx 0. 1.) (Cmat.of_real (Rmat.identity 3 |> fun i -> Rmat.hcat i (Rmat.create 3 1)))) in
+  match Cmat.to_real ~tol:1e-12 noisy with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "to_real should reject a genuinely complex matrix"
+
+let test_cmat_norms () =
+  let m = Cmat.of_rows [ [ cx 3. 4.; Cx.zero ]; [ Cx.zero; Cx.zero ] ] in
+  check_float "fro" 5. (Cmat.norm_fro m);
+  check_float "max_abs" 5. (Cmat.max_abs m);
+  check_float "norm_one" 5. (Cmat.norm_one m);
+  let v = Cmat.col_vector [| cx 1. 0.; cx 0. 2. |] in
+  check_close ~tol:1e-12 "vec_norm" (sqrt 5.) (Cmat.vec_norm v);
+  let w = Cmat.col_vector [| cx 0. 1.; cx 1. 0. |] in
+  let d = Cmat.vec_dot v w in
+  (* conj(1)*j + conj(2j)*1 = j - 2j = -j *)
+  check_float "dot re" 0. d.Cx.re;
+  check_float "dot im" (-1.) d.Cx.im
+
+(* ------------------------------------------------------------------ *)
+(* Lu *)
+
+let test_lu_solve () =
+  let rng = Rng.create 31 in
+  let n = 25 in
+  let a = Cmat.random rng n n in
+  let x_true = Cmat.random rng n 3 in
+  let b = Cmat.mul a x_true in
+  let x = Lu.solve_mat a b in
+  check_small ~tol:1e-8 "solve residual"
+    (Cmat.norm_fro (Cmat.sub x x_true) /. Cmat.norm_fro x_true)
+
+let test_lu_det () =
+  (* det of a triangular-ish known matrix *)
+  let a = Cmat.of_rows [ [ cx 2. 0.; cx 1. 0. ]; [ Cx.zero; cx 3. 0. ] ] in
+  let d = Lu.det (Lu.factorize a) in
+  check_float "det re" 6. d.Cx.re;
+  check_float "det im" 0. d.Cx.im;
+  (* complex determinant: [[j, 0],[0, j]] -> det = -1 *)
+  let b = Cmat.of_rows [ [ Cx.j; Cx.zero ]; [ Cx.zero; Cx.j ] ] in
+  let db = Lu.det (Lu.factorize b) in
+  check_float "det j^2 re" (-1.) db.Cx.re;
+  check_small "det j^2 im" db.Cx.im
+
+let test_lu_inverse () =
+  let rng = Rng.create 37 in
+  let n = 15 in
+  let a = Cmat.random rng n n in
+  let ainv = Lu.inverse a in
+  let id = Cmat.mul a ainv in
+  check_small ~tol:1e-9 "A A^-1 = I" (Cmat.norm_fro (Cmat.sub id (Cmat.identity n)))
+
+let test_lu_singular () =
+  let a = Cmat.of_rows [ [ cx 1. 0.; cx 2. 0. ]; [ cx 2. 0.; cx 4. 0. ] ] in
+  (match Lu.factorize a with
+   | exception Lu.Singular _ -> ()
+   | _ -> Alcotest.fail "expected Singular");
+  check_float "rcond of singular" 0. (Lu.rcond_est a)
+
+let test_lu_rcond () =
+  let id = Cmat.identity 5 in
+  check_close ~tol:1e-12 "rcond of identity" 1. (Lu.rcond_est id);
+  (* a badly scaled diagonal matrix has rcond = min/max entry *)
+  let d = Cmat.of_rows [ [ cx 1e6 0.; Cx.zero ]; [ Cx.zero; cx 1. 0. ] ] in
+  check_close ~tol:1e-18 "rcond of scaled diag" 1e-6 (Lu.rcond_est d)
+
+(* ------------------------------------------------------------------ *)
+(* Qr *)
+
+let test_qr_reconstruct () =
+  let rng = Rng.create 41 in
+  let a = Cmat.random rng 8 5 in
+  let f = Qr.factorize a in
+  let q = Qr.thin_q f and r = Qr.r f in
+  let qr = Cmat.mul q r in
+  check_small ~tol:1e-10 "QR = A" (Cmat.norm_fro (Cmat.sub qr a));
+  let qhq = Cmat.mul_cn q q in
+  check_small ~tol:1e-10 "Q*Q = I" (Cmat.norm_fro (Cmat.sub qhq (Cmat.identity 5)))
+
+let test_qr_apply () =
+  let rng = Rng.create 43 in
+  let a = Cmat.random rng 7 7 in
+  let f = Qr.factorize a in
+  let b = Cmat.random rng 7 2 in
+  let qb = Qr.apply_q f b in
+  let back = Qr.apply_qh f qb in
+  check_small ~tol:1e-10 "Q* Q b = b" (Cmat.norm_fro (Cmat.sub back b))
+
+let test_qr_solve_ls_exact () =
+  let rng = Rng.create 47 in
+  let a = Cmat.random rng 6 6 in
+  let x_true = Cmat.random rng 6 2 in
+  let b = Cmat.mul a x_true in
+  let x = Qr.solve_ls a b in
+  check_small ~tol:1e-9 "square LS is exact"
+    (Cmat.norm_fro (Cmat.sub x x_true) /. Cmat.norm_fro x_true)
+
+let test_qr_solve_ls_overdetermined () =
+  let rng = Rng.create 53 in
+  let a = Cmat.random rng 20 4 in
+  let b = Cmat.random rng 20 1 in
+  let x = Qr.solve_ls a b in
+  (* Normal equations: A*(Ax - b) = 0 *)
+  let resid = Cmat.sub (Cmat.mul a x) b in
+  check_small ~tol:1e-9 "normal equations" (Cmat.norm_fro (Cmat.mul_cn a resid))
+
+let test_qr_orthonormalize () =
+  let rng = Rng.create 59 in
+  let a = Cmat.random rng 10 3 in
+  let q = Qr.orthonormalize a in
+  let qhq = Cmat.mul_cn q q in
+  check_small ~tol:1e-10 "orthonormal" (Cmat.norm_fro (Cmat.sub qhq (Cmat.identity 3)));
+  (* Span is preserved: a = q (q* a) *)
+  let proj = Cmat.mul q (Cmat.mul_cn q a) in
+  check_small ~tol:1e-9 "span preserved" (Cmat.norm_fro (Cmat.sub proj a))
+
+(* ------------------------------------------------------------------ *)
+(* Svd *)
+
+let test_svd_diag () =
+  let a = Cmat.of_rows
+      [ [ cx 3. 0.; Cx.zero; Cx.zero ];
+        [ Cx.zero; cx 5. 0.; Cx.zero ];
+        [ Cx.zero; Cx.zero; cx 1. 0. ] ]
+  in
+  let d = Svd.decompose a in
+  check_float "s0" 5. d.Svd.sigma.(0);
+  check_float "s1" 3. d.Svd.sigma.(1);
+  check_float "s2" 1. d.Svd.sigma.(2)
+
+let test_svd_reconstruct () =
+  let rng = Rng.create 61 in
+  let a = Cmat.random rng 9 6 in
+  let d = Svd.decompose a in
+  check_small ~tol:1e-9 "USV* = A" (Cmat.norm_fro (Cmat.sub (Svd.reconstruct d) a));
+  let uhu = Cmat.mul_cn d.Svd.u d.Svd.u in
+  check_small ~tol:1e-10 "U*U = I" (Cmat.norm_fro (Cmat.sub uhu (Cmat.identity 6)));
+  let vhv = Cmat.mul_cn d.Svd.v d.Svd.v in
+  check_small ~tol:1e-10 "V*V = I" (Cmat.norm_fro (Cmat.sub vhv (Cmat.identity 6)))
+
+let test_svd_wide () =
+  let rng = Rng.create 67 in
+  let a = Cmat.random rng 4 9 in
+  let d = Svd.decompose a in
+  check_small ~tol:1e-9 "wide USV* = A" (Cmat.norm_fro (Cmat.sub (Svd.reconstruct d) a));
+  Alcotest.(check int) "wide k" 4 (Array.length d.Svd.sigma)
+
+let test_svd_rank () =
+  let rng = Rng.create 71 in
+  (* rank-3 product of 8x3 and 3x8 *)
+  let a = Cmat.mul (Cmat.random rng 8 3) (Cmat.random rng 3 8) in
+  let d = Svd.decompose a in
+  Alcotest.(check int) "rank" 3 (Svd.rank ~rtol:1e-10 d);
+  Alcotest.(check int) "rank_gap" 3 (Svd.rank_gap d)
+
+let test_svd_ordering () =
+  let rng = Rng.create 73 in
+  let d = Svd.decompose (Cmat.random rng 10 10) in
+  for i = 0 to Array.length d.Svd.sigma - 2 do
+    Alcotest.(check bool) "descending" true (d.Svd.sigma.(i) >= d.Svd.sigma.(i + 1))
+  done
+
+let test_svd_pinv () =
+  let rng = Rng.create 79 in
+  let a = Cmat.mul (Cmat.random rng 7 3) (Cmat.random rng 3 6) in
+  let p = Svd.pinv a in
+  (* Moore-Penrose: A P A = A and P A P = P *)
+  check_small ~tol:1e-8 "A P A = A" (Cmat.norm_fro (Cmat.sub (Cmat.mul a (Cmat.mul p a)) a));
+  check_small ~tol:1e-8 "P A P = P" (Cmat.norm_fro (Cmat.sub (Cmat.mul p (Cmat.mul a p)) p))
+
+let test_svd_algorithms_agree () =
+  let rng = Rng.create 91 in
+  List.iter
+    (fun (m, n) ->
+      let a = Cmat.random rng m n in
+      let dj = Svd.decompose ~algorithm:Svd.Jacobi a in
+      let dg = Svd.decompose ~algorithm:Svd.Golub_kahan a in
+      Array.iteri
+        (fun i s ->
+          check_small ~tol:1e-12 "sigma agreement"
+            ((s -. dg.Svd.sigma.(i)) /. (1. +. s)))
+        dj.Svd.sigma;
+      check_small ~tol:1e-12 "gk reconstruction"
+        (Cmat.norm_fro (Cmat.sub (Svd.reconstruct dg) a) /. (1. +. Cmat.norm_fro a)))
+    [ (1, 1); (4, 3); (3, 4); (12, 12); (40, 25); (25, 40); (64, 64) ]
+
+let test_svd_gk_graded_spectrum () =
+  (* a steeply graded spectrum, the shape Loewner pencils produce *)
+  let n = 40 in
+  let rng = Rng.create 93 in
+  let q1 = Qr.orthonormalize (Cmat.random rng n n) in
+  let q2 = Qr.orthonormalize (Cmat.random rng n n) in
+  let sig_true = Array.init n (fun i -> 10. ** (-.(float_of_int i) /. 2.)) in
+  let s = Cmat.init n n (fun i jcol ->
+      if i = jcol then Cx.of_float sig_true.(i) else Cx.zero)
+  in
+  let a = Cmat.mul q1 (Cmat.mul s (Cmat.ctranspose q2)) in
+  let d = Svd.decompose ~algorithm:Svd.Golub_kahan a in
+  Array.iteri
+    (fun i s ->
+      (* absolute accuracy at the eps * sigma_max level *)
+      check_small ~tol:1e-14 "graded sigma" (s -. d.Svd.sigma.(i)))
+    sig_true
+
+let test_svd_norm2 () =
+  let a = Cmat.of_rows [ [ cx 0. 7. ] ] in
+  check_float "norm2 of scalar" 7. (Svd.norm2 a);
+  let rng = Rng.create 83 in
+  let q = Qr.orthonormalize (Cmat.random rng 6 6) in
+  check_close ~tol:1e-10 "norm2 of unitary" 1. (Svd.norm2 q)
+
+(* ------------------------------------------------------------------ *)
+(* Eig *)
+
+let contains_eig vs target tol =
+  Array.exists (fun v -> Cx.abs (Cx.sub v target) < tol) vs
+
+let test_eig_2x2 () =
+  (* [[0, -1],[1, 0]] has eigenvalues +-j *)
+  let a = Cmat.of_rows [ [ Cx.zero; cx (-1.) 0. ]; [ cx 1. 0.; Cx.zero ] ] in
+  let vs = Eig.eigenvalues a in
+  Alcotest.(check int) "count" 2 (Array.length vs);
+  Alcotest.(check bool) "+j" true (contains_eig vs Cx.j 1e-10);
+  Alcotest.(check bool) "-j" true (contains_eig vs (Cx.neg Cx.j) 1e-10)
+
+let test_eig_triangular () =
+  let a = Cmat.of_rows
+      [ [ cx 2. 0.; cx 5. 1.; cx 0. 3. ];
+        [ Cx.zero; cx (-1.) 2.; cx 4. 0. ];
+        [ Cx.zero; Cx.zero; cx 0.5 (-3.) ] ]
+  in
+  let vs = Eig.eigenvalues a in
+  Alcotest.(check bool) "2" true (contains_eig vs (cx 2. 0.) 1e-9);
+  Alcotest.(check bool) "-1+2j" true (contains_eig vs (cx (-1.) 2.) 1e-9);
+  Alcotest.(check bool) "0.5-3j" true (contains_eig vs (cx 0.5 (-3.)) 1e-9)
+
+let test_eig_companion () =
+  (* companion of p(x) = x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3) *)
+  let a = Cmat.of_rows
+      [ [ cx 6. 0.; cx (-11.) 0.; cx 6. 0. ];
+        [ cx 1. 0.; Cx.zero; Cx.zero ];
+        [ Cx.zero; cx 1. 0.; Cx.zero ] ]
+  in
+  let vs = Eig.eigenvalues a in
+  Alcotest.(check bool) "root 1" true (contains_eig vs (cx 1. 0.) 1e-8);
+  Alcotest.(check bool) "root 2" true (contains_eig vs (cx 2. 0.) 1e-8);
+  Alcotest.(check bool) "root 3" true (contains_eig vs (cx 3. 0.) 1e-8)
+
+let test_eig_trace_sum () =
+  let rng = Rng.create 89 in
+  let n = 20 in
+  let a = Cmat.random rng n n in
+  let vs = Eig.eigenvalues a in
+  let sum = Array.fold_left Cx.add Cx.zero vs in
+  let tr = Cmat.trace a in
+  check_small ~tol:1e-8 "trace = sum eig" (Cx.abs (Cx.sub sum tr))
+
+let test_eig_real_conjugate_pairs () =
+  let rng = Rng.create 97 in
+  let a = Rmat.random rng 12 12 in
+  let vs = Eig.eigenvalues_real a in
+  (* every eigenvalue with im > tol must have a conjugate partner *)
+  Array.iter
+    (fun v ->
+      if abs_float v.Cx.im > 1e-8 then
+        Alcotest.(check bool) "conjugate present" true
+          (contains_eig vs (Cx.conj v) 1e-6))
+    vs
+
+let test_eig_similarity_invariance () =
+  let rng = Rng.create 101 in
+  let n = 8 in
+  let a = Cmat.random rng n n in
+  let t = Cmat.random rng n n in
+  let b = Lu.solve_mat t (Cmat.mul a t) in
+  (* b = T^{-1} (A T): similar to A *)
+  let va = Eig.sort_by_magnitude (Eig.eigenvalues a) in
+  let vb = Eig.sort_by_magnitude (Eig.eigenvalues b) in
+  Array.iteri
+    (fun i v -> check_small ~tol:1e-6 "similar spectra" (Cx.abs (Cx.sub v vb.(i))))
+    va
+
+let test_eig_right_vectors () =
+  let rng = Rng.create 131 in
+  let a = Cmat.random rng 10 10 in
+  let values, vectors = Eig.eigen a in
+  let av = Cmat.mul a vectors in
+  Array.iteri
+    (fun i lambda ->
+      let v = Cmat.col vectors i in
+      let lhs = Cmat.col av i in
+      let rhs = Cmat.scale lambda v in
+      check_small ~tol:1e-7 "A v = lambda v"
+        (Cmat.norm_fro (Cmat.sub lhs rhs) /. (1. +. Cx.abs lambda)))
+    values
+
+let test_eig_diag_large () =
+  (* large diagonal + small perturbation: eigenvalues near diagonal *)
+  let n = 30 in
+  let rng = Rng.create 103 in
+  let a = Cmat.init n n (fun i jcol ->
+      if i = jcol then cx (float_of_int (i + 1)) 0.
+      else Cx.scale 1e-8 (Rng.complex_gaussian rng))
+  in
+  let vs = Eig.eigenvalues a in
+  for i = 1 to n do
+    Alcotest.(check bool)
+      (Printf.sprintf "eig near %d" i)
+      true
+      (contains_eig vs (cx (float_of_int i) 0.) 1e-5)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Expm *)
+
+let test_expm_zero () =
+  let e = Expm.expm (Cmat.zeros 4 4) in
+  check_small ~tol:1e-14 "exp(0) = I" (Cmat.norm_fro (Cmat.sub e (Cmat.identity 4)))
+
+let test_expm_diagonal () =
+  let a = Cmat.of_rows [ [ cx 1. 0.; Cx.zero ]; [ Cx.zero; cx (-2.) 0.5 ] ] in
+  let e = Expm.expm a in
+  let e00 = Cmat.get e 0 0 and e11 = Cmat.get e 1 1 in
+  check_small ~tol:1e-13 "e^1" (Cx.abs (Cx.sub e00 (cx (exp 1.) 0.)));
+  let expected = Cx.mul (Cx.of_float (exp (-2.))) (Cx.exp (cx 0. 0.5)) in
+  check_small ~tol:1e-13 "e^{-2+0.5j}" (Cx.abs (Cx.sub e11 expected));
+  check_small "off-diagonal" (Cx.abs (Cmat.get e 0 1))
+
+let test_expm_nilpotent () =
+  let a = Cmat.of_rows [ [ Cx.zero; cx 3. 0. ]; [ Cx.zero; Cx.zero ] ] in
+  let e = Expm.expm a in
+  (* exp of a nilpotent = I + A exactly *)
+  check_small ~tol:1e-14 "I + A"
+    (Cmat.norm_fro (Cmat.sub e (Cmat.add (Cmat.identity 2) a)))
+
+let test_expm_rotation () =
+  let theta = 0.7 in
+  let a = Cmat.of_rows
+      [ [ Cx.zero; cx (-.theta) 0. ]; [ cx theta 0.; Cx.zero ] ]
+  in
+  let e = Expm.expm a in
+  check_close ~tol:1e-13 "cos" (cos theta) (Cmat.get e 0 0).Cx.re;
+  check_close ~tol:1e-13 "sin" (sin theta) (Cmat.get e 1 0).Cx.re
+
+let test_expm_inverse () =
+  let rng = Rng.create 111 in
+  let a = Cmat.scale_float 2. (Cmat.random rng 8 8) in
+  let id = Cmat.mul (Expm.expm a) (Expm.expm (Cmat.neg a)) in
+  check_small ~tol:1e-10 "exp(A) exp(-A) = I"
+    (Cmat.norm_fro (Cmat.sub id (Cmat.identity 8)))
+
+let test_expm_det_trace () =
+  let rng = Rng.create 113 in
+  let a = Cmat.random rng 6 6 in
+  let det = Lu.det (Lu.factorize (Expm.expm a)) in
+  let expected = Cx.exp (Cmat.trace a) in
+  check_small ~tol:1e-9 "det exp A = exp tr A"
+    (Cx.abs (Cx.sub det expected) /. (1. +. Cx.abs expected))
+
+(* ------------------------------------------------------------------ *)
+(* Lyapunov *)
+
+let stable_random rng n =
+  let g = Cmat.random rng n n in
+  Cmat.sub g (Cmat.scale_float (Svd.norm2 g +. 0.5) (Cmat.identity n))
+
+let test_lyapunov_solve () =
+  let rng = Rng.create 117 in
+  let a = stable_random rng 12 in
+  let b = Cmat.random rng 12 3 in
+  let q = Cmat.mul b (Cmat.ctranspose b) in
+  let x = Lyapunov.solve ~a ~q in
+  check_small ~tol:1e-8 "residual"
+    (Lyapunov.residual ~a ~q x /. (1. +. Cmat.norm_fro q))
+
+let test_lyapunov_hermitian_psd () =
+  (* the Gramian of a stable system is Hermitian positive semidefinite *)
+  let rng = Rng.create 119 in
+  let a = stable_random rng 9 in
+  let b = Cmat.random rng 9 2 in
+  let x = Lyapunov.solve ~a ~q:(Cmat.mul b (Cmat.ctranspose b)) in
+  check_small ~tol:1e-9 "hermitian"
+    (Cmat.norm_fro (Cmat.sub x (Cmat.ctranspose x)));
+  let d = Svd.decompose x in
+  (* eigenvalues = singular values for Hermitian PSD; all real >= 0 means
+     x v = sigma v with positive inner product; verify via quadratic form *)
+  let v = Cmat.random rng 9 1 in
+  let quad = Cmat.vec_dot v (Cmat.mul x v) in
+  Alcotest.(check bool) "psd quadratic form" true (Cx.re quad >= -1e-9);
+  Alcotest.(check bool) "nonzero" true (d.Svd.sigma.(0) > 0.)
+
+let test_lyapunov_known_scalar () =
+  (* a x + x a + q = 0 with a = -2, q = 8 -> x = 2 *)
+  let x =
+    Lyapunov.solve ~a:(Cmat.scalar (cx (-2.) 0.)) ~q:(Cmat.scalar (cx 8. 0.))
+  in
+  check_close ~tol:1e-12 "scalar solution" 2. (Cmat.get x 0 0).Cx.re
+
+let test_lyapunov_unstable_rejected () =
+  let a = Cmat.identity 3 in
+  match Lyapunov.solve ~a ~q:(Cmat.identity 3) with
+  | exception Lyapunov.Not_stable -> ()
+  | _ -> Alcotest.fail "unstable A accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Chol *)
+
+let spd_random rng n =
+  let g = Cmat.random rng n n in
+  Cmat.add (Cmat.mul g (Cmat.ctranspose g)) (Cmat.identity n)
+
+let test_chol_factorize () =
+  let rng = Rng.create 121 in
+  let a = spd_random rng 10 in
+  let l = Chol.factorize a in
+  check_small ~tol:1e-9 "L L* = A"
+    (Cmat.norm_fro (Cmat.sub (Cmat.mul l (Cmat.ctranspose l)) a)
+     /. Cmat.norm_fro a);
+  (* strictly upper part of L is zero *)
+  for i = 0 to 9 do
+    for jcol = i + 1 to 9 do
+      check_small "upper zero" (Cx.abs (Cmat.get l i jcol))
+    done
+  done
+
+let test_chol_solve () =
+  let rng = Rng.create 123 in
+  let a = spd_random rng 8 in
+  let x_true = Cmat.random rng 8 2 in
+  let b = Cmat.mul a x_true in
+  let x = Chol.solve (Chol.factorize a) b in
+  check_small ~tol:1e-9 "solve"
+    (Cmat.norm_fro (Cmat.sub x x_true) /. Cmat.norm_fro x_true)
+
+let test_chol_indefinite () =
+  let a = Cmat.of_rows [ [ cx 1. 0.; cx 2. 0. ]; [ cx 2. 0.; cx 1. 0. ] ] in
+  Alcotest.(check bool) "indefinite rejected" false (Chol.is_positive_definite a);
+  let rng = Rng.create 127 in
+  Alcotest.(check bool) "spd accepted" true
+    (Chol.is_positive_definite (spd_random rng 5))
+
+(* ------------------------------------------------------------------ *)
+(* Sylvester *)
+
+let test_sylvester_solve () =
+  let rng = Rng.create 107 in
+  let mu = Array.init 4 (fun i -> cx (float_of_int i) 1.) in
+  let lambda = Array.init 5 (fun i -> cx (float_of_int i) (-1.)) in
+  let f = Cmat.random rng 4 5 in
+  let x = Sylvester.solve_diag ~mu ~lambda f in
+  check_small ~tol:1e-12 "residual" (Sylvester.residual ~mu ~lambda x f)
+
+let test_sylvester_singular () =
+  let mu = [| cx 1. 0. |] and lambda = [| cx 1. 0. |] in
+  let f = Cmat.identity 1 in
+  Alcotest.check_raises "singular rejected"
+    (Invalid_argument "Sylvester.solve_diag: lambda_j = mu_i makes the equation singular")
+    (fun () -> ignore (Sylvester.solve_diag ~mu ~lambda f))
+
+(* ------------------------------------------------------------------ *)
+(* Sparse / Sparse_lu *)
+
+let random_sparse rng n density =
+  let b = Sparse.create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    (* guaranteed nonzero diagonal keeps the matrix comfortably regular *)
+    Sparse.add b i i (Cx.add (cx 3. 0.) (Rng.complex_gaussian rng));
+    for _ = 1 to density do
+      Sparse.add b i (Rng.int rng n) (Rng.complex_gaussian rng)
+    done
+  done;
+  Sparse.compress b
+
+let test_sparse_round_trip () =
+  let rng = Rng.create 211 in
+  let d = Cmat.random rng 7 5 in
+  let sp = Sparse.of_dense d in
+  Alcotest.(check bool) "dense round trip" true
+    (Cmat.equal ~tol:0. (Sparse.to_dense sp) d);
+  Alcotest.(check int) "nnz" 35 (Sparse.nnz sp)
+
+let test_sparse_duplicates_accumulate () =
+  let b = Sparse.create ~rows:2 ~cols:2 in
+  Sparse.add b 0 0 (cx 1. 0.);
+  Sparse.add b 0 0 (cx 2. 0.);
+  Sparse.add b 1 0 (cx 5. 0.);
+  let sp = Sparse.compress b in
+  Alcotest.(check int) "merged nnz" 2 (Sparse.nnz sp);
+  check_close "accumulated" 3. (Cmat.get (Sparse.to_dense sp) 0 0).Cx.re
+
+let test_sparse_mul_vec () =
+  let rng = Rng.create 213 in
+  let d = Cmat.random rng 6 6 in
+  let sp = Sparse.of_dense d in
+  let x = Cmat.random rng 6 1 in
+  let y1 = Sparse.mul_vec sp x and y2 = Cmat.mul d x in
+  check_small ~tol:1e-12 "mul_vec" (Cmat.norm_fro (Cmat.sub y1 y2))
+
+let test_sparse_scale_add () =
+  let rng = Rng.create 215 in
+  let a = Cmat.random rng 5 5 and b = Cmat.random rng 5 5 in
+  let alpha = cx 2. 1. and beta = cx 0. (-3.) in
+  let s =
+    Sparse.scale_add ~alpha (Sparse.of_dense a) ~beta (Sparse.of_dense b)
+  in
+  let expected = Cmat.add (Cmat.scale alpha a) (Cmat.scale beta b) in
+  check_small ~tol:1e-12 "alpha A + beta B"
+    (Cmat.norm_fro (Cmat.sub (Sparse.to_dense s) expected))
+
+let test_sparse_lu_matches_dense () =
+  let rng = Rng.create 217 in
+  List.iter
+    (fun (n, density) ->
+      let sp = random_sparse rng n density in
+      let d = Sparse.to_dense sp in
+      let f = Sparse_lu.factorize sp in
+      let b = Cmat.random rng n 3 in
+      let xs = Sparse_lu.solve f b in
+      let xd = Lu.solve_mat d b in
+      check_small ~tol:1e-7 "sparse = dense solve"
+        (Cmat.norm_fro (Cmat.sub xs xd) /. (1. +. Cmat.norm_fro xd));
+      (* residual check too *)
+      let resid = Cmat.sub (Cmat.mul d xs) b in
+      check_small ~tol:1e-8 "residual"
+        (Cmat.norm_fro resid /. (1. +. Cmat.norm_fro b)))
+    [ (5, 2); (20, 3); (60, 4); (120, 3) ]
+
+let test_sparse_lu_permuted_identity () =
+  (* a permutation matrix exercises the pivoting bookkeeping *)
+  let n = 8 in
+  let b = Sparse.create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    Sparse.add b ((i + 3) mod n) i Cx.one
+  done;
+  let sp = Sparse.compress b in
+  let f = Sparse_lu.factorize sp in
+  let rng = Rng.create 219 in
+  let rhs = Cmat.random rng n 1 in
+  let x = Sparse_lu.solve f rhs in
+  let resid = Cmat.sub (Sparse.mul_vec sp x) rhs in
+  check_small ~tol:1e-12 "permutation solve" (Cmat.norm_fro resid)
+
+let test_sparse_lu_singular () =
+  let b = Sparse.create ~rows:3 ~cols:3 in
+  Sparse.add b 0 0 Cx.one;
+  Sparse.add b 1 1 Cx.one;
+  (* column 2 empty -> structurally singular *)
+  let sp = Sparse.compress b in
+  match Sparse_lu.factorize sp with
+  | exception Sparse_lu.Singular _ -> ()
+  | _ -> Alcotest.fail "singular accepted"
+
+let test_sparse_rcm_correct_and_helpful () =
+  (* correctness of the RCM-ordered factorization on a 2-D grid, and the
+     fill should not be (much) worse than natural order *)
+  let nx = 15 in
+  let n = nx * nx in
+  let b = Sparse.create ~rows:n ~cols:n in
+  let rng = Rng.create 223 in
+  let node i j = (i * nx) + j in
+  for i = 0 to nx - 1 do
+    for j = 0 to nx - 1 do
+      Sparse.add b (node i j) (node i j) (Cx.add (cx 4. 0.) (Rng.complex_gaussian rng));
+      if i + 1 < nx then begin
+        Sparse.add b (node i j) (node (i + 1) j) (cx (-1.) 0.);
+        Sparse.add b (node (i + 1) j) (node i j) (cx (-1.) 0.)
+      end;
+      if j + 1 < nx then begin
+        Sparse.add b (node i j) (node i (j + 1)) (cx (-1.) 0.);
+        Sparse.add b (node i (j + 1)) (node i j) (cx (-1.) 0.)
+      end
+    done
+  done;
+  let sp = Sparse.compress b in
+  let rhs = Cmat.random rng n 1 in
+  let f_nat = Sparse_lu.factorize ~ordering:`Natural sp in
+  let f_rcm = Sparse_lu.factorize ~ordering:`Rcm sp in
+  let x_nat = Sparse_lu.solve f_nat rhs in
+  let x_rcm = Sparse_lu.solve f_rcm rhs in
+  check_small ~tol:1e-9 "same solution"
+    (Cmat.norm_fro (Cmat.sub x_nat x_rcm) /. (1. +. Cmat.norm_fro x_nat));
+  let resid = Cmat.sub (Sparse.mul_vec sp x_rcm) rhs in
+  check_small ~tol:1e-9 "rcm residual" (Cmat.norm_fro resid);
+  Alcotest.(check bool)
+    (Printf.sprintf "fill sane (nat %d, rcm %d)" (Sparse_lu.fill f_nat)
+       (Sparse_lu.fill f_rcm))
+    true
+    (Sparse_lu.fill f_rcm <= 2 * Sparse_lu.fill f_nat)
+
+let test_sparse_permute () =
+  let rng = Rng.create 227 in
+  let d = Cmat.random rng 6 6 in
+  let sp = Sparse.of_dense d in
+  let perm = [| 3; 1; 5; 0; 2; 4 |] in
+  let pd = Sparse.to_dense (Sparse.permute sp ~perm) in
+  for i = 0 to 5 do
+    for jcol = 0 to 5 do
+      check_small ~tol:0. "permuted entry"
+        (Cx.abs (Cx.sub (Cmat.get pd i jcol) (Cmat.get d perm.(i) perm.(jcol))))
+    done
+  done;
+  match Sparse.permute sp ~perm:[| 0; 0; 1; 2; 3; 4 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-permutation accepted"
+
+let test_sparse_lu_fill_reported () =
+  let rng = Rng.create 221 in
+  let sp = random_sparse rng 30 2 in
+  let f = Sparse_lu.factorize sp in
+  Alcotest.(check bool) "fill >= nnz" true (Sparse_lu.fill f >= Sparse.nnz sp)
+
+(* ------------------------------------------------------------------ *)
+(* Property-based tests *)
+
+let small_dim = QCheck.Gen.int_range 1 8
+
+let gen_cmat =
+  QCheck.Gen.(
+    small_dim >>= fun m ->
+    small_dim >>= fun n ->
+    int_bound 1_000_000 >|= fun seed ->
+    let rng = Rng.create seed in
+    Cmat.random rng m n)
+
+let arb_cmat =
+  QCheck.make gen_cmat
+    ~print:(fun m -> Format.asprintf "%dx%d matrix@.%a" (Cmat.rows m) (Cmat.cols m) Cmat.pp m)
+
+let gen_square =
+  QCheck.Gen.(
+    int_range 1 10 >>= fun n ->
+    int_bound 1_000_000 >|= fun seed ->
+    let rng = Rng.create seed in
+    Cmat.random rng n n)
+
+let arb_square =
+  QCheck.make gen_square
+    ~print:(fun m -> Format.asprintf "%dx%d matrix@.%a" (Cmat.rows m) (Cmat.cols m) Cmat.pp m)
+
+let prop_ctranspose_involution =
+  QCheck.Test.make ~name:"ctranspose involution" ~count:50 arb_cmat (fun a ->
+      Cmat.equal ~tol:0. (Cmat.ctranspose (Cmat.ctranspose a)) a)
+
+let prop_mul_ctranspose =
+  QCheck.Test.make ~name:"(AB)* = B* A*" ~count:50
+    QCheck.(pair arb_square arb_square)
+    (fun (a, b) ->
+      QCheck.assume (Cmat.cols a = Cmat.rows b);
+      let lhs = Cmat.ctranspose (Cmat.mul a b) in
+      let rhs = Cmat.mul (Cmat.ctranspose b) (Cmat.ctranspose a) in
+      Cmat.equal ~tol:1e-10 lhs rhs)
+
+let prop_fro_triangle =
+  QCheck.Test.make ~name:"Frobenius triangle inequality" ~count:50
+    QCheck.(pair arb_square arb_square)
+    (fun (a, b) ->
+      QCheck.assume (Cmat.dims a = Cmat.dims b);
+      Cmat.norm_fro (Cmat.add a b) <= Cmat.norm_fro a +. Cmat.norm_fro b +. 1e-12)
+
+let prop_lu_solve =
+  QCheck.Test.make ~name:"LU solve residual" ~count:40 arb_square (fun a ->
+      match Lu.factorize a with
+      | exception Lu.Singular _ -> true
+      | f ->
+        if Lu.rcond_est a < 1e-8 then true
+        else begin
+          let n = Cmat.rows a in
+          let rng = Rng.create 1 in
+          let b = Cmat.random rng n 1 in
+          let x = Lu.solve f b in
+          let resid = Cmat.norm_fro (Cmat.sub (Cmat.mul a x) b) in
+          resid <= 1e-7 *. (Cmat.norm_fro a *. Cmat.norm_fro x +. Cmat.norm_fro b)
+        end)
+
+let prop_svd_reconstruct =
+  QCheck.Test.make ~name:"SVD reconstruction" ~count:40 arb_cmat (fun a ->
+      let d = Svd.decompose a in
+      Cmat.norm_fro (Cmat.sub (Svd.reconstruct d) a) <= 1e-9 *. (1. +. Cmat.norm_fro a))
+
+let prop_svd_norm_bound =
+  QCheck.Test.make ~name:"sigma_max bounds Frobenius" ~count:40 arb_cmat (fun a ->
+      let d = Svd.decompose a in
+      let k = Array.length d.Svd.sigma in
+      if k = 0 then true
+      else
+        d.Svd.sigma.(0) <= Cmat.norm_fro a +. 1e-12
+        && Cmat.norm_fro a <= (sqrt (float_of_int k) *. d.Svd.sigma.(0)) +. 1e-12)
+
+let prop_eig_det =
+  QCheck.Test.make ~name:"product of eigenvalues = det" ~count:30 arb_square (fun a ->
+      match Lu.factorize a with
+      | exception Lu.Singular _ -> true
+      | f ->
+        let det = Lu.det f in
+        let vs = Eig.eigenvalues a in
+        let prod = Array.fold_left Cx.mul Cx.one vs in
+        Cx.abs (Cx.sub det prod) <= 1e-6 *. (1. +. Cx.abs det))
+
+let prop_qr_preserves_norm =
+  QCheck.Test.make ~name:"Q preserves norms" ~count:40 arb_square (fun a ->
+      let f = Qr.factorize a in
+      let rng = Rng.create 2 in
+      let b = Cmat.random rng (Cmat.rows a) 1 in
+      let qb = Qr.apply_q f b in
+      abs_float (Cmat.norm_fro qb -. Cmat.norm_fro b) <= 1e-9 *. (1. +. Cmat.norm_fro b))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_ctranspose_involution; prop_mul_ctranspose; prop_fro_triangle;
+      prop_lu_solve; prop_svd_reconstruct; prop_svd_norm_bound; prop_eig_det;
+      prop_qr_preserves_norm ]
+
+let () =
+  Alcotest.run "linalg"
+    [ ("cx",
+       [ Alcotest.test_case "arithmetic" `Quick test_cx_arith;
+         Alcotest.test_case "abs and conj" `Quick test_cx_abs_conj;
+         Alcotest.test_case "polar" `Quick test_cx_polar;
+         Alcotest.test_case "add_mul" `Quick test_cx_add_mul ]);
+      ("rng",
+       [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+         Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
+         Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+         Alcotest.test_case "int bounds" `Quick test_rng_int_bounds ]);
+      ("rmat",
+       [ Alcotest.test_case "mul" `Quick test_rmat_mul;
+         Alcotest.test_case "transpose" `Quick test_rmat_transpose;
+         Alcotest.test_case "mul_tn" `Quick test_rmat_mul_tn;
+         Alcotest.test_case "blocks" `Quick test_rmat_blocks;
+         Alcotest.test_case "norms" `Quick test_rmat_norms ]);
+      ("cmat",
+       [ Alcotest.test_case "mul" `Quick test_cmat_mul;
+         Alcotest.test_case "mul_cn" `Quick test_cmat_mul_cn;
+         Alcotest.test_case "ctranspose" `Quick test_cmat_ctranspose;
+         Alcotest.test_case "blocks" `Quick test_cmat_blocks;
+         Alcotest.test_case "select" `Quick test_cmat_select;
+         Alcotest.test_case "real round trip" `Quick test_cmat_real_round_trip;
+         Alcotest.test_case "norms" `Quick test_cmat_norms ]);
+      ("lu",
+       [ Alcotest.test_case "solve" `Quick test_lu_solve;
+         Alcotest.test_case "det" `Quick test_lu_det;
+         Alcotest.test_case "inverse" `Quick test_lu_inverse;
+         Alcotest.test_case "singular" `Quick test_lu_singular;
+         Alcotest.test_case "rcond" `Quick test_lu_rcond ]);
+      ("qr",
+       [ Alcotest.test_case "reconstruct" `Quick test_qr_reconstruct;
+         Alcotest.test_case "apply" `Quick test_qr_apply;
+         Alcotest.test_case "solve exact" `Quick test_qr_solve_ls_exact;
+         Alcotest.test_case "solve overdetermined" `Quick test_qr_solve_ls_overdetermined;
+         Alcotest.test_case "orthonormalize" `Quick test_qr_orthonormalize ]);
+      ("svd",
+       [ Alcotest.test_case "diagonal" `Quick test_svd_diag;
+         Alcotest.test_case "reconstruct" `Quick test_svd_reconstruct;
+         Alcotest.test_case "wide" `Quick test_svd_wide;
+         Alcotest.test_case "rank" `Quick test_svd_rank;
+         Alcotest.test_case "ordering" `Quick test_svd_ordering;
+         Alcotest.test_case "pinv" `Quick test_svd_pinv;
+         Alcotest.test_case "algorithms agree" `Quick test_svd_algorithms_agree;
+         Alcotest.test_case "gk graded spectrum" `Quick test_svd_gk_graded_spectrum;
+         Alcotest.test_case "norm2" `Quick test_svd_norm2 ]);
+      ("eig",
+       [ Alcotest.test_case "2x2 rotation" `Quick test_eig_2x2;
+         Alcotest.test_case "triangular" `Quick test_eig_triangular;
+         Alcotest.test_case "companion" `Quick test_eig_companion;
+         Alcotest.test_case "trace = sum" `Quick test_eig_trace_sum;
+         Alcotest.test_case "real conjugate pairs" `Quick test_eig_real_conjugate_pairs;
+         Alcotest.test_case "similarity invariance" `Quick test_eig_similarity_invariance;
+         Alcotest.test_case "right vectors" `Quick test_eig_right_vectors;
+         Alcotest.test_case "diagonal dominant" `Quick test_eig_diag_large ]);
+      ("expm",
+       [ Alcotest.test_case "zero" `Quick test_expm_zero;
+         Alcotest.test_case "diagonal" `Quick test_expm_diagonal;
+         Alcotest.test_case "nilpotent" `Quick test_expm_nilpotent;
+         Alcotest.test_case "rotation" `Quick test_expm_rotation;
+         Alcotest.test_case "inverse" `Quick test_expm_inverse;
+         Alcotest.test_case "det = exp trace" `Quick test_expm_det_trace ]);
+      ("lyapunov",
+       [ Alcotest.test_case "solve" `Quick test_lyapunov_solve;
+         Alcotest.test_case "hermitian psd" `Quick test_lyapunov_hermitian_psd;
+         Alcotest.test_case "known scalar" `Quick test_lyapunov_known_scalar;
+         Alcotest.test_case "unstable rejected" `Quick test_lyapunov_unstable_rejected ]);
+      ("chol",
+       [ Alcotest.test_case "factorize" `Quick test_chol_factorize;
+         Alcotest.test_case "solve" `Quick test_chol_solve;
+         Alcotest.test_case "indefinite" `Quick test_chol_indefinite ]);
+      ("sylvester",
+       [ Alcotest.test_case "solve" `Quick test_sylvester_solve;
+         Alcotest.test_case "singular" `Quick test_sylvester_singular ]);
+      ("sparse",
+       [ Alcotest.test_case "round trip" `Quick test_sparse_round_trip;
+         Alcotest.test_case "duplicates" `Quick test_sparse_duplicates_accumulate;
+         Alcotest.test_case "mul_vec" `Quick test_sparse_mul_vec;
+         Alcotest.test_case "scale_add" `Quick test_sparse_scale_add;
+         Alcotest.test_case "lu matches dense" `Quick test_sparse_lu_matches_dense;
+         Alcotest.test_case "lu permutation" `Quick test_sparse_lu_permuted_identity;
+         Alcotest.test_case "lu singular" `Quick test_sparse_lu_singular;
+         Alcotest.test_case "lu fill" `Quick test_sparse_lu_fill_reported;
+         Alcotest.test_case "permute" `Quick test_sparse_permute;
+         Alcotest.test_case "rcm ordering" `Quick test_sparse_rcm_correct_and_helpful ]);
+      ("properties", props) ]

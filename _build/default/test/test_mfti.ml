@@ -1,0 +1,590 @@
+(* Tests for the MFTI core: tangential data, Loewner pencil,
+   realification, SVD reduction, Algorithm 1/2, VFTI baseline. *)
+
+open Linalg
+open Statespace
+open Mfti
+
+let check_small ?(tol = 1e-9) msg x =
+  if abs_float x > tol then Alcotest.failf "%s: |%.3g| exceeds tol %.1g" msg x tol
+
+(* A modest test system: order 12, 3 ports, full-rank D. *)
+let test_spec =
+  { Random_sys.order = 12; ports = 3; rank_d = 3; freq_lo = 100.;
+    freq_hi = 1e5; damping = 0.08; seed = 42 }
+
+let test_system = Random_sys.generate test_spec
+
+(* order + rank_d = 15; with 3 ports Theorem 3.5 says 6 samples suffice. *)
+let sample_freqs k = Sampling.logspace 100. 1e5 k
+let samples k = Sampling.sample_system test_system (sample_freqs k)
+
+(* validation grid deliberately off the sampling grid *)
+let validation_samples =
+  Sampling.sample_system test_system (Sampling.logspace 150. 0.9e5 41)
+
+(* ------------------------------------------------------------------ *)
+(* Tangential *)
+
+let test_tangential_structure () =
+  let data = Tangential.build (samples 6) in
+  Alcotest.(check int) "right blocks" 6 (Array.length data.Tangential.right);
+  Alcotest.(check int) "left blocks" 6 (Array.length data.Tangential.left);
+  Alcotest.(check int) "right width" 18 (Tangential.right_width data);
+  Alcotest.(check int) "left width" 18 (Tangential.left_width data);
+  (* conjugate pairs adjacent *)
+  for g = 0 to 2 do
+    let b0 = data.Tangential.right.(2 * g) in
+    let b1 = data.Tangential.right.((2 * g) + 1) in
+    check_small "lambda conjugate"
+      (Cx.abs (Cx.sub b1.Tangential.lambda (Cx.conj b0.Tangential.lambda)));
+    Alcotest.(check bool) "shared direction" true
+      (Cmat.equal ~tol:0. b0.Tangential.r b1.Tangential.r);
+    Alcotest.(check bool) "conjugated data" true
+      (Cmat.equal ~tol:0. b1.Tangential.w (Cmat.conj b0.Tangential.w))
+  done
+
+let test_tangential_data_consistency () =
+  (* W = S R and V = L S at the matching frequencies *)
+  let smps = samples 6 in
+  let data = Tangential.build smps in
+  for g = 0 to 2 do
+    let rb = data.Tangential.right.(2 * g) in
+    let s = smps.(2 * g).Sampling.s in
+    check_small "W = S R"
+      (Cmat.norm_fro (Cmat.sub rb.Tangential.w (Cmat.mul s rb.Tangential.r)));
+    let lb = data.Tangential.left.(2 * g) in
+    let s' = smps.((2 * g) + 1).Sampling.s in
+    check_small "V = L S"
+      (Cmat.norm_fro (Cmat.sub lb.Tangential.v (Cmat.mul lb.Tangential.l s')))
+  done
+
+let test_tangential_validation () =
+  (match Tangential.build (samples 5) with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "odd sample count accepted");
+  (match Tangential.build [| (samples 2).(0) |] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "single sample accepted");
+  (match Tangential.build ~weight:(Tangential.Uniform 7) (samples 6) with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "oversized width accepted");
+  (match Tangential.build ~weight:(Tangential.Per_sample [| 1; 2 |]) (samples 6) with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "wrong weight length accepted");
+  let dup = [| (samples 2).(0); (samples 2).(0) |] in
+  match Tangential.build dup with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate frequency accepted"
+
+let test_trim_even () =
+  let s = samples 6 in
+  let odd = Array.sub s 0 5 in
+  Alcotest.(check int) "trimmed" 4 (Array.length (Tangential.trim_even odd));
+  Alcotest.(check int) "even untouched" 6 (Array.length (Tangential.trim_even s))
+
+let test_tangential_weights () =
+  let data = Tangential.build ~weight:(Tangential.Uniform 2) (samples 6) in
+  Alcotest.(check int) "uniform width" 12 (Tangential.right_width data);
+  let data =
+    Tangential.build ~weight:(Tangential.Per_sample [| 1; 2; 3; 1; 2; 3 |]) (samples 6)
+  in
+  (* samples 0,2,4 are right: widths 1,3,2 -> with conjugates: 12 *)
+  Alcotest.(check int) "per-sample width" 12 (Tangential.right_width data);
+  Alcotest.(check (list int)) "right sizes"
+    [ 1; 1; 3; 3; 2; 2 ]
+    (Array.to_list (Tangential.right_sizes data))
+
+let test_vector_build () =
+  let data = Tangential.build_vector (samples 8) in
+  Alcotest.(check int) "vector width" 8 (Tangential.right_width data);
+  Array.iter
+    (fun b -> Alcotest.(check int) "width 1" 1 (Cmat.cols b.Tangential.r))
+    data.Tangential.right
+
+(* ------------------------------------------------------------------ *)
+(* Loewner *)
+
+let test_loewner_shape () =
+  let data = Tangential.build (samples 6) in
+  let p = Loewner.build data in
+  Alcotest.(check (pair int int)) "LL dims" (18, 18) (Cmat.dims p.Loewner.ll);
+  Alcotest.(check (pair int int)) "W dims" (3, 18) (Cmat.dims p.Loewner.w);
+  Alcotest.(check (pair int int)) "V dims" (18, 3) (Cmat.dims p.Loewner.v)
+
+let test_loewner_sylvester () =
+  let data = Tangential.build (samples 6) in
+  let p = Loewner.build data in
+  let r1, r2 = Loewner.sylvester_residuals p in
+  let scale = Cmat.norm_fro p.Loewner.sll +. 1. in
+  check_small ~tol:1e-10 "Sylvester (13) for LL" (r1 /. scale);
+  check_small ~tol:1e-10 "Sylvester (13) for sLL" (r2 /. scale)
+
+let test_loewner_matches_sylvester_solve () =
+  let data = Tangential.build ~weight:(Tangential.Uniform 2) (samples 6) in
+  let p = Loewner.build data in
+  let ll2 = Loewner.ll_via_sylvester p in
+  check_small ~tol:1e-10 "divided differences = Sylvester solve"
+    (Cmat.norm_fro (Cmat.sub ll2 p.Loewner.ll) /. (1. +. Cmat.norm_fro p.Loewner.ll))
+
+let test_loewner_rank_bound () =
+  (* Lemma 3.3: rank(x LL - sLL) <= order + rank D = 15 even though the
+     pencil is 18x18. *)
+  let data = Tangential.build (samples 6) in
+  let p = Loewner.build data in
+  let _, _, pencil_sigma = Svd_reduce.fig1_singular_values p in
+  Alcotest.(check int) "pencil size" 18 (Array.length pencil_sigma);
+  let rank =
+    Array.fold_left (fun acc s -> if s > 1e-8 *. pencil_sigma.(0) then acc + 1 else acc)
+      0 pencil_sigma
+  in
+  Alcotest.(check int) "rank = order + rank D" 15 rank
+
+let test_loewner_ll_rank () =
+  (* empirical observation in the paper: rank(LL) ~ order *)
+  let data = Tangential.build (samples 6) in
+  let p = Loewner.build data in
+  let ll_sigma, _, _ = Svd_reduce.fig1_singular_values p in
+  let rank =
+    Array.fold_left (fun acc s -> if s > 1e-8 *. ll_sigma.(0) then acc + 1 else acc)
+      0 ll_sigma
+  in
+  Alcotest.(check int) "rank LL = order" 12 rank
+
+(* ------------------------------------------------------------------ *)
+(* Realify *)
+
+let test_transform_unitary () =
+  let t = Realify.transform_matrix [| 2; 2; 3; 3 |] in
+  Alcotest.(check (pair int int)) "dims" (10, 10) (Cmat.dims t);
+  let id = Cmat.mul_cn t t in
+  check_small ~tol:1e-12 "unitary" (Cmat.norm_fro (Cmat.sub id (Cmat.identity 10)))
+
+let test_transform_validation () =
+  (match Realify.transform_matrix [| 2; 3 |] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "unequal pair accepted");
+  match Realify.transform_matrix [| 2; 2; 1 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "odd block count accepted"
+
+let test_realify_matches_dense_transform () =
+  (* the O(K^2) pairwise application must equal the dense T products *)
+  let data = Tangential.build ~weight:(Tangential.Per_sample [| 2; 1; 3; 2; 1; 3 |])
+      (samples 6)
+  in
+  let p = Loewner.build data in
+  let fast = Realify.apply p in
+  let tr = Realify.transform_matrix p.Loewner.right_sizes in
+  let tl = Realify.transform_matrix p.Loewner.left_sizes in
+  let dense = Cmat.mul (Cmat.ctranspose tl) (Cmat.mul p.Loewner.ll tr) in
+  check_small ~tol:1e-10 "pairwise = dense (LL)"
+    (Cmat.norm_fro (Cmat.sub fast.Loewner.ll dense)
+     /. (1. +. Cmat.norm_fro dense));
+  let dense_w = Cmat.mul p.Loewner.w tr in
+  check_small ~tol:1e-10 "pairwise = dense (W)"
+    (Cmat.norm_fro (Cmat.sub fast.Loewner.w dense_w)
+     /. (1. +. Cmat.norm_fro dense_w));
+  let dense_v = Cmat.mul (Cmat.ctranspose tl) p.Loewner.v in
+  check_small ~tol:1e-10 "pairwise = dense (V)"
+    (Cmat.norm_fro (Cmat.sub fast.Loewner.v dense_v)
+     /. (1. +. Cmat.norm_fro dense_v))
+
+let test_realify_produces_real () =
+  let data = Tangential.build (samples 6) in
+  let p = Realify.apply (Loewner.build data) in
+  check_small ~tol:1e-12 "imaginary residue" (Realify.imaginary_residue p)
+
+let test_realify_preserves_singular_values () =
+  (* T is unitary, so the pencil's singular values are invariant *)
+  let data = Tangential.build (samples 6) in
+  let p = Loewner.build data in
+  let pr = Realify.apply p in
+  let s1 = Svd.values p.Loewner.ll and s2 = Svd.values pr.Loewner.ll in
+  Array.iteri
+    (fun i s ->
+      check_small ~tol:1e-9 "invariant sigma" ((s -. s2.(i)) /. (1. +. s)))
+    s1
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 1: recovery *)
+
+let fit_default k = Algorithm1.fit (samples k)
+
+let test_minimal_samples_estimate () =
+  Alcotest.(check int) "theorem 3.5"
+    6 (Svd_reduce.minimal_samples ~order:12 ~rank_d:3 ~inputs:3 ~outputs:3);
+  Alcotest.(check int) "example 1 numbers"
+    6 (Svd_reduce.minimal_samples ~order:150 ~rank_d:30 ~inputs:30 ~outputs:30)
+
+let test_exact_recovery () =
+  let result = fit_default 6 in
+  Alcotest.(check int) "detected order" 15 result.Algorithm1.rank;
+  (* interpolation conditions (10) *)
+  let resid = Tangential.max_residual result.Algorithm1.model result.Algorithm1.data in
+  check_small ~tol:1e-6 "tangential residual" resid;
+  (* true recovery: error off the sampling grid *)
+  let verr = Metrics.err result.Algorithm1.model validation_samples in
+  check_small ~tol:1e-7 "validation ERR" verr
+
+let test_full_matrix_interpolation () =
+  (* Lemma 3.1: with t = m = p and full-rank directions the whole matrix
+     is matched at every sample frequency. *)
+  let smps = samples 6 in
+  let result = Algorithm1.fit smps in
+  Array.iter
+    (fun smp ->
+      let h = Descriptor.eval_freq result.Algorithm1.model smp.Sampling.freq in
+      check_small ~tol:1e-6 "H(j2pifi) = S(fi)"
+        (Cmat.norm_fro (Cmat.sub h smp.Sampling.s)
+         /. (1. +. Cmat.norm_fro smp.Sampling.s)))
+    smps
+
+let test_real_model () =
+  let result = fit_default 6 in
+  Alcotest.(check bool) "model real" true
+    (Descriptor.is_real ~tol:1e-8 result.Algorithm1.model)
+
+let test_pencil_mode_recovery () =
+  let options =
+    { Algorithm1.default_options with
+      real_model = false;
+      mode = Svd_reduce.Pencil None }
+  in
+  let result = Algorithm1.fit ~options (samples 6) in
+  let verr = Metrics.err result.Algorithm1.model validation_samples in
+  check_small ~tol:1e-7 "pencil-mode validation ERR" verr
+
+let test_undersampled_fails () =
+  (* 4 samples -> K = 12 < 15: recovery impossible *)
+  let result = fit_default 4 in
+  let verr = Metrics.err result.Algorithm1.model validation_samples in
+  Alcotest.(check bool) "undersampled is inaccurate" true (verr > 1e-3)
+
+let test_uniform_weight_recovery () =
+  (* t = 2: 16 samples give K = 32 >= 15 *)
+  let options =
+    { Algorithm1.default_options with weight = Tangential.Uniform 2 }
+  in
+  let result = Algorithm1.fit ~options (samples 16) in
+  let verr = Metrics.err result.Algorithm1.model validation_samples in
+  check_small ~tol:1e-6 "t=2 validation ERR" verr
+
+let test_identity_directions_recovery () =
+  let options =
+    { Algorithm1.default_options with directions = Direction.Identity_cycle }
+  in
+  let result = Algorithm1.fit ~options (samples 6) in
+  let verr = Metrics.err result.Algorithm1.model validation_samples in
+  check_small ~tol:1e-7 "identity directions" verr
+
+let test_determinism () =
+  let r1 = fit_default 6 and r2 = fit_default 6 in
+  Alcotest.(check bool) "same sigma" true
+    (r1.Algorithm1.sigma = r2.Algorithm1.sigma);
+  Alcotest.(check bool) "same E" true
+    (Cmat.equal ~tol:0. r1.Algorithm1.model.Descriptor.e
+       r2.Algorithm1.model.Descriptor.e)
+
+let test_fixed_rank_rule () =
+  let options =
+    { Algorithm1.default_options with rank_rule = Svd_reduce.Fixed 10 }
+  in
+  let result = Algorithm1.fit ~options (samples 6) in
+  Alcotest.(check int) "clipped order" 10 result.Algorithm1.rank;
+  Alcotest.(check int) "model order" 10
+    (Descriptor.order result.Algorithm1.model)
+
+let test_per_sample_weights_recovery () =
+  (* uneven widths produce a non-square Loewner pencil; the projection
+     must still recover the system when enough columns are present *)
+  let weight = Tangential.Per_sample [| 3; 2; 3; 2; 3; 2; 3; 2; 3; 2 |] in
+  let options = { Algorithm1.default_options with weight } in
+  let result = Algorithm1.fit ~options (samples 10) in
+  let p = result.Algorithm1.loewner in
+  Alcotest.(check bool) "non-square pencil" true
+    (Cmat.rows p.Loewner.ll <> Cmat.cols p.Loewner.ll);
+  let verr = Metrics.err result.Algorithm1.model validation_samples in
+  check_small ~tol:1e-6 "non-square recovery" verr
+
+let test_pencil_explicit_x0 () =
+  let data = Tangential.build (samples 6) in
+  let pencil = Loewner.build data in
+  (* x0 = mu_0 must also satisfy Lemma 3.4 *)
+  let x0 = pencil.Loewner.mu.(0) in
+  let reduced =
+    Svd_reduce.reduce ~mode:(Svd_reduce.Pencil (Some x0)) pencil
+  in
+  Alcotest.(check int) "rank at x0 = mu0" 15 reduced.Svd_reduce.rank;
+  let verr = Metrics.err reduced.Svd_reduce.model validation_samples in
+  check_small ~tol:1e-7 "x0 = mu0 recovery" verr
+
+let test_model_transient_matches_original () =
+  (* end-to-end: the fitted macromodel must track the original system in
+     the time domain, not just at the sample frequencies *)
+  let result = fit_default 8 in
+  let dt = 1e-7 and steps = 400 in
+  let original = Timedomain.step_response test_system ~port:0 ~dt ~steps in
+  let fitted =
+    Timedomain.step_response result.Algorithm1.model ~port:0 ~dt ~steps
+  in
+  let worst = ref 0. in
+  for k = 0 to steps do
+    let a = Cmat.get original.Timedomain.outputs 1 k in
+    let b = Cmat.get fitted.Timedomain.outputs 1 k in
+    worst := Stdlib.max !worst (Cx.abs (Cx.sub a b))
+  done;
+  check_small ~tol:1e-5 "transient agreement" !worst
+
+let test_metrics_err_vector () =
+  let smps = samples 4 in
+  let e = Metrics.err_vector test_system smps in
+  Alcotest.(check int) "length" 4 (Array.length e);
+  Array.iter (fun x -> check_small ~tol:1e-12 "truth err" x) e;
+  (* a deliberately wrong model: scaled system *)
+  let wrong =
+    Descriptor.create ~e:test_system.Descriptor.e ~a:test_system.Descriptor.a
+      ~b:test_system.Descriptor.b
+      ~c:(Cmat.scale_float 2. test_system.Descriptor.c)
+      ~d:(Cmat.scale_float 2. test_system.Descriptor.d)
+  in
+  Array.iter
+    (fun x -> check_small ~tol:1e-9 "relative error of 2x model" (x -. 1.))
+    (Metrics.err_vector wrong smps)
+
+(* ------------------------------------------------------------------ *)
+(* VFTI baseline *)
+
+let test_vfti_undersampled () =
+  (* 8 vector samples only span rank 8 < 15: cannot recover *)
+  let result = Vfti.fit (samples 8) in
+  Alcotest.(check bool) "rank capped by samples" true (result.Algorithm1.rank <= 8);
+  let verr = Metrics.err result.Algorithm1.model validation_samples in
+  Alcotest.(check bool) "VFTI under-sampled fails" true (verr > 1e-3)
+
+let test_vfti_with_enough_samples () =
+  let result = Vfti.fit (samples 40) in
+  let verr = Metrics.err result.Algorithm1.model validation_samples in
+  check_small ~tol:1e-5 "VFTI recovers with 40 samples" verr
+
+let test_mfti_beats_vfti_undersampled () =
+  let k = 8 in
+  let m = Algorithm1.fit (samples k) in
+  let v = Vfti.fit (samples k) in
+  let em = Metrics.err m.Algorithm1.model validation_samples in
+  let ev = Metrics.err v.Algorithm1.model validation_samples in
+  Alcotest.(check bool) "MFTI better by 1000x" true (em *. 1000. < ev)
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 2 *)
+
+let test_algorithm2_noise_free () =
+  let options =
+    { Algorithm2.default_options with
+      weight = Tangential.Full; batch = 4; threshold = 1e-8 }
+  in
+  let result = Algorithm2.fit ~options (samples 12) in
+  Alcotest.(check bool) "subset selected" true
+    (result.Algorithm2.selected_units <= result.Algorithm2.total_units);
+  let verr = Metrics.err result.Algorithm2.model validation_samples in
+  check_small ~tol:1e-6 "recursive recovery" verr
+
+let test_algorithm2_stops_early () =
+  (* loose threshold: should stop well before consuming all units *)
+  let options =
+    { Algorithm2.default_options with
+      weight = Tangential.Full; batch = 3; threshold = 1e-6 }
+  in
+  let result = Algorithm2.fit ~options (samples 20) in
+  Alcotest.(check bool) "early stop" true
+    (result.Algorithm2.selected_units < result.Algorithm2.total_units);
+  Alcotest.(check bool) "history recorded" true
+    (Array.length result.Algorithm2.history >= 1)
+
+let test_algorithm2_exhausts_on_impossible_threshold () =
+  let options =
+    { Algorithm2.default_options with
+      weight = Tangential.Uniform 1; batch = 64; threshold = 0.;
+      max_iterations = 3 }
+  in
+  let result = Algorithm2.fit ~options (samples 8) in
+  (* batch 64 > total units: single iteration consumes everything *)
+  Alcotest.(check int) "all units" result.Algorithm2.total_units
+    result.Algorithm2.selected_units;
+  Alcotest.(check int) "one iteration" 1 result.Algorithm2.iterations
+
+let test_algorithm2_validation () =
+  (match Algorithm2.fit ~options:{ Algorithm2.default_options with batch = 0 }
+           (samples 6) with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "batch 0 accepted");
+  match Algorithm2.fit
+          ~options:{ Algorithm2.default_options with max_iterations = 0 }
+          (samples 6) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "max_iterations 0 accepted"
+
+let test_auto_noise_rank () =
+  (* noisy data: Auto_noise should land near the informative rank without
+     a hand-set tolerance *)
+  let spec = { Random_sys.default_spec with order = 20; ports = 4;
+               rank_d = 4; seed = 31 } in
+  let sys = Random_sys.generate spec in
+  let clean = Sampling.sample_system sys (Sampling.logspace 10. 1e5 30) in
+  let noisy = Rf.Noise.add_relative ~seed:8 ~level:1e-4 clean in
+  let options =
+    { Algorithm1.default_options with
+      weight = Tangential.Uniform 2; rank_rule = Svd_reduce.Auto_noise }
+  in
+  let auto = Algorithm1.fit ~options noisy in
+  let e = Metrics.err auto.Algorithm1.model clean in
+  Alcotest.(check bool) "reasonable auto rank" true
+    (auto.Algorithm1.rank >= 10 && auto.Algorithm1.rank <= 50);
+  Alcotest.(check bool)
+    (Printf.sprintf "auto-noise fit usable (ERR %.2e)" e) true (e < 0.05)
+
+let test_auto_noise_on_clean_falls_back () =
+  (* noise-free data: Auto_noise must behave like the gap rule *)
+  let options =
+    { Algorithm1.default_options with rank_rule = Svd_reduce.Auto_noise }
+  in
+  let r = Algorithm1.fit ~options (samples 8) in
+  Alcotest.(check int) "gap fallback" 15 r.Algorithm1.rank;
+  check_small ~tol:1e-7 "still exact"
+    (Metrics.err r.Algorithm1.model validation_samples)
+
+(* property: exact recovery at the Theorem 3.5 minimal sampling, across
+   random systems *)
+let prop_minimal_recovery =
+  let gen =
+    QCheck.Gen.(
+      int_range 2 5 >>= fun ports ->
+      int_range 1 4 >>= fun blocks ->
+      int_range 0 ports >>= fun rank_d ->
+      int_bound 10_000 >|= fun seed -> (ports, 2 * blocks * ports, rank_d, seed))
+  in
+  let arb =
+    QCheck.make gen ~print:(fun (p, n, r, s) ->
+        Printf.sprintf "ports=%d order=%d rank_d=%d seed=%d" p n r s)
+  in
+  QCheck.Test.make ~name:"recovery at k_min across random systems" ~count:15 arb
+    (fun (ports, order, rank_d, seed) ->
+      let spec =
+        { Random_sys.order; ports; rank_d; freq_lo = 100.; freq_hi = 1e5;
+          damping = 0.1; seed }
+      in
+      let sys = Random_sys.generate spec in
+      let k =
+        Svd_reduce.minimal_samples ~order ~rank_d ~inputs:ports ~outputs:ports
+      in
+      (* a couple of extra samples buys margin for weakly observable modes *)
+      let k = k + 2 in
+      let smps = Sampling.sample_system sys (Sampling.logspace 100. 1e5 k) in
+      let r = Algorithm1.fit smps in
+      let vgrid = Sampling.sample_system sys (Sampling.logspace 130. 0.9e5 11) in
+      Metrics.err r.Algorithm1.model vgrid < 1e-5)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_zero_for_truth () =
+  check_small ~tol:1e-12 "ERR of the true system"
+    (Metrics.err test_system validation_samples)
+
+let test_metrics_report () =
+  let s = Metrics.report ~name:"truth" test_system (samples 4) in
+  Alcotest.(check bool) "mentions name" true
+    (String.length s > 0 && String.sub s 0 5 = "truth")
+
+(* ------------------------------------------------------------------ *)
+(* Direction generators *)
+
+let test_direction_orthonormal () =
+  let r = Direction.right (Direction.Orthonormal 3) ~block:2 ~ports:5 ~size:3 in
+  let g = Cmat.mul_cn r r in
+  check_small ~tol:1e-10 "orthonormal columns"
+    (Cmat.norm_fro (Cmat.sub g (Cmat.identity 3)));
+  check_small "real" (Cmat.max_imag r)
+
+let test_direction_identity_cycle () =
+  let r = Direction.right Direction.Identity_cycle ~block:0 ~ports:3 ~size:3 in
+  check_small "identity block 0"
+    (Cmat.norm_fro (Cmat.sub r (Cmat.identity 3)));
+  let r1 = Direction.right Direction.Identity_cycle ~block:1 ~ports:3 ~size:2 in
+  (* block 1, size 2: columns e_2, e_0 *)
+  check_small "cycled e2" (Cx.abs (Cx.sub (Cmat.get r1 2 0) Cx.one));
+  check_small "cycled e0" (Cx.abs (Cx.sub (Cmat.get r1 0 1) Cx.one))
+
+let test_direction_validation () =
+  (match Direction.right Direction.Identity_cycle ~block:0 ~ports:3 ~size:4 with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "oversize accepted");
+  match Direction.left (Direction.Orthonormal 0) ~block:0 ~ports:3 ~size:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero size accepted"
+
+let test_direction_left_shape () =
+  let l = Direction.left (Direction.Orthonormal 1) ~block:0 ~ports:4 ~size:2 in
+  Alcotest.(check (pair int int)) "left dims" (2, 4) (Cmat.dims l);
+  let g = Cmat.mul l (Cmat.ctranspose l) in
+  check_small ~tol:1e-10 "orthonormal rows"
+    (Cmat.norm_fro (Cmat.sub g (Cmat.identity 2)))
+
+let () =
+  Alcotest.run "mfti"
+    [ ("direction",
+       [ Alcotest.test_case "orthonormal" `Quick test_direction_orthonormal;
+         Alcotest.test_case "identity cycle" `Quick test_direction_identity_cycle;
+         Alcotest.test_case "validation" `Quick test_direction_validation;
+         Alcotest.test_case "left shape" `Quick test_direction_left_shape ]);
+      ("tangential",
+       [ Alcotest.test_case "structure" `Quick test_tangential_structure;
+         Alcotest.test_case "data consistency" `Quick test_tangential_data_consistency;
+         Alcotest.test_case "validation" `Quick test_tangential_validation;
+         Alcotest.test_case "trim_even" `Quick test_trim_even;
+         Alcotest.test_case "weights" `Quick test_tangential_weights;
+         Alcotest.test_case "vector build" `Quick test_vector_build ]);
+      ("loewner",
+       [ Alcotest.test_case "shape" `Quick test_loewner_shape;
+         Alcotest.test_case "sylvester identities" `Quick test_loewner_sylvester;
+         Alcotest.test_case "sylvester construction" `Quick test_loewner_matches_sylvester_solve;
+         Alcotest.test_case "rank bound (lemma 3.3)" `Quick test_loewner_rank_bound;
+         Alcotest.test_case "LL rank = order" `Quick test_loewner_ll_rank ]);
+      ("realify",
+       [ Alcotest.test_case "transform unitary" `Quick test_transform_unitary;
+         Alcotest.test_case "transform validation" `Quick test_transform_validation;
+         Alcotest.test_case "pairwise = dense" `Quick test_realify_matches_dense_transform;
+         Alcotest.test_case "produces real" `Quick test_realify_produces_real;
+         Alcotest.test_case "preserves sigma" `Quick test_realify_preserves_singular_values ]);
+      ("algorithm1",
+       [ Alcotest.test_case "minimal samples (thm 3.5)" `Quick test_minimal_samples_estimate;
+         Alcotest.test_case "exact recovery" `Quick test_exact_recovery;
+         Alcotest.test_case "full-matrix interpolation (lemma 3.1)" `Quick test_full_matrix_interpolation;
+         Alcotest.test_case "real model (lemma 3.2)" `Quick test_real_model;
+         Alcotest.test_case "pencil mode (lemma 3.4)" `Quick test_pencil_mode_recovery;
+         Alcotest.test_case "undersampled fails" `Quick test_undersampled_fails;
+         Alcotest.test_case "uniform weight" `Quick test_uniform_weight_recovery;
+         Alcotest.test_case "identity directions" `Quick test_identity_directions_recovery;
+         Alcotest.test_case "determinism" `Quick test_determinism;
+         Alcotest.test_case "fixed rank" `Quick test_fixed_rank_rule;
+         Alcotest.test_case "per-sample weights" `Quick test_per_sample_weights_recovery;
+         Alcotest.test_case "pencil explicit x0" `Quick test_pencil_explicit_x0;
+         Alcotest.test_case "transient agreement" `Quick test_model_transient_matches_original ]);
+      ("vfti",
+       [ Alcotest.test_case "undersampled fails" `Quick test_vfti_undersampled;
+         Alcotest.test_case "enough samples recover" `Quick test_vfti_with_enough_samples;
+         Alcotest.test_case "MFTI beats VFTI" `Quick test_mfti_beats_vfti_undersampled ]);
+      ("algorithm2",
+       [ Alcotest.test_case "noise-free recovery" `Quick test_algorithm2_noise_free;
+         Alcotest.test_case "early stop" `Quick test_algorithm2_stops_early;
+         Alcotest.test_case "exhaustion" `Quick test_algorithm2_exhausts_on_impossible_threshold;
+         Alcotest.test_case "validation" `Quick test_algorithm2_validation ]);
+      ("metrics",
+       [ Alcotest.test_case "zero for truth" `Quick test_metrics_zero_for_truth;
+         Alcotest.test_case "err vector" `Quick test_metrics_err_vector;
+         Alcotest.test_case "report" `Quick test_metrics_report ]);
+      ("rank rules",
+       [ Alcotest.test_case "auto-noise on noisy data" `Quick test_auto_noise_rank;
+         Alcotest.test_case "auto-noise clean fallback" `Quick test_auto_noise_on_clean_falls_back ]);
+      ("properties",
+       [ QCheck_alcotest.to_alcotest prop_minimal_recovery ]) ]

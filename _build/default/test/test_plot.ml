@@ -1,0 +1,103 @@
+(* Tests for the SVG chart writer. *)
+
+let series label points = { Plot.Svg.label; points }
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let render_simple () =
+  Plot.Svg.render ~title:"t" ~xlabel:"x" ~ylabel:"y"
+    ~xaxis:Plot.Svg.Linear ~yaxis:Plot.Svg.Linear
+    [ series "alpha" [| (0., 1.); (1., 2.); (2., 0.5) |];
+      series "beta" [| (0., 3.); (2., 1.) |] ]
+
+let test_render_basic () =
+  let svg = render_simple () in
+  Alcotest.(check bool) "is svg" true (contains ~needle:"<svg" svg);
+  Alcotest.(check bool) "closes" true (contains ~needle:"</svg>" svg);
+  Alcotest.(check bool) "legend alpha" true (contains ~needle:"alpha" svg);
+  Alcotest.(check bool) "legend beta" true (contains ~needle:"beta" svg);
+  (* two data paths *)
+  let count needle s =
+    let n = ref 0 and i = ref 0 in
+    let nl = String.length needle in
+    while !i + nl <= String.length s do
+      if String.sub s !i nl = needle then incr n;
+      incr i
+    done;
+    !n
+  in
+  Alcotest.(check int) "two paths" 2 (count "<path" svg)
+
+let test_render_escapes () =
+  let svg =
+    Plot.Svg.render ~title:"a < b & c" ~xlabel:"x" ~ylabel:"y"
+      ~xaxis:Plot.Svg.Linear ~yaxis:Plot.Svg.Linear
+      [ series "s" [| (0., 1.); (1., 1.) |] ]
+  in
+  Alcotest.(check bool) "escaped" true (contains ~needle:"a &lt; b &amp; c" svg);
+  Alcotest.(check bool) "no raw <b" false (contains ~needle:"a < b" svg)
+
+let test_log_axis_filters () =
+  (* nonpositive values must be dropped, not crash the log transform *)
+  let svg =
+    Plot.Svg.render ~title:"t" ~xlabel:"x" ~ylabel:"y"
+      ~xaxis:Plot.Svg.Log ~yaxis:Plot.Svg.Log
+      [ series "s" [| (1., 1.); (10., 0.1); (-5., 3.); (100., 0.) |] ]
+  in
+  Alcotest.(check bool) "rendered" true (contains ~needle:"<path" svg);
+  Alcotest.(check bool) "decade tick" true (contains ~needle:"1e" svg)
+
+let test_render_empty_rejected () =
+  (match Plot.Svg.render ~title:"t" ~xlabel:"x" ~ylabel:"y"
+           ~xaxis:Plot.Svg.Linear ~yaxis:Plot.Svg.Linear [] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "empty accepted");
+  (* all-filtered is also empty *)
+  match Plot.Svg.render ~title:"t" ~xlabel:"x" ~ylabel:"y"
+          ~xaxis:Plot.Svg.Log ~yaxis:Plot.Svg.Log
+          [ series "s" [| (-1., -1.) |] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "all-filtered accepted"
+
+let test_render_nan_skipped () =
+  let svg =
+    Plot.Svg.render ~title:"t" ~xlabel:"x" ~ylabel:"y"
+      ~xaxis:Plot.Svg.Linear ~yaxis:Plot.Svg.Linear
+      [ series "s" [| (0., 1.); (1., Float.nan); (2., 2.) |] ]
+  in
+  Alcotest.(check bool) "no nan in output" false (contains ~needle:"nan" svg)
+
+let test_write_file () =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "mfti_plot_test.svg" in
+  Plot.Svg.write_file path ~title:"t" ~xlabel:"x" ~ylabel:"y"
+    ~xaxis:Plot.Svg.Linear ~yaxis:Plot.Svg.Linear
+    [ series "s" [| (0., 0.); (1., 1.) |] ];
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "file holds svg" true (contains ~needle:"</svg>" text)
+
+let test_single_point () =
+  (* degenerate ranges must not divide by zero *)
+  let svg =
+    Plot.Svg.render ~title:"t" ~xlabel:"x" ~ylabel:"y"
+      ~xaxis:Plot.Svg.Linear ~yaxis:Plot.Svg.Linear
+      [ series "s" [| (5., 5.) |] ]
+  in
+  Alcotest.(check bool) "rendered" true (contains ~needle:"<path" svg);
+  Alcotest.(check bool) "finite coordinates" false (contains ~needle:"nan" svg)
+
+let () =
+  Alcotest.run "plot"
+    [ ("svg",
+       [ Alcotest.test_case "basic" `Quick test_render_basic;
+         Alcotest.test_case "escaping" `Quick test_render_escapes;
+         Alcotest.test_case "log filtering" `Quick test_log_axis_filters;
+         Alcotest.test_case "empty rejected" `Quick test_render_empty_rejected;
+         Alcotest.test_case "nan skipped" `Quick test_render_nan_skipped;
+         Alcotest.test_case "file io" `Quick test_write_file;
+         Alcotest.test_case "single point" `Quick test_single_point ]) ]

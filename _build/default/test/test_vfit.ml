@@ -1,0 +1,209 @@
+(* Tests for the vector-fitting baseline. *)
+
+open Linalg
+open Statespace
+open Vfit
+
+let check_small ?(tol = 1e-9) msg x =
+  if abs_float x > tol then Alcotest.failf "%s: |%.3g| exceeds tol %.1g" msg x tol
+
+let cx re im = Cx.make re im
+
+(* ------------------------------------------------------------------ *)
+(* Basis *)
+
+let test_basis_initial () =
+  let b = Basis.initial ~n:8 ~freq_lo:10. ~freq_hi:1e5 in
+  Alcotest.(check int) "size" 8 (Basis.size b);
+  let ps = Basis.poles b in
+  Alcotest.(check int) "pole count" 8 (Array.length ps);
+  Array.iter
+    (fun p -> Alcotest.(check bool) "stable start" true (Cx.re p < 0.))
+    ps;
+  (* conjugate closure *)
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "conjugate present" true
+        (Array.exists (fun q -> Cx.abs (Cx.sub q (Cx.conj p)) < 1e-9 *. (1. +. Cx.abs p)) ps))
+    ps
+
+let test_basis_initial_odd () =
+  let b = Basis.initial ~n:7 ~freq_lo:10. ~freq_hi:1e4 in
+  Alcotest.(check int) "size" 7 (Basis.size b);
+  let reals =
+    Array.to_list (Basis.poles b) |> List.filter (fun p -> Cx.im p = 0.)
+  in
+  Alcotest.(check int) "one real pole" 1 (List.length reals)
+
+let test_basis_row_residues_agree () =
+  (* sum_n coeff_n phi_n(s) must equal sum_poles residue/(s - pole) *)
+  let b = Basis.initial ~n:5 ~freq_lo:100. ~freq_hi:1e4 in
+  let rng = Rng.create 8 in
+  let coeffs = Array.init 5 (fun _ -> Rng.gaussian rng) in
+  let residues = Basis.residues b coeffs in
+  let poles = Basis.poles b in
+  let s = cx 12.5 7777. in
+  let via_basis =
+    let row = Basis.row b s in
+    Array.fold_left Cx.add Cx.zero
+      (Array.mapi (fun i f -> Cx.scale coeffs.(i) f) row)
+  in
+  let via_residues =
+    Array.fold_left Cx.add Cx.zero
+      (Array.mapi (fun i r -> Cx.div r (Cx.sub s poles.(i))) residues)
+  in
+  check_small ~tol:1e-12 "basis = residue form"
+    (Cx.abs (Cx.sub via_basis via_residues))
+
+let test_basis_of_poles_round_trip () =
+  let b = Basis.initial ~n:6 ~freq_lo:10. ~freq_hi:1e3 in
+  let ps = Basis.poles b in
+  let b2 = Basis.of_poles ps in
+  Alcotest.(check int) "size preserved" 6 (Basis.size b2);
+  let ps2 = Basis.poles b2 in
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "pole preserved" true
+        (Array.exists (fun q -> Cx.abs (Cx.sub q p) < 1e-9 *. (1. +. Cx.abs p)) ps2))
+    ps
+
+let test_relocation_identity () =
+  (* zero sigma coefficients: the relocation matrix is just A, whose
+     eigenvalues are the current poles *)
+  let b = Basis.initial ~n:4 ~freq_lo:10. ~freq_hi:1e3 in
+  let m = Basis.relocation_matrix b (Array.make 4 0.) in
+  let eigs = Eig.eigenvalues_real m in
+  let ps = Basis.poles b in
+  Array.iter
+    (fun p ->
+      let best =
+        Array.fold_left (fun acc e -> Stdlib.min acc (Cx.abs (Cx.sub p e)))
+          infinity eigs
+      in
+      check_small ~tol:1e-6 "eig = pole" (best /. (1. +. Cx.abs p)))
+    ps
+
+let test_enforce_stability () =
+  let b = { Basis.groups = [| Basis.Real 3.; Basis.Pair (cx 2. 5.) |] } in
+  let b' = Basis.enforce_stability b in
+  Array.iter
+    (fun p -> Alcotest.(check bool) "now stable" true (Cx.re p < 0.))
+    (Basis.poles b')
+
+(* ------------------------------------------------------------------ *)
+(* Vf on known systems *)
+
+let siso_system =
+  (* two resonant pairs, order 4 *)
+  Random_sys.generate
+    { Random_sys.order = 4; ports = 1; rank_d = 0; freq_lo = 100.;
+      freq_hi = 1e4; damping = 0.1; seed = 21 }
+
+let mimo_system =
+  Random_sys.generate
+    { Random_sys.order = 8; ports = 2; rank_d = 2; freq_lo = 100.;
+      freq_hi = 1e4; damping = 0.1; seed = 22 }
+
+let fit_and_err sys ~n_poles ~k =
+  let samples = Sampling.sample_system sys (Sampling.logspace 50. 2e4 k) in
+  let options = { Vf.default_options with n_poles; selection = Vf.All } in
+  let model, _ = Vf.fit ~options samples in
+  let validation = Sampling.sample_system sys (Sampling.logspace 80. 1.5e4 37) in
+  (model, Vf.err model validation)
+
+let test_vf_siso_exact_order () =
+  let model, e = fit_and_err siso_system ~n_poles:4 ~k:40 in
+  Alcotest.(check int) "order" 4 (Vf.order model);
+  check_small ~tol:1e-6 "validation ERR" e;
+  (* recovered poles match the true system poles *)
+  let true_poles = Eig.eigenvalues siso_system.Descriptor.a in
+  Array.iter
+    (fun p ->
+      let best =
+        Array.fold_left (fun acc q -> Stdlib.min acc (Cx.abs (Cx.sub p q)))
+          infinity true_poles
+      in
+      check_small ~tol:1e-3 "pole recovered" (best /. (1. +. Cx.abs p)))
+    (Vf.poles model)
+
+let test_vf_mimo () =
+  let _, e = fit_and_err mimo_system ~n_poles:10 ~k:60 in
+  check_small ~tol:1e-5 "MIMO validation ERR" e
+
+let test_vf_diagonal_selection () =
+  let samples = Sampling.sample_system mimo_system (Sampling.logspace 50. 2e4 60) in
+  let options = { Vf.default_options with n_poles = 10; selection = Vf.Diagonal } in
+  let model, _ = Vf.fit ~options samples in
+  let validation = Sampling.sample_system mimo_system (Sampling.logspace 80. 1.5e4 31) in
+  check_small ~tol:1e-4 "diagonal-selection ERR" (Vf.err model validation)
+
+let test_vf_stability_enforced () =
+  let model, _ = fit_and_err mimo_system ~n_poles:12 ~k:50 in
+  Array.iter
+    (fun p -> Alcotest.(check bool) "stable pole" true (Cx.re p < 0.))
+    (Vf.poles model)
+
+let test_vf_model_real () =
+  let model, _ = fit_and_err mimo_system ~n_poles:8 ~k:50 in
+  check_small "D real" (Cmat.max_imag model.Vf.d);
+  Array.iter (fun c -> check_small "coeff real" (Cmat.max_imag c)) model.Vf.coeffs;
+  (* H(conj s) = conj H(s) *)
+  let s = cx 0. 5000. in
+  let h1 = Vf.eval model s and h2 = Vf.eval model (Cx.conj s) in
+  check_small ~tol:1e-10 "conjugate symmetry"
+    (Cmat.norm_fro (Cmat.sub h2 (Cmat.conj h1)))
+
+let test_vf_to_descriptor () =
+  let model, _ = fit_and_err mimo_system ~n_poles:6 ~k:50 in
+  let sys = Vf.to_descriptor model in
+  Alcotest.(check int) "realization order" (6 * 2) (Descriptor.order sys);
+  Alcotest.(check bool) "real realization" true (Descriptor.is_real sys);
+  (* descriptor evaluation matches partial-fraction evaluation *)
+  List.iter
+    (fun f ->
+      let h1 = Vf.eval_freq model f in
+      let h2 = Descriptor.eval_freq sys f in
+      check_small ~tol:1e-8 "realization matches"
+        (Cmat.norm_fro (Cmat.sub h1 h2) /. (1. +. Cmat.norm_fro h1)))
+    [ 123.; 1e3; 9e3 ]
+
+let test_vf_history () =
+  let samples = Sampling.sample_system siso_system (Sampling.logspace 50. 2e4 30) in
+  let options = { Vf.default_options with n_poles = 4; iterations = 5 } in
+  let _, diag = Vf.fit ~options samples in
+  Alcotest.(check int) "iterations" 5 diag.Vf.iterations_run;
+  Alcotest.(check int) "history length" 6 (Array.length diag.Vf.pole_history)
+
+let test_vf_validation () =
+  let samples = Sampling.sample_system siso_system (Sampling.logspace 50. 2e4 10) in
+  (match Vf.fit ~options:{ Vf.default_options with n_poles = 0 } samples with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "0 poles accepted");
+  match Vf.fit [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty samples accepted"
+
+let test_vf_determinism () =
+  let m1, _ = fit_and_err siso_system ~n_poles:4 ~k:30 in
+  let m2, _ = fit_and_err siso_system ~n_poles:4 ~k:30 in
+  Alcotest.(check bool) "same D" true (Cmat.equal ~tol:0. m1.Vf.d m2.Vf.d)
+
+let () =
+  Alcotest.run "vfit"
+    [ ("basis",
+       [ Alcotest.test_case "initial" `Quick test_basis_initial;
+         Alcotest.test_case "initial odd" `Quick test_basis_initial_odd;
+         Alcotest.test_case "row/residues agree" `Quick test_basis_row_residues_agree;
+         Alcotest.test_case "of_poles round trip" `Quick test_basis_of_poles_round_trip;
+         Alcotest.test_case "relocation identity" `Quick test_relocation_identity;
+         Alcotest.test_case "enforce stability" `Quick test_enforce_stability ]);
+      ("vf",
+       [ Alcotest.test_case "siso exact order" `Quick test_vf_siso_exact_order;
+         Alcotest.test_case "mimo" `Quick test_vf_mimo;
+         Alcotest.test_case "diagonal selection" `Quick test_vf_diagonal_selection;
+         Alcotest.test_case "stability enforced" `Quick test_vf_stability_enforced;
+         Alcotest.test_case "real model" `Quick test_vf_model_real;
+         Alcotest.test_case "to_descriptor" `Quick test_vf_to_descriptor;
+         Alcotest.test_case "history" `Quick test_vf_history;
+         Alcotest.test_case "validation" `Quick test_vf_validation;
+         Alcotest.test_case "determinism" `Quick test_vf_determinism ]) ]
