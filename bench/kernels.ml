@@ -1,0 +1,538 @@
+(* Kernel-level perf trajectory: GEMM, Loewner assembly, Jacobi SVD and
+   the frequency sweep, each timed against its sequential baseline for
+   1 and N domains, written to BENCH_kernels.json.
+
+   Methodology: machine throughput drifts, so every repetition times all
+   arms of one op back-to-back (baseline first) and the reported speedup
+   is the *median of the per-repetition paired ratios* — robust against
+   drift between repetitions in a way the ratio of medians is not.
+   [median_ns] is still the plain per-arm median for absolute context.
+
+   Baselines:
+     - gemm / gemm_cn: the seed scalar kernels, still exported as
+       [Cmat.mul_reference] / [Cmat.mul_cn_reference].
+     - loewner: the seed per-pair assembly (small products + block
+       copies), reimplemented below exactly as it stood.
+     - svd_jacobi / freq_sweep: the same code forced sequential via
+       [Parallel.with_sequential] (there is no separate seed kernel).
+
+   Wall-clock time via [Unix.gettimeofday]: [Sys.time] counts CPU time
+   summed over domains, which is the wrong metric for a parallel run. *)
+
+open Statespace
+open Mfti
+open Linalg
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON: a writer for the report and a parser for the smoke
+   check (no JSON library in the build environment). *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let buf_add_escaped b s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s
+
+  let rec write b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Num x ->
+      if Float.is_integer x && Float.abs x < 1e15 then
+        Buffer.add_string b (Printf.sprintf "%.0f" x)
+      else Buffer.add_string b (Printf.sprintf "%.6g" x)
+    | Str s ->
+      Buffer.add_char b '"';
+      buf_add_escaped b s;
+      Buffer.add_char b '"'
+    | Arr xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string b ", ";
+          write b x)
+        xs;
+      Buffer.add_char b ']'
+    | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_string b ", ";
+          write b (Str k);
+          Buffer.add_string b ": ";
+          write b x)
+        kvs;
+      Buffer.add_char b '}'
+
+  let to_string t =
+    let b = Buffer.create 4096 in
+    write b t;
+    Buffer.contents b
+
+  exception Parse_error of string
+
+  (* Recursive-descent parser, just enough to validate what we emit. *)
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected %c" c)
+    in
+    let literal lit v =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then begin
+        pos := !pos + l;
+        v
+      end
+      else fail ("bad literal " ^ lit)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+            incr pos;
+            (if !pos >= n then fail "bad escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char b '"'
+               | '\\' -> Buffer.add_char b '\\'
+               | '/' -> Buffer.add_char b '/'
+               | 'n' -> Buffer.add_char b '\n'
+               | 't' -> Buffer.add_char b '\t'
+               | 'r' -> Buffer.add_char b '\r'
+               | 'u' ->
+                 if !pos + 4 >= n then fail "bad unicode escape";
+                 let code =
+                   int_of_string ("0x" ^ String.sub s (!pos + 1) 4)
+                 in
+                 pos := !pos + 4;
+                 if code < 128 then Buffer.add_char b (Char.chr code)
+                 else Buffer.add_char b '?'
+               | c -> fail (Printf.sprintf "bad escape \\%c" c));
+            incr pos;
+            go ()
+          | c ->
+            Buffer.add_char b c;
+            incr pos;
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let numchar c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && numchar s.[!pos] do
+        incr pos
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some x -> x
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              incr pos;
+              members ((k, v) :: acc)
+            | Some '}' ->
+              incr pos;
+              List.rev ((k, v) :: acc)
+            | _ -> fail "expected , or }"
+          in
+          Obj (members [])
+        end
+      | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          Arr []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              incr pos;
+              elems (v :: acc)
+            | Some ']' ->
+              incr pos;
+              List.rev (v :: acc)
+            | _ -> fail "expected , or ]"
+          in
+          Arr (elems [])
+        end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+      | None -> fail "unexpected end of input"
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member k = function
+    | Obj kvs -> List.assoc_opt k kvs
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Seed Loewner assembly, kept verbatim as the benchmark baseline: one
+   small product, scale and block copy per (left, right) block pair. *)
+
+let loewner_baseline (data : Tangential.t) =
+  let right = data.Tangential.right and left = data.Tangential.left in
+  let right_sizes = Tangential.right_sizes data in
+  let left_sizes = Tangential.left_sizes data in
+  let kr = Array.fold_left ( + ) 0 right_sizes in
+  let kl = Array.fold_left ( + ) 0 left_sizes in
+  let col_off = Array.make (Array.length right_sizes) 0 in
+  for i = 1 to Array.length right_sizes - 1 do
+    col_off.(i) <- col_off.(i - 1) + right_sizes.(i - 1)
+  done;
+  let row_off = Array.make (Array.length left_sizes) 0 in
+  for i = 1 to Array.length left_sizes - 1 do
+    row_off.(i) <- row_off.(i - 1) + left_sizes.(i - 1)
+  done;
+  let ll = Cmat.zeros kl kr and sll = Cmat.zeros kl kr in
+  Array.iteri
+    (fun i (lb : Tangential.left_block) ->
+      Array.iteri
+        (fun j (rb : Tangential.right_block) ->
+          let denom = Cx.sub lb.Tangential.mu rb.Tangential.lambda in
+          if Cx.abs denom = 0. then
+            invalid_arg "loewner_baseline: coincident points";
+          let inv = Cx.inv denom in
+          let vr = Cmat.mul lb.Tangential.v rb.Tangential.r in
+          let lw = Cmat.mul lb.Tangential.l rb.Tangential.w in
+          let blk = Cmat.scale inv (Cmat.sub vr lw) in
+          let sblk =
+            Cmat.scale inv
+              (Cmat.sub
+                 (Cmat.scale lb.Tangential.mu vr)
+                 (Cmat.scale rb.Tangential.lambda lw))
+          in
+          Cmat.set_sub ll ~r:row_off.(i) ~c:col_off.(j) blk;
+          Cmat.set_sub sll ~r:row_off.(i) ~c:col_off.(j) sblk)
+        right)
+    left;
+  (ll, sll)
+
+(* ------------------------------------------------------------------ *)
+(* Paired timing *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  ignore (Sys.opaque_identity (f ()));
+  Unix.gettimeofday () -. t0
+
+let median a =
+  let a = Array.copy a in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+type row = {
+  op : string;
+  size : string;
+  domains : int;
+  median_ns : float;
+  speedup : float;
+}
+
+(* [arms] = (op, domains, thunk) list; the first arm is the baseline the
+   speedups refer to.  Every rep runs all arms once, in order. *)
+let time_arms ~reps ~size arms =
+  List.iter (fun (_, _, f) -> ignore (Sys.opaque_identity (f ()))) arms;
+  let narm = List.length arms in
+  let times = Array.make_matrix narm reps 0. in
+  for rep = 0 to reps - 1 do
+    List.iteri (fun ai (_, _, f) -> times.(ai).(rep) <- wall f) arms
+  done;
+  List.mapi
+    (fun ai (op, domains, _) ->
+      let med = median times.(ai) in
+      let speedup =
+        if ai = 0 then 1.0
+        else
+          median (Array.init reps (fun r -> times.(0).(r) /. times.(ai).(r)))
+      in
+      { op; size; domains; median_ns = med *. 1e9; speedup })
+    arms
+
+(* ------------------------------------------------------------------ *)
+
+let check label diff scale =
+  let rel = if scale > 0. then diff /. scale else diff in
+  if rel > 1e-10 then
+    failwith (Printf.sprintf "kernels: %s mismatch (rel %g)" label rel);
+  Printf.printf "  check %-28s rel diff %.2e\n%!" label rel
+
+let run ?(smoke = false) () =
+  Util.heading
+    (if smoke then "kernel benchmarks (smoke)" else "kernel benchmarks");
+  let reps = if smoke then 3 else 9 in
+  let ndom = if smoke then 2 else 4 in
+  Parallel.set_domain_count ndom;
+  let rng = Rng.create 20260806 in
+  let rows = ref [] in
+  let emit rs = rows := !rows @ rs in
+
+  (* --- complex GEMM ------------------------------------------------ *)
+  let gemm_sizes = if smoke then [ 40 ] else [ 60; 120; 240 ] in
+  List.iter
+    (fun sz ->
+      let a = Cmat.random rng sz sz and b = Cmat.random rng sz sz in
+      let reference = Cmat.mul_reference a b in
+      let blocked = Cmat.mul a b in
+      check
+        (Printf.sprintf "gemm %d" sz)
+        (Cmat.norm_fro (Cmat.sub reference blocked))
+        (Cmat.norm_fro reference);
+      let size = Printf.sprintf "%dx%dx%d" sz sz sz in
+      emit
+        (time_arms ~reps ~size
+           [ ("gemm_reference", 1, fun () -> Cmat.mul_reference a b);
+             ( "gemm",
+               1,
+               fun () -> Parallel.with_sequential (fun () -> Cmat.mul a b) );
+             ("gemm", ndom, fun () -> Cmat.mul a b) ]))
+    gemm_sizes;
+
+  (* --- conjugate-transpose GEMM ------------------------------------ *)
+  let cn_sizes = if smoke then [ (40, 40, 40) ] else [ (240, 180, 200) ] in
+  List.iter
+    (fun (k, m, n) ->
+      let a = Cmat.random rng k m and b = Cmat.random rng k n in
+      let reference = Cmat.mul_cn_reference a b in
+      check
+        (Printf.sprintf "gemm_cn %dx%dx%d" k m n)
+        (Cmat.norm_fro (Cmat.sub reference (Cmat.mul_cn a b)))
+        (Cmat.norm_fro reference);
+      let size = Printf.sprintf "%dx%dx%d" k m n in
+      emit
+        (time_arms ~reps ~size
+           [ ("gemm_cn_reference", 1, fun () -> Cmat.mul_cn_reference a b);
+             ( "gemm_cn",
+               1,
+               fun () -> Parallel.with_sequential (fun () -> Cmat.mul_cn a b)
+             );
+             ("gemm_cn", ndom, fun () -> Cmat.mul_cn a b) ]))
+    cn_sizes;
+
+  (* --- Loewner assembly -------------------------------------------- *)
+  let loewner_cases =
+    if smoke then [ (2, 8, 8) ] else [ (4, 16, 16); (8, 32, 24) ]
+  in
+  List.iter
+    (fun (ports, nsamples, order) ->
+      let sys =
+        Random_sys.generate
+          { Random_sys.order; ports; rank_d = ports / 2;
+            freq_lo = 100.; freq_hi = 1e5; damping = 0.08; seed = 7 }
+      in
+      let samples =
+        Sampling.sample_system sys (Sampling.logspace 100. 1e5 nsamples)
+      in
+      let data = Tangential.build samples in
+      let pencil = Loewner.build data in
+      let bll, bsll = loewner_baseline data in
+      check
+        (Printf.sprintf "loewner %dp x %ds (LL)" ports nsamples)
+        (Cmat.norm_fro (Cmat.sub pencil.Loewner.ll bll))
+        (Cmat.norm_fro bll);
+      check
+        (Printf.sprintf "loewner %dp x %ds (sLL)" ports nsamples)
+        (Cmat.norm_fro (Cmat.sub pencil.Loewner.sll bsll))
+        (Cmat.norm_fro bsll);
+      let kl = Cmat.rows pencil.Loewner.ll
+      and kr = Cmat.cols pencil.Loewner.ll in
+      let size = Printf.sprintf "%dports_%dsamples_%dx%d" ports nsamples kl kr in
+      emit
+        (time_arms ~reps ~size
+           [ ( "loewner_reference",
+               1,
+               fun () -> ignore (Sys.opaque_identity (loewner_baseline data)) );
+             ( "loewner",
+               1,
+               fun () ->
+                 Parallel.with_sequential (fun () ->
+                     ignore (Sys.opaque_identity (Loewner.build data))) );
+             ( "loewner",
+               ndom,
+               fun () -> ignore (Sys.opaque_identity (Loewner.build data)) ) ]))
+    loewner_cases;
+
+  (* --- one-sided Jacobi SVD ---------------------------------------- *)
+  let svd_cases = if smoke then [ (24, 16) ] else [ (96, 64); (160, 96) ] in
+  List.iter
+    (fun (m, n) ->
+      let a = Cmat.random rng m n in
+      let seq =
+        Parallel.with_sequential (fun () ->
+            Svd.decompose ~algorithm:Svd.Jacobi a)
+      in
+      let par = Svd.decompose ~algorithm:Svd.Jacobi a in
+      let sdiff =
+        Array.fold_left max 0.
+          (Array.map2 (fun x y -> abs_float (x -. y)) seq.Svd.sigma
+             par.Svd.sigma)
+      in
+      check (Printf.sprintf "svd_jacobi %dx%d" m n) sdiff seq.Svd.sigma.(0);
+      let size = Printf.sprintf "%dx%d" m n in
+      emit
+        (time_arms ~reps ~size
+           [ ( "svd_jacobi",
+               1,
+               fun () ->
+                 Parallel.with_sequential (fun () ->
+                     Svd.decompose ~algorithm:Svd.Jacobi a) );
+             ("svd_jacobi", ndom, fun () -> Svd.decompose ~algorithm:Svd.Jacobi a)
+           ]))
+    svd_cases;
+
+  (* --- frequency sweep --------------------------------------------- *)
+  let sweep_cases = if smoke then [ (8, 2, 6) ] else [ (40, 4, 64) ] in
+  List.iter
+    (fun (order, ports, nfreq) ->
+      let sys =
+        Random_sys.generate
+          { Random_sys.order; ports; rank_d = Stdlib.max 1 (ports / 2);
+            freq_lo = 100.; freq_hi = 1e6; damping = 0.05; seed = 3 }
+      in
+      let freqs = Sampling.logspace 100. 1e6 nfreq in
+      let seq =
+        Parallel.with_sequential (fun () -> Sampling.sample_system sys freqs)
+      in
+      let par = Sampling.sample_system sys freqs in
+      let diff =
+        Array.fold_left max 0.
+          (Array.map2
+             (fun (a : Sampling.sample) (b : Sampling.sample) ->
+               Cmat.norm_fro (Cmat.sub a.Sampling.s b.Sampling.s))
+             seq par)
+      in
+      check (Printf.sprintf "freq_sweep n%d x %df" order nfreq) diff 1.0;
+      let size = Printf.sprintf "order%d_%dfreqs" order nfreq in
+      emit
+        (time_arms ~reps ~size
+           [ ( "freq_sweep",
+               1,
+               fun () ->
+                 Parallel.with_sequential (fun () ->
+                     Sampling.sample_system sys freqs) );
+             ("freq_sweep", ndom, fun () -> Sampling.sample_system sys freqs)
+           ]))
+    sweep_cases;
+
+  (* --- report ------------------------------------------------------ *)
+  let rows = !rows in
+  Util.print_table
+    ~header:[ "op"; "size"; "domains"; "median"; "speedup" ]
+    (List.map
+       (fun r ->
+         [ r.op; r.size; string_of_int r.domains;
+           Printf.sprintf "%.3f ms" (r.median_ns /. 1e6);
+           Printf.sprintf "%.2fx" r.speedup ])
+       rows);
+  let json =
+    Json.Obj
+      [ ("schema", Json.Str "mfti-bench-kernels/1");
+        ("generated_by", Json.Str "bench/main.exe kernels");
+        ("smoke", Json.Bool smoke);
+        ("reps", Json.Num (float_of_int reps));
+        ("domains", Json.Num (float_of_int ndom));
+        ( "results",
+          Json.Arr
+            (List.map
+               (fun r ->
+                 Json.Obj
+                   [ ("op", Json.Str r.op);
+                     ("size", Json.Str r.size);
+                     ("domains", Json.Num (float_of_int r.domains));
+                     ("median_ns", Json.Num (Float.round r.median_ns));
+                     ("speedup", Json.Num r.speedup) ])
+               rows) ) ]
+  in
+  let path = if smoke then "BENCH_kernels.smoke.json" else "BENCH_kernels.json" in
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s (%d rows)\n%!" path (List.length rows);
+  (* The smoke run validates the emitted JSON round-trips through the
+     parser with the fields downstream tooling keys on. *)
+  if smoke then begin
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    let parsed = Json.parse text in
+    (match Json.member "results" parsed with
+     | Some (Json.Arr (_ :: _ as rs)) ->
+       List.iter
+         (fun r ->
+           List.iter
+             (fun field ->
+               if Json.member field r = None then
+                 failwith ("kernels: JSON row missing " ^ field))
+             [ "op"; "size"; "domains"; "median_ns"; "speedup" ])
+         rs
+     | _ -> failwith "kernels: JSON missing results array");
+    Printf.printf "smoke: JSON parses, all rows well-formed\n%!"
+  end;
+  Parallel.set_domain_count 1

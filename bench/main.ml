@@ -7,7 +7,9 @@
      dune exec bench/main.exe -- minsample -- Theorem 3.5 / sampling sweep
      dune exec bench/main.exe -- ablation  -- design-choice ablations
      dune exec bench/main.exe -- scale     -- dense vs sparse MNA scaling
-     dune exec bench/main.exe -- micro     -- bechamel micro-benchmarks *)
+     dune exec bench/main.exe -- micro     -- bechamel micro-benchmarks
+     dune exec bench/main.exe -- kernels [--smoke] -- kernel perf trajectory
+                                            (writes BENCH_kernels.json) *)
 
 let commands =
   [ ("fig1", Fig1.run);
@@ -16,13 +18,18 @@ let commands =
     ("minsample", Minsample.run);
     ("ablation", Ablation.run);
     ("scale", Scale.run);
-    ("micro", Micro.run) ]
+    ("micro", Micro.run);
+    ("kernels", Kernels.run ?smoke:None) ]
 
 let run_all () =
   List.iter (fun (_, f) -> f ()) commands
 
 let () =
   match Array.to_list Sys.argv with
+  | _ :: "kernels" :: rest ->
+    (* the one experiment with a flag: --smoke runs tiny sizes and
+       validates the emitted JSON *)
+    Kernels.run ~smoke:(List.mem "--smoke" rest) ()
   | [ _ ] | [ _; "all" ] -> run_all ()
   | [ _; cmd ] ->
     (match List.assoc_opt cmd commands with

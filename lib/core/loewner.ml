@@ -50,27 +50,53 @@ let build (data : Tangential.t) =
         mu.(off + c) <- lb.Tangential.mu
       done)
     left;
-  Array.iteri
-    (fun i (lb : Tangential.left_block) ->
-      Array.iteri
-        (fun j (rb : Tangential.right_block) ->
-          let denom = Cx.sub lb.Tangential.mu rb.Tangential.lambda in
-          if Cx.abs denom = 0. then
+  (* The per-pair products [v_i * r_j] and [l_i * w_j] of the classic
+     assembly are exactly the blocks of the aggregated products [V R]
+     and [L W], so two (parallel, blocked) matrix products replace the
+     kl x kr small-product loop, and the divided differences
+
+       ll(a,b)  = (vr(a,b) - lw(a,b)) / (mu_a - lambda_b)
+       sll(a,b) = (mu_a vr(a,b) - lambda_b lw(a,b)) / (mu_a - lambda_b)
+
+     fill [ll] / [sll] entrywise in place — no per-pair temporaries.
+     Columns write disjoint ranges, so the fill runs on the domain
+     pool; per-entry arithmetic is chunking-invariant, hence results
+     do not depend on the domain count. *)
+  let vr = Cmat.mul v r and lw = Cmat.mul l w in
+  let vrre = Cmat.unsafe_re vr and vrim = Cmat.unsafe_im vr in
+  let lwre = Cmat.unsafe_re lw and lwim = Cmat.unsafe_im lw in
+  let llre = Cmat.unsafe_re ll and llim = Cmat.unsafe_im ll in
+  let sllre = Cmat.unsafe_re sll and sllim = Cmat.unsafe_im sll in
+  Parallel.parallel_for kr (fun j0 j1 ->
+      for jcol = j0 to j1 - 1 do
+        let lam = lambda.(jcol) in
+        let lr = lam.Cx.re and li = lam.Cx.im in
+        let off = jcol * kl in
+        for a = 0 to kl - 1 do
+          let mu_a = mu.(a) in
+          let mr = mu_a.Cx.re and mi = mu_a.Cx.im in
+          (* unboxed complex arithmetic: [Cx.inv] / [Cx.abs] go through
+             scaled division and [hypot], an order of magnitude slower
+             than this fill's worth of flops *)
+          let dr = mr -. lr and di = mi -. li in
+          if dr = 0. && di = 0. then
             invalid_arg "Loewner.build: coincident left and right points";
-          let inv = Cx.inv denom in
-          let vr = Cmat.mul lb.Tangential.v rb.Tangential.r in
-          let lw = Cmat.mul lb.Tangential.l rb.Tangential.w in
-          let blk = Cmat.scale inv (Cmat.sub vr lw) in
-          let sblk =
-            Cmat.scale inv
-              (Cmat.sub
-                 (Cmat.scale lb.Tangential.mu vr)
-                 (Cmat.scale rb.Tangential.lambda lw))
+          let d2 = (dr *. dr) +. (di *. di) in
+          let s = 1. /. d2 in
+          let ir = dr *. s and ii = -.di *. s in
+          let k = off + a in
+          let vr_r = vrre.(k) and vr_i = vrim.(k) in
+          let lw_r = lwre.(k) and lw_i = lwim.(k) in
+          let tr = vr_r -. lw_r and ti = vr_i -. lw_i in
+          llre.(k) <- (tr *. ir) -. (ti *. ii);
+          llim.(k) <- (tr *. ii) +. (ti *. ir);
+          let sr = (mr *. vr_r) -. (mi *. vr_i) -. ((lr *. lw_r) -. (li *. lw_i))
+          and si = (mr *. vr_i) +. (mi *. vr_r) -. ((lr *. lw_i) +. (li *. lw_r))
           in
-          Cmat.set_sub ll ~r:row_off.(i) ~c:col_off.(j) blk;
-          Cmat.set_sub sll ~r:row_off.(i) ~c:col_off.(j) sblk)
-        right)
-    left;
+          sllre.(k) <- (sr *. ir) -. (si *. ii);
+          sllim.(k) <- (sr *. ii) +. (si *. ir)
+        done
+      done);
   { ll; sll; w; v; r; l; lambda; mu; right_sizes; left_sizes }
 
 let sylvester_residuals t =

@@ -59,11 +59,25 @@ val sub : t -> t -> t
 val scale : Cx.t -> t -> t
 val scale_float : float -> t -> t
 
-(** Matrix product. *)
+(** Matrix product.  Small products use a scalar kernel; above roughly
+    [32^3] multiply-adds a cache-blocked kernel takes over: the left
+    operand is packed as [conj(A)^T], the outer loop over result
+    columns is distributed across the {!Parallel} domain pool, and the
+    per-entry dot products run in a vectorized C microkernel.  Results
+    are independent of the domain count (identical chunking-invariant
+    per-entry reductions), though not bit-identical to the scalar
+    reference — agreement is at rounding level (relative [1e-15]ish). *)
 val mul : t -> t -> t
 
-(** [mul_cn a b] is [ctranspose a * b] without forming the transpose. *)
+(** [mul_cn a b] is [ctranspose a * b] without forming the transpose.
+    Same small/blocked dispatch as {!mul}. *)
 val mul_cn : t -> t -> t
+
+(** The pre-blocking scalar kernels, exported as the benchmark baseline
+    (and used internally as the small-size fast path). *)
+val mul_reference : t -> t -> t
+
+val mul_cn_reference : t -> t -> t
 
 (** [axpy alpha x y] returns [alpha*x + y]. *)
 val axpy : Cx.t -> t -> t -> t

@@ -1,0 +1,91 @@
+/* Vectorized microkernel for the blocked complex GEMM.
+ *
+ * The OCaml side packs conj(A)^T so that every result entry is a pair of
+ * contiguous dot products; this stub computes one rows x cols block of
+ * those dots.  Separate re/im arrays (SoA) keep the k-loop a plain
+ * fused-multiply-add reduction that the C compiler vectorizes.
+ *
+ * No allocation, no exceptions, no callbacks into the runtime: the
+ * external is declared [@@noalloc] and raw [float array] data pointers
+ * stay valid for the whole call (this domain cannot reach a GC
+ * safepoint while inside).
+ *
+ * Layouts (column-major, zero-based):
+ *   at : kk x m   column i holds conj of row i of the left operand
+ *   b  : kk x n
+ *   c  : m  x n   entries [ilo,ihi) x [j0,j1) are written, disjointly
+ *                 per parallel chunk.
+ *
+ * For a fixed (i, j) the reduction order depends only on kk and the
+ * pointer values, never on the [j0,j1) chunking, so results are
+ * bit-identical for any domain count.
+ */
+
+#include <caml/mlvalues.h>
+
+/* Elements of an OCaml float array are unboxed doubles stored inline. */
+#define DATA(v) ((double *) Op_val(v))
+
+CAMLprim value mfti_conj_dot_block(value vatre, value vatim, value vbre,
+                                   value vbim, value vcre, value vcim,
+                                   value vkk, value vm, value vilo,
+                                   value vihi, value vj0, value vj1)
+{
+  const double *atre = DATA(vatre);
+  const double *atim = DATA(vatim);
+  const double *bre = DATA(vbre);
+  const double *bim = DATA(vbim);
+  double *cre = DATA(vcre);
+  double *cim = DATA(vcim);
+  long kk = Long_val(vkk);
+  long m = Long_val(vm);
+  long ilo = Long_val(vilo);
+  long ihi = Long_val(vihi);
+  long j0 = Long_val(vj0);
+  long j1 = Long_val(vj1);
+
+  for (long j = j0; j < j1; j++) {
+    const double *brj = bre + j * kk;
+    const double *bij = bim + j * kk;
+    long i = ilo;
+    /* Two result rows per pass reuse each loaded b vector twice. */
+    for (; i + 1 < ihi; i += 2) {
+      const double *a0r = atre + i * kk;
+      const double *a0i = atim + i * kk;
+      const double *a1r = a0r + kk;
+      const double *a1i = a0i + kk;
+      double s0r = 0.0, s0i = 0.0, s1r = 0.0, s1i = 0.0;
+      for (long k = 0; k < kk; k++) {
+        double br = brj[k], bi = bij[k];
+        s0r += a0r[k] * br + a0i[k] * bi;
+        s0i += a0r[k] * bi - a0i[k] * br;
+        s1r += a1r[k] * br + a1i[k] * bi;
+        s1i += a1r[k] * bi - a1i[k] * br;
+      }
+      cre[i + j * m] = s0r;
+      cim[i + j * m] = s0i;
+      cre[i + 1 + j * m] = s1r;
+      cim[i + 1 + j * m] = s1i;
+    }
+    if (i < ihi) {
+      const double *ar = atre + i * kk;
+      const double *ai = atim + i * kk;
+      double sr = 0.0, si = 0.0;
+      for (long k = 0; k < kk; k++) {
+        sr += ar[k] * brj[k] + ai[k] * bij[k];
+        si += ar[k] * bij[k] - ai[k] * brj[k];
+      }
+      cre[i + j * m] = sr;
+      cim[i + j * m] = si;
+    }
+  }
+  return Val_unit;
+}
+
+CAMLprim value mfti_conj_dot_block_byte(value *argv, int argn)
+{
+  (void) argn;
+  return mfti_conj_dot_block(argv[0], argv[1], argv[2], argv[3], argv[4],
+                             argv[5], argv[6], argv[7], argv[8], argv[9],
+                             argv[10], argv[11]);
+}

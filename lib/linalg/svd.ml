@@ -61,38 +61,73 @@ let jacobi_orthogonalize b v =
     done;
     (!accr, !acci)
   in
+  (* One sweep visits every unordered column pair once, scheduled as
+     the circle-method round-robin tournament: n' - 1 rounds of
+     [n' / 2] disjoint pairs (a dummy player pads odd n).  Pairs within
+     a round touch disjoint columns — and disjoint [norms] entries — so
+     their dots and rotations run concurrently on the domain pool.
+     The pairing schedule and the per-pair arithmetic are fixed
+     independently of the chunk decomposition, so the factorization is
+     bit-identical for any domain count. *)
   let sweep () =
     refresh_norms ();
     let worst = ref 0. in
-    for p = 0 to n - 2 do
-      for q = p + 1 to n - 1 do
-        let app = norms.(p) and aqq = norms.(q) in
-        if app > 0. && aqq > 0. then begin
-          let dr, di = col_dot p q in
-          let alpha = Stdlib.sqrt ((dr *. dr) +. (di *. di)) in
-          let rel = alpha /. Stdlib.sqrt (app *. aqq) in
-          if rel > !worst then worst := rel;
-          if rel > conv_tol then begin
-            (* phase of apq *)
-            let phr = dr /. alpha and phi = di /. alpha in
-            (* real symmetric 2x2 [[app, alpha], [alpha, aqq]] *)
-            let theta = (aqq -. app) /. (2. *. alpha) in
-            let tparam =
-              let sign = if theta >= 0. then 1. else -1. in
-              sign /. (abs_float theta +. Stdlib.sqrt (1. +. (theta *. theta)))
-            in
-            let c = 1. /. Stdlib.sqrt (1. +. (tparam *. tparam)) in
-            let s = tparam *. c in
-            rotate br bi m p q c s phr phi;
-            rotate vr vi nv p q c s phr phi;
-            (* rotated Gram diagonal: exact update of the two norms *)
-            let cs2 = 2. *. c *. s *. alpha in
-            let c2 = c *. c and s2 = s *. s in
-            norms.(p) <- (c2 *. app) -. cs2 +. (s2 *. aqq);
-            norms.(q) <- (s2 *. app) +. cs2 +. (c2 *. aqq)
-          end
-        end
-      done
+    let n' = if n land 1 = 0 then n else n + 1 in
+    let npairs = n' / 2 in
+    let perm = Array.init n' (fun i -> i) in
+    let round_rel = Array.make npairs 0. in
+    let dc = Parallel.domain_count () in
+    (* below this much work per round the pool handshake dominates;
+       [chunk = npairs] makes the loop run inline in the caller *)
+    let chunk =
+      if m * npairs < 16384 then npairs
+      else Stdlib.max 1 ((npairs + dc - 1) / dc)
+    in
+    for _round = 0 to n' - 2 do
+      Parallel.parallel_for ~chunk npairs (fun lo hi ->
+          for idx = lo to hi - 1 do
+            round_rel.(idx) <- 0.;
+            let a = perm.(idx) and b = perm.(n' - 1 - idx) in
+            if a < n && b < n then begin
+              let p = Stdlib.min a b and q = Stdlib.max a b in
+              let app = norms.(p) and aqq = norms.(q) in
+              if app > 0. && aqq > 0. then begin
+                let dr, di = col_dot p q in
+                let alpha = Stdlib.sqrt ((dr *. dr) +. (di *. di)) in
+                let rel = alpha /. Stdlib.sqrt (app *. aqq) in
+                round_rel.(idx) <- rel;
+                if rel > conv_tol then begin
+                  (* phase of apq *)
+                  let phr = dr /. alpha and phi = di /. alpha in
+                  (* real symmetric 2x2 [[app, alpha], [alpha, aqq]] *)
+                  let theta = (aqq -. app) /. (2. *. alpha) in
+                  let tparam =
+                    let sign = if theta >= 0. then 1. else -1. in
+                    sign
+                    /. (abs_float theta +. Stdlib.sqrt (1. +. (theta *. theta)))
+                  in
+                  let c = 1. /. Stdlib.sqrt (1. +. (tparam *. tparam)) in
+                  let s = tparam *. c in
+                  rotate br bi m p q c s phr phi;
+                  rotate vr vi nv p q c s phr phi;
+                  (* rotated Gram diagonal: exact update of the two norms *)
+                  let cs2 = 2. *. c *. s *. alpha in
+                  let c2 = c *. c and s2 = s *. s in
+                  norms.(p) <- (c2 *. app) -. cs2 +. (s2 *. aqq);
+                  norms.(q) <- (s2 *. app) +. cs2 +. (c2 *. aqq)
+                end
+              end
+            end
+          done);
+      for idx = 0 to npairs - 1 do
+        if round_rel.(idx) > !worst then worst := round_rel.(idx)
+      done;
+      (* advance the tournament: hold position 0, rotate the rest *)
+      let last = perm.(n' - 1) in
+      for i = n' - 1 downto 2 do
+        perm.(i) <- perm.(i - 1)
+      done;
+      perm.(1) <- last
     done;
     !worst
   in

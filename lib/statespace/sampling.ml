@@ -28,7 +28,24 @@ let clustered ~lo ~hi ~split ~fraction n =
   Array.append low high
 
 let sample_system sys freqs =
-  Array.map (fun freq -> { freq; s = Descriptor.eval_freq sys freq }) freqs
+  let n = Array.length freqs in
+  if n = 0 then [||]
+  else begin
+    (* Each sample is an independent (E s - A) solve, so the sweep
+       fans out per frequency on the domain pool; slots are written
+       disjointly and the per-sample arithmetic does not depend on
+       the chunking, so the result is identical for any domain
+       count.  [chunk:1] because solve cost dominates handshakes. *)
+    let out =
+      Array.make n { freq = 0.; s = Cmat.create 0 0 }
+    in
+    Parallel.parallel_for ~chunk:1 n (fun lo hi ->
+        for i = lo to hi - 1 do
+          let freq = freqs.(i) in
+          out.(i) <- { freq; s = Descriptor.eval_freq sys freq }
+        done);
+    out
+  end
 
 let of_matrices freqs ms =
   if Array.length freqs <> Array.length ms then
