@@ -37,13 +37,49 @@ let seed_arg =
   let doc = "Random seed (directions, placement, noise)." in
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
 
-let load path =
-  let data = Rf.Touchstone.read_file path in
+let policy_arg =
+  let lenient =
+    let doc =
+      "Best-effort recovery of dirty Touchstone input: lines with \
+       unparseable tokens, truncated trailing records, non-finite values \
+       and duplicate frequency points are dropped (reported on stderr) \
+       instead of rejecting the file."
+    in
+    (Rf.Touchstone.Lenient, Arg.info [ "lenient" ] ~doc)
+  in
+  let strict =
+    let doc = "Reject dirty Touchstone input with a parse error (default)." in
+    (Rf.Touchstone.Strict, Arg.info [ "strict" ] ~doc)
+  in
+  Arg.(value & vflag Rf.Touchstone.Strict [ lenient; strict ])
+
+(* Errors anywhere below surface as [Mfti_error.Error]; this is the one
+   place they are rendered and mapped to a sysexits-style process exit
+   code (64 usage, 65 data, 70 numerical). *)
+let guarded f =
+  match f () with
+  | code -> code
+  | exception Linalg.Mfti_error.Error e ->
+    Printf.eprintf "mfti: %s\n" (Linalg.Mfti_error.to_string e);
+    Linalg.Mfti_error.exit_code e
+  | exception Rf.Touchstone.Parse_error msg ->
+    Printf.eprintf "mfti: parse error: %s\n" msg;
+    65
+
+let load ?(policy = Rf.Touchstone.Strict) path =
+  let data =
+    match Rf.Touchstone.read_file_result ~policy path with
+    | Ok data -> data
+    | Error e -> Linalg.Mfti_error.raise_error e
+  in
   if data.Rf.Touchstone.parameter <> Rf.Touchstone.S then
     Printf.eprintf "note: treating %s data as generic frequency response\n"
       (match data.Rf.Touchstone.parameter with
        | Rf.Touchstone.Y -> "Y" | Rf.Touchstone.Z -> "Z" | Rf.Touchstone.S -> "S");
   data
+
+let print_diagnostics diag =
+  Printf.eprintf "diagnostics: %s\n%!" (Linalg.Diag.summary diag)
 
 let weight_of_width ~samples w =
   if w = 0 then Tangential.Full
@@ -86,8 +122,16 @@ let symmetrize_arg =
   let doc = "Symmetrize the data ((S + S^T)/2) before fitting — noise              reduction for reciprocal devices." in
   Arg.(value & flag & info [ "symmetrize" ] ~doc)
 
-let run_fit path algorithm width rank_tol seed poles save_model plot symmetrize =
-  let data = load path in
+let run_fit path policy algorithm width rank_tol seed poles save_model plot
+    symmetrize =
+  guarded @@ fun () ->
+  let load_diag = Linalg.Diag.create () in
+  let data = Linalg.Diag.using load_diag (fun () -> load ~policy path) in
+  List.iter
+    (fun (ev : Linalg.Diag.event) ->
+      Printf.eprintf "input recovery [%s]: %s\n" ev.Linalg.Diag.site
+        ev.Linalg.Diag.detail)
+    (Linalg.Diag.events load_diag);
   let samples = Tangential.trim_even data.Rf.Touchstone.samples in
   let samples = if symmetrize then Sampling.symmetrize samples else samples in
   let rank_rule = rank_rule_of_tol rank_tol in
@@ -135,11 +179,13 @@ let run_fit path algorithm width rank_tol seed poles save_model plot symmetrize 
      in
      let r = Algorithm1.fit ~options samples in
      describe "MFTI" r.Algorithm1.model r.Algorithm1.rank;
+     print_diagnostics r.Algorithm1.diagnostics;
      post_process "MFTI" r.Algorithm1.model
    | `Vfti ->
      let options = { Vfti.default_options with rank_rule; directions } in
      let r = Vfti.fit ~options samples in
      describe "VFTI" r.Algorithm1.model r.Algorithm1.rank;
+     print_diagnostics r.Algorithm1.diagnostics;
      post_process "VFTI" r.Algorithm1.model
    | `Mfti2 ->
      let options =
@@ -153,6 +199,7 @@ let run_fit path algorithm width rank_tol seed poles save_model plot symmetrize 
        r.Algorithm2.selected_units r.Algorithm2.total_units
        r.Algorithm2.iterations;
      describe "MFTI-2" r.Algorithm2.model r.Algorithm2.rank;
+     print_diagnostics r.Algorithm2.diagnostics;
      post_process "MFTI-2" r.Algorithm2.model
    | `Vf ->
      let options = { Vfit.Vf.default_options with n_poles = poles } in
@@ -165,9 +212,9 @@ let run_fit path algorithm width rank_tol seed poles save_model plot symmetrize 
 let fit_cmd =
   let info = Cmd.info "fit" ~doc:"Fit a macromodel to sampled data." in
   Cmd.v info
-    Term.(const run_fit $ touchstone_arg $ algorithm_arg $ width_arg
-          $ rank_tol_arg $ seed_arg $ poles_arg $ save_model_arg $ plot_arg
-          $ symmetrize_arg)
+    Term.(const run_fit $ touchstone_arg $ policy_arg $ algorithm_arg
+          $ width_arg $ rank_tol_arg $ seed_arg $ poles_arg $ save_model_arg
+          $ plot_arg $ symmetrize_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gen *)
@@ -203,6 +250,7 @@ let noise_arg =
   Arg.(value & opt float 0. & info [ "noise" ] ~docv:"LEVEL" ~doc)
 
 let run_gen kind out ports points flo fhi noise seed =
+  guarded @@ fun () ->
   let freqs = Sampling.logspace flo fhi points in
   let samples =
     match kind with
@@ -245,6 +293,7 @@ let gen_cmd =
 (* compare *)
 
 let run_compare path rank_tol seed =
+  guarded @@ fun () ->
   let data = load path in
   let samples = Tangential.trim_even data.Rf.Touchstone.samples in
   let rank_rule = rank_rule_of_tol rank_tol in
@@ -294,6 +343,7 @@ let compare_cmd =
 (* info *)
 
 let run_info path =
+  guarded @@ fun () ->
   let data = load path in
   let samples = data.Rf.Touchstone.samples in
   let p, m = Sampling.port_dims samples in

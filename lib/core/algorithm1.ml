@@ -1,3 +1,5 @@
+open Linalg
+
 type options = {
   weight : Tangential.weight;
   directions : Direction.kind;
@@ -19,19 +21,40 @@ type result = {
   sigma : float array;
   data : Tangential.t;
   loewner : Loewner.t;
+  diagnostics : Diag.t;
 }
 
-let fit ?(options = default_options) samples =
-  let data =
-    Tangential.build ~directions:options.directions ~weight:options.weight samples
-  in
-  let pencil = Loewner.build data in
-  let pencil = if options.real_model then Realify.apply pencil else pencil in
-  let reduced =
-    Svd_reduce.reduce ~mode:options.mode ~rank_rule:options.rank_rule pencil
-  in
-  { model = reduced.Svd_reduce.model;
-    rank = reduced.Svd_reduce.rank;
-    sigma = reduced.Svd_reduce.sigma;
-    data;
-    loewner = pencil }
+let fit_result ?(options = default_options) samples =
+  let diagnostics = Diag.create () in
+  Diag.using diagnostics (fun () ->
+      let samples = Statespace.Sampling.fault_corrupt samples in
+      match Statespace.Sampling.validate samples with
+      | Result.Error e -> Result.Error e
+      | Ok () ->
+        Mfti_error.guard ~context:"algorithm1" (fun () ->
+            let data =
+              Tangential.build ~directions:options.directions
+                ~weight:options.weight samples
+            in
+            let pencil = Loewner.build data in
+            let pencil =
+              if options.real_model then Realify.apply pencil else pencil
+            in
+            (match Loewner.check_finite ~context:"algorithm1" pencil with
+             | Ok () -> ()
+             | Result.Error e -> Mfti_error.raise_error e);
+            let reduced =
+              Svd_reduce.reduce ~mode:options.mode ~rank_rule:options.rank_rule
+                pencil
+            in
+            { model = reduced.Svd_reduce.model;
+              rank = reduced.Svd_reduce.rank;
+              sigma = reduced.Svd_reduce.sigma;
+              data;
+              loewner = pencil;
+              diagnostics }))
+
+let fit ?options samples =
+  match fit_result ?options samples with
+  | Ok r -> r
+  | Result.Error e -> Mfti_error.raise_error e

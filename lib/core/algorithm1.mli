@@ -24,8 +24,22 @@ type result = {
   sigma : float array;       (** singular values behind the rank choice *)
   data : Tangential.t;       (** the interpolation data used *)
   loewner : Loewner.t;       (** the (possibly realified) pencil *)
+  diagnostics : Linalg.Diag.t;
+      (** what the numerics did: condition / rank gap of the reduction,
+          fallbacks taken, retries, wall time *)
 }
 
-(** [fit ?options samples] runs Algorithm 1.  Needs an even number of
-    samples at distinct positive frequencies. *)
+(** [fit_result ?options samples] runs Algorithm 1.  Needs an even
+    number of samples at distinct positive frequencies with all-finite
+    entries; anything else is a typed [Validation] error rather than an
+    exception, and numerical trouble surfaces as [Numerical_breakdown]
+    (after the kernel fallback cascades have been exhausted).  The
+    returned [diagnostics] is populated even on clean fits (wall time,
+    condition estimate). *)
+val fit_result :
+  ?options:options -> Statespace.Sampling.sample array ->
+  (result, Linalg.Mfti_error.t) Stdlib.result
+
+(** [fit ?options samples] is {!fit_result} with errors re-raised as
+    {!Linalg.Mfti_error.Error} — the thin compatibility wrapper. *)
 val fit : ?options:options -> Statespace.Sampling.sample array -> result

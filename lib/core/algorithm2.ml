@@ -9,6 +9,8 @@ type options = {
   real_model : bool;
   mode : Svd_reduce.mode;
   rank_rule : Svd_reduce.rank_rule;
+  divergence_factor : float;
+  iteration_budget : float;
 }
 
 let default_options =
@@ -19,7 +21,9 @@ let default_options =
     max_iterations = 64;
     real_model = true;
     mode = Svd_reduce.default_mode;
-    rank_rule = Svd_reduce.default_rank_rule }
+    rank_rule = Svd_reduce.default_rank_rule;
+    divergence_factor = 1e3;
+    iteration_budget = Float.infinity }
 
 type result = {
   model : Statespace.Descriptor.t;
@@ -29,6 +33,7 @@ type result = {
   total_units : int;
   iterations : int;
   history : float array;
+  diagnostics : Diag.t;
 }
 
 (* One selectable unit: a tangential column with its conjugate partner,
@@ -130,64 +135,147 @@ let unit_residual model u =
   let left = Cmat.norm_fro (Cmat.sub (Cmat.mul u.l_row hl) u.v_row) in
   (right +. left) /. Stdlib.max u.norm_u 1e-300
 
-let fit ?(options = default_options) samples =
-  if options.batch < 1 then invalid_arg "Algorithm2: batch must be >= 1";
-  if options.max_iterations < 1 then
-    invalid_arg "Algorithm2: max_iterations must be >= 1";
-  let data =
-    Tangential.build ~directions:options.directions ~weight:options.weight samples
-  in
-  let pencil = Loewner.build data in
-  let units = make_units data pencil in
-  let total = Array.length units in
-  let remaining = ref (Array.to_list (strided_order total options.batch)) in
-  let selected = ref [] in
-  let history = ref [] in
-  let take n lst =
-    let rec go n acc = function
-      | rest when n = 0 -> (List.rev acc, rest)
-      | [] -> (List.rev acc, [])
-      | x :: rest -> go (n - 1) (x :: acc) rest
-    in
-    go n [] lst
-  in
-  let rec loop iter =
-    let batch, rest = take options.batch !remaining in
-    selected := !selected @ batch;
-    remaining := rest;
-    let sub = sub_pencil pencil units !selected in
-    let sub = if options.real_model then Realify.apply sub else sub in
-    let reduced =
-      Svd_reduce.reduce ~mode:options.mode ~rank_rule:options.rank_rule sub
-    in
-    let model = reduced.Svd_reduce.model in
-    match !remaining with
-    | [] ->
-      history := Float.nan :: !history;
-      (model, reduced, iter)
-    | rest ->
-      let errs =
-        List.map (fun u -> (u, unit_residual model units.(u))) rest
-      in
-      let mean =
-        List.fold_left (fun acc (_, e) -> acc +. e) 0. errs
-        /. float_of_int (List.length errs)
-      in
-      history := mean :: !history;
-      if mean <= options.threshold || iter >= options.max_iterations then
-        (model, reduced, iter)
-      else begin
-        (* Visit the worst-fitting held-out units next. *)
-        let sorted = List.sort (fun (_, a) (_, b) -> compare b a) errs in
-        remaining := List.map fst sorted;
-        loop (iter + 1)
-      end
-  in
-  let model, reduced, iterations = loop 1 in
-  { model;
-    rank = reduced.Svd_reduce.rank;
-    sigma = reduced.Svd_reduce.sigma;
-    selected_units = List.length !selected;
-    total_units = total;
-    iterations;
-    history = Array.of_list (List.rev !history) }
+let fit_result ?(options = default_options) samples =
+  let diagnostics = Diag.create () in
+  Diag.using diagnostics (fun () ->
+      let samples = Statespace.Sampling.fault_corrupt samples in
+      match Statespace.Sampling.validate samples with
+      | Result.Error e -> Result.Error e
+      | Ok () ->
+        Mfti_error.guard ~context:"algorithm2" (fun () ->
+            if options.batch < 1 then
+              invalid_arg "Algorithm2: batch must be >= 1";
+            if options.max_iterations < 1 then
+              invalid_arg "Algorithm2: max_iterations must be >= 1";
+            if not (options.divergence_factor > 1.) then
+              invalid_arg "Algorithm2: divergence_factor must be > 1";
+            if not (options.iteration_budget > 0.) then
+              invalid_arg "Algorithm2: iteration_budget must be positive";
+            let start = Unix.gettimeofday () in
+            let data =
+              Tangential.build ~directions:options.directions
+                ~weight:options.weight samples
+            in
+            let pencil = Loewner.build data in
+            (match Loewner.check_finite ~context:"algorithm2" pencil with
+             | Ok () -> ()
+             | Result.Error e -> Mfti_error.raise_error e);
+            let units = make_units data pencil in
+            let total = Array.length units in
+            let remaining =
+              ref (Array.to_list (strided_order total options.batch))
+            in
+            let selected = ref [] in
+            let history = ref [] in
+            (* Best model over the recursion, by mean held-out residual:
+               the divergence and budget guards return it instead of the
+               (worse) model of the iteration that tripped them. *)
+            let best = ref None in
+            let take n lst =
+              let rec go n acc = function
+                | rest when n = 0 -> (List.rev acc, rest)
+                | [] -> (List.rev acc, [])
+                | x :: rest -> go (n - 1) (x :: acc) rest
+              in
+              go n [] lst
+            in
+            let best_or current =
+              match !best with
+              | Some (_, bm, br, bi) -> (bm, br, bi)
+              | None -> current
+            in
+            let rec loop iter =
+              let batch, rest = take options.batch !remaining in
+              selected := !selected @ batch;
+              remaining := rest;
+              let sub = sub_pencil pencil units !selected in
+              let sub = if options.real_model then Realify.apply sub else sub in
+              let reduced =
+                Svd_reduce.reduce ~mode:options.mode
+                  ~rank_rule:options.rank_rule sub
+              in
+              let model = reduced.Svd_reduce.model in
+              match !remaining with
+              | [] ->
+                history := Float.nan :: !history;
+                (model, reduced, iter)
+              | rest ->
+                let errs =
+                  List.map (fun u -> (u, unit_residual model units.(u))) rest
+                in
+                let mean =
+                  List.fold_left (fun acc (_, e) -> acc +. e) 0. errs
+                  /. float_of_int (List.length errs)
+                in
+                (* deterministic injection point for the recursion layer:
+                   residuals exploding across iterations *)
+                let mean =
+                  if Fault.armed "algorithm2.diverge" then
+                    mean *. (10. ** float_of_int (10 * iter))
+                  else mean
+                in
+                history := mean :: !history;
+                let improved =
+                  (not (Float.is_nan mean))
+                  && (match !best with Some (m, _, _, _) -> mean < m | None -> true)
+                in
+                if improved then best := Some (mean, model, reduced, iter);
+                if mean <= options.threshold then (model, reduced, iter)
+                else begin
+                  let diverged =
+                    Float.is_nan mean
+                    || (match !best with
+                        | Some (bmean, _, _, _) ->
+                          mean > options.divergence_factor *. bmean
+                        | None -> false)
+                  in
+                  if diverged then begin
+                    Diag.record ~site:"algorithm2.divergence"
+                      (Printf.sprintf
+                         "held-out residual %.3g exploded past %g x best; \
+                          returning best-so-far model"
+                         mean options.divergence_factor);
+                    best_or (model, reduced, iter)
+                  end
+                  else if iter >= options.max_iterations then begin
+                    Diag.record ~site:"algorithm2.max_iterations"
+                      (Printf.sprintf
+                         "threshold %.3g not reached after %d iterations \
+                          (best residual %.3g)"
+                         options.threshold iter
+                         (match !best with Some (m, _, _, _) -> m | None -> mean));
+                    best_or (model, reduced, iter)
+                  end
+                  else if Unix.gettimeofday () -. start > options.iteration_budget
+                  then begin
+                    Diag.record ~site:"algorithm2.budget_exhausted"
+                      (Printf.sprintf
+                         "wall-time budget %.3g s exhausted at iteration %d; \
+                          returning best-so-far model"
+                         options.iteration_budget iter);
+                    best_or (model, reduced, iter)
+                  end
+                  else begin
+                    (* Visit the worst-fitting held-out units next. *)
+                    let sorted =
+                      List.sort (fun (_, a) (_, b) -> compare b a) errs
+                    in
+                    remaining := List.map fst sorted;
+                    loop (iter + 1)
+                  end
+                end
+            in
+            let model, reduced, iterations = loop 1 in
+            { model;
+              rank = reduced.Svd_reduce.rank;
+              sigma = reduced.Svd_reduce.sigma;
+              selected_units = List.length !selected;
+              total_units = total;
+              iterations;
+              history = Array.of_list (List.rev !history);
+              diagnostics }))
+
+let fit ?options samples =
+  match fit_result ?options samples with
+  | Ok r -> r
+  | Result.Error e -> Mfti_error.raise_error e

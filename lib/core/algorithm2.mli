@@ -23,6 +23,14 @@ type options = {
   real_model : bool;
   mode : Svd_reduce.mode;
   rank_rule : Svd_reduce.rank_rule;
+  divergence_factor : float;
+      (** stop (returning the best model so far) when the mean held-out
+          residual exceeds this factor times the best seen (> 1;
+          default 1e3) *)
+  iteration_budget : float;
+      (** wall-clock budget in seconds for the whole recursion; on
+          exhaustion the best model so far is returned (default
+          [infinity]) *)
 }
 
 val default_options : options
@@ -37,10 +45,23 @@ type result = {
   history : float array;   (** mean held-out relative residual per iteration
                                ([nan] for the final one when nothing is
                                held out) *)
+  diagnostics : Linalg.Diag.t;
+      (** what the numerics did, including which recursion guard (if
+          any) ended the iteration: ["algorithm2.divergence"],
+          ["algorithm2.max_iterations"], ["algorithm2.budget_exhausted"] *)
 }
 
-(** [fit ?options samples] runs the recursion.  Same sample requirements
-    as {!Algorithm1.fit}; additionally the left and right tangential
-    widths must match (they always do with [Full], [Uniform] or a
-    pairwise-equal [Per_sample] weighting). *)
+(** [fit_result ?options samples] runs the recursion.  Same sample
+    requirements as {!Algorithm1.fit_result}; additionally the left and
+    right tangential widths must match (they always do with [Full],
+    [Uniform] or a pairwise-equal [Per_sample] weighting).  Bad options
+    or samples are typed [Validation] errors.  A stalled or diverging
+    recursion is NOT an error: the guards record their trigger in
+    [diagnostics] and the best model found so far is returned. *)
+val fit_result :
+  ?options:options -> Statespace.Sampling.sample array ->
+  (result, Linalg.Mfti_error.t) Stdlib.result
+
+(** [fit ?options samples] is {!fit_result} with errors re-raised as
+    {!Linalg.Mfti_error.Error} — the thin compatibility wrapper. *)
 val fit : ?options:options -> Statespace.Sampling.sample array -> result

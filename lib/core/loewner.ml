@@ -97,7 +97,23 @@ let build (data : Tangential.t) =
           sllim.(k) <- (sr *. ii) +. (si *. ir)
         done
       done);
+  (* Deterministic injection point: a NaN planted in the assembled
+     pencil models numerical garbage propagating out of the divided
+     differences — caught downstream by [check_finite]. *)
+  if Array.length llre > 0 then
+    llre.(0) <- Fault.poison "loewner.poison" llre.(0);
   { ll; sll; w; v; r; l; lambda; mu; right_sizes; left_sizes }
+
+let check_finite ?(context = "loewner") t =
+  if Cmat.is_finite t.ll && Cmat.is_finite t.sll then Ok ()
+  else
+    Result.Error
+      (Mfti_error.Numerical_breakdown
+         { context;
+           message =
+             "non-finite entries in the Loewner pencil (corrupt samples or \
+              near-coincident interpolation points)";
+           condition = None })
 
 let sylvester_residuals t =
   let lw = Cmat.mul t.l t.w in

@@ -25,6 +25,13 @@ type t = {
     undefined; distinct sample frequencies guarantee this never fires). *)
 val build : Tangential.t -> t
 
+(** [check_finite ?context t] verifies that [LL] and [sLL] contain only
+    finite entries, returning a typed [Numerical_breakdown] otherwise —
+    the cheap gate the fitting drivers run before the SVD.  The
+    ["loewner.poison"] fault plants a NaN in [LL] during {!build} so
+    this path can be tested deterministically. *)
+val check_finite : ?context:string -> t -> (unit, Linalg.Mfti_error.t) result
+
 (** Frobenius residuals of the two Sylvester identities (13):
     [LL Lambda - M LL = L W - V R] and
     [sLL Lambda - M sLL = L W Lambda - M V R].  Both are zero up to

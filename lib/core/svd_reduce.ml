@@ -68,6 +68,36 @@ let reduce ?(mode = default_mode) ?(rank_rule = default_rank_rule)
     let d_for_rank = { Svd.u = y; sigma; v = x } in
     pick_rank rank_rule d_for_rank
   in
+  let nsig = Array.length sigma in
+  (* Keeping directions whose singular value sits at the roundoff floor
+     only injects noise into the projected realization; demote the rank
+     past them regardless of how it was chosen (a [Fixed] request can
+     overshoot the numerical rank of a degenerate pencil). *)
+  let rank =
+    if nsig = 0 || rank = 0 then rank
+    else begin
+      let floor = 1e-13 *. sigma.(0) in
+      let r = ref (Stdlib.min rank nsig) in
+      while !r > 1 && not (sigma.(!r - 1) > floor) do
+        decr r
+      done;
+      if !r < rank then
+        Diag.record ~site:"svd_reduce.rank_demotion"
+          (Printf.sprintf
+             "rank %d demoted to %d: trailing singular values at the \
+              roundoff floor (sigma_max %.3g)"
+             rank !r (if nsig > 0 then sigma.(0) else 0.));
+      !r
+    end
+  in
+  (* Pencil conditioning of the retained subspace and the sharpness of
+     the cut, for the fit diagnostics. *)
+  if rank > 0 && nsig > 0 then begin
+    Diag.set_condition (sigma.(0) /. Stdlib.max sigma.(rank - 1) 1e-300);
+    if rank < nsig then
+      Diag.set_rank_gap
+        (log10 (sigma.(rank - 1) /. Stdlib.max sigma.(rank) 1e-300))
+  end;
   let yk = Cmat.sub_matrix y ~r:0 ~c:0 ~rows:(Cmat.rows y) ~cols:rank in
   let xk = Cmat.sub_matrix x ~r:0 ~c:0 ~rows:(Cmat.rows x) ~cols:rank in
   let e = Cmat.neg (Cmat.mul_cn yk (Cmat.mul t.Loewner.ll xk)) in

@@ -38,7 +38,14 @@ type result = {
 val default_mode : mode       (* Stacked *)
 val default_rank_rule : rank_rule  (* Gap *)
 
-(** [reduce ?mode ?rank_rule loewner] projects and realizes. *)
+(** [reduce ?mode ?rank_rule loewner] projects and realizes.
+
+    The chosen rank is automatically demoted past trailing singular
+    values at the roundoff floor ([<= 1e-13 sigma_max]) — keeping them
+    only injects noise into the realization; a demotion is recorded in
+    the ambient {!Linalg.Diag} collector as ["svd_reduce.rank_demotion"].
+    The collector also receives the retained-subspace condition estimate
+    [sigma_max / sigma_rank] and the log10 drop at the cut. *)
 val reduce : ?mode:mode -> ?rank_rule:rank_rule -> Loewner.t -> result
 
 (** Singular values of [LL], [sLL] and [x0 LL - sLL] — the three curves

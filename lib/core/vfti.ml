@@ -11,12 +11,15 @@ let default_options =
     mode = Svd_reduce.default_mode;
     rank_rule = Svd_reduce.default_rank_rule }
 
+let algorithm1_options options =
+  { Algorithm1.weight = Tangential.Uniform 1;
+    directions = options.directions;
+    real_model = options.real_model;
+    mode = options.mode;
+    rank_rule = options.rank_rule }
+
+let fit_result ?(options = default_options) samples =
+  Algorithm1.fit_result ~options:(algorithm1_options options) samples
+
 let fit ?(options = default_options) samples =
-  let opts =
-    { Algorithm1.weight = Tangential.Uniform 1;
-      directions = options.directions;
-      real_model = options.real_model;
-      mode = options.mode;
-      rank_rule = options.rank_rule }
-  in
-  Algorithm1.fit ~options:opts samples
+  Algorithm1.fit ~options:(algorithm1_options options) samples

@@ -16,4 +16,9 @@ type options = {
 
 val default_options : options
 
+(** Typed-error variant, mirroring {!Algorithm1.fit_result}. *)
+val fit_result :
+  ?options:options -> Statespace.Sampling.sample array ->
+  (Algorithm1.result, Linalg.Mfti_error.t) result
+
 val fit : ?options:options -> Statespace.Sampling.sample array -> Algorithm1.result

@@ -365,6 +365,14 @@ let max_abs m =
   done;
   !acc
 
+let is_finite m =
+  let ok = ref true in
+  for k = 0 to Array.length m.re - 1 do
+    if not (Float.is_finite m.re.(k) && Float.is_finite m.im.(k)) then
+      ok := false
+  done;
+  !ok
+
 let norm_one m =
   let best = ref 0. in
   for jcol = 0 to m.cols - 1 do

@@ -111,6 +111,9 @@ val max_abs : t -> float
 (** Spectral norm estimate is in {!Svd}; [norm_one] is the max column sum. *)
 val norm_one : t -> float
 
+(** True when every entry is finite (no NaN / infinity in either part). *)
+val is_finite : t -> bool
+
 (** Euclidean norm of an [n x 1] or [1 x n] matrix. *)
 val vec_norm : t -> float
 

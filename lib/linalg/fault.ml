@@ -1,0 +1,52 @@
+(* Deterministic fault injection.
+
+   A fault spec is a comma-separated list of site names, read once from
+   the MFTI_FAULT environment variable (or set programmatically with
+   [set_spec]).  Code under test sprinkles named injection points
+   ([check] / [armed] / [poison]) at the places a production pipeline
+   can break: parser token streams, matrix entries, iteration budgets,
+   domain-pool workers.  When the site is armed, the injection fires on
+   every visit — deterministically, with no clocks or randomness — so a
+   failing scenario replays exactly.
+
+   The spec lives in an [Atomic.t] because pool workers in other
+   domains consult it ([pool.worker]); sites are plain strings so
+   layers above linalg can add their own without touching this file. *)
+
+exception Injected of string
+
+let parse_spec s =
+  String.split_on_char ',' s
+  |> List.filter_map (fun tok ->
+      let tok = String.trim tok in
+      if tok = "" then None else Some tok)
+
+(* [None] means "not yet read from the environment". *)
+let spec : string list option Atomic.t = Atomic.make None
+
+let current () =
+  match Atomic.get spec with
+  | Some sites -> sites
+  | None ->
+    let sites =
+      match Sys.getenv_opt "MFTI_FAULT" with
+      | None -> []
+      | Some s -> parse_spec s
+    in
+    Atomic.set spec (Some sites);
+    sites
+
+let set_spec = function
+  | None -> Atomic.set spec (Some [])
+  | Some s -> Atomic.set spec (Some (parse_spec s))
+
+let armed site = List.mem site (current ())
+
+let check site = if armed site then raise (Injected site)
+
+let poison site x = if armed site then Float.nan else x
+
+let with_spec s f =
+  let saved = Atomic.get spec in
+  Atomic.set spec (Some (parse_spec s));
+  Fun.protect ~finally:(fun () -> Atomic.set spec saved) f

@@ -1,0 +1,39 @@
+(** Deterministic fault injection for the robustness test harness.
+
+    A spec is a comma-separated list of site names, e.g.
+    [MFTI_FAULT="svd.no_converge,pool.worker"].  When a site is armed
+    its injection point fires on every visit, with no randomness, so a
+    failing scenario replays exactly.  With no spec every injection
+    point is a no-op costing one atomic read.
+
+    Sites used by the library (layers above add their own):
+    - ["touchstone.corrupt"]   garbage token prepended to parser input
+    - ["sample.corrupt"]       NaN written into the first fitted sample
+    - ["loewner.poison"]       NaN written into the assembled pencil
+    - ["svd.no_converge"]      sweep/iteration budgets collapsed to force
+                               the SVD non-convergence cascade
+    - ["lu.singular"]          LU factorization reports pivot breakdown
+    - ["pool.worker"]          domain-pool worker raises mid-chunk
+    - ["algorithm2.diverge"]   recursion residuals inflated to trigger
+                               the divergence guard *)
+
+exception Injected of string
+(** Raised by {!check} at an armed site. *)
+
+(** [armed site] is true when [site] appears in the active spec. *)
+val armed : string -> bool
+
+(** [check site] raises [Injected site] when armed, else does nothing. *)
+val check : string -> unit
+
+(** [poison site x] is [nan] when armed, else [x]. *)
+val poison : string -> float -> float
+
+(** [set_spec (Some "a,b")] replaces the active spec; [set_spec None]
+    clears it.  The [MFTI_FAULT] environment variable is read once, on
+    first use, unless a spec was set first. *)
+val set_spec : string option -> unit
+
+(** [with_spec s f] runs [f] with spec [s] active, restoring the
+    previous spec afterwards (also on exceptions). *)
+val with_spec : string -> (unit -> 'a) -> 'a

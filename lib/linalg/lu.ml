@@ -100,6 +100,29 @@ let solve f b =
 
 let solve_mat a b = solve (factorize a) b
 
+(* First stage of the solve cascade: LU with partial pivoting; on pivot
+   breakdown (exact zero pivot, or the [lu.singular] fault), fall back
+   to a column-pivoted QR least-squares solve, which never divides by a
+   sub-threshold pivot.  The fallback is recorded in the ambient
+   diagnostics so callers can tell a clean solve from a degraded one. *)
+let solve_robust a b =
+  match
+    Fault.check "lu.singular";
+    factorize a
+  with
+  | f -> solve f b
+  | exception (Singular k) ->
+    Diag.record ~site:"lu.qr_fallback"
+      (Printf.sprintf
+         "zero pivot at elimination step %d; column-pivoted QR solve" k);
+    Diag.incr_retries ();
+    Qr.solve_cp (Qr.factorize_cp a) b
+  | exception (Fault.Injected _) ->
+    Diag.record ~site:"lu.qr_fallback"
+      "injected pivot breakdown; column-pivoted QR solve";
+    Diag.incr_retries ();
+    Qr.solve_cp (Qr.factorize_cp a) b
+
 let det f =
   let n = Cmat.rows f.lu in
   let acc = ref (if f.swaps land 1 = 1 then Cx.make (-1.) 0. else Cx.one) in

@@ -19,6 +19,13 @@ val solve : factor -> Cmat.t -> Cmat.t
 (** [solve_mat a b] is [solve (factorize a) b]. *)
 val solve_mat : Cmat.t -> Cmat.t -> Cmat.t
 
+(** [solve_robust a b] solves [A X = B] with a fallback cascade: LU
+    with partial pivoting first; on pivot breakdown ({!Singular}, or
+    the ["lu.singular"] fault) a column-pivoted QR rank-truncated
+    least-squares solve.  Never raises {!Singular}; the fallback is
+    recorded in the ambient {!Diag} collector as ["lu.qr_fallback"]. *)
+val solve_robust : Cmat.t -> Cmat.t -> Cmat.t
+
 val det : factor -> Cx.t
 val inverse : Cmat.t -> Cmat.t
 

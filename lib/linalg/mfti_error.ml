@@ -1,0 +1,73 @@
+type t =
+  | Parse of { source : string option; line : int option; message : string }
+  | Validation of { context : string; message : string }
+  | Numerical_breakdown of {
+      context : string;
+      message : string;
+      condition : float option;
+    }
+  | Non_convergence of {
+      context : string;
+      achieved : float;
+      target : float;
+      iterations : int;
+    }
+  | Budget_exhausted of { context : string; budget : string }
+  | Fault_injected of { site : string }
+
+exception Error of t
+
+let to_string = function
+  | Parse { source; line; message } ->
+    Printf.sprintf "parse error%s%s: %s"
+      (match source with Some s -> " in " ^ s | None -> "")
+      (match line with Some l -> Printf.sprintf " (line %d)" l | None -> "")
+      message
+  | Validation { context; message } ->
+    Printf.sprintf "invalid input (%s): %s" context message
+  | Numerical_breakdown { context; message; condition } ->
+    Printf.sprintf "numerical breakdown (%s): %s%s" context message
+      (match condition with
+       | Some c -> Printf.sprintf " [condition ~ %.3g]" c
+       | None -> "")
+  | Non_convergence { context; achieved; target; iterations } ->
+    Printf.sprintf
+      "non-convergence (%s): reached %.3g (target %.3g) after %d iterations"
+      context achieved target iterations
+  | Budget_exhausted { context; budget } ->
+    Printf.sprintf "budget exhausted (%s): %s" context budget
+  | Fault_injected { site } -> Printf.sprintf "injected fault at %s" site
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+(* sysexits(3) style: EX_USAGE for caller mistakes, EX_DATAERR for bad
+   input data, EX_SOFTWARE for numerical failure the caller cannot fix
+   by changing arguments. *)
+let exit_code = function
+  | Validation _ -> 64
+  | Parse _ -> 65
+  | Numerical_breakdown _ | Non_convergence _ | Budget_exhausted _
+  | Fault_injected _ -> 70
+
+let of_exn ~context = function
+  | Error e -> e
+  | Fault.Injected site -> Fault_injected { site }
+  | Invalid_argument message -> Validation { context; message }
+  | Failure message ->
+    Numerical_breakdown { context; message; condition = None }
+  | Sys_error message -> Parse { source = None; line = None; message }
+  | e ->
+    Numerical_breakdown
+      { context; message = Printexc.to_string e; condition = None }
+
+let guard ~context f =
+  match f () with
+  | x -> Ok x
+  | exception (Stack_overflow | Out_of_memory) ->
+    (* genuinely unrecoverable resource exhaustion: keep a typed record
+       but do not pretend the process state is sound *)
+    Result.Error
+      (Budget_exhausted { context; budget = "memory or stack exhausted" })
+  | exception e -> Result.Error (of_exn ~context e)
+
+let raise_error e = raise (Error e)

@@ -1,0 +1,54 @@
+(** Structured error taxonomy for the whole fitting pipeline.
+
+    Every public entry point that can fail offers a
+    [('a, Mfti_error.t) result] variant; the raising forms wrap the
+    value in the {!Error} exception.  The taxonomy distinguishes the
+    questions a serving layer must answer: is the input malformed
+    ([Parse]), is the request ill-posed ([Validation]), did the
+    numerics break down ([Numerical_breakdown] / [Non_convergence]),
+    or did a budget run out ([Budget_exhausted])? *)
+
+type t =
+  | Parse of { source : string option; line : int option; message : string }
+      (** malformed input text (Touchstone body, model file, ...) *)
+  | Validation of { context : string; message : string }
+      (** structurally invalid request: wrong dimensions, odd sample
+          count, non-finite sample entries, bad option values *)
+  | Numerical_breakdown of {
+      context : string;
+      message : string;
+      condition : float option;  (** condition estimate when known *)
+    }  (** singular/rank-deficient/NaN-contaminated linear algebra *)
+  | Non_convergence of {
+      context : string;
+      achieved : float;   (** residual or off-diagonal norm reached *)
+      target : float;
+      iterations : int;
+    }  (** an iteration ran out of budget before reaching its target *)
+  | Budget_exhausted of { context : string; budget : string }
+      (** a wall-time / iteration / memory budget was exhausted *)
+  | Fault_injected of { site : string }
+      (** a {!Fault} injection point fired (test harness only) *)
+
+exception Error of t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** sysexits-style process exit code: 64 (usage) for [Validation],
+    65 (data) for [Parse], 70 (software) for numerical failures. *)
+val exit_code : t -> int
+
+(** [of_exn ~context e] maps an arbitrary exception to the taxonomy:
+    {!Error} unwraps, [Fault.Injected] becomes [Fault_injected],
+    [Invalid_argument] becomes [Validation], [Sys_error] becomes
+    [Parse], everything else [Numerical_breakdown]. *)
+val of_exn : context:string -> exn -> t
+
+(** [guard ~context f] runs [f] and converts any escaping exception
+    with {!of_exn}.  [Stack_overflow] / [Out_of_memory] map to
+    [Budget_exhausted]. *)
+val guard : context:string -> (unit -> 'a) -> ('a, t) result
+
+(** [raise_error e] raises [Error e]. *)
+val raise_error : t -> 'a

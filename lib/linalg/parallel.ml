@@ -53,7 +53,12 @@ let consume p =
     p.active <- p.active + 1;
     Mutex.unlock p.mutex;
     inside := true;
-    (try p.task lo hi
+    (try
+       (* deterministic injection point for the pool layer: proves a
+          worker-side exception surfaces as a typed error at the
+          submitting call without deadlocking or poisoning the pool *)
+       Fault.check "pool.worker";
+       p.task lo hi
      with e ->
        Mutex.lock p.mutex;
        if p.failure = None then p.failure <- Some e;
@@ -152,10 +157,16 @@ let run_pool p n task chunk =
 
 let default_chunk n size = Stdlib.max 1 ((n + (4 * size) - 1) / (4 * size))
 
+(* The inline paths arm the same fault site as the pool workers so the
+   [pool.worker] scenario behaves identically at any domain count. *)
+let run_inline n f =
+  Fault.check "pool.worker";
+  f 0 n
+
 let parallel_for ?chunk n f =
   if n > 0 then begin
     let size = domain_count () in
-    if size <= 1 || sequential_here () then f 0 n
+    if size <= 1 || sequential_here () then run_inline n f
     else begin
       let chunk =
         match chunk with
@@ -163,9 +174,18 @@ let parallel_for ?chunk n f =
         | Some _ -> invalid_arg "Parallel.parallel_for: chunk must be >= 1"
         | None -> default_chunk n size
       in
-      if chunk >= n then f 0 n else run_pool (get_pool ()) n f chunk
+      if chunk >= n then run_inline n f else run_pool (get_pool ()) n f chunk
     end
   end
+
+(* Typed-error boundary for callers that prefer results over exceptions:
+   any exception escaping the loop body — including injected faults and
+   worker-side failures re-raised by the pool — is classified into the
+   {!Mfti_error.t} taxonomy instead of unwinding the caller. *)
+let parallel_for_result ?chunk ~context n f =
+  match parallel_for ?chunk n f with
+  | () -> Ok ()
+  | exception e -> Error (Mfti_error.of_exn ~context e)
 
 let parallel_for_reduce ?chunk ~neutral ~combine n f =
   if n <= 0 then neutral

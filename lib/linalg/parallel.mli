@@ -38,6 +38,16 @@ val set_domain_count : int -> unit
     caller after the loop drains. *)
 val parallel_for : ?chunk:int -> int -> (int -> int -> unit) -> unit
 
+(** [parallel_for_result ~context ?chunk n f] is {!parallel_for} with a
+    typed-error boundary: an exception escaping [f] (or the
+    ["pool.worker"] injected fault) is returned as
+    [Error (Mfti_error.of_exn ~context e)] instead of being re-raised.
+    A failed call leaves the pool reusable — subsequent loops run
+    normally. *)
+val parallel_for_result :
+  ?chunk:int -> context:string -> int -> (int -> int -> unit) ->
+  (unit, Mfti_error.t) result
+
 (** [parallel_for_reduce ?chunk ~neutral ~combine n f] evaluates
     [f lo hi] on each chunk and folds the per-chunk results with
     [combine], left to right in chunk-index order starting from

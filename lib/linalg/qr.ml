@@ -8,13 +8,11 @@
 
 type factor = { qr : Cmat.t; tau : float array; nref : int }
 
-let factorize a =
-  let m, n = Cmat.dims a in
-  let qr = Cmat.copy a in
-  let re = Cmat.unsafe_re qr and im = Cmat.unsafe_im qr in
-  let nref = Stdlib.min m n in
-  let tau = Array.make nref 0. in
-  for k = 0 to nref - 1 do
+(* Compute the reflector for column k (rows k..m-1) and apply it to
+   columns k+1..n-1: the shared step of the plain and column-pivoted
+   factorizations. *)
+let house_step re im ~m ~n ~k tau =
+  begin
     let koff = k * m in
     (* norm of x = qr[k:m, k] *)
     let xnorm2 = ref 0. in
@@ -72,8 +70,75 @@ let factorize a =
       done
       end
     end
+  end
+
+let factorize a =
+  let m, n = Cmat.dims a in
+  let qr = Cmat.copy a in
+  let re = Cmat.unsafe_re qr and im = Cmat.unsafe_im qr in
+  let nref = Stdlib.min m n in
+  let tau = Array.make nref 0. in
+  for k = 0 to nref - 1 do
+    house_step re im ~m ~n ~k tau
   done;
   { qr; tau; nref }
+
+(* ------------------------------------------------------------------ *)
+(* Column-pivoted variant: at each step the column with the largest
+   remaining (below-row-k) norm is swapped into position k, so the
+   diagonal of R is non-increasing in magnitude and a numerical rank
+   can be read off it.  Used as the fallback solver when LU pivoting
+   breaks down; norms are recomputed exactly each step (O(m n^2)
+   total — fine for a fallback path). *)
+
+type factor_cp = {
+  cp_qr : Cmat.t;
+  cp_tau : float array;
+  jpvt : int array;   (* cp_qr column j holds original column jpvt.(j) *)
+  cp_nref : int;
+}
+
+let factorize_cp a =
+  let m, n = Cmat.dims a in
+  let qr = Cmat.copy a in
+  let re = Cmat.unsafe_re qr and im = Cmat.unsafe_im qr in
+  let nref = Stdlib.min m n in
+  let tau = Array.make nref 0. in
+  let jpvt = Array.init n (fun j -> j) in
+  let tail_norm2 k jcol =
+    let off = jcol * m in
+    let acc = ref 0. in
+    for i = k to m - 1 do
+      acc := !acc +. (re.(off + i) *. re.(off + i)) +. (im.(off + i) *. im.(off + i))
+    done;
+    !acc
+  in
+  for k = 0 to nref - 1 do
+    let best = ref k and best_norm = ref (tail_norm2 k k) in
+    for jcol = k + 1 to n - 1 do
+      let nrm = tail_norm2 k jcol in
+      if nrm > !best_norm then begin
+        best := jcol;
+        best_norm := nrm
+      end
+    done;
+    if !best <> k then begin
+      let p = !best in
+      let tmp = jpvt.(k) in
+      jpvt.(k) <- jpvt.(p);
+      jpvt.(p) <- tmp;
+      let koff = k * m and poff = p * m in
+      for i = 0 to m - 1 do
+        let tr = re.(koff + i) and ti = im.(koff + i) in
+        re.(koff + i) <- re.(poff + i);
+        im.(koff + i) <- im.(poff + i);
+        re.(poff + i) <- tr;
+        im.(poff + i) <- ti
+      done
+    end;
+    house_step re im ~m ~n ~k tau
+  done;
+  { cp_qr = qr; cp_tau = tau; jpvt; cp_nref = nref }
 
 let r f =
   let m, n = Cmat.dims f.qr in
@@ -81,13 +146,13 @@ let r f =
   Cmat.init k n (fun i jcol -> if jcol >= i then Cmat.get f.qr i jcol else Cx.zero)
 
 (* Apply one reflector H_k (Hermitian) to b in place. *)
-let apply_reflector f k b =
-  let m = Cmat.rows f.qr in
-  let re = Cmat.unsafe_re f.qr and im = Cmat.unsafe_im f.qr in
+let apply_reflector qr tau k b =
+  let m = Cmat.rows qr in
+  let re = Cmat.unsafe_re qr and im = Cmat.unsafe_im qr in
   let br = Cmat.unsafe_re b and bi = Cmat.unsafe_im b in
   let nrhs = Cmat.cols b in
   let koff = k * m in
-  let t = f.tau.(k) in
+  let t = tau.(k) in
   if t <> 0. then
     for jcol = 0 to nrhs - 1 do
       let joff = jcol * m in
@@ -114,7 +179,7 @@ let apply_qh f b =
   let x = Cmat.copy b in
   (* Q = H_0 ... H_{r-1}; each H Hermitian, so Q* = H_{r-1} ... H_0. *)
   for k = 0 to f.nref - 1 do
-    apply_reflector f k x
+    apply_reflector f.qr f.tau k x
   done;
   x
 
@@ -123,7 +188,7 @@ let apply_q f b =
   if Cmat.rows b <> m then invalid_arg "Qr.apply_q: dimension mismatch";
   let x = Cmat.copy b in
   for k = f.nref - 1 downto 0 do
-    apply_reflector f k x
+    apply_reflector f.qr f.tau k x
   done;
   x
 
@@ -168,3 +233,65 @@ let orthonormalize a =
   let m, n = Cmat.dims a in
   if m < n then invalid_arg "Qr.orthonormalize: more columns than rows";
   thin_q (factorize a)
+
+(* Rank-truncated least-squares solve from a column-pivoted factor:
+   back-substitute the leading r x r triangle (r = numerical rank read
+   off the pivoted diagonal of R), zero the remaining permuted
+   unknowns, un-permute.  Never divides by a sub-threshold pivot, so a
+   singular system yields a finite minimum-residual-style solution
+   instead of an exception — the terminal stage of the LU fallback
+   cascade. *)
+let solve_cp ?(rtol = 1e-12) f b =
+  let m, n = Cmat.dims f.cp_qr in
+  if Cmat.rows b <> m then invalid_arg "Qr.solve_cp: rhs dimension mismatch";
+  let qtb = Cmat.copy b in
+  for k = 0 to f.cp_nref - 1 do
+    apply_reflector f.cp_qr f.cp_tau k qtb
+  done;
+  let re = Cmat.unsafe_re f.cp_qr and im = Cmat.unsafe_im f.cp_qr in
+  let diag_mag k = Float.hypot re.((k * m) + k) im.((k * m) + k) in
+  let d0 = if f.cp_nref > 0 then diag_mag 0 else 0. in
+  let rank = ref 0 in
+  (try
+     for k = 0 to f.cp_nref - 1 do
+       let d = diag_mag k in
+       if Float.is_finite d && d > rtol *. d0 then incr rank else raise Exit
+     done
+   with Exit -> ());
+  let r = !rank in
+  let nrhs = Cmat.cols b in
+  let y = Cmat.zeros n nrhs in
+  let yr = Cmat.unsafe_re y and yi = Cmat.unsafe_im y in
+  let qtbr = Cmat.unsafe_re qtb and qtbi = Cmat.unsafe_im qtb in
+  for jcol = 0 to nrhs - 1 do
+    let boff = jcol * m and yoff = jcol * n in
+    for k = 0 to r - 1 do
+      yr.(yoff + k) <- qtbr.(boff + k);
+      yi.(yoff + k) <- qtbi.(boff + k)
+    done;
+    for k = r - 1 downto 0 do
+      let koff = k * m in
+      let ur = re.(koff + k) and ui = im.(koff + k) in
+      let umag = (ur *. ur) +. (ui *. ui) in
+      let br = yr.(yoff + k) and bi = yi.(yoff + k) in
+      let sr = ((br *. ur) +. (bi *. ui)) /. umag in
+      let si = ((bi *. ur) -. (br *. ui)) /. umag in
+      yr.(yoff + k) <- sr;
+      yi.(yoff + k) <- si;
+      for i = 0 to k - 1 do
+        let ar = re.(koff + i) and ai = im.(koff + i) in
+        yr.(yoff + i) <- yr.(yoff + i) -. (ar *. sr) +. (ai *. si);
+        yi.(yoff + i) <- yi.(yoff + i) -. (ar *. si) -. (ai *. sr)
+      done
+    done
+  done;
+  let x = Cmat.zeros n nrhs in
+  let xr = Cmat.unsafe_re x and xi = Cmat.unsafe_im x in
+  for jcol = 0 to nrhs - 1 do
+    let off = jcol * n in
+    for k = 0 to n - 1 do
+      xr.(off + f.jpvt.(k)) <- yr.(off + k);
+      xi.(off + f.jpvt.(k)) <- yi.(off + k)
+    done
+  done;
+  x

@@ -30,3 +30,17 @@ val solve_ls : Cmat.t -> Cmat.t -> Cmat.t
 (** [orthonormalize a] returns a matrix with orthonormal columns spanning
     the columns of [a] (thin [Q]).  [a] must have [m >= n]. *)
 val orthonormalize : Cmat.t -> Cmat.t
+
+type factor_cp
+
+(** [factorize_cp a]: Householder QR with column pivoting — at each
+    step the remaining column of largest tail norm is eliminated, so
+    [|R_00| >= |R_11| >= ...] numerically and the diagonal exposes the
+    rank.  The fallback factorization when LU pivoting breaks down. *)
+val factorize_cp : Cmat.t -> factor_cp
+
+(** [solve_cp ?rtol f b]: rank-truncated least-squares solve.  Unknowns
+    whose pivoted diagonal falls below [rtol * |R_00|] (default
+    [1e-12]) are set to zero rather than divided by, so singular and
+    rank-deficient systems yield a finite solution instead of raising. *)
+val solve_cp : ?rtol:float -> factor_cp -> Cmat.t -> Cmat.t

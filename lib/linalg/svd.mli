@@ -16,8 +16,16 @@ type t = {
 }
 
 exception No_convergence
-(** The bidiagonal QR iteration failed to deflate within its budget
-    (does not occur in practice; Jacobi never raises). *)
+(** The bidiagonal QR iteration failed to deflate within its budget.
+    Not raised by {!decompose}: the [Auto] and [Golub_kahan] paths
+    catch it and fall back to the Jacobi cascade, recording
+    ["svd.gk.jacobi_fallback"] in the ambient {!Diag} collector.
+    The Jacobi path itself never raises — on a blown sweep budget it
+    extends the budget, then retries at a rescaled magnitude, and
+    finally records the achieved off-diagonal norm
+    (["svd.jacobi.non_convergence"]) and returns the degraded
+    factorization.  The ["svd.no_converge"] fault collapses all these
+    budgets so the whole cascade can be tested deterministically. *)
 
 type algorithm =
   | Auto         (** Jacobi for small matrices, Golub-Kahan otherwise *)

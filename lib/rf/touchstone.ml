@@ -11,7 +11,15 @@ type t = {
 
 exception Parse_error of string
 
-let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+type policy = Strict | Lenient
+
+(* Internal failure carrying an optional 1-based line number; converted
+   to [Parse_error] by the legacy entry points and to a typed
+   [Mfti_error.Parse] by the [_result] ones. *)
+exception Fail of int option * string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Fail (None, s))) fmt
+let fail_at line fmt = Format.kasprintf (fun s -> raise (Fail (Some line, s))) fmt
 
 let strip_comment line =
   match String.index_opt line '!' with
@@ -75,57 +83,171 @@ let entry_order nports =
   else
     Array.init (nports * nports) (fun k -> (k / nports, k mod nports))
 
-let parse ~nports text =
+let parse_internal ~policy ~nports text =
   if nports < 1 then invalid_arg "Touchstone.parse: nports must be >= 1";
+  (* Classic-Mac line endings: '\r' only, no '\n'.  CRLF needs no
+     rewrite — the '\r' lands at the end of each '\n'-split line and is
+     stripped with the rest of the whitespace. *)
+  let text =
+    if String.contains text '\r' && not (String.contains text '\n') then
+      String.map (function '\r' -> '\n' | c -> c) text
+    else text
+  in
+  (* Deterministic injection point for the parse layer: one garbage
+     line appended to the body.  Strict parsing reports it as a typed
+     error; lenient parsing drops the line and recovers the data. *)
+  let text =
+    if Fault.armed "touchstone.corrupt" then text ^ "\n1.0 GARBAGE\n" else text
+  in
   let lines = String.split_on_char '\n' text in
   let options = ref None in
+  (* numbers as (line, value), newest first, so record-level errors can
+     point at the line the offending record started on *)
   let numbers = ref [] in
-  List.iter
-    (fun raw ->
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
       let line = String.trim (strip_comment raw) in
       if line <> "" then
         if line.[0] = '#' then begin
           match !options with
-          | Some _ -> fail "duplicate option line"
-          | None -> options := Some (parse_option_line line)
+          | Some _ -> fail_at lineno "duplicate option line"
+          | None ->
+            (match parse_option_line line with
+             | o -> options := Some o
+             | exception Fail (None, m) -> fail_at lineno "%s" m)
         end
-        else
-          String.split_on_char ' '
-            (String.map (function '\t' -> ' ' | c -> c) line)
-          |> List.iter (fun tok ->
-              if tok <> "" then
-                match float_of_string_opt tok with
-                | Some x -> numbers := x :: !numbers
-                | None -> fail "unexpected token %S in data" tok))
+        else begin
+          let toks =
+            String.split_on_char ' '
+              (String.map (function '\t' | '\r' -> ' ' | c -> c) line)
+            |> List.filter (fun s -> s <> "")
+          in
+          let vals = List.map (fun tok -> (tok, float_of_string_opt tok)) toks in
+          match List.find_opt (fun (_, v) -> v = None) vals with
+          | Some (tok, _) ->
+            (match policy with
+             | Strict -> fail_at lineno "unexpected token %S in data" tok
+             | Lenient ->
+               (* drop the whole line, not just the bad token: a partial
+                  line would shift every later record out of alignment *)
+               Diag.record ~site:"touchstone.lenient"
+                 (Printf.sprintf "line %d: dropped (unparseable token %S)"
+                    lineno tok))
+          | None ->
+            List.iter
+              (fun (_, v) -> numbers := (lineno, Option.get v) :: !numbers)
+              vals
+        end)
     lines;
   let opts = Option.value !options ~default:default_options in
   let data = Array.of_list (List.rev !numbers) in
   let per_record = 1 + (2 * nports * nports) in
   if Array.length data = 0 then fail "no data records";
-  if Array.length data mod per_record <> 0 then
-    fail "data length %d is not a multiple of %d values per frequency point"
-      (Array.length data) per_record;
-  let nrec = Array.length data / per_record in
+  let nrec =
+    let n = Array.length data in
+    if n mod per_record = 0 then n / per_record
+    else begin
+      let tail_line, _ = data.(n - (n mod per_record)) in
+      match policy with
+      | Strict ->
+        fail_at tail_line
+          "data length %d is not a multiple of %d values per frequency point"
+          n per_record
+      | Lenient ->
+        Diag.record ~site:"touchstone.lenient"
+          (Printf.sprintf
+             "line %d: dropped truncated trailing record (%d stray values)"
+             tail_line (n mod per_record));
+        n / per_record
+    end
+  in
+  if nrec = 0 then fail "no complete data records";
   let order = entry_order nports in
-  let samples =
+  let records =
     Array.init nrec (fun k ->
         let base = k * per_record in
-        let freq = data.(base) *. opts.funit in
+        let fline, fv = data.(base) in
+        let freq = fv *. opts.funit in
         let s = Cmat.zeros nports nports in
         Array.iteri
           (fun e (i, jcol) ->
-            let x = data.(base + 1 + (2 * e)) in
-            let y = data.(base + 2 + (2 * e)) in
+            let _, x = data.(base + 1 + (2 * e)) in
+            let _, y = data.(base + 2 + (2 * e)) in
             Cmat.set s i jcol (decode opts.opt_format (x, y)))
           order;
-        { Statespace.Sampling.freq; s })
+        (fline, { Statespace.Sampling.freq; s }))
   in
+  (* NaN/Inf scrubbing: a record that decodes to non-finite values can
+     only poison the fit downstream. *)
+  let samples =
+    Array.to_list records
+    |> List.filter_map (fun (fline, smp) ->
+           let finite =
+             Float.is_finite smp.Statespace.Sampling.freq
+             && Cmat.is_finite smp.Statespace.Sampling.s
+           in
+           if finite then Some smp
+           else
+             match policy with
+             | Strict ->
+               fail_at fline "non-finite values in record at %g Hz"
+                 smp.Statespace.Sampling.freq
+             | Lenient ->
+               Diag.record ~site:"touchstone.lenient"
+                 (Printf.sprintf
+                    "line %d: dropped record at %g Hz (non-finite values)"
+                    fline smp.Statespace.Sampling.freq);
+               None)
+    |> Array.of_list
+  in
+  if Array.length samples = 0 then fail "no usable data records";
   (* The spec requires ascending frequencies; tolerate but sort. *)
   Array.sort
     (fun a b ->
       compare a.Statespace.Sampling.freq b.Statespace.Sampling.freq)
     samples;
+  let samples =
+    match policy with
+    | Strict -> samples
+    | Lenient ->
+      (* duplicated frequency points break the Loewner divided
+         differences; keep the first of each run *)
+      let keep = ref [] and dropped = ref 0 in
+      Array.iteri
+        (fun i smp ->
+          if
+            i > 0
+            && smp.Statespace.Sampling.freq
+               = samples.(i - 1).Statespace.Sampling.freq
+          then incr dropped
+          else keep := smp :: !keep)
+        samples;
+      if !dropped > 0 then
+        Diag.record ~site:"touchstone.lenient"
+          (Printf.sprintf "dropped %d duplicate frequency point(s) (first wins)"
+             !dropped);
+      Array.of_list (List.rev !keep)
+  in
   { parameter = opts.opt_parameter; z0 = opts.opt_z0; samples }
+
+let format_fail line msg =
+  match line with
+  | Some l -> Printf.sprintf "line %d: %s" l msg
+  | None -> msg
+
+let parse ~nports text =
+  match parse_internal ~policy:Strict ~nports text with
+  | t -> t
+  | exception Fail (line, msg) -> raise (Parse_error (format_fail line msg))
+
+let parse_result ?(policy = Strict) ?source ~nports text =
+  match parse_internal ~policy ~nports text with
+  | t -> Ok t
+  | exception Fail (line, message) ->
+    Result.Error (Mfti_error.Parse { source; line; message })
+  | exception Invalid_argument message ->
+    Result.Error (Mfti_error.Validation { context = "touchstone"; message })
 
 let print ?(format = Ri) ?comment t =
   let buf = Buffer.create 4096 in
@@ -156,7 +278,9 @@ let print ?(format = Ri) ?comment t =
     t.samples;
   Buffer.contents buf
 
-let ports_of_filename name =
+(* Case-insensitive (.s4p / .S4P both work — the spec is silent and
+   Windows-originated files are routinely uppercase). *)
+let ports_internal name =
   let base = Filename.basename name in
   match String.rindex_opt base '.' with
   | None -> fail "filename %S has no extension" name
@@ -169,13 +293,32 @@ let ports_of_filename name =
       | Some _ | None -> fail "cannot read port count from extension %S" ext
     else fail "expected a .sNp extension, got %S" ext
 
-let read_file path =
-  let nports = ports_of_filename path in
+let ports_of_filename name =
+  match ports_internal name with
+  | n -> n
+  | exception Fail (line, msg) -> raise (Parse_error (format_fail line msg))
+
+let read_text path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
-  parse ~nports text
+  text
+
+let read_file path =
+  let nports = ports_of_filename path in
+  parse ~nports (read_text path)
+
+let read_file_result ?policy path =
+  match
+    let nports = ports_internal path in
+    (nports, read_text path)
+  with
+  | exception Fail (line, message) ->
+    Result.Error (Mfti_error.Parse { source = Some path; line; message })
+  | exception Sys_error message ->
+    Result.Error (Mfti_error.Parse { source = Some path; line = None; message })
+  | nports, text -> parse_result ?policy ~source:path ~nports text
 
 let write_file path ?format ?comment t =
   let oc = open_out path in

@@ -18,18 +18,47 @@ type t = {
 
 exception Parse_error of string
 
+(** How forgiving the parser is with real-world (dirty) files. *)
+type policy =
+  | Strict
+      (** any defect is a parse error with a line number: unparseable
+          tokens, truncated trailing records, non-finite values *)
+  | Lenient
+      (** best-effort recovery: lines with unparseable tokens are
+          dropped whole, a truncated trailing record is discarded,
+          non-finite records are scrubbed, and duplicate frequency
+          points are deduplicated (first wins).  Every recovery is
+          recorded in the ambient {!Linalg.Diag} collector under
+          ["touchstone.lenient"]. *)
+
 (** [parse ~nports text] parses the body of a Touchstone file.  The port
     count is not recorded in v1 files — it comes from the file extension
-    — so it must be supplied. *)
+    — so it must be supplied.  Both CRLF and classic-Mac line endings
+    are accepted; ['!'] comments may trail data lines.  Strict policy;
+    raises {!Parse_error}. *)
 val parse : nports:int -> string -> t
+
+(** [parse_result ?policy ?source ~nports text] is {!parse} with a typed
+    error instead of an exception ([source] names the input in the
+    error) and a selectable {!policy} (default [Strict]). *)
+val parse_result :
+  ?policy:policy -> ?source:string -> nports:int -> string ->
+  (t, Linalg.Mfti_error.t) result
 
 (** [print ?format ?comment data] renders a v1 file (Hz, chosen number
     format, default [Ri]). *)
 val print : ?format:number_format -> ?comment:string -> t -> string
 
-(** [ports_of_filename "x.s4p"] extracts 4; raises {!Parse_error} when
-    the extension is not [.sNp]. *)
+(** [ports_of_filename "x.s4p"] extracts 4; the extension match is
+    case-insensitive ([.S4P] works).  Raises {!Parse_error} when the
+    extension is not [.sNp]. *)
 val ports_of_filename : string -> int
 
 val read_file : string -> t
+
+(** [read_file_result ?policy path] reads and parses with typed errors:
+    unreadable files and bad extensions are [Parse] errors carrying
+    [path] as the source. *)
+val read_file_result : ?policy:policy -> string -> (t, Linalg.Mfti_error.t) result
+
 val write_file : string -> ?format:number_format -> ?comment:string -> t -> unit

@@ -28,10 +28,12 @@ let outputs sys = Cmat.rows sys.c
 let eval sys s =
   if order sys = 0 then sys.d
   else begin
+    (* [solve_robust] falls back to a column-pivoted QR least-squares
+       solve on pivot breakdown (recording "lu.qr_fallback" in the
+       ambient diagnostics), so evaluation at an exactly-singular point
+       yields the finite minimum-norm response instead of raising. *)
     let pencil = Cmat.sub (Cmat.scale s sys.e) sys.a in
-    match Lu.factorize pencil with
-    | exception Lu.Singular _ -> raise (Singular_pencil s)
-    | f -> Cmat.add (Cmat.mul sys.c (Lu.solve f sys.b)) sys.d
+    Cmat.add (Cmat.mul sys.c (Lu.solve_robust pencil sys.b)) sys.d
   end
 
 let eval_freq sys f = eval sys (Cx.jw (2. *. Float.pi *. f))

@@ -33,9 +33,15 @@ val inputs : t -> int
 val outputs : t -> int
 
 exception Singular_pencil of Linalg.Cx.t
-(** Raised by {!eval} when [sE - A] is singular at the requested point. *)
+(** Raised by MNA netlist evaluation when [sE - A] is singular at the
+    requested point.  {!eval} itself no longer raises it: an exactly
+    singular pencil goes through the column-pivoted QR fallback of
+    {!Linalg.Lu.solve_robust}, which records ["lu.qr_fallback"] in the
+    ambient {!Linalg.Diag} collector and returns the minimum-norm
+    solution. *)
 
-(** [eval sys s] is the transfer matrix [H(s) = C (sE - A)^{-1} B + D]. *)
+(** [eval sys s] is the transfer matrix [H(s) = C (sE - A)^{-1} B + D].
+    Never raises on singular pencils — see {!Singular_pencil}. *)
 val eval : t -> Linalg.Cx.t -> Linalg.Cmat.t
 
 (** [eval_freq sys f] evaluates at [s = j 2 pi f]. *)

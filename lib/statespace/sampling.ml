@@ -100,6 +100,91 @@ let symmetrize samples =
       { smp with s })
     samples
 
+(* --- input hardening ---------------------------------------------- *)
+
+(* Deterministic injection point for the sample layer: a NaN planted in
+   a private copy of the first response matrix, caught by [validate]
+   downstream.  The caller's array is never mutated.  No-op unless the
+   [sample.corrupt] fault is armed. *)
+let fault_corrupt samples =
+  if Fault.armed "sample.corrupt" && Array.length samples > 0 then begin
+    let s0 = samples.(0) in
+    let s = Cmat.copy s0.s in
+    if Cmat.rows s > 0 && Cmat.cols s > 0 then
+      Cmat.set s 0 0 (Cx.make Float.nan Float.nan);
+    let samples = Array.copy samples in
+    samples.(0) <- { s0 with s };
+    samples
+  end
+  else samples
+
+let sample_is_finite smp =
+  Float.is_finite smp.freq && smp.freq > 0. && Cmat.is_finite smp.s
+
+let validate samples =
+  if Array.length samples = 0 then
+    Result.Error
+      (Mfti_error.Validation { context = "sampling"; message = "no samples" })
+  else begin
+    let p, m = Cmat.dims samples.(0).s in
+    let err = ref None in
+    Array.iteri
+      (fun i smp ->
+        if !err = None then begin
+          if not (Float.is_finite smp.freq && smp.freq > 0.) then
+            err :=
+              Some
+                (Printf.sprintf
+                   "sample %d: frequency %g must be finite and positive" i
+                   smp.freq)
+          else if Cmat.dims smp.s <> (p, m) then
+            err :=
+              Some
+                (Printf.sprintf
+                   "sample %d: response dimensions differ from sample 0" i)
+          else if not (Cmat.is_finite smp.s) then
+            err :=
+              Some
+                (Printf.sprintf
+                   "sample %d (%g Hz): non-finite response entries" i smp.freq)
+        end)
+      samples;
+    match !err with
+    | Some message ->
+      Result.Error (Mfti_error.Validation { context = "sampling"; message })
+    | None -> Ok ()
+  end
+
+let scrub samples =
+  (* Lenient counterpart of {!validate}: instead of rejecting the whole
+     array, drop samples that cannot be used — non-finite frequency or
+     entries, duplicate frequencies (first wins) — recording each drop
+     in the ambient diagnostics. *)
+  let seen = Hashtbl.create 64 in
+  let keep =
+    Array.to_list samples
+    |> List.filteri (fun i smp ->
+           if not (sample_is_finite smp) then begin
+             Diag.record ~site:"sampling.scrub"
+               (Printf.sprintf
+                  "dropped sample %d (%g Hz): non-finite frequency or entries"
+                  i smp.freq);
+             false
+           end
+           else if Hashtbl.mem seen smp.freq then begin
+             Diag.record ~site:"sampling.scrub"
+               (Printf.sprintf
+                  "dropped sample %d: duplicate frequency %g Hz (first wins)" i
+                  smp.freq);
+             false
+           end
+           else begin
+             Hashtbl.add seen smp.freq ();
+             true
+           end)
+  in
+  Array.of_list keep
+
 let max_conjugate_mismatch sys freqs =
   Array.fold_left
     (fun acc f ->

@@ -50,3 +50,25 @@ val interpolate : sample array -> float array -> sample array
     measurement noise breaks.  Fitting symmetrized data halves the noise
     on off-diagonal entries. *)
 val symmetrize : sample array -> sample array
+
+(** True when the sample has a finite positive frequency and all-finite
+    response entries. *)
+val sample_is_finite : sample -> bool
+
+(** [fault_corrupt samples] is the ["sample.corrupt"] fault-injection
+    point: when armed it returns a copy with a NaN planted in the first
+    response matrix (the caller's array is untouched); otherwise it
+    returns [samples] as-is.  The fitting drivers route their input
+    through it so the validation gate can be tested deterministically. *)
+val fault_corrupt : sample array -> sample array
+
+(** [validate samples] checks the whole array is fit-ready: non-empty,
+    consistent dimensions, finite positive frequencies, finite entries.
+    The strict-mode gate of the fitting pipeline. *)
+val validate : sample array -> (unit, Linalg.Mfti_error.t) result
+
+(** [scrub samples] is the lenient counterpart of {!validate}: samples
+    with non-finite frequencies/entries and duplicate frequencies (first
+    wins) are dropped instead of rejected, each drop recorded in the
+    ambient {!Linalg.Diag} collector under ["sampling.scrub"]. *)
+val scrub : sample array -> sample array

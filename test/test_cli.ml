@@ -86,6 +86,46 @@ let test_bad_input () =
   let code, _ = run "gen ladder --out /tmp/wrong_ports.s7p" in
   Alcotest.(check bool) "port mismatch rejected" true (code <> 0)
 
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+(* a 2-port body with one garbage line spliced into the middle *)
+let dirty_body =
+  "# HZ S RI R 50\n\
+   1e6 0.1 0 0.9 0 0.9 0 0.1 0\n\
+   not a data line at all\n\
+   2e6 0.2 0 0.8 0 0.8 0 0.2 0\n\
+   3e6 0.3 0 0.7 0 0.7 0 0.3 0\n\
+   4e6 0.4 0 0.6 0 0.6 0 0.4 0\n"
+
+let test_exit_codes () =
+  let dirty = Filename.concat (Filename.get_temp_dir_name ()) "mfti_dirty.s2p" in
+  write_file dirty dirty_body;
+  (* strict (default): corrupt data is a parse error -> sysexits EX_DATAERR *)
+  let code, text = run (Printf.sprintf "fit %s" dirty) in
+  Alcotest.(check int) "corrupt file exits 65" 65 code;
+  check_contains "parse diagnostic" "mfti:" text;
+  let code, _ = run (Printf.sprintf "info %s" dirty) in
+  Alcotest.(check int) "info exits 65 too" 65 code;
+  Sys.remove dirty
+
+let test_lenient_recovers () =
+  let dirty = Filename.concat (Filename.get_temp_dir_name ()) "mfti_dirty2.s2p" in
+  write_file dirty dirty_body;
+  let code, text = run (Printf.sprintf "fit --lenient %s" dirty) in
+  Alcotest.(check int) "lenient fit succeeds" 0 code;
+  check_contains "recovery reported" "input recovery" text;
+  check_contains "fit ran" "MFTI: order" text;
+  check_contains "diagnostics line" "diagnostics:" text;
+  Sys.remove dirty
+
+let test_diagnostics_reported () =
+  let code, text = run (Printf.sprintf "fit %s" workload) in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "diagnostics on stderr" "diagnostics:" text
+
 let () =
   Alcotest.run "cli"
     [ ("mfti_cli",
@@ -95,4 +135,8 @@ let () =
          Alcotest.test_case "fit vf" `Quick test_fit_vf;
          Alcotest.test_case "fit save/plot" `Quick test_fit_save_and_plot;
          Alcotest.test_case "compare" `Quick test_compare;
-         Alcotest.test_case "bad input" `Quick test_bad_input ]) ]
+         Alcotest.test_case "bad input" `Quick test_bad_input;
+         Alcotest.test_case "exit codes" `Quick test_exit_codes;
+         Alcotest.test_case "lenient recovery" `Quick test_lenient_recovers;
+         Alcotest.test_case "diagnostics reported" `Quick
+           test_diagnostics_reported ]) ]

@@ -414,14 +414,16 @@ let test_algorithm2_exhausts_on_impossible_threshold () =
   Alcotest.(check int) "one iteration" 1 result.Algorithm2.iterations
 
 let test_algorithm2_validation () =
+  (* bad options surface as typed validation errors, raised by the
+     compatibility wrapper and returned by fit_result *)
   (match Algorithm2.fit ~options:{ Algorithm2.default_options with batch = 0 }
            (samples 6) with
-   | exception Invalid_argument _ -> ()
+   | exception Mfti_error.Error (Mfti_error.Validation _) -> ()
    | _ -> Alcotest.fail "batch 0 accepted");
-  match Algorithm2.fit
+  match Algorithm2.fit_result
           ~options:{ Algorithm2.default_options with max_iterations = 0 }
           (samples 6) with
-  | exception Invalid_argument _ -> ()
+  | Error (Mfti_error.Validation _) -> ()
   | _ -> Alcotest.fail "max_iterations 0 accepted"
 
 let test_auto_noise_rank () =

@@ -91,6 +91,43 @@ let test_parallel_for_exception () =
   | () -> Alcotest.fail "expected exception to propagate"
   | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
 
+let test_parallel_for_result_typed () =
+  (* worker exceptions surface as typed errors, and the pool stays
+     usable afterwards (no deadlock, no poisoned worker state) *)
+  (match
+     Parallel.parallel_for_result ~context:"test" 500 (fun lo hi ->
+         for i = lo to hi - 1 do
+           if i = 123 then invalid_arg "bad shape"
+         done)
+   with
+   | Error (Mfti_error.Validation { context; _ }) ->
+     Alcotest.(check string) "context" "test" context
+   | Error e ->
+     Alcotest.failf "expected Validation, got %s" (Mfti_error.to_string e)
+   | Ok () -> Alcotest.fail "expected the worker exception to surface");
+  (match
+     Parallel.parallel_for_result ~context:"test" 500 (fun _ _ ->
+         raise (Fault.Injected "synthetic"))
+   with
+   | Error (Mfti_error.Fault_injected { site }) ->
+     Alcotest.(check string) "site" "synthetic" site
+   | Error e ->
+     Alcotest.failf "expected Fault_injected, got %s" (Mfti_error.to_string e)
+   | Ok () -> Alcotest.fail "expected the injected fault to surface");
+  let hits = Array.make 500 0 in
+  (match
+     Parallel.parallel_for_result ~context:"test" 500 (fun lo hi ->
+         for i = lo to hi - 1 do
+           hits.(i) <- hits.(i) + 1
+         done)
+   with
+   | Ok () -> ()
+   | Error e ->
+     Alcotest.failf "pool unusable after failure: %s" (Mfti_error.to_string e));
+  Array.iteri
+    (fun i h -> if h <> 1 then Alcotest.failf "index %d hit %d times" i h)
+    hits
+
 let test_nested_parallel_for () =
   (* nested loops must run inline rather than deadlock on the pool *)
   let acc = Array.make 64 0 in
@@ -282,6 +319,8 @@ let () =
             test_parallel_for_reduce;
           Alcotest.test_case "exception propagation" `Quick
             test_parallel_for_exception;
+          Alcotest.test_case "typed errors + pool reuse" `Quick
+            test_parallel_for_result_typed;
           Alcotest.test_case "nested loops inline" `Quick
             test_nested_parallel_for ] );
       ( "gemm",

@@ -597,6 +597,83 @@ let test_touchstone_file_io () =
     (Cmat.equal ~tol:1e-6 back.Touchstone.samples.(2).Sampling.s
        data.samples.(2).Sampling.s)
 
+let test_touchstone_line_endings () =
+  (* CRLF (Windows) and lone-'\r' (classic Mac) files both parse *)
+  let unix = "# HZ S RI R 50\n1 2 0\n2 3 0\n" in
+  let crlf = "# HZ S RI R 50\r\n1 2 0\r\n2 3 0\r\n" in
+  let mac = "# HZ S RI R 50\r1 2 0\r2 3 0\r" in
+  let reference = Touchstone.parse ~nports:1 unix in
+  List.iter
+    (fun (name, text) ->
+      let t = Touchstone.parse ~nports:1 text in
+      Alcotest.(check int) (name ^ " count") 2
+        (Array.length t.Touchstone.samples);
+      Array.iteri
+        (fun i smp ->
+          check_close (name ^ " freq")
+            reference.Touchstone.samples.(i).Sampling.freq smp.Sampling.freq;
+          Alcotest.(check bool) (name ^ " data") true
+            (Cmat.equal ~tol:0. reference.Touchstone.samples.(i).Sampling.s
+               smp.Sampling.s))
+        t.Touchstone.samples)
+    [ ("crlf", crlf); ("mac", mac) ]
+
+let test_touchstone_uppercase_extension () =
+  Alcotest.(check int) ".S2P" 2 (Touchstone.ports_of_filename "MEAS.S2P");
+  Alcotest.(check int) ".s2P" 2 (Touchstone.ports_of_filename "meas.s2P")
+
+let test_touchstone_trailing_comments () =
+  let text = "# HZ S RI R 50 ! options\n1 2 0 ! first point\n2 3 0!glued\n" in
+  let t = Touchstone.parse ~nports:1 text in
+  Alcotest.(check int) "count" 2 (Array.length t.Touchstone.samples);
+  check_close "second entry" 3.
+    (Cx.re (Cmat.get t.Touchstone.samples.(1).Sampling.s 0 0))
+
+let test_touchstone_error_line_numbers () =
+  match Touchstone.parse ~nports:1 "# HZ S RI R 50\n1 2 0\n2 bogus 0\n" with
+  | exception Touchstone.Parse_error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "line number in %S" msg)
+      true
+      (String.length msg >= 7 && String.sub msg 0 7 = "line 3:")
+  | _ -> Alcotest.fail "junk token accepted"
+
+let lenient_parse text =
+  Linalg.Diag.with_collector (fun () ->
+      match
+        Touchstone.parse_result ~policy:Touchstone.Lenient ~nports:1 text
+      with
+      | Ok t -> t
+      | Error e -> Alcotest.failf "lenient parse failed: %s"
+                     (Linalg.Mfti_error.to_string e))
+
+let test_touchstone_lenient_recovery () =
+  (* garbage line dropped whole *)
+  let t, diag = lenient_parse "# HZ S RI R 50\n1 2 0\nwhat is this\n2 3 0\n" in
+  Alcotest.(check int) "garbage line dropped" 2
+    (Array.length t.Touchstone.samples);
+  Alcotest.(check bool) "recovery recorded" true
+    (Linalg.Diag.recorded diag "touchstone.lenient");
+  (* truncated trailing record discarded *)
+  let t, _ = lenient_parse "# HZ S RI R 50\n1 2 0\n2 3\n" in
+  Alcotest.(check int) "truncated tail dropped" 1
+    (Array.length t.Touchstone.samples);
+  (* non-finite record scrubbed *)
+  let t, _ = lenient_parse "# HZ S RI R 50\n1 2 0\n2 nan 0\n3 4 0\n" in
+  Alcotest.(check int) "NaN record scrubbed" 2
+    (Array.length t.Touchstone.samples);
+  (* duplicate frequency deduplicated, first wins *)
+  let t, _ = lenient_parse "# HZ S RI R 50\n1 2 0\n1 9 0\n2 3 0\n" in
+  Alcotest.(check int) "duplicate freq dropped" 2
+    (Array.length t.Touchstone.samples);
+  check_close "first wins" 2.
+    (Cx.re (Cmat.get t.Touchstone.samples.(0).Sampling.s 0 0))
+
+let test_touchstone_strict_rejects_nan () =
+  match Touchstone.parse ~nports:1 "# HZ S RI R 50\n1 nan 0\n" with
+  | exception Touchstone.Parse_error _ -> ()
+  | _ -> Alcotest.fail "strict parse accepted a NaN record"
+
 (* ------------------------------------------------------------------ *)
 (* Property-based tests *)
 
@@ -735,5 +812,17 @@ let () =
          Alcotest.test_case "2-port order" `Quick test_touchstone_two_port_order;
          Alcotest.test_case "errors" `Quick test_touchstone_errors;
          Alcotest.test_case "ports of filename" `Quick test_touchstone_ports_of_filename;
-         Alcotest.test_case "file io" `Quick test_touchstone_file_io ]);
+         Alcotest.test_case "file io" `Quick test_touchstone_file_io;
+         Alcotest.test_case "CRLF and classic-Mac line endings" `Quick
+           test_touchstone_line_endings;
+         Alcotest.test_case "uppercase extension" `Quick
+           test_touchstone_uppercase_extension;
+         Alcotest.test_case "trailing comments" `Quick
+           test_touchstone_trailing_comments;
+         Alcotest.test_case "error line numbers" `Quick
+           test_touchstone_error_line_numbers;
+         Alcotest.test_case "lenient recovery" `Quick
+           test_touchstone_lenient_recovery;
+         Alcotest.test_case "strict rejects NaN" `Quick
+           test_touchstone_strict_rejects_nan ]);
       ("properties", rf_props) ]
