@@ -1,0 +1,196 @@
+(* Staged-engine benchmark: recursive Algorithm 2 with batch assembly
+   (build the full Loewner pencil up front, sub-select per iteration)
+   against incremental assembly (append one block row/column per
+   selected unit, O(k) new divided differences per append).
+
+   Both arms run the identical iteration schedule — same unit ranking,
+   same per-iteration SVD and residual scoring — so the wall-clock gap
+   isolates the assembly strategy.  The two fits are checked
+   bit-identical before timing starts; a speedup over a result that
+   differed would be meaningless.
+
+   Timing methodology matches bench/kernels.ml: every repetition runs
+   both arms back-to-back (batch first) and the reported speedup is the
+   median of the per-repetition paired ratios.  Wall clock via
+   [Unix.gettimeofday].
+
+   Writes BENCH_engine.json (or BENCH_engine.smoke.json with --smoke,
+   which also re-parses the report and validates its fields). *)
+
+open Statespace
+open Mfti
+open Linalg
+
+module Json = Bjson
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  ignore (Sys.opaque_identity (f ()));
+  Unix.gettimeofday () -. t0
+
+let median a =
+  let a = Array.copy a in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+(* The two arms must agree bitwise: same realization, same selection
+   trace.  NaN entries in the residual history (budget exhaustion
+   markers) compare equal to each other. *)
+let check_identical (a : Engine.fit) (b : Engine.fit) =
+  let fail what = failwith ("engine bench: arms differ in " ^ what) in
+  if a.Engine.rank <> b.Engine.rank then fail "rank";
+  if a.Engine.iterations <> b.Engine.iterations then fail "iterations";
+  if a.Engine.selected_units <> b.Engine.selected_units then
+    fail "selected_units";
+  if Array.length a.Engine.history <> Array.length b.Engine.history then
+    fail "history length";
+  Array.iteri
+    (fun i x ->
+      let y = b.Engine.history.(i) in
+      let same = (Float.is_nan x && Float.is_nan y) || x = y in
+      if not same then fail (Printf.sprintf "history[%d]" i))
+    a.Engine.history;
+  let da = a.Engine.model and db = b.Engine.model in
+  List.iter
+    (fun (name, ma, mb) ->
+      if not (Cmat.equal ~tol:0. ma mb) then fail name)
+    [ ("E", da.Descriptor.e, db.Descriptor.e);
+      ("A", da.Descriptor.a, db.Descriptor.a);
+      ("B", da.Descriptor.b, db.Descriptor.b);
+      ("C", da.Descriptor.c, db.Descriptor.c);
+      ("D", da.Descriptor.d, db.Descriptor.d) ];
+  Printf.printf "  check %-28s identical (order %d, %d rounds)\n%!"
+    "batch vs incremental" a.Engine.rank (Array.length a.Engine.history)
+
+let stage_line label (fit : Engine.fit) =
+  Printf.printf "  %-11s" (label ^ ":");
+  List.iter
+    (fun (stage, dt) -> Printf.printf " %s %.3fs" stage dt)
+    fit.Engine.timings;
+  Printf.printf "\n%!"
+
+let run ?(smoke = false) () =
+  Util.heading
+    (if smoke then "staged-engine benchmark (smoke)"
+     else "staged-engine benchmark");
+  let reps = if smoke then 2 else 5 in
+  let ndom = if smoke then 2 else 4 in
+  let ports = if smoke then 2 else 8 in
+  let order = if smoke then 12 else 48 in
+  let nsamples = if smoke then 48 else 768 in
+  let max_iterations = if smoke then 4 else 20 in
+  Parallel.set_domain_count ndom;
+  let sys =
+    Random_sys.generate
+      { Random_sys.order; ports; rank_d = ports / 2;
+        freq_lo = 1e6; freq_hi = 1e10; damping = 0.05; seed = 42 }
+  in
+  let samples =
+    Sampling.sample_system sys (Sampling.logspace 1e6 1e10 nsamples)
+  in
+  let dataset = Dataset.of_samples samples in
+  let options =
+    { Engine.default_recursive_options with
+      batch = 2;
+      threshold = 0.;        (* never converge early: fixed iteration count *)
+      max_iterations;
+      divergence_factor = 1e12;
+      probe = Some 16 }
+  in
+  let run_arm asm () =
+    Engine.run_exn ~options ~strategy:(Engine.Recursive asm) dataset
+  in
+  Printf.printf "%d-port system, order %d, %d samples, batch %d, %d iterations\n%!"
+    ports order nsamples options.Engine.batch max_iterations;
+
+  (* correctness gate, and one fit per arm for the stage breakdown *)
+  let batch_fit = run_arm Engine.Batch () in
+  let incr_fit = run_arm Engine.Incremental () in
+  check_identical batch_fit incr_fit;
+  stage_line "batch" batch_fit;
+  stage_line "incremental" incr_fit;
+
+  (* paired timing: batch arm is the baseline *)
+  let batch_t = Array.make reps 0. and incr_t = Array.make reps 0. in
+  for rep = 0 to reps - 1 do
+    batch_t.(rep) <- wall (run_arm Engine.Batch);
+    incr_t.(rep) <- wall (run_arm Engine.Incremental)
+  done;
+  let batch_s = median batch_t and incr_s = median incr_t in
+  let speedup =
+    median (Array.init reps (fun r -> batch_t.(r) /. incr_t.(r)))
+  in
+  (* [fit.iterations] is the iteration the returned (best) model came
+     from; the schedule length — one residual-history entry per round —
+     is what the wall-clock covers. *)
+  let iters_run = Array.length batch_fit.Engine.history in
+  let size =
+    Printf.sprintf "%dports_%dsamples_%diters" ports nsamples iters_run
+  in
+  Util.print_table
+    ~header:[ "op"; "size"; "domains"; "median"; "speedup" ]
+    [ [ "algorithm2_batch"; size; string_of_int ndom;
+        Printf.sprintf "%.3f ms" (batch_s *. 1e3); "1.00x" ];
+      [ "algorithm2_incremental"; size; string_of_int ndom;
+        Printf.sprintf "%.3f ms" (incr_s *. 1e3);
+        Printf.sprintf "%.2fx" speedup ] ];
+
+  let row op med spd =
+    Json.Obj
+      [ ("op", Json.Str op);
+        ("size", Json.Str size);
+        ("domains", Json.Num (float_of_int ndom));
+        ("median_ns", Json.Num (Float.round (med *. 1e9)));
+        ("speedup", Json.Num spd) ]
+  in
+  let json =
+    Json.Obj
+      [ ("schema", Json.Str "mfti-bench-engine/1");
+        ("generated_by", Json.Str "bench/main.exe engine");
+        ("smoke", Json.Bool smoke);
+        ("reps", Json.Num (float_of_int reps));
+        ("domains", Json.Num (float_of_int ndom));
+        ("ports", Json.Num (float_of_int ports));
+        ("samples", Json.Num (float_of_int nsamples));
+        ("iterations", Json.Num (float_of_int iters_run));
+        ("selected_units", Json.Num (float_of_int batch_fit.Engine.selected_units));
+        ("total_units", Json.Num (float_of_int batch_fit.Engine.total_units));
+        ("batch_s", Json.Num batch_s);
+        ("incremental_s", Json.Num incr_s);
+        ("speedup", Json.Num speedup);
+        ( "results",
+          Json.Arr
+            [ row "algorithm2_batch" batch_s 1.0;
+              row "algorithm2_incremental" incr_s speedup ] ) ]
+  in
+  let path = if smoke then "BENCH_engine.smoke.json" else "BENCH_engine.json" in
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s (speedup %.2fx)\n%!" path speedup;
+  if smoke then begin
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    let parsed = Json.parse text in
+    List.iter
+      (fun field ->
+        if Json.member field parsed = None then
+          failwith ("engine bench: JSON missing " ^ field))
+      [ "schema"; "iterations"; "batch_s"; "incremental_s"; "speedup" ];
+    (match Json.member "results" parsed with
+     | Some (Json.Arr (_ :: _ as rs)) ->
+       List.iter
+         (fun r ->
+           List.iter
+             (fun field ->
+               if Json.member field r = None then
+                 failwith ("engine bench: JSON row missing " ^ field))
+             [ "op"; "size"; "domains"; "median_ns"; "speedup" ])
+         rs
+     | _ -> failwith "engine bench: JSON missing results array");
+    Printf.printf "smoke: JSON parses, all rows well-formed\n%!"
+  end;
+  Parallel.set_domain_count 1

@@ -9,7 +9,9 @@
      dune exec bench/main.exe -- scale     -- dense vs sparse MNA scaling
      dune exec bench/main.exe -- micro     -- bechamel micro-benchmarks
      dune exec bench/main.exe -- kernels [--smoke] -- kernel perf trajectory
-                                            (writes BENCH_kernels.json) *)
+                                            (writes BENCH_kernels.json)
+     dune exec bench/main.exe -- engine [--smoke]  -- batch vs incremental
+                                            Algorithm 2 (BENCH_engine.json) *)
 
 let commands =
   [ ("fig1", Fig1.run);
@@ -19,7 +21,8 @@ let commands =
     ("ablation", Ablation.run);
     ("scale", Scale.run);
     ("micro", Micro.run);
-    ("kernels", Kernels.run ?smoke:None) ]
+    ("kernels", Kernels.run ?smoke:None);
+    ("engine", Engine_bench.run ?smoke:None) ]
 
 let run_all () =
   List.iter (fun (_, f) -> f ()) commands
@@ -27,9 +30,10 @@ let run_all () =
 let () =
   match Array.to_list Sys.argv with
   | _ :: "kernels" :: rest ->
-    (* the one experiment with a flag: --smoke runs tiny sizes and
-       validates the emitted JSON *)
+    (* --smoke runs tiny sizes and validates the emitted JSON *)
     Kernels.run ~smoke:(List.mem "--smoke" rest) ()
+  | _ :: "engine" :: rest ->
+    Engine_bench.run ~smoke:(List.mem "--smoke" rest) ()
   | [ _ ] | [ _; "all" ] -> run_all ()
   | [ _; cmd ] ->
     (match List.assoc_opt cmd commands with

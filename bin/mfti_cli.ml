@@ -2,6 +2,7 @@
 
    Subcommands:
      fit      fit a Touchstone file with MFTI / VFTI / recursive MFTI
+     engine   drive the staged fitting engine, printing per-stage timings
      gen      generate a synthetic workload (PDN or RLC ladder) as Touchstone
      compare  run every algorithm on a Touchstone file and print a table
      info     summarize a Touchstone file
@@ -172,41 +173,39 @@ let run_fit path policy algorithm width rank_tol seed poles save_model plot
       Printf.printf "wrote error plot -> %s\n" file
   in
   (match algorithm with
-   | `Mfti ->
-     let options =
-       { Algorithm1.default_options with
-         weight = weight_of_width ~samples width; rank_rule; directions }
-     in
-     let r = Algorithm1.fit ~options samples in
-     describe "MFTI" r.Algorithm1.model r.Algorithm1.rank;
-     print_diagnostics r.Algorithm1.diagnostics;
-     post_process "MFTI" r.Algorithm1.model
-   | `Vfti ->
-     let options = { Vfti.default_options with rank_rule; directions } in
-     let r = Vfti.fit ~options samples in
-     describe "VFTI" r.Algorithm1.model r.Algorithm1.rank;
-     print_diagnostics r.Algorithm1.diagnostics;
-     post_process "VFTI" r.Algorithm1.model
-   | `Mfti2 ->
-     let options =
-       { Algorithm2.default_options with
-         weight = (if width = 0 then Tangential.Uniform 2
-                   else Tangential.Uniform width);
-         rank_rule; directions }
-     in
-     let r = Algorithm2.fit ~options samples in
-     Printf.printf "recursive MFTI: used %d/%d units in %d iterations\n"
-       r.Algorithm2.selected_units r.Algorithm2.total_units
-       r.Algorithm2.iterations;
-     describe "MFTI-2" r.Algorithm2.model r.Algorithm2.rank;
-     print_diagnostics r.Algorithm2.diagnostics;
-     post_process "MFTI-2" r.Algorithm2.model
    | `Vf ->
      let options = { Vfit.Vf.default_options with n_poles = poles } in
      let model, _ = Vfit.Vf.fit ~options samples in
      Printf.printf "VF: order %d, ERR %.3e\n" (Vfit.Vf.order model)
        (Vfit.Vf.err model samples);
-     post_process "VF" (Vfit.Vf.to_descriptor model));
+     post_process "VF" (Vfit.Vf.to_descriptor model)
+   | (`Mfti | `Vfti | `Mfti2) as alg ->
+     (* the three Loewner paths are strategies over the same engine *)
+     let name, strategy, options =
+       match alg with
+       | `Mfti ->
+         ( "MFTI", Engine.Direct,
+           { Engine.default_options with
+             weight = weight_of_width ~samples width; rank_rule; directions } )
+       | `Vfti ->
+         ( "VFTI", Engine.Vector,
+           { Engine.default_options with rank_rule; directions } )
+       | `Mfti2 ->
+         ( "MFTI-2", Engine.Recursive Engine.Incremental,
+           { Engine.default_recursive_options with
+             weight = (if width = 0 then Tangential.Uniform 2
+                       else Tangential.Uniform width);
+             rank_rule; directions } )
+     in
+     let r = Engine.fit ~options ~strategy samples in
+     (match alg with
+      | `Mfti2 ->
+        Printf.printf "recursive MFTI: used %d/%d units in %d iterations\n"
+          r.Engine.selected_units r.Engine.total_units r.Engine.iterations
+      | `Mfti | `Vfti -> ());
+     describe name r.Engine.model r.Engine.rank;
+     print_diagnostics r.Engine.diagnostics;
+     post_process name r.Engine.model);
   0
 
 let fit_cmd =
@@ -215,6 +214,121 @@ let fit_cmd =
     Term.(const run_fit $ touchstone_arg $ policy_arg $ algorithm_arg
           $ width_arg $ rank_tol_arg $ seed_arg $ poles_arg $ save_model_arg
           $ plot_arg $ symmetrize_arg)
+
+(* ------------------------------------------------------------------ *)
+(* engine: drive the staged pipeline explicitly, with per-stage timing *)
+
+let strategy_arg =
+  let s =
+    Arg.enum
+      [ ("direct", `Direct); ("vector", `Vector);
+        ("incremental", `Incremental); ("batch", `Batch) ]
+  in
+  let doc =
+    "Engine strategy: $(b,direct) (Algorithm 1), $(b,vector) (VFTI), \
+     $(b,incremental) (recursive Algorithm 2 with incremental Loewner \
+     assembly) or $(b,batch) (recursive over the full pencil)."
+  in
+  Arg.(value & opt s `Incremental & info [ "strategy" ] ~docv:"STRAT" ~doc)
+
+let batch_arg =
+  let doc = "Units moved into the active set per recursion iteration." in
+  Arg.(value & opt int 8 & info [ "batch" ] ~docv:"K0" ~doc)
+
+let threshold_arg =
+  let doc = "Mean relative held-out residual target for the recursion." in
+  Arg.(value & opt float 1e-3 & info [ "threshold" ] ~docv:"TH" ~doc)
+
+let max_iterations_arg =
+  let doc = "Recursion iteration cap." in
+  Arg.(value & opt int 64 & info [ "max-iterations" ] ~docv:"N" ~doc)
+
+let probe_arg =
+  let doc =
+    "Score at most this many held-out units per iteration (0 = all)."
+  in
+  Arg.(value & opt int 0 & info [ "probe" ] ~docv:"N" ~doc)
+
+let holdout_arg =
+  let doc =
+    "Hold out every Nth sample for error reporting (0 = fit and report \
+     on all samples)."
+  in
+  Arg.(value & opt int 0 & info [ "holdout-every" ] ~docv:"N" ~doc)
+
+let run_engine path policy strategy width rank_tol seed batch threshold
+    max_iterations probe holdout_every =
+  guarded @@ fun () ->
+  let data = load ~policy path in
+  let dataset = Dataset.of_samples data.Rf.Touchstone.samples in
+  let dataset =
+    if holdout_every > 0 then Dataset.partition ~every:holdout_every dataset
+    else dataset
+  in
+  let dataset = Dataset.trim_even dataset in
+  let samples = Dataset.fit_samples dataset in
+  let strategy =
+    match strategy with
+    | `Direct -> Engine.Direct
+    | `Vector -> Engine.Vector
+    | `Incremental -> Engine.Recursive Engine.Incremental
+    | `Batch -> Engine.Recursive Engine.Batch
+  in
+  let base =
+    match strategy with
+    | Engine.Recursive _ -> Engine.default_recursive_options
+    | Engine.Direct | Engine.Vector -> Engine.default_options
+  in
+  let options =
+    { base with
+      weight =
+        (match strategy with
+         | Engine.Recursive _ ->
+           Tangential.Uniform (if width = 0 then 2 else width)
+         | Engine.Direct | Engine.Vector -> weight_of_width ~samples width);
+      rank_rule = rank_rule_of_tol rank_tol;
+      directions = Direction.Orthonormal seed;
+      batch; threshold; max_iterations;
+      probe = (if probe > 0 then Some probe else None) }
+  in
+  let ok = function
+    | Ok x -> x
+    | Error e -> Linalg.Mfti_error.raise_error e
+  in
+  let st = ok (Engine.ingest ~options ~strategy dataset) in
+  ok (Engine.assemble st);
+  ok (Engine.realify st);
+  ok (Engine.reduce st);
+  let m = ok (Engine.model st) in
+  List.iter
+    (fun (stage, dt) -> Printf.printf "stage %-9s %9.4f s\n" stage dt)
+    (Engine.Model.timings m);
+  (match Engine.Model.stats m with
+   | Some s when s.Engine.Model.iterations > 0 ->
+     Printf.printf "units: %d/%d in %d iterations\n"
+       s.Engine.Model.selected_units s.Engine.Model.total_units
+       s.Engine.Model.iterations
+   | _ -> ());
+  let report_samples =
+    if Dataset.holdout_size dataset > 0 then Dataset.holdout_samples dataset
+    else samples
+  in
+  Printf.printf "%s\n"
+    (Engine.Model.report ~name:"engine" m report_samples);
+  Printf.printf "retained order: %d; stable: %b; real: %b\n"
+    (Engine.Model.rank m) (Engine.Model.stable m) (Engine.Model.is_real m);
+  print_diagnostics (Engine.Model.diagnostics m);
+  0
+
+let engine_cmd =
+  let info =
+    Cmd.info "engine"
+      ~doc:"Run the staged fitting engine with per-stage timings."
+  in
+  Cmd.v info
+    Term.(const run_engine $ touchstone_arg $ policy_arg $ strategy_arg
+          $ width_arg $ rank_tol_arg $ seed_arg $ batch_arg $ threshold_arg
+          $ max_iterations_arg $ probe_arg $ holdout_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gen *)
@@ -365,4 +479,6 @@ let info_cmd =
 let () =
   let doc = "matrix-format tangential interpolation macromodeling" in
   let info = Cmd.info "mfti" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ fit_cmd; gen_cmd; compare_cmd; info_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ fit_cmd; engine_cmd; gen_cmd; compare_cmd; info_cmd ]))

@@ -1,6 +1,7 @@
 (* Example-2 scenario: macromodeling a noisy 14-port power distribution
-   network, comparing MFTI's recursive Algorithm 2 against the VFTI
-   baseline on badly distributed samples.
+   network, comparing MFTI's recursive Algorithm 2 (the engine's
+   incremental strategy) against the VFTI baseline on badly distributed
+   samples.
 
    Uses a smaller PDN than the Table 1 bench so it runs in a couple of
    seconds.  Run with: dune exec examples/pdn_modeling.exe *)
@@ -14,20 +15,25 @@ let () =
   Printf.printf "PDN: %d ports, underlying order %d\n" (Descriptor.inputs truth)
     (Descriptor.order truth);
 
-  (* ill-conditioned sampling: most points crowded into the high band *)
+  (* ill-conditioned sampling: most points crowded into the high band;
+     the clean samples serve as the hold-out view for scoring *)
   let freqs =
     Sampling.clustered ~lo:1e6 ~hi:3e9 ~split:3e8 ~fraction:0.8 60
   in
   let clean = Sampling.sample_system truth freqs in
   let noisy = Rf.Noise.add_relative ~seed:9 ~level:1e-3 clean in
+  let dataset = Dataset.of_samples noisy ~holdout:clean in
   Printf.printf "60 samples, 80%% above 300 MHz, -60 dB measurement noise\n\n";
 
   let rank_rule = Svd_reduce.Tol 3e-3 in
 
   Printf.printf "VFTI baseline...\n%!";
-  let vfti = Vfti.fit ~options:{ Vfti.default_options with rank_rule } noisy in
-  Printf.printf "  %s\n\n%!"
-    (Metrics.report ~name:"VFTI" vfti.Algorithm1.model clean);
+  let vfti =
+    Engine.run_exn ~strategy:Engine.Vector
+      ~options:{ Engine.default_options with rank_rule }
+      dataset
+  in
+  Printf.printf "  %s\n\n%!" (Metrics.report ~name:"VFTI" vfti.Engine.model clean);
 
   Printf.printf "MFTI-1 with extra weight on the sparse low band...\n%!";
   let k = Array.length freqs in
@@ -36,25 +42,43 @@ let () =
     Tangential.Per_sample (Array.init k (fun i -> if i < k / 3 then 3 else 2))
   in
   let mfti1 =
-    Algorithm1.fit ~options:{ Algorithm1.default_options with weight; rank_rule } noisy
+    Engine.run_exn ~strategy:Engine.Direct
+      ~options:{ Engine.default_options with weight; rank_rule }
+      dataset
   in
-  Printf.printf "  %s\n\n%!"
-    (Metrics.report ~name:"MFTI-1" mfti1.Algorithm1.model clean);
+  Printf.printf "  %s\n\n%!" (Metrics.report ~name:"MFTI-1" mfti1.Engine.model clean);
 
   Printf.printf "MFTI-2 (recursive, picks its own samples)...\n%!";
   let options =
-    { Algorithm2.default_options with
+    { Engine.default_recursive_options with
       weight = Tangential.Uniform 2; batch = 6; threshold = 1e-2; rank_rule }
   in
-  let mfti2 = Algorithm2.fit ~options noisy in
-  Printf.printf "  %s\n" (Metrics.report ~name:"MFTI-2" mfti2.Algorithm2.model clean);
-  Printf.printf "  used %d of %d tangential units in %d iterations\n"
-    mfti2.Algorithm2.selected_units mfti2.Algorithm2.total_units
-    mfti2.Algorithm2.iterations;
-  Printf.printf "  held-out residual history:";
-  Array.iter
-    (fun e ->
-      if Float.is_nan e then Printf.printf " (exhausted)"
-      else Printf.printf " %.2e" e)
-    mfti2.Algorithm2.history;
+  let mfti2 =
+    match Engine.ingest ~options
+            ~strategy:(Engine.Recursive Engine.Incremental) dataset with
+    | Error e -> failwith (Linalg.Mfti_error.to_string e)
+    | Ok st ->
+      (match Engine.model st with
+       | Error e -> failwith (Linalg.Mfti_error.to_string e)
+       | Ok m -> m)
+  in
+  Printf.printf "  %s\n"
+    (Engine.Model.report ~name:"MFTI-2" mfti2 clean);
+  (match Engine.Model.stats mfti2 with
+   | None -> ()
+   | Some s ->
+     Printf.printf "  used %d of %d tangential units in %d iterations\n"
+       s.Engine.Model.selected_units s.Engine.Model.total_units
+       s.Engine.Model.iterations;
+     Printf.printf "  held-out residual history:";
+     Array.iter
+       (fun e ->
+         if Float.is_nan e then Printf.printf " (exhausted)"
+         else Printf.printf " %.2e" e)
+       s.Engine.Model.history;
+     Printf.printf "\n");
+  Printf.printf "  per-stage time:";
+  List.iter
+    (fun (stage, dt) -> Printf.printf " %s %.3fs" stage dt)
+    (Engine.Model.timings mfti2);
   Printf.printf "\n"

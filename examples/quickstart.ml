@@ -2,9 +2,11 @@
 
    1. build a 10-section RLC transmission-line model (the "device under
       test" standing in for an EM solver or a VNA measurement);
-   2. sample its scattering matrix at a handful of frequencies;
-   3. recover a state-space macromodel with MFTI (paper Algorithm 1);
-   4. check the model against frequencies that were never sampled.
+   2. wrap its sampled scattering matrices in a Dataset, holding out a
+      second frequency grid the fit never sees;
+   3. recover a state-space macromodel with the staged engine (paper
+      Algorithm 1 = the Direct strategy);
+   4. check the model against the held-out frequencies.
 
    Run with: dune exec examples/quickstart.exe *)
 
@@ -18,22 +20,32 @@ let () =
   Printf.printf "device under test: %d states, %d ports\n"
     (Descriptor.order dut) (Descriptor.inputs dut);
 
-  (* 2. sample S(f) at 22 log-spaced frequencies *)
+  (* 2. sample S(f) at 22 log-spaced frequencies; hold out 31 more for
+     validation off the sampling grid *)
   let freqs = Sampling.logspace 1e6 2e10 22 in
-  let samples = Sampling.sample_system dut freqs in
+  let dataset =
+    Dataset.of_system dut freqs ~holdout_freqs:(Sampling.logspace 3e6 1e10 31)
+  in
   Printf.printf "sampled %d scattering matrices from %.0e to %.0e Hz\n"
-    (Array.length samples) freqs.(0) freqs.(Array.length freqs - 1);
+    (Dataset.size dataset) freqs.(0) freqs.(Array.length freqs - 1);
 
-  (* 3. fit: matrix-format tangential interpolation *)
-  let result = Algorithm1.fit samples in
-  Printf.printf "MFTI recovered a model of order %d\n" result.Algorithm1.rank;
+  (* 3. fit: matrix-format tangential interpolation, one engine call *)
+  let model =
+    match Engine.ingest dataset with
+    | Error e -> failwith (Linalg.Mfti_error.to_string e)
+    | Ok st ->
+      (match Engine.model st with
+       | Error e -> failwith (Linalg.Mfti_error.to_string e)
+       | Ok m -> m)
+  in
+  Printf.printf "MFTI recovered a model of order %d\n" (Engine.Model.rank model);
 
-  (* 4. validate off the sampling grid *)
-  let validation = Sampling.sample_system dut (Sampling.logspace 3e6 1e10 31) in
-  Printf.printf "%s\n" (Metrics.report ~name:"MFTI" result.Algorithm1.model validation);
+  (* 4. validate: Dataset.err scores against the held-out grid *)
+  Printf.printf "%s\n"
+    (Engine.Model.report ~name:"MFTI" model (Dataset.holdout_samples dataset));
   Printf.printf "model is %s and %s\n"
-    (if Descriptor.is_real result.Algorithm1.model then "real" else "complex")
-    (if Poles.is_stable result.Algorithm1.model then "stable" else "UNSTABLE");
+    (if Engine.Model.is_real model then "real" else "complex")
+    (if Engine.Model.stable model then "stable" else "UNSTABLE");
 
   (* bonus: how few samples would have sufficed?  Theorem 3.5 counts all
      states; modes resonating outside the sampled band are weakly
@@ -45,8 +57,13 @@ let () =
   Printf.printf "theorem 3.5 bound: %d samples; sweeping around it:\n" k_min;
   List.iter
     (fun k ->
-      let r2 = Algorithm1.fit (Sampling.sample_system dut (Sampling.logspace 1e6 2e10 k)) in
+      let small =
+        Dataset.of_system dut (Sampling.logspace 1e6 2e10 k)
+          ~holdout_freqs:(Sampling.logspace 3e6 1e10 31)
+      in
+      let r = Engine.run_exn small in
       Printf.printf "  %s\n"
-        (Metrics.report ~name:(Printf.sprintf "MFTI, %2d samples" k)
-           r2.Algorithm1.model validation))
+        (Metrics.report
+           ~name:(Printf.sprintf "MFTI, %2d samples" k)
+           r.Engine.model (Dataset.holdout_samples small)))
     [ k_min - 4; k_min; k_min + 4 ]

@@ -1,60 +1,36 @@
-open Linalg
+(* Thin strategy wrapper: Algorithm 1 is the engine's [Direct] path. *)
 
-type options = {
+type options = Engine.options = {
   weight : Tangential.weight;
   directions : Direction.kind;
   real_model : bool;
   mode : Svd_reduce.mode;
   rank_rule : Svd_reduce.rank_rule;
+  batch : int;
+  threshold : float;
+  max_iterations : int;
+  divergence_factor : float;
+  iteration_budget : float;
+  probe : int option;
 }
 
-let default_options =
-  { weight = Tangential.Full;
-    directions = Direction.Orthonormal 0;
-    real_model = true;
-    mode = Svd_reduce.default_mode;
-    rank_rule = Svd_reduce.default_rank_rule }
+let default_options = Engine.default_options
 
-type result = {
+type result = Engine.fit = {
   model : Statespace.Descriptor.t;
   rank : int;
   sigma : float array;
   data : Tangential.t;
   loewner : Loewner.t;
-  diagnostics : Diag.t;
+  selected_units : int;
+  total_units : int;
+  iterations : int;
+  history : float array;
+  diagnostics : Linalg.Diag.t;
+  timings : (string * float) list;
 }
 
-let fit_result ?(options = default_options) samples =
-  let diagnostics = Diag.create () in
-  Diag.using diagnostics (fun () ->
-      let samples = Statespace.Sampling.fault_corrupt samples in
-      match Statespace.Sampling.validate samples with
-      | Result.Error e -> Result.Error e
-      | Ok () ->
-        Mfti_error.guard ~context:"algorithm1" (fun () ->
-            let data =
-              Tangential.build ~directions:options.directions
-                ~weight:options.weight samples
-            in
-            let pencil = Loewner.build data in
-            let pencil =
-              if options.real_model then Realify.apply pencil else pencil
-            in
-            (match Loewner.check_finite ~context:"algorithm1" pencil with
-             | Ok () -> ()
-             | Result.Error e -> Mfti_error.raise_error e);
-            let reduced =
-              Svd_reduce.reduce ~mode:options.mode ~rank_rule:options.rank_rule
-                pencil
-            in
-            { model = reduced.Svd_reduce.model;
-              rank = reduced.Svd_reduce.rank;
-              sigma = reduced.Svd_reduce.sigma;
-              data;
-              loewner = pencil;
-              diagnostics }))
+let fit_result ?options samples =
+  Engine.fit_result ?options ~strategy:Engine.Direct samples
 
-let fit ?options samples =
-  match fit_result ?options samples with
-  | Ok r -> r
-  | Result.Error e -> Mfti_error.raise_error e
+let fit ?options samples = Engine.fit ?options ~strategy:Engine.Direct samples

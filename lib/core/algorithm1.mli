@@ -4,29 +4,50 @@
     (eqs. 11-12) -> realification (Lemma 3.2) -> SVD projection
     (Lemma 3.4) -> descriptor model.  With [weight = Full] and
     orthonormal directions, the model matches every sampled matrix
-    exactly when the sampling is sufficient (Lemma 3.1 / Theorem 3.5). *)
+    exactly when the sampling is sufficient (Lemma 3.1 / Theorem 3.5).
 
-type options = {
+    This module is a thin wrapper over {!Engine} with the [Direct]
+    strategy; the records below are re-exports of the engine's types.
+    New code should use {!Engine} directly — this interface is kept as a
+    compatibility alias for one release. *)
+
+(** Re-export of {!Engine.options}.  The recursion fields ([batch] and
+    later) are ignored by Algorithm 1. *)
+type options = Engine.options = {
   weight : Tangential.weight;       (** block widths [t_i] *)
   directions : Direction.kind;
   real_model : bool;                (** apply Lemma 3.2 before the SVD *)
   mode : Svd_reduce.mode;
   rank_rule : Svd_reduce.rank_rule;
+  batch : int;
+  threshold : float;
+  max_iterations : int;
+  divergence_factor : float;
+  iteration_budget : float;
+  probe : int option;
 }
 
 val default_options : options
 (** [Full] weights, orthonormal directions, realification on, stacked
-    SVD, gap-based rank detection. *)
+    SVD, gap-based rank detection ({!Engine.default_options}). *)
 
-type result = {
+(** Re-export of {!Engine.fit}.  For a single-pass fit
+    [selected_units = total_units], [iterations = 1] and [history] is
+    empty. *)
+type result = Engine.fit = {
   model : Statespace.Descriptor.t;
   rank : int;                (** model order retained by the SVD *)
   sigma : float array;       (** singular values behind the rank choice *)
   data : Tangential.t;       (** the interpolation data used *)
   loewner : Loewner.t;       (** the (possibly realified) pencil *)
+  selected_units : int;
+  total_units : int;
+  iterations : int;
+  history : float array;
   diagnostics : Linalg.Diag.t;
       (** what the numerics did: condition / rank gap of the reduction,
           fallbacks taken, retries, wall time *)
+  timings : (string * float) list;  (** per-stage wall times *)
 }
 
 (** [fit_result ?options samples] runs Algorithm 1.  Needs an even

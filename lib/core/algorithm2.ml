@@ -1,281 +1,40 @@
-open Linalg
+(* Thin strategy wrapper: Algorithm 2 is the engine's recursive path,
+   with incremental Loewner assembly by default. *)
 
-type options = {
+type options = Engine.options = {
   weight : Tangential.weight;
   directions : Direction.kind;
-  batch : int;
-  threshold : float;
-  max_iterations : int;
   real_model : bool;
   mode : Svd_reduce.mode;
   rank_rule : Svd_reduce.rank_rule;
+  batch : int;
+  threshold : float;
+  max_iterations : int;
   divergence_factor : float;
   iteration_budget : float;
+  probe : int option;
 }
 
-let default_options =
-  { weight = Tangential.Uniform 2;
-    directions = Direction.Orthonormal 0;
-    batch = 8;
-    threshold = 1e-3;
-    max_iterations = 64;
-    real_model = true;
-    mode = Svd_reduce.default_mode;
-    rank_rule = Svd_reduce.default_rank_rule;
-    divergence_factor = 1e3;
-    iteration_budget = Float.infinity }
+let default_options = Engine.default_recursive_options
 
-type result = {
+type result = Engine.fit = {
   model : Statespace.Descriptor.t;
   rank : int;
   sigma : float array;
+  data : Tangential.t;
+  loewner : Loewner.t;
   selected_units : int;
   total_units : int;
   iterations : int;
   history : float array;
-  diagnostics : Diag.t;
+  diagnostics : Linalg.Diag.t;
+  timings : (string * float) list;
 }
 
-(* One selectable unit: a tangential column with its conjugate partner,
-   plus the aligned left row pair, and the data needed for residuals. *)
-type unit_data = {
-  col_orig : int;
-  col_conj : int;
-  row_orig : int;
-  row_conj : int;
-  lambda_u : Cx.t;
-  r_col : Cmat.t;   (* m x 1 *)
-  w_col : Cmat.t;   (* p x 1 *)
-  mu_u : Cx.t;
-  l_row : Cmat.t;   (* 1 x p *)
-  v_row : Cmat.t;   (* 1 x m *)
-  norm_u : float;   (* |w| + |v| for normalization *)
-}
-
-let block_offsets sizes =
-  let off = Array.make (Array.length sizes) 0 in
-  for i = 1 to Array.length sizes - 1 do
-    off.(i) <- off.(i - 1) + sizes.(i - 1)
-  done;
-  off
-
-let make_units (data : Tangential.t) (pencil : Loewner.t) =
-  let rs = pencil.Loewner.right_sizes and ls = pencil.Loewner.left_sizes in
-  let npairs = Array.length rs / 2 in
-  if Array.length ls <> Array.length rs then
-    invalid_arg "Algorithm2: left/right block counts differ";
-  let roff = block_offsets rs and loff = block_offsets ls in
-  let units = ref [] in
-  for g = 0 to npairs - 1 do
-    let t_r = rs.(2 * g) and t_l = ls.(2 * g) in
-    if t_r <> t_l then
-      invalid_arg "Algorithm2: left and right widths must match per block pair";
-    let rb = data.Tangential.right.(2 * g) in
-    let lb = data.Tangential.left.(2 * g) in
-    for j = 0 to t_r - 1 do
-      let r_col = Cmat.col rb.Tangential.r j in
-      let w_col = Cmat.col rb.Tangential.w j in
-      let l_row = Cmat.row lb.Tangential.l j in
-      let v_row = Cmat.row lb.Tangential.v j in
-      units :=
-        { col_orig = roff.(2 * g) + j;
-          col_conj = roff.((2 * g) + 1) + j;
-          row_orig = loff.(2 * g) + j;
-          row_conj = loff.((2 * g) + 1) + j;
-          lambda_u = rb.Tangential.lambda;
-          r_col; w_col;
-          mu_u = lb.Tangential.mu;
-          l_row; v_row;
-          norm_u = Cmat.norm_fro w_col +. Cmat.norm_fro v_row }
-        :: !units
-    done
-  done;
-  Array.of_list (List.rev !units)
-
-(* Strided initial visit order: [0, k0, 2k0, ..., 1, k0+1, ...]. *)
-let strided_order n k0 =
-  let order = Array.make n 0 in
-  let pos = ref 0 in
-  for r = 0 to k0 - 1 do
-    let i = ref r in
-    while !i < n do
-      order.(!pos) <- !i;
-      incr pos;
-      i := !i + k0
-    done
-  done;
-  order
-
-let sub_pencil (pencil : Loewner.t) units selected =
-  let n = List.length selected in
-  let cols = Array.make (2 * n) 0 and rows = Array.make (2 * n) 0 in
-  List.iteri
-    (fun i u ->
-      cols.(2 * i) <- units.(u).col_orig;
-      cols.((2 * i) + 1) <- units.(u).col_conj;
-      rows.(2 * i) <- units.(u).row_orig;
-      rows.((2 * i) + 1) <- units.(u).row_conj)
-    selected;
-  let pick m = Cmat.select_rows (Cmat.select_cols m cols) rows in
-  { Loewner.ll = pick pencil.Loewner.ll;
-    sll = pick pencil.Loewner.sll;
-    w = Cmat.select_cols pencil.Loewner.w cols;
-    v = Cmat.select_rows pencil.Loewner.v rows;
-    r = Cmat.select_cols pencil.Loewner.r cols;
-    l = Cmat.select_rows pencil.Loewner.l rows;
-    lambda = Array.map (fun c -> pencil.Loewner.lambda.(c)) cols;
-    mu = Array.map (fun r -> pencil.Loewner.mu.(r)) rows;
-    right_sizes = Array.make (2 * n) 1;
-    left_sizes = Array.make (2 * n) 1 }
-
-let unit_residual model u =
-  let hr = Statespace.Descriptor.eval model u.lambda_u in
-  let right = Cmat.norm_fro (Cmat.sub (Cmat.mul hr u.r_col) u.w_col) in
-  let hl = Statespace.Descriptor.eval model u.mu_u in
-  let left = Cmat.norm_fro (Cmat.sub (Cmat.mul u.l_row hl) u.v_row) in
-  (right +. left) /. Stdlib.max u.norm_u 1e-300
+let strategy = Engine.Recursive Engine.Incremental
 
 let fit_result ?(options = default_options) samples =
-  let diagnostics = Diag.create () in
-  Diag.using diagnostics (fun () ->
-      let samples = Statespace.Sampling.fault_corrupt samples in
-      match Statespace.Sampling.validate samples with
-      | Result.Error e -> Result.Error e
-      | Ok () ->
-        Mfti_error.guard ~context:"algorithm2" (fun () ->
-            if options.batch < 1 then
-              invalid_arg "Algorithm2: batch must be >= 1";
-            if options.max_iterations < 1 then
-              invalid_arg "Algorithm2: max_iterations must be >= 1";
-            if not (options.divergence_factor > 1.) then
-              invalid_arg "Algorithm2: divergence_factor must be > 1";
-            if not (options.iteration_budget > 0.) then
-              invalid_arg "Algorithm2: iteration_budget must be positive";
-            let start = Unix.gettimeofday () in
-            let data =
-              Tangential.build ~directions:options.directions
-                ~weight:options.weight samples
-            in
-            let pencil = Loewner.build data in
-            (match Loewner.check_finite ~context:"algorithm2" pencil with
-             | Ok () -> ()
-             | Result.Error e -> Mfti_error.raise_error e);
-            let units = make_units data pencil in
-            let total = Array.length units in
-            let remaining =
-              ref (Array.to_list (strided_order total options.batch))
-            in
-            let selected = ref [] in
-            let history = ref [] in
-            (* Best model over the recursion, by mean held-out residual:
-               the divergence and budget guards return it instead of the
-               (worse) model of the iteration that tripped them. *)
-            let best = ref None in
-            let take n lst =
-              let rec go n acc = function
-                | rest when n = 0 -> (List.rev acc, rest)
-                | [] -> (List.rev acc, [])
-                | x :: rest -> go (n - 1) (x :: acc) rest
-              in
-              go n [] lst
-            in
-            let best_or current =
-              match !best with
-              | Some (_, bm, br, bi) -> (bm, br, bi)
-              | None -> current
-            in
-            let rec loop iter =
-              let batch, rest = take options.batch !remaining in
-              selected := !selected @ batch;
-              remaining := rest;
-              let sub = sub_pencil pencil units !selected in
-              let sub = if options.real_model then Realify.apply sub else sub in
-              let reduced =
-                Svd_reduce.reduce ~mode:options.mode
-                  ~rank_rule:options.rank_rule sub
-              in
-              let model = reduced.Svd_reduce.model in
-              match !remaining with
-              | [] ->
-                history := Float.nan :: !history;
-                (model, reduced, iter)
-              | rest ->
-                let errs =
-                  List.map (fun u -> (u, unit_residual model units.(u))) rest
-                in
-                let mean =
-                  List.fold_left (fun acc (_, e) -> acc +. e) 0. errs
-                  /. float_of_int (List.length errs)
-                in
-                (* deterministic injection point for the recursion layer:
-                   residuals exploding across iterations *)
-                let mean =
-                  if Fault.armed "algorithm2.diverge" then
-                    mean *. (10. ** float_of_int (10 * iter))
-                  else mean
-                in
-                history := mean :: !history;
-                let improved =
-                  (not (Float.is_nan mean))
-                  && (match !best with Some (m, _, _, _) -> mean < m | None -> true)
-                in
-                if improved then best := Some (mean, model, reduced, iter);
-                if mean <= options.threshold then (model, reduced, iter)
-                else begin
-                  let diverged =
-                    Float.is_nan mean
-                    || (match !best with
-                        | Some (bmean, _, _, _) ->
-                          mean > options.divergence_factor *. bmean
-                        | None -> false)
-                  in
-                  if diverged then begin
-                    Diag.record ~site:"algorithm2.divergence"
-                      (Printf.sprintf
-                         "held-out residual %.3g exploded past %g x best; \
-                          returning best-so-far model"
-                         mean options.divergence_factor);
-                    best_or (model, reduced, iter)
-                  end
-                  else if iter >= options.max_iterations then begin
-                    Diag.record ~site:"algorithm2.max_iterations"
-                      (Printf.sprintf
-                         "threshold %.3g not reached after %d iterations \
-                          (best residual %.3g)"
-                         options.threshold iter
-                         (match !best with Some (m, _, _, _) -> m | None -> mean));
-                    best_or (model, reduced, iter)
-                  end
-                  else if Unix.gettimeofday () -. start > options.iteration_budget
-                  then begin
-                    Diag.record ~site:"algorithm2.budget_exhausted"
-                      (Printf.sprintf
-                         "wall-time budget %.3g s exhausted at iteration %d; \
-                          returning best-so-far model"
-                         options.iteration_budget iter);
-                    best_or (model, reduced, iter)
-                  end
-                  else begin
-                    (* Visit the worst-fitting held-out units next. *)
-                    let sorted =
-                      List.sort (fun (_, a) (_, b) -> compare b a) errs
-                    in
-                    remaining := List.map fst sorted;
-                    loop (iter + 1)
-                  end
-                end
-            in
-            let model, reduced, iterations = loop 1 in
-            { model;
-              rank = reduced.Svd_reduce.rank;
-              sigma = reduced.Svd_reduce.sigma;
-              selected_units = List.length !selected;
-              total_units = total;
-              iterations;
-              history = Array.of_list (List.rev !history);
-              diagnostics }))
+  Engine.fit_result ~options ~strategy samples
 
-let fit ?options samples =
-  match fit_result ?options samples with
-  | Ok r -> r
-  | Result.Error e -> Mfti_error.raise_error e
+let fit ?(options = default_options) samples =
+  Engine.fit ~options ~strategy samples

@@ -5,24 +5,32 @@
     small strided subset, builds a model, measures the tangential
     residual on the *held-out* data, and moves the [batch] worst-fitting
     units into the active set — repeating until the mean held-out
-    residual falls below [threshold] or the data is exhausted.  The full
-    Loewner pencil is assembled once and submatrices are selected per
-    iteration (the paper's "update instead of recompute" step).
+    residual falls below [threshold] or the data is exhausted.  The
+    pencil grows incrementally: each iteration appends only the new
+    units' block rows/columns to a cached {!Loewner.builder} (the
+    paper's "update instead of recompute" step, bit-identical to a full
+    rebuild).
 
     A selection unit is one tangential column together with its
     conjugate partner (plus the aligned row pair), so realification
     stays applicable to every intermediate model.  Residuals are
-    normalized by the data norms, making [threshold] scale-free. *)
+    normalized by the data norms, making [threshold] scale-free.
 
-type options = {
+    This module is a thin wrapper over {!Engine} with the
+    [Recursive Incremental] strategy; the records below are re-exports
+    of the engine's types.  New code should use {!Engine} directly —
+    this interface is kept as a compatibility alias for one release. *)
+
+(** Re-export of {!Engine.options}. *)
+type options = Engine.options = {
   weight : Tangential.weight;
   directions : Direction.kind;
-  batch : int;             (** k0: units moved per iteration (>= 1) *)
-  threshold : float;       (** Th: mean relative held-out residual target *)
-  max_iterations : int;
   real_model : bool;
   mode : Svd_reduce.mode;
   rank_rule : Svd_reduce.rank_rule;
+  batch : int;             (** k0: units moved per iteration (>= 1) *)
+  threshold : float;       (** Th: mean relative held-out residual target *)
+  max_iterations : int;
   divergence_factor : float;
       (** stop (returning the best model so far) when the mean held-out
           residual exceeds this factor times the best seen (> 1;
@@ -31,14 +39,22 @@ type options = {
       (** wall-clock budget in seconds for the whole recursion; on
           exhaustion the best model so far is returned (default
           [infinity]) *)
+  probe : int option;
+      (** residual-probing cap per iteration; [None] (the default)
+          scores every held-out unit, the exact Algorithm 2 *)
 }
 
 val default_options : options
+(** {!Engine.default_recursive_options}: [Uniform 2] weights and the
+    recursion defaults above. *)
 
-type result = {
+(** Re-export of {!Engine.fit}. *)
+type result = Engine.fit = {
   model : Statespace.Descriptor.t;
   rank : int;
   sigma : float array;
+  data : Tangential.t;
+  loewner : Loewner.t;     (** working pencil of the final reduction *)
   selected_units : int;    (** units in the final active set *)
   total_units : int;
   iterations : int;
@@ -49,6 +65,7 @@ type result = {
       (** what the numerics did, including which recursion guard (if
           any) ended the iteration: ["algorithm2.divergence"],
           ["algorithm2.max_iterations"], ["algorithm2.budget_exhausted"] *)
+  timings : (string * float) list;  (** per-stage wall times *)
 }
 
 (** [fit_result ?options samples] runs the recursion.  Same sample

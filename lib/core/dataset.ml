@@ -1,0 +1,47 @@
+open Statespace
+
+type t = {
+  fit : Sampling.sample array;
+  holdout : Sampling.sample array;
+}
+
+let of_samples ?(holdout = [||]) samples = { fit = samples; holdout }
+
+let of_system ?(holdout_freqs = [||]) sys freqs =
+  { fit = Sampling.sample_system sys freqs;
+    holdout = Sampling.sample_system sys holdout_freqs }
+
+let fit_samples t = t.fit
+let holdout_samples t = t.holdout
+let size t = Array.length t.fit
+let holdout_size t = Array.length t.holdout
+let port_dims t = Sampling.port_dims t.fit
+let frequencies t = Array.map (fun s -> s.Sampling.freq) t.fit
+
+let partition ~every t =
+  let fit, held = Sampling.partition ~every t.fit in
+  { fit; holdout = Array.append t.holdout held }
+
+let trim_even t = { t with fit = Tangential.trim_even t.fit }
+
+let symmetrize t =
+  { fit = Sampling.symmetrize t.fit; holdout = Sampling.symmetrize t.holdout }
+
+let fault_corrupt t = { t with fit = Sampling.fault_corrupt t.fit }
+
+let validate t =
+  match Sampling.validate t.fit with
+  | Error _ as e -> e
+  | Ok () ->
+    if Array.length t.holdout = 0 then Ok ()
+    else Sampling.validate t.holdout
+
+let scrub t =
+  { fit = Sampling.scrub t.fit; holdout = Sampling.scrub t.holdout }
+
+let tangential ?directions ?weight t = Tangential.build ?directions ?weight t.fit
+
+let eval_samples t = if Array.length t.holdout > 0 then t.holdout else t.fit
+let err model t = Metrics.err model (eval_samples t)
+let err_vector model t = Metrics.err_vector model (eval_samples t)
+let max_err model t = Metrics.max_err model (eval_samples t)

@@ -1,0 +1,63 @@
+(** A fitting data set: sampled response matrices plus an optional
+    hold-out view.
+
+    The engine fits against {!fit_samples} and, when a hold-out set is
+    present, reports error metrics against it — the held-out-error
+    validation loop the adaptive-sampling literature builds on.  The
+    arrays are never mutated; every transform returns a new value. *)
+
+type t
+
+(** [of_samples ?holdout samples] wraps explicit measured/simulated
+    data.  [holdout] defaults to empty. *)
+val of_samples :
+  ?holdout:Statespace.Sampling.sample array ->
+  Statespace.Sampling.sample array -> t
+
+(** [of_system ?holdout_freqs sys freqs] samples the transfer function
+    of [sys] on [freqs] (and on [holdout_freqs] for the hold-out set). *)
+val of_system :
+  ?holdout_freqs:float array -> Statespace.Descriptor.t -> float array -> t
+
+val fit_samples : t -> Statespace.Sampling.sample array
+val holdout_samples : t -> Statespace.Sampling.sample array
+val size : t -> int
+val holdout_size : t -> int
+
+(** Response dimensions [(p, m)] of the fitting samples. *)
+val port_dims : t -> int * int
+
+(** Fitting-sample frequencies in Hz, in order. *)
+val frequencies : t -> float array
+
+(** [partition ~every t] moves every [every]-th fitting sample into the
+    hold-out set (appended after any existing hold-out samples). *)
+val partition : every:int -> t -> t
+
+(** Drop the last fitting sample when the count is odd (the tangential
+    split needs an even count). *)
+val trim_even : t -> t
+
+(** Symmetrize both views — see {!Statespace.Sampling.symmetrize}. *)
+val symmetrize : t -> t
+
+(** Apply the ["sample.corrupt"] fault hook to the fitting view. *)
+val fault_corrupt : t -> t
+
+(** Validate fitting samples, then the hold-out set if non-empty. *)
+val validate : t -> (unit, Linalg.Mfti_error.t) result
+
+(** Drop non-finite and duplicate-frequency samples from both views. *)
+val scrub : t -> t
+
+(** Tangential interpolation data built from the fitting view. *)
+val tangential : ?directions:Direction.kind -> ?weight:Tangential.weight -> t -> Tangential.t
+
+(** {1 Error metrics}
+
+    Measured against the hold-out view when non-empty, the fitting view
+    otherwise. *)
+
+val err : Statespace.Descriptor.t -> t -> float
+val err_vector : Statespace.Descriptor.t -> t -> float array
+val max_err : Statespace.Descriptor.t -> t -> float

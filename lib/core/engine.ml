@@ -1,0 +1,618 @@
+open Linalg
+
+(* ------------------------------------------------------------------ *)
+(* Options *)
+
+type options = {
+  weight : Tangential.weight;
+  directions : Direction.kind;
+  real_model : bool;
+  mode : Svd_reduce.mode;
+  rank_rule : Svd_reduce.rank_rule;
+  batch : int;
+  threshold : float;
+  max_iterations : int;
+  divergence_factor : float;
+  iteration_budget : float;
+  probe : int option;
+}
+
+let default_options =
+  { weight = Tangential.Full;
+    directions = Direction.Orthonormal 0;
+    real_model = true;
+    mode = Svd_reduce.default_mode;
+    rank_rule = Svd_reduce.default_rank_rule;
+    batch = 8;
+    threshold = 1e-3;
+    max_iterations = 64;
+    divergence_factor = 1e3;
+    iteration_budget = Float.infinity;
+    probe = None }
+
+let default_recursive_options =
+  { default_options with weight = Tangential.Uniform 2 }
+
+type assembly = Batch | Incremental
+type strategy = Direct | Vector | Recursive of assembly
+type stage = Ingested | Assembled | Realified | Reduced
+
+let context_of_strategy = function
+  | Direct -> "algorithm1"
+  | Vector -> "vfti"
+  | Recursive _ -> "algorithm2"
+
+(* ------------------------------------------------------------------ *)
+(* State *)
+
+type state = {
+  options : options;
+  strategy : strategy;
+  context : string;
+  dataset : Dataset.t;
+  data : Tangential.t;
+  started : float;
+  diagnostics : Diag.t;
+  mutable pencil : Loewner.t option;
+  mutable realified : Loewner.t option;
+  mutable reduction : Svd_reduce.result option;
+  mutable selected_units : int;
+  mutable total_units : int;
+  mutable iterations : int;
+  mutable history : float array;
+  mutable timings : (string * float) list;
+}
+
+(* Accumulate wall time per stage name; first hit fixes the display
+   order. *)
+let timed st name f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  (if List.mem_assoc name st.timings then
+     st.timings <-
+       List.map
+         (fun (n, v) -> if String.equal n name then (n, v +. dt) else (n, v))
+         st.timings
+   else st.timings <- st.timings @ [ (name, dt) ]);
+  x
+
+let validate_options ~strategy o =
+  (match strategy with
+   | Recursive _ ->
+     if o.batch < 1 then invalid_arg "Engine: batch must be >= 1";
+     if o.max_iterations < 1 then
+       invalid_arg "Engine: max_iterations must be >= 1";
+     if not (o.divergence_factor > 1.) then
+       invalid_arg "Engine: divergence_factor must be > 1";
+     if not (o.iteration_budget > 0.) then
+       invalid_arg "Engine: iteration_budget must be positive"
+   | Direct | Vector -> ());
+  match o.probe with
+  | Some n when n < 1 -> invalid_arg "Engine: probe must be >= 1"
+  | _ -> ()
+
+let ingest ?(options = default_options) ?(strategy = Direct) dataset =
+  let context = context_of_strategy strategy in
+  let diagnostics = Diag.create () in
+  Diag.using diagnostics (fun () ->
+      let dataset = Dataset.fault_corrupt dataset in
+      match Dataset.validate dataset with
+      | Result.Error e -> Result.Error e
+      | Ok () ->
+        Mfti_error.guard ~context (fun () ->
+            validate_options ~strategy options;
+            let weight =
+              match strategy with
+              | Vector -> Tangential.Uniform 1
+              | Direct | Recursive _ -> options.weight
+            in
+            let started = Unix.gettimeofday () in
+            let data =
+              Tangential.build ~directions:options.directions ~weight
+                (Dataset.fit_samples dataset)
+            in
+            let dt = Unix.gettimeofday () -. started in
+            { options; strategy; context; dataset; data; started; diagnostics;
+              pencil = None; realified = None; reduction = None;
+              selected_units = 0; total_units = 0; iterations = 0;
+              history = [||]; timings = [ ("ingest", dt) ] }))
+
+(* ------------------------------------------------------------------ *)
+(* Single-pass stages (Direct / Vector / Recursive Batch full pencil) *)
+
+let assemble_raw st =
+  match st.pencil with
+  | Some _ -> ()
+  | None ->
+    (match st.strategy with
+     | Recursive Incremental ->
+       (* the recursion grows its own builder; there is no full pencil *)
+       ()
+     | Direct | Vector | Recursive Batch ->
+       st.pencil <- Some (timed st "assemble" (fun () -> Loewner.build st.data)))
+
+let realify_raw st =
+  match st.realified with
+  | Some _ -> ()
+  | None ->
+    (match st.strategy with
+     | Recursive _ -> ()   (* sub-pencils are realified inside the loop *)
+     | Direct | Vector ->
+       assemble_raw st;
+       let p = Option.get st.pencil in
+       let q =
+         if st.options.real_model then
+           timed st "realify" (fun () -> Realify.apply p)
+         else p
+       in
+       st.realified <- Some q)
+
+(* ------------------------------------------------------------------ *)
+(* Recursive selection (paper Algorithm 2) *)
+
+(* One selectable unit: a width-1 tangential column with its conjugate
+   partner, plus the aligned left row pair.  The four blocks are kept
+   whole so the incremental assembly can append them directly. *)
+type unit_data = {
+  col_orig : int;
+  col_conj : int;
+  row_orig : int;
+  row_conj : int;
+  right_o : Tangential.right_block;
+  right_c : Tangential.right_block;
+  left_o : Tangential.left_block;
+  left_c : Tangential.left_block;
+  norm_u : float;   (* |w| + |v| for normalization *)
+}
+
+let block_offsets sizes =
+  let off = Array.make (Array.length sizes) 0 in
+  for i = 1 to Array.length sizes - 1 do
+    off.(i) <- off.(i - 1) + sizes.(i - 1)
+  done;
+  off
+
+let make_units (data : Tangential.t) =
+  let rs = Tangential.right_sizes data and ls = Tangential.left_sizes data in
+  let npairs = Array.length rs / 2 in
+  if Array.length ls <> Array.length rs then
+    invalid_arg "Engine: left/right block counts differ";
+  let roff = block_offsets rs and loff = block_offsets ls in
+  let units = ref [] in
+  for g = 0 to npairs - 1 do
+    let t_r = rs.(2 * g) and t_l = ls.(2 * g) in
+    if t_r <> t_l then
+      invalid_arg "Engine: left and right widths must match per block pair";
+    let rb = data.Tangential.right.(2 * g) in
+    let rbc = data.Tangential.right.((2 * g) + 1) in
+    let lb = data.Tangential.left.(2 * g) in
+    let lbc = data.Tangential.left.((2 * g) + 1) in
+    for j = 0 to t_r - 1 do
+      let right_o =
+        { Tangential.lambda = rb.Tangential.lambda;
+          r = Cmat.col rb.Tangential.r j;
+          w = Cmat.col rb.Tangential.w j }
+      in
+      let right_c =
+        { Tangential.lambda = rbc.Tangential.lambda;
+          r = Cmat.col rbc.Tangential.r j;
+          w = Cmat.col rbc.Tangential.w j }
+      in
+      let left_o =
+        { Tangential.mu = lb.Tangential.mu;
+          l = Cmat.row lb.Tangential.l j;
+          v = Cmat.row lb.Tangential.v j }
+      in
+      let left_c =
+        { Tangential.mu = lbc.Tangential.mu;
+          l = Cmat.row lbc.Tangential.l j;
+          v = Cmat.row lbc.Tangential.v j }
+      in
+      units :=
+        { col_orig = roff.(2 * g) + j;
+          col_conj = roff.((2 * g) + 1) + j;
+          row_orig = loff.(2 * g) + j;
+          row_conj = loff.((2 * g) + 1) + j;
+          right_o; right_c; left_o; left_c;
+          norm_u =
+            Cmat.norm_fro right_o.Tangential.w
+            +. Cmat.norm_fro left_o.Tangential.v }
+        :: !units
+    done
+  done;
+  Array.of_list (List.rev !units)
+
+(* Strided initial visit order: [0, k0, 2k0, ..., 1, k0+1, ...]. *)
+let strided_order n k0 =
+  let order = Array.make n 0 in
+  let pos = ref 0 in
+  for r = 0 to k0 - 1 do
+    let i = ref r in
+    while !i < n do
+      order.(!pos) <- !i;
+      incr pos;
+      i := !i + k0
+    done
+  done;
+  order
+
+let sub_pencil (pencil : Loewner.t) units selected =
+  let n = List.length selected in
+  let cols = Array.make (2 * n) 0 and rows = Array.make (2 * n) 0 in
+  List.iteri
+    (fun i u ->
+      cols.(2 * i) <- units.(u).col_orig;
+      cols.((2 * i) + 1) <- units.(u).col_conj;
+      rows.(2 * i) <- units.(u).row_orig;
+      rows.((2 * i) + 1) <- units.(u).row_conj)
+    selected;
+  let pick m = Cmat.select_rows (Cmat.select_cols m cols) rows in
+  { Loewner.ll = pick pencil.Loewner.ll;
+    sll = pick pencil.Loewner.sll;
+    w = Cmat.select_cols pencil.Loewner.w cols;
+    v = Cmat.select_rows pencil.Loewner.v rows;
+    r = Cmat.select_cols pencil.Loewner.r cols;
+    l = Cmat.select_rows pencil.Loewner.l rows;
+    lambda = Array.map (fun c -> pencil.Loewner.lambda.(c)) cols;
+    mu = Array.map (fun r -> pencil.Loewner.mu.(r)) rows;
+    right_sizes = Array.make (2 * n) 1;
+    left_sizes = Array.make (2 * n) 1 }
+
+let unit_residual model u =
+  let hr = Statespace.Descriptor.eval model u.right_o.Tangential.lambda in
+  let right =
+    Cmat.norm_fro
+      (Cmat.sub (Cmat.mul hr u.right_o.Tangential.r) u.right_o.Tangential.w)
+  in
+  let hl = Statespace.Descriptor.eval model u.left_o.Tangential.mu in
+  let left =
+    Cmat.norm_fro
+      (Cmat.sub (Cmat.mul u.left_o.Tangential.l hl) u.left_o.Tangential.v)
+  in
+  (right +. left) /. Stdlib.max u.norm_u 1e-300
+
+let check_finite_exn st sub =
+  match Loewner.check_finite ~context:st.context sub with
+  | Ok () -> ()
+  | Result.Error e -> Mfti_error.raise_error e
+
+let recurse st asm =
+  let o = st.options in
+  (match asm with
+   | Batch -> check_finite_exn st (Option.get st.pencil)
+   | Incremental -> ());
+  let units = make_units st.data in
+  let total = Array.length units in
+  let bld =
+    match asm with
+    | Incremental ->
+      Some
+        (Loewner.builder
+           ~right_capacity:(2 * Stdlib.min total (2 * o.batch))
+           ~left_capacity:(2 * Stdlib.min total (2 * o.batch))
+           ~inputs:st.data.Tangential.inputs
+           ~outputs:st.data.Tangential.outputs ())
+    | Batch -> None
+  in
+  let remaining = ref (Array.to_list (strided_order total o.batch)) in
+  let selected = ref [] in
+  let history = ref [] in
+  (* Best model over the recursion, by mean held-out residual: the
+     divergence and budget guards return it instead of the (worse)
+     model of the iteration that tripped them. *)
+  let best = ref None in
+  let take n lst =
+    let rec go n acc = function
+      | rest when n = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> go (n - 1) (x :: acc) rest
+    in
+    go n [] lst
+  in
+  let best_or current =
+    match !best with
+    | Some (_, bm, br, bp, bi) -> (bm, br, bp, bi)
+    | None -> current
+  in
+  let assemble_sub batch =
+    match (asm, bld) with
+    | Incremental, Some b ->
+      (* O(selected * batch) new divided differences instead of the
+         O(selected^2) re-selection the batch arm pays each round. *)
+      let sub =
+        timed st "assemble" (fun () ->
+            List.iter
+              (fun u ->
+                let ud = units.(u) in
+                Loewner.append_right b ud.right_o;
+                Loewner.append_right b ud.right_c;
+                Loewner.append_left b ud.left_o;
+                Loewner.append_left b ud.left_c)
+              batch;
+            Loewner.snapshot b)
+      in
+      check_finite_exn st sub;
+      sub
+    | Batch, _ ->
+      timed st "assemble" (fun () ->
+          sub_pencil (Option.get st.pencil) units !selected)
+    | Incremental, None -> assert false
+  in
+  let rec loop iter =
+    let batch, rest = take o.batch !remaining in
+    selected := !selected @ batch;
+    remaining := rest;
+    let sub = assemble_sub batch in
+    let subr =
+      if o.real_model then timed st "realify" (fun () -> Realify.apply sub)
+      else sub
+    in
+    let reduced =
+      timed st "reduce" (fun () ->
+          Svd_reduce.reduce ~mode:o.mode ~rank_rule:o.rank_rule subr)
+    in
+    let model = reduced.Svd_reduce.model in
+    match !remaining with
+    | [] ->
+      history := Float.nan :: !history;
+      (model, reduced, subr, iter)
+    | rest ->
+      (* With [probe = Some n] only a strided subsample of the held-out
+         units is scored — the reorder then ranks the probed units and
+         keeps the rest in place.  [None] scores everything (exact
+         Algorithm 2). *)
+      let probed, unprobed =
+        match o.probe with
+        | Some n when List.length rest > n ->
+          let len = List.length rest in
+          let stride = (len + n - 1) / n in
+          ( List.filteri (fun i _ -> i mod stride = 0) rest,
+            List.filteri (fun i _ -> i mod stride <> 0) rest )
+        | _ -> (rest, [])
+      in
+      let errs =
+        timed st "evaluate" (fun () ->
+            List.map (fun u -> (u, unit_residual model units.(u))) probed)
+      in
+      let mean =
+        List.fold_left (fun acc (_, e) -> acc +. e) 0. errs
+        /. float_of_int (List.length errs)
+      in
+      (* deterministic injection point for the recursion layer:
+         residuals exploding across iterations *)
+      let mean =
+        if Fault.armed "algorithm2.diverge" then
+          mean *. (10. ** float_of_int (10 * iter))
+        else mean
+      in
+      history := mean :: !history;
+      let improved =
+        (not (Float.is_nan mean))
+        && (match !best with
+            | Some (m, _, _, _, _) -> mean < m
+            | None -> true)
+      in
+      if improved then best := Some (mean, model, reduced, subr, iter);
+      if mean <= o.threshold then (model, reduced, subr, iter)
+      else begin
+        let diverged =
+          Float.is_nan mean
+          || (match !best with
+              | Some (bmean, _, _, _, _) ->
+                mean > o.divergence_factor *. bmean
+              | None -> false)
+        in
+        if diverged then begin
+          Diag.record ~site:"algorithm2.divergence"
+            (Printf.sprintf
+               "held-out residual %.3g exploded past %g x best; returning \
+                best-so-far model"
+               mean o.divergence_factor);
+          best_or (model, reduced, subr, iter)
+        end
+        else if iter >= o.max_iterations then begin
+          Diag.record ~site:"algorithm2.max_iterations"
+            (Printf.sprintf
+               "threshold %.3g not reached after %d iterations (best \
+                residual %.3g)"
+               o.threshold iter
+               (match !best with Some (m, _, _, _, _) -> m | None -> mean));
+          best_or (model, reduced, subr, iter)
+        end
+        else if Unix.gettimeofday () -. st.started > o.iteration_budget
+        then begin
+          Diag.record ~site:"algorithm2.budget_exhausted"
+            (Printf.sprintf
+               "wall-time budget %.3g s exhausted at iteration %d; returning \
+                best-so-far model"
+               o.iteration_budget iter);
+          best_or (model, reduced, subr, iter)
+        end
+        else begin
+          (* Visit the worst-fitting held-out units next. *)
+          let sorted = List.sort (fun (_, a) (_, b) -> compare b a) errs in
+          remaining := List.map fst sorted @ unprobed;
+          loop (iter + 1)
+        end
+      end
+  in
+  let _model, reduced, subr, iterations = loop 1 in
+  st.realified <- Some subr;
+  st.reduction <- Some reduced;
+  st.selected_units <- List.length !selected;
+  st.total_units <- total;
+  st.iterations <- iterations;
+  st.history <- Array.of_list (List.rev !history)
+
+let reduce_raw st =
+  match st.reduction with
+  | Some _ -> ()
+  | None ->
+    (match st.strategy with
+     | Recursive asm ->
+       (match asm with Batch -> assemble_raw st | Incremental -> ());
+       recurse st asm
+     | Direct | Vector ->
+       realify_raw st;
+       let p = Option.get st.realified in
+       check_finite_exn st p;
+       let reduced =
+         timed st "reduce" (fun () ->
+             Svd_reduce.reduce ~mode:st.options.mode
+               ~rank_rule:st.options.rank_rule p)
+       in
+       st.reduction <- Some reduced;
+       let width = Tangential.right_width st.data in
+       st.selected_units <- width;
+       st.total_units <- width;
+       st.iterations <- 1;
+       st.history <- [||])
+
+let complete st = reduce_raw st
+
+(* ------------------------------------------------------------------ *)
+(* Public stage wrappers *)
+
+let staged st f =
+  Diag.using st.diagnostics (fun () -> Mfti_error.guard ~context:st.context f)
+
+let assemble st = staged st (fun () -> assemble_raw st)
+let realify st = staged st (fun () -> realify_raw st)
+let reduce st = staged st (fun () -> reduce_raw st)
+
+let stage st =
+  match st.reduction with
+  | Some _ -> Reduced
+  | None ->
+    (match st.realified with
+     | Some _ -> Realified
+     | None -> (match st.pencil with Some _ -> Assembled | None -> Ingested))
+
+let tangential st = st.data
+let dataset st = st.dataset
+let pencil st = st.pencil
+let reduction st = st.reduction
+let diagnostics st = st.diagnostics
+let timings st = st.timings
+
+(* ------------------------------------------------------------------ *)
+(* Unified fit record and model *)
+
+type fit = {
+  model : Statespace.Descriptor.t;
+  rank : int;
+  sigma : float array;
+  data : Tangential.t;
+  loewner : Loewner.t;
+  selected_units : int;
+  total_units : int;
+  iterations : int;
+  history : float array;
+  diagnostics : Diag.t;
+  timings : (string * float) list;
+}
+
+let fit_of_state st =
+  let reduced = Option.get st.reduction in
+  let loewner =
+    match st.realified with Some p -> p | None -> Option.get st.pencil
+  in
+  { model = reduced.Svd_reduce.model;
+    rank = reduced.Svd_reduce.rank;
+    sigma = reduced.Svd_reduce.sigma;
+    data = st.data;
+    loewner;
+    selected_units = st.selected_units;
+    total_units = st.total_units;
+    iterations = st.iterations;
+    history = st.history;
+    diagnostics = st.diagnostics;
+    timings = st.timings }
+
+module Model = struct
+  type stats = {
+    selected_units : int;
+    total_units : int;
+    iterations : int;
+    history : float array;
+  }
+
+  type t = {
+    descriptor : Statespace.Descriptor.t;
+    rank : int;
+    sigma : float array;
+    stats : stats option;
+    diagnostics : Diag.t;
+    timings : (string * float) list;
+  }
+
+  let make ?(sigma = [||]) ?stats ?diagnostics ?(timings = []) ~rank descriptor
+      =
+    let diagnostics =
+      match diagnostics with Some d -> d | None -> Diag.create ()
+    in
+    { descriptor; rank; sigma; stats; diagnostics; timings }
+
+  let of_fit f =
+    { descriptor = f.model;
+      rank = f.rank;
+      sigma = f.sigma;
+      stats =
+        Some
+          { selected_units = f.selected_units;
+            total_units = f.total_units;
+            iterations = f.iterations;
+            history = f.history };
+      diagnostics = f.diagnostics;
+      timings = f.timings }
+
+  let descriptor m = m.descriptor
+  let rank m = m.rank
+  let sigma m = m.sigma
+  let stats m = m.stats
+  let diagnostics m = m.diagnostics
+  let timings m = m.timings
+  let order m = Statespace.Descriptor.order m.descriptor
+  let eval m s = Statespace.Descriptor.eval m.descriptor s
+  let eval_freq m f = Statespace.Descriptor.eval_freq m.descriptor f
+  let poles ?infinite_tol m =
+    Statespace.Poles.finite_poles ?infinite_tol m.descriptor
+  let stable ?infinite_tol m =
+    Statespace.Poles.is_stable ?infinite_tol m.descriptor
+  let is_real ?tol m = Statespace.Descriptor.is_real ?tol m.descriptor
+  let save path m = Statespace.Descriptor.save path m.descriptor
+  let err m samples = Metrics.err m.descriptor samples
+  let err_vector m samples = Metrics.err_vector m.descriptor samples
+  let max_err m samples = Metrics.max_err m.descriptor samples
+  let report ~name m samples = Metrics.report ~name m.descriptor samples
+end
+
+let model st =
+  staged st (fun () ->
+      complete st;
+      Model.of_fit (fit_of_state st))
+
+(* ------------------------------------------------------------------ *)
+(* One-shot drivers *)
+
+let run ?options ?strategy dataset =
+  match ingest ?options ?strategy dataset with
+  | Result.Error e -> Result.Error e
+  | Ok st ->
+    staged st (fun () ->
+        complete st;
+        fit_of_state st)
+
+let run_exn ?options ?strategy dataset =
+  match run ?options ?strategy dataset with
+  | Ok f -> f
+  | Result.Error e -> Mfti_error.raise_error e
+
+let fit_result ?options ?strategy samples =
+  run ?options ?strategy (Dataset.of_samples samples)
+
+let fit ?options ?strategy samples =
+  match fit_result ?options ?strategy samples with
+  | Ok f -> f
+  | Result.Error e -> Mfti_error.raise_error e

@@ -1,0 +1,173 @@
+(** The staged fitting engine.
+
+    All four fitting paths (MFTI Algorithm 1 and 2, VFTI, vector
+    fitting's model wrapper) are strategies over one pipeline:
+
+    {v ingest -> assemble -> realify -> reduce -> model v}
+
+    Each stage is explicit and resumable over a shared {!state}: calling
+    a stage runs every stage it depends on that has not run yet, and
+    running a stage twice is a no-op — so a driver can stop after
+    {!assemble} to inspect the pencil, then continue.  Per-stage wall
+    times accumulate in {!timings}.
+
+    The [Recursive Incremental] strategy is the reason the engine
+    exists: Algorithm 2 adds interpolation units one batch at a time,
+    and the incremental {!Loewner.builder} appends only the new block
+    rows/columns to the cached pencil — O(k) new divided differences per
+    unit instead of the O(k^2) full rebuild — while producing
+    bit-identical models to the [Recursive Batch] arm. *)
+
+(** Superset of the per-algorithm option records.  The recursion fields
+    ([batch] ... [probe]) are ignored by the single-pass strategies. *)
+type options = {
+  weight : Tangential.weight;        (** tangential block widths *)
+  directions : Direction.kind;
+  real_model : bool;                 (** realify before reduction *)
+  mode : Svd_reduce.mode;
+  rank_rule : Svd_reduce.rank_rule;
+  batch : int;                       (** units added per iteration *)
+  threshold : float;                 (** stop when the mean held-out
+                                         residual drops below this *)
+  max_iterations : int;
+  divergence_factor : float;         (** bail when the residual exceeds
+                                         this multiple of the best seen *)
+  iteration_budget : float;          (** wall-clock budget in seconds *)
+  probe : int option;
+      (** score at most this many held-out units per iteration (strided
+          subsample); [None] scores all of them — the exact Algorithm 2
+          reordering *)
+}
+
+(** [Full] weight, [Stacked]/[Gap] reduction, recursion knobs at the
+    Algorithm 2 defaults, [probe = None]. *)
+val default_options : options
+
+(** {!default_options} with the [Uniform 2] weight Algorithm 2 uses. *)
+val default_recursive_options : options
+
+(** How the recursive strategy assembles each iteration's sub-pencil. *)
+type assembly =
+  | Batch        (** build the full pencil once, select rows/columns *)
+  | Incremental  (** grow a {!Loewner.builder}, appending new units *)
+
+type strategy =
+  | Direct               (** MFTI Algorithm 1: one shot, all samples *)
+  | Vector               (** VFTI: width-1 blocks (forces [Uniform 1]) *)
+  | Recursive of assembly  (** MFTI Algorithm 2 *)
+
+type stage = Ingested | Assembled | Realified | Reduced
+
+(** Mutable pipeline state; create with {!ingest}. *)
+type state
+
+(** Validate the data and options, apply fault hooks, and build the
+    tangential interpolation data.  [strategy] defaults to [Direct]. *)
+val ingest :
+  ?options:options -> ?strategy:strategy -> Dataset.t ->
+  (state, Linalg.Mfti_error.t) result
+
+(** Build the Loewner pencil (no-op for [Recursive Incremental], whose
+    pencil grows inside the reduce stage). *)
+val assemble : state -> (unit, Linalg.Mfti_error.t) result
+
+(** Apply the realification transform when [real_model] is set. *)
+val realify : state -> (unit, Linalg.Mfti_error.t) result
+
+(** Run the SVD projection — for recursive strategies, the whole
+    greedy selection loop. *)
+val reduce : state -> (unit, Linalg.Mfti_error.t) result
+
+(** Furthest stage that has completed. *)
+val stage : state -> stage
+
+val tangential : state -> Tangential.t
+val dataset : state -> Dataset.t
+
+(** The assembled full pencil, once {!assemble} has run (always [None]
+    for [Recursive Incremental]). *)
+val pencil : state -> Loewner.t option
+
+val reduction : state -> Svd_reduce.result option
+val diagnostics : state -> Linalg.Diag.t
+
+(** Accumulated per-stage wall times, in first-hit order: ["ingest"],
+    ["assemble"], ["realify"], ["reduce"] and (recursion only)
+    ["evaluate"]. *)
+val timings : state -> (string * float) list
+
+(** Everything a finished fit produced.  The per-algorithm [result]
+    records are re-exports of this type. *)
+type fit = {
+  model : Statespace.Descriptor.t;
+  rank : int;                 (** retained order *)
+  sigma : float array;        (** singular values the rank decision saw *)
+  data : Tangential.t;
+  loewner : Loewner.t;        (** working pencil of the final reduction *)
+  selected_units : int;       (** units used ([= total] for single pass) *)
+  total_units : int;
+  iterations : int;
+  history : float array;      (** mean held-out residual per iteration *)
+  diagnostics : Linalg.Diag.t;
+  timings : (string * float) list;
+}
+
+(** First-class fitted model: the descriptor realization plus the
+    metadata needed to judge and reuse it. *)
+module Model : sig
+  type stats = {
+    selected_units : int;
+    total_units : int;
+    iterations : int;
+    history : float array;
+  }
+
+  type t
+
+  (** Wrap a bare descriptor (e.g. a vector-fitting result). *)
+  val make :
+    ?sigma:float array -> ?stats:stats -> ?diagnostics:Linalg.Diag.t ->
+    ?timings:(string * float) list -> rank:int ->
+    Statespace.Descriptor.t -> t
+
+  val of_fit : fit -> t
+
+  val descriptor : t -> Statespace.Descriptor.t
+  val rank : t -> int
+  val sigma : t -> float array
+  val stats : t -> stats option
+  val diagnostics : t -> Linalg.Diag.t
+  val timings : t -> (string * float) list
+
+  val order : t -> int
+  val eval : t -> Linalg.Cx.t -> Linalg.Cmat.t
+  val eval_freq : t -> float -> Linalg.Cmat.t
+  val poles : ?infinite_tol:float -> t -> Linalg.Cx.t array
+  val stable : ?infinite_tol:float -> t -> bool
+  val is_real : ?tol:float -> t -> bool
+  val save : string -> t -> unit
+
+  val err : t -> Statespace.Sampling.sample array -> float
+  val err_vector : t -> Statespace.Sampling.sample array -> float array
+  val max_err : t -> Statespace.Sampling.sample array -> float
+  val report : name:string -> t -> Statespace.Sampling.sample array -> string
+end
+
+(** Run every remaining stage and return the model. *)
+val model : state -> (Model.t, Linalg.Mfti_error.t) result
+
+(** [run ?options ?strategy dataset] = ingest + all stages. *)
+val run :
+  ?options:options -> ?strategy:strategy -> Dataset.t ->
+  (fit, Linalg.Mfti_error.t) result
+
+val run_exn : ?options:options -> ?strategy:strategy -> Dataset.t -> fit
+
+(** Convenience over a bare sample array ({!Dataset.of_samples}). *)
+val fit_result :
+  ?options:options -> ?strategy:strategy ->
+  Statespace.Sampling.sample array -> (fit, Linalg.Mfti_error.t) result
+
+val fit :
+  ?options:options -> ?strategy:strategy ->
+  Statespace.Sampling.sample array -> fit

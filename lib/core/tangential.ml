@@ -55,6 +55,19 @@ let widths ~k ~cap weight =
     Array.iter check ts;
     ts
 
+let pair ?(directions = Direction.Orthonormal 0) ~block ~right_width ~left_width
+    sr sl =
+  let p = Cmat.rows sr.Sampling.s and m = Cmat.cols sr.Sampling.s in
+  (* Even positions (paper's odd 1-based indices) are right data. *)
+  let lambda = Cx.jw (2. *. Float.pi *. sr.Sampling.freq) in
+  let r = Direction.right directions ~block ~ports:m ~size:right_width in
+  let w = Cmat.mul sr.Sampling.s r in
+  let mu = Cx.jw (2. *. Float.pi *. sl.Sampling.freq) in
+  let l = Direction.left directions ~block ~ports:p ~size:left_width in
+  let v = Cmat.mul l sl.Sampling.s in
+  ( ({ lambda; r; w }, { lambda = Cx.conj lambda; r; w = Cmat.conj w }),
+    ({ mu; l; v }, { mu = Cx.conj mu; l; v = Cmat.conj v }) )
+
 let build ?(directions = Direction.Orthonormal 0) ?(weight = Full) samples =
   validate_samples samples;
   let p, m = Sampling.port_dims samples in
@@ -63,18 +76,13 @@ let build ?(directions = Direction.Orthonormal 0) ?(weight = Full) samples =
   let ts = widths ~k ~cap weight in
   let right = ref [] and left = ref [] in
   for i = 0 to (k / 2) - 1 do
-    (* Even positions (paper's odd 1-based indices) are right data. *)
     let sr = samples.(2 * i) and sl = samples.((2 * i) + 1) in
-    let t_r = ts.(2 * i) and t_l = ts.((2 * i) + 1) in
-    let lambda = Cx.jw (2. *. Float.pi *. sr.Sampling.freq) in
-    let r = Direction.right directions ~block:i ~ports:m ~size:t_r in
-    let w = Cmat.mul sr.Sampling.s r in
-    right := { lambda = Cx.conj lambda; r; w = Cmat.conj w }
-             :: { lambda; r; w } :: !right;
-    let mu = Cx.jw (2. *. Float.pi *. sl.Sampling.freq) in
-    let l = Direction.left directions ~block:i ~ports:p ~size:t_l in
-    let v = Cmat.mul l sl.Sampling.s in
-    left := { mu = Cx.conj mu; l; v = Cmat.conj v } :: { mu; l; v } :: !left
+    let (ro, rc), (lo, lc) =
+      pair ~directions ~block:i
+        ~right_width:ts.(2 * i) ~left_width:ts.((2 * i) + 1) sr sl
+    in
+    right := rc :: ro :: !right;
+    left := lc :: lo :: !left
   done;
   { right = Array.of_list (List.rev !right);
     left = Array.of_list (List.rev !left);

@@ -48,6 +48,16 @@ val build :
 val build_vector :
   ?directions:Direction.kind -> Statespace.Sampling.sample array -> t
 
+(** [pair ?directions ~block ~right_width ~left_width sr sl] builds the
+    tangential blocks for one sample pair: [sr] feeds the right data,
+    [sl] the left.  Returns [((orig, conj) right, (orig, conj) left)] —
+    the conjugate-closure blocks adjacent ordering {!build} uses.  This
+    is the per-pair unit an incremental driver appends one at a time. *)
+val pair :
+  ?directions:Direction.kind -> block:int -> right_width:int ->
+  left_width:int -> Statespace.Sampling.sample -> Statespace.Sampling.sample ->
+  (right_block * right_block) * (left_block * left_block)
+
 (** Drop the last sample when the count is odd. *)
 val trim_even : Statespace.Sampling.sample array -> Statespace.Sampling.sample array
 

@@ -1,3 +1,6 @@
+(* Thin strategy wrapper: VFTI is the engine's [Vector] path (width-1
+   tangential blocks, whatever the weight option says). *)
+
 type options = {
   directions : Direction.kind;
   real_model : bool;
@@ -11,15 +14,16 @@ let default_options =
     mode = Svd_reduce.default_mode;
     rank_rule = Svd_reduce.default_rank_rule }
 
-let algorithm1_options options =
-  { Algorithm1.weight = Tangential.Uniform 1;
+let engine_options options =
+  { Engine.default_options with
     directions = options.directions;
     real_model = options.real_model;
     mode = options.mode;
     rank_rule = options.rank_rule }
 
 let fit_result ?(options = default_options) samples =
-  Algorithm1.fit_result ~options:(algorithm1_options options) samples
+  Engine.fit_result ~options:(engine_options options)
+    ~strategy:Engine.Vector samples
 
 let fit ?(options = default_options) samples =
-  Algorithm1.fit ~options:(algorithm1_options options) samples
+  Engine.fit ~options:(engine_options options) ~strategy:Engine.Vector samples

@@ -4,8 +4,11 @@
     Exactly the MFTI pipeline restricted to width-1 tangential blocks:
     each sampled matrix contributes one column (right data) or one row
     (left data) along a single direction, so most of the matrix is never
-    seen by the interpolant.  Exposed with the same options/result shape
-    as {!Algorithm1} so the two are drop-in comparable. *)
+    seen by the interpolant.  A thin wrapper over {!Engine} with the
+    [Vector] strategy, returning the same result record as
+    {!Algorithm1} so the two are drop-in comparable.  New code should
+    use {!Engine} directly — this interface is kept as a compatibility
+    alias for one release. *)
 
 type options = {
   directions : Direction.kind;

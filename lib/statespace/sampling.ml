@@ -100,6 +100,16 @@ let symmetrize samples =
       { smp with s })
     samples
 
+let partition ~every samples =
+  if every < 2 then invalid_arg "Sampling.partition: every must be >= 2";
+  let keep = ref [] and held = ref [] in
+  Array.iteri
+    (fun i smp ->
+      if (i + 1) mod every = 0 then held := smp :: !held
+      else keep := smp :: !keep)
+    samples;
+  (Array.of_list (List.rev !keep), Array.of_list (List.rev !held))
+
 (* --- input hardening ---------------------------------------------- *)
 
 (* Deterministic injection point for the sample layer: a NaN planted in

@@ -51,6 +51,13 @@ val interpolate : sample array -> float array -> sample array
     on off-diagonal entries. *)
 val symmetrize : sample array -> sample array
 
+(** [partition ~every samples] splits the array into
+    [(fit, holdout)] where every [every]-th sample (1-based positions
+    [every, 2*every, ...]) goes to the hold-out set and the rest stay
+    for fitting.  Order is preserved in both halves.  Raises
+    [Invalid_argument] when [every < 2]. *)
+val partition : every:int -> sample array -> sample array * sample array
+
 (** True when the sample has a finite positive frequency and all-finite
     response entries. *)
 val sample_is_finite : sample -> bool

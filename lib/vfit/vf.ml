@@ -396,3 +396,24 @@ let err model samples =
   let k = Array.length errs in
   sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. errs)
   /. sqrt (float_of_int k)
+
+let fit_model ?options samples =
+  let t0 = Unix.gettimeofday () in
+  let diagnostics = Linalg.Diag.create () in
+  let model, diag =
+    Linalg.Diag.using diagnostics (fun () ->
+        let model, diag = fit ?options samples in
+        Linalg.Diag.record ~site:"vf"
+          (Printf.sprintf "converged pole set after %d sigma iterations"
+             diag.iterations_run);
+        (model, diag))
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let stats =
+    { Mfti.Engine.Model.selected_units = Array.length samples;
+      total_units = Array.length samples;
+      iterations = diag.iterations_run;
+      history = [||] }
+  in
+  Mfti.Engine.Model.make ~stats ~diagnostics ~timings:[ ("fit", dt) ]
+    ~rank:(order model) (to_descriptor model)

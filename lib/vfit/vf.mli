@@ -65,3 +65,11 @@ val to_descriptor : model -> Statespace.Descriptor.t
 (** Wrap as a sampled-error-compatible object: evaluates [eval_freq] on
     each sample frequency and reports the paper's ERR metric. *)
 val err : model -> Statespace.Sampling.sample array -> float
+
+(** [fit_model ?options samples] runs {!fit} and wraps the realized
+    descriptor as a unified {!Mfti.Engine.Model.t} — same surface as the
+    Loewner-framework fits (eval, poles, save, error metrics), with the
+    sigma-iteration count in the model stats and the wall time under the
+    ["fit"] timing key. *)
+val fit_model :
+  ?options:options -> Statespace.Sampling.sample array -> Mfti.Engine.Model.t

@@ -1,0 +1,308 @@
+(* Tests for the staged fitting engine: incremental Loewner assembly
+   (bit-identical to batch builds under any schedule), strategy
+   equivalence, resumable stages, datasets, and the unified model. *)
+
+open Linalg
+open Statespace
+open Mfti
+
+let spec ports seed =
+  { Random_sys.order = 10; ports; rank_d = ports; freq_lo = 100.;
+    freq_hi = 1e5; damping = 0.1; seed }
+
+let samples ~ports ~seed k =
+  let sys = Random_sys.generate (spec ports seed) in
+  Sampling.sample_system sys (Sampling.logspace 100. 1e5 k)
+
+let check_cmat msg a b =
+  if not (Cmat.equal ~tol:0. a b) then Alcotest.failf "%s: matrices differ" msg
+
+let check_cx_array msg a b =
+  Alcotest.(check int) (msg ^ " length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      let y = b.(i) in
+      if not (Float.equal x.Cx.re y.Cx.re && Float.equal x.Cx.im y.Cx.im) then
+        Alcotest.failf "%s: entry %d differs" msg i)
+    a
+
+let check_pencil msg (p : Loewner.t) (q : Loewner.t) =
+  check_cmat (msg ^ " ll") p.Loewner.ll q.Loewner.ll;
+  check_cmat (msg ^ " sll") p.Loewner.sll q.Loewner.sll;
+  check_cmat (msg ^ " w") p.Loewner.w q.Loewner.w;
+  check_cmat (msg ^ " v") p.Loewner.v q.Loewner.v;
+  check_cmat (msg ^ " r") p.Loewner.r q.Loewner.r;
+  check_cmat (msg ^ " l") p.Loewner.l q.Loewner.l;
+  check_cx_array (msg ^ " lambda") p.Loewner.lambda q.Loewner.lambda;
+  check_cx_array (msg ^ " mu") p.Loewner.mu q.Loewner.mu;
+  Alcotest.(check (array int)) (msg ^ " right sizes")
+    p.Loewner.right_sizes q.Loewner.right_sizes;
+  Alcotest.(check (array int)) (msg ^ " left sizes")
+    p.Loewner.left_sizes q.Loewner.left_sizes
+
+let truncated (data : Tangential.t) n =
+  { data with
+    Tangential.right = Array.sub data.Tangential.right 0 n;
+    left = Array.sub data.Tangential.left 0 n }
+
+(* ------------------------------------------------------------------ *)
+(* Incremental builder *)
+
+(* The load-bearing property: a builder extended one block at a time is
+   bit-identical to a fresh [Loewner.build] of the same prefix, after
+   EVERY append — across port counts and weights.  Tiny initial
+   capacities force the growable storage through several regrows. *)
+let test_builder_matches_build () =
+  List.iter
+    (fun (ports, weight, seed) ->
+      let smps = samples ~ports ~seed 8 in
+      let data = Tangential.build ~weight smps in
+      let nblocks = Array.length data.Tangential.right in
+      let b =
+        Loewner.builder ~right_capacity:1 ~left_capacity:1
+          ~inputs:data.Tangential.inputs ~outputs:data.Tangential.outputs ()
+      in
+      for i = 0 to nblocks - 1 do
+        Loewner.append b data.Tangential.right.(i) data.Tangential.left.(i);
+        let fresh = Loewner.build (truncated data (i + 1)) in
+        check_pencil
+          (Printf.sprintf "ports %d prefix %d" ports (i + 1))
+          (Loewner.snapshot b) fresh
+      done)
+    [ (1, Tangential.Full, 1); (2, Tangential.Uniform 1, 2);
+      (2, Tangential.Full, 3); (3, Tangential.Uniform 2, 4);
+      (3, Tangential.Full, 5) ]
+
+(* Chunking across domains cannot change any bit of the fill. *)
+let test_builder_domain_invariance () =
+  let smps = samples ~ports:3 ~seed:7 10 in
+  let data = Tangential.build smps in
+  let build_with n =
+    Parallel.set_domain_count n;
+    Fun.protect ~finally:(fun () -> Parallel.set_domain_count 1) (fun () ->
+        let b = Loewner.of_tangential data in
+        Loewner.snapshot b)
+  in
+  let seq = Parallel.with_sequential (fun () -> Loewner.build data) in
+  check_pencil "domains 4 vs sequential" (build_with 4) seq;
+  check_pencil "domains 2 vs sequential" (build_with 2) seq
+
+(* The ["loewner.poison"] fault must hit both assembly paths the same
+   way: a NaN at entry (0,0) of LL, everything else untouched. *)
+let test_builder_fault_parity () =
+  let smps = samples ~ports:2 ~seed:11 6 in
+  let data = Tangential.build smps in
+  let clean = Loewner.build data in
+  let batch, incr =
+    Fault.with_spec "loewner.poison" (fun () ->
+        (Loewner.build data, Loewner.snapshot (Loewner.of_tangential data)))
+  in
+  List.iter
+    (fun (name, (p : Loewner.t)) ->
+      Alcotest.(check bool) (name ^ " poisoned at (0,0)") true
+        (Float.is_nan (Cmat.get p.Loewner.ll 0 0).Cx.re);
+      (match Loewner.check_finite p with
+       | Error (Mfti_error.Numerical_breakdown _) -> ()
+       | _ -> Alcotest.fail (name ^ ": poison not detected"));
+      (* repair the poisoned entry; the rest must match the clean build *)
+      Cmat.set p.Loewner.ll 0 0 (Cmat.get clean.Loewner.ll 0 0);
+      check_pencil (name ^ " repaired") p clean)
+    [ ("batch", batch); ("incremental", incr) ]
+
+(* ------------------------------------------------------------------ *)
+(* Strategy equivalence *)
+
+let check_float_array msg a b =
+  Alcotest.(check int) (msg ^ " length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      let y = b.(i) in
+      if not (Float.is_nan x && Float.is_nan y) && not (Float.equal x y) then
+        Alcotest.failf "%s: entry %d differs (%.17g vs %.17g)" msg i x y)
+    a
+
+let check_fit_identical msg (a : Engine.fit) (b : Engine.fit) =
+  let da = a.Engine.model and db = b.Engine.model in
+  check_cmat (msg ^ " E") da.Descriptor.e db.Descriptor.e;
+  check_cmat (msg ^ " A") da.Descriptor.a db.Descriptor.a;
+  check_cmat (msg ^ " B") da.Descriptor.b db.Descriptor.b;
+  check_cmat (msg ^ " C") da.Descriptor.c db.Descriptor.c;
+  check_cmat (msg ^ " D") da.Descriptor.d db.Descriptor.d;
+  Alcotest.(check int) (msg ^ " rank") a.Engine.rank b.Engine.rank;
+  Alcotest.(check int) (msg ^ " iterations") a.Engine.iterations
+    b.Engine.iterations;
+  Alcotest.(check int) (msg ^ " selected") a.Engine.selected_units
+    b.Engine.selected_units;
+  check_float_array (msg ^ " history") a.Engine.history b.Engine.history;
+  check_float_array (msg ^ " sigma") a.Engine.sigma b.Engine.sigma
+
+(* Incremental Algorithm 2 must produce bit-identical models to the
+   batch path, for exact and probed residual scoring. *)
+let test_incremental_matches_batch () =
+  let smps = samples ~ports:3 ~seed:21 16 in
+  List.iter
+    (fun probe ->
+      let options =
+        { Engine.default_recursive_options with
+          batch = 2; threshold = 1e-8; max_iterations = 6; probe }
+      in
+      let run asm =
+        Engine.fit ~options ~strategy:(Engine.Recursive asm) smps
+      in
+      let b = run Engine.Batch and i = run Engine.Incremental in
+      Alcotest.(check bool) "took several iterations" true
+        (b.Engine.iterations > 1);
+      check_fit_identical
+        (match probe with None -> "exact" | Some _ -> "probed")
+        b i)
+    [ None; Some 3 ]
+
+(* The wrappers go through the engine: same models as calling it
+   directly with the matching strategy. *)
+let test_wrappers_delegate () =
+  let smps = samples ~ports:2 ~seed:31 8 in
+  let a1 = Algorithm1.fit smps in
+  let d = Engine.fit ~strategy:Engine.Direct smps in
+  check_fit_identical "algorithm1 = direct" a1 d;
+  let vf = Vfti.fit smps in
+  let v = Engine.fit ~strategy:Engine.Vector smps in
+  check_fit_identical "vfti = vector" vf v
+
+(* ------------------------------------------------------------------ *)
+(* Staged pipeline *)
+
+let test_stages_resume () =
+  let smps = samples ~ports:2 ~seed:41 8 in
+  let dataset = Dataset.of_samples smps in
+  let st =
+    match Engine.ingest dataset with
+    | Ok st -> st
+    | Error e -> Alcotest.failf "ingest: %s" (Mfti_error.to_string e)
+  in
+  Alcotest.(check bool) "ingested" true (Engine.stage st = Engine.Ingested);
+  (match Engine.assemble st with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "assemble: %s" (Mfti_error.to_string e));
+  Alcotest.(check bool) "assembled" true (Engine.stage st = Engine.Assembled);
+  Alcotest.(check bool) "pencil available" true (Engine.pencil st <> None);
+  (match Engine.realify st with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "realify: %s" (Mfti_error.to_string e));
+  Alcotest.(check bool) "realified" true (Engine.stage st = Engine.Realified);
+  (match Engine.reduce st with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "reduce: %s" (Mfti_error.to_string e));
+  Alcotest.(check bool) "reduced" true (Engine.stage st = Engine.Reduced);
+  let m =
+    match Engine.model st with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "model: %s" (Mfti_error.to_string e)
+  in
+  (* a second reduce is a no-op: same reduction object *)
+  (match Engine.reduce st with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "re-reduce: %s" (Mfti_error.to_string e));
+  List.iter
+    (fun stage ->
+      Alcotest.(check bool) (stage ^ " timed") true
+        (List.mem_assoc stage (Engine.timings st)))
+    [ "ingest"; "assemble"; "realify"; "reduce" ];
+  (* the staged result equals the one-shot driver *)
+  let oneshot = Engine.run_exn dataset in
+  check_cmat "staged = one-shot A"
+    (Engine.Model.descriptor m).Descriptor.a oneshot.Engine.model.Descriptor.a;
+  Alcotest.(check bool) "model evaluates" true
+    (Cmat.is_finite (Engine.Model.eval_freq m 1e3))
+
+let test_engine_validation () =
+  let smps = samples ~ports:2 ~seed:51 6 in
+  (match Engine.fit_result
+           ~options:{ Engine.default_recursive_options with batch = 0 }
+           ~strategy:(Engine.Recursive Engine.Incremental) smps with
+   | Error (Mfti_error.Validation _) -> ()
+   | _ -> Alcotest.fail "batch = 0 accepted");
+  match Engine.fit_result
+          ~options:{ Engine.default_options with probe = Some 0 } smps with
+  | Error (Mfti_error.Validation _) -> ()
+  | _ -> Alcotest.fail "probe = 0 accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Dataset *)
+
+let test_dataset_partition () =
+  let smps = samples ~ports:2 ~seed:61 12 in
+  let d = Dataset.partition ~every:3 (Dataset.of_samples smps) in
+  Alcotest.(check int) "fit size" 8 (Dataset.size d);
+  Alcotest.(check int) "holdout size" 4 (Dataset.holdout_size d);
+  (* held-out samples are exactly positions 2, 5, 8, 11 *)
+  Array.iteri
+    (fun i h ->
+      let expect = smps.((3 * i) + 2) in
+      Alcotest.(check (float 0.)) "holdout freq" expect.Sampling.freq
+        h.Sampling.freq;
+      check_cmat "holdout matrix" expect.Sampling.s h.Sampling.s)
+    (Dataset.holdout_samples d);
+  (* hold-out drives the error metric *)
+  let fitted = Engine.run_exn d in
+  let err_holdout =
+    Metrics.err fitted.Engine.model (Dataset.holdout_samples d)
+  in
+  let m = Engine.Model.of_fit fitted in
+  Alcotest.(check (float 0.)) "Dataset.err scores the holdout" err_holdout
+    (Dataset.err (Engine.Model.descriptor m) d)
+
+let test_dataset_of_system () =
+  let sys = Random_sys.generate (spec 2 71) in
+  let d =
+    Dataset.of_system sys (Sampling.logspace 100. 1e5 10)
+      ~holdout_freqs:(Sampling.logspace 150. 0.9e5 5)
+  in
+  Alcotest.(check int) "fit" 10 (Dataset.size d);
+  Alcotest.(check int) "holdout" 5 (Dataset.holdout_size d);
+  Alcotest.(check bool) "validates" true (Dataset.validate d = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Vector-fitting model wrapper *)
+
+let test_vf_fit_model () =
+  let sys = Random_sys.generate (spec 2 81) in
+  let smps = Sampling.sample_system sys (Sampling.logspace 100. 1e5 40) in
+  let m =
+    Vfit.Vf.fit_model
+      ~options:{ Vfit.Vf.default_options with n_poles = 12 } smps
+  in
+  Alcotest.(check int) "rank = pole count" 12 (Engine.Model.rank m);
+  Alcotest.(check bool) "err finite" true
+    (Float.is_finite (Engine.Model.err m smps));
+  Alcotest.(check bool) "fit timed" true
+    (List.mem_assoc "fit" (Engine.Model.timings m));
+  (match Engine.Model.stats m with
+   | Some s -> Alcotest.(check bool) "iterations ran" true (s.Engine.Model.iterations >= 1)
+   | None -> Alcotest.fail "stats missing");
+  Alcotest.(check bool) "vf site recorded" true
+    (Diag.recorded (Engine.Model.diagnostics m) "vf")
+
+let () =
+  Alcotest.run "engine"
+    [ ( "builder",
+        [ Alcotest.test_case "incremental = fresh build (bit)" `Quick
+            test_builder_matches_build;
+          Alcotest.test_case "domain-count invariant (bit)" `Quick
+            test_builder_domain_invariance;
+          Alcotest.test_case "loewner.poison parity" `Quick
+            test_builder_fault_parity ] );
+      ( "strategies",
+        [ Alcotest.test_case "incremental = batch recursion (bit)" `Quick
+            test_incremental_matches_batch;
+          Alcotest.test_case "wrappers delegate to engine" `Quick
+            test_wrappers_delegate ] );
+      ( "stages",
+        [ Alcotest.test_case "resume through stages" `Quick test_stages_resume;
+          Alcotest.test_case "option validation" `Quick
+            test_engine_validation ] );
+      ( "dataset",
+        [ Alcotest.test_case "partition" `Quick test_dataset_partition;
+          Alcotest.test_case "of_system" `Quick test_dataset_of_system ] );
+      ( "vf",
+        [ Alcotest.test_case "fit_model wraps vector fitting" `Quick
+            test_vf_fit_model ] ) ]
