@@ -11,7 +11,9 @@
      dune exec bench/main.exe -- kernels [--smoke] -- kernel perf trajectory
                                             (writes BENCH_kernels.json)
      dune exec bench/main.exe -- engine [--smoke]  -- batch vs incremental
-                                            Algorithm 2 (BENCH_engine.json) *)
+                                            Algorithm 2 (BENCH_engine.json)
+     dune exec bench/main.exe -- serve [--smoke]   -- compiled pole-residue
+                                            vs per-point LU (BENCH_serve.json) *)
 
 let commands =
   [ ("fig1", Fig1.run);
@@ -22,7 +24,8 @@ let commands =
     ("scale", Scale.run);
     ("micro", Micro.run);
     ("kernels", Kernels.run ?smoke:None);
-    ("engine", Engine_bench.run ?smoke:None) ]
+    ("engine", Engine_bench.run ?smoke:None);
+    ("serve", Serve_bench.run ?smoke:None) ]
 
 let run_all () =
   List.iter (fun (_, f) -> f ()) commands
@@ -34,6 +37,8 @@ let () =
     Kernels.run ~smoke:(List.mem "--smoke" rest) ()
   | _ :: "engine" :: rest ->
     Engine_bench.run ~smoke:(List.mem "--smoke" rest) ()
+  | _ :: "serve" :: rest ->
+    Serve_bench.run ~smoke:(List.mem "--smoke" rest) ()
   | [ _ ] | [ _; "all" ] -> run_all ()
   | [ _; cmd ] ->
     (match List.assoc_opt cmd commands with

@@ -6,11 +6,15 @@
      gen      generate a synthetic workload (PDN or RLC ladder) as Touchstone
      compare  run every algorithm on a Touchstone file and print a table
      info     summarize a Touchstone file
+     pack     fit and write a binary model artifact (.mfti)
+     inspect  print a packed artifact's metadata (checksum-verified)
+     serve    answer eval-grid queries over stdio or a Unix socket
 
    Examples:
      mfti gen pdn --ports 8 --out board.s8p
      mfti fit board.s8p --algorithm mfti --width 2
-     mfti compare board.s8p *)
+     mfti pack board.s8p --out models/board.mfti
+     mfti serve --root models *)
 
 open Statespace
 open Mfti
@@ -476,9 +480,163 @@ let info_cmd =
   let info = Cmd.info "info" ~doc:"Summarize a Touchstone file." in
   Cmd.v info Term.(const run_info $ touchstone_arg)
 
+(* ------------------------------------------------------------------ *)
+(* pack: fit and persist a binary model artifact *)
+
+let pack_out_arg =
+  let doc = "Output artifact file (.mfti)." in
+  Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+
+let pack_name_arg =
+  let doc = "Artifact name recorded in the header (default: input file)." in
+  Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME" ~doc)
+
+(* Fit with the same algorithm switch as `fit`, returning the unified
+   model wrapper plus the samples it was fitted on. *)
+let fit_to_model ~algorithm ~width ~rank_tol ~seed ~poles samples =
+  let rank_rule = rank_rule_of_tol rank_tol in
+  let directions = Direction.Orthonormal seed in
+  match algorithm with
+  | `Vf ->
+    Vfit.Vf.fit_model
+      ~options:{ Vfit.Vf.default_options with n_poles = poles } samples
+  | (`Mfti | `Vfti | `Mfti2) as alg ->
+    let strategy, options =
+      match alg with
+      | `Mfti ->
+        ( Engine.Direct,
+          { Engine.default_options with
+            weight = weight_of_width ~samples width; rank_rule; directions } )
+      | `Vfti ->
+        ( Engine.Vector,
+          { Engine.default_options with rank_rule; directions } )
+      | `Mfti2 ->
+        ( Engine.Recursive Engine.Incremental,
+          { Engine.default_recursive_options with
+            weight = (if width = 0 then Tangential.Uniform 2
+                      else Tangential.Uniform width);
+            rank_rule; directions } )
+    in
+    Engine.Model.of_fit (Engine.fit ~options ~strategy samples)
+
+let run_pack path policy algorithm width rank_tol seed poles out name =
+  guarded @@ fun () ->
+  let data = load ~policy path in
+  let samples = Tangential.trim_even data.Rf.Touchstone.samples in
+  let model = fit_to_model ~algorithm ~width ~rank_tol ~seed ~poles samples in
+  let fit_err = Engine.Model.err model samples in
+  let name = match name with Some n -> n | None -> Filename.basename path in
+  let artifact = Serve.Artifact.v ~name ~fit_err model in
+  Serve.Artifact.save out artifact;
+  let bytes = (Unix.stat out).Unix.st_size in
+  Printf.printf "packed %s -> %s (order %d, %dx%d ports, ERR %.3e, %d bytes)\n"
+    name out (Engine.Model.order model) (Engine.Model.outputs model)
+    (Engine.Model.inputs model) fit_err bytes;
+  0
+
+let pack_cmd =
+  let info =
+    Cmd.info "pack"
+      ~doc:"Fit a macromodel and write a binary artifact (.mfti)."
+  in
+  Cmd.v info
+    Term.(const run_pack $ touchstone_arg $ policy_arg $ algorithm_arg
+          $ width_arg $ rank_tol_arg $ seed_arg $ poles_arg $ pack_out_arg
+          $ pack_name_arg)
+
+(* ------------------------------------------------------------------ *)
+(* inspect: decode an artifact header (checksum-verified by load) *)
+
+let artifact_arg =
+  let doc = "Packed model artifact (.mfti)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"ARTIFACT" ~doc)
+
+let run_inspect path =
+  guarded @@ fun () ->
+  let art = Serve.Artifact.load_exn path in
+  let m = art.Serve.Artifact.model in
+  let tm = Unix.gmtime art.Serve.Artifact.created in
+  Printf.printf "artifact: %s (format v%d, checksum ok)\n" path
+    Serve.Artifact.format_version;
+  Printf.printf "name: %s\n" art.Serve.Artifact.name;
+  Printf.printf "created: %04d-%02d-%02dT%02d:%02d:%02dZ\n"
+    (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+    tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec;
+  Printf.printf "order %d, %d outputs x %d inputs, rank %d\n"
+    (Engine.Model.order m) (Engine.Model.outputs m) (Engine.Model.inputs m)
+    (Engine.Model.rank m);
+  Printf.printf "fit error: %s\n"
+    (let e = art.Serve.Artifact.fit_err in
+     if Float.is_nan e then "unknown" else Printf.sprintf "%.3e" e);
+  Printf.printf "singular values kept: %d\n"
+    (Array.length (Engine.Model.sigma m));
+  (match Engine.Model.stats m with
+   | Some s ->
+     Printf.printf "fit: %d/%d units in %d iterations\n"
+       s.Engine.Model.selected_units s.Engine.Model.total_units
+       s.Engine.Model.iterations
+   | None -> ());
+  List.iter
+    (fun (stage, dt) -> Printf.printf "stage %-9s %9.4f s\n" stage dt)
+    (Engine.Model.timings m);
+  let compiled = Serve.Compiled.of_model m in
+  Printf.printf "compiled: %s (%d poles)\n"
+    (match Serve.Compiled.mode compiled with
+     | Serve.Compiled.Pole_residue -> "pole-residue"
+     | Serve.Compiled.Direct -> "direct LU fallback")
+    (Array.length (Serve.Compiled.poles compiled));
+  0
+
+let inspect_cmd =
+  let info =
+    Cmd.info "inspect" ~doc:"Print a packed artifact's metadata."
+  in
+  Cmd.v info Term.(const run_inspect $ artifact_arg)
+
+(* ------------------------------------------------------------------ *)
+(* serve: line-delimited-JSON evaluation server *)
+
+let root_arg =
+  let doc = "Directory of packed artifacts; <id>.mfti serves model <id>." in
+  Arg.(required & opt (some dir) None & info [ "root" ] ~docv:"DIR" ~doc)
+
+let socket_arg =
+  let doc =
+    "Listen on a Unix domain socket at this path instead of stdio."
+  in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let cache_mb_arg =
+  let doc = "Model cache budget in MiB." in
+  Arg.(value & opt int 256 & info [ "cache-mb" ] ~docv:"MB" ~doc)
+
+let run_serve root socket cache_mb =
+  guarded @@ fun () ->
+  if cache_mb < 0 then invalid_arg "serve: cache budget must be >= 0";
+  let server =
+    Serve.Server.create ~cache_bytes:(cache_mb * 1024 * 1024) ~root ()
+  in
+  (match socket with
+   | None -> ignore (Serve.Server.serve_channels server stdin stdout)
+   | Some path ->
+     Printf.eprintf "mfti serve: listening on %s\n%!" path;
+     Serve.Server.serve_unix_socket server ~path);
+  Printf.eprintf "mfti serve: %s\n%!"
+    (Serve.Sjson.to_string (Serve.Server.stats_json server));
+  0
+
+let serve_cmd =
+  let info =
+    Cmd.info "serve"
+      ~doc:"Serve eval-grid/model-info queries over stdio or a Unix socket."
+  in
+  Cmd.v info Term.(const run_serve $ root_arg $ socket_arg $ cache_mb_arg)
+
 let () =
   let doc = "matrix-format tangential interpolation macromodeling" in
   let info = Cmd.info "mfti" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ fit_cmd; engine_cmd; gen_cmd; compare_cmd; info_cmd ]))
+       (Cmd.group info
+          [ fit_cmd; engine_cmd; gen_cmd; compare_cmd; info_cmd; pack_cmd;
+            inspect_cmd; serve_cmd ]))

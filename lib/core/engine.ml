@@ -574,6 +574,8 @@ module Model = struct
   let diagnostics m = m.diagnostics
   let timings m = m.timings
   let order m = Statespace.Descriptor.order m.descriptor
+  let inputs m = Statespace.Descriptor.inputs m.descriptor
+  let outputs m = Statespace.Descriptor.outputs m.descriptor
   let eval m s = Statespace.Descriptor.eval m.descriptor s
   let eval_freq m f = Statespace.Descriptor.eval_freq m.descriptor f
   let poles ?infinite_tol m =

@@ -140,6 +140,12 @@ module Model : sig
   val timings : t -> (string * float) list
 
   val order : t -> int
+
+  (** Port dimensions of the realization: {!inputs} is [m], {!outputs}
+      is [p] — the serving layer stores both in packed artifacts. *)
+  val inputs : t -> int
+
+  val outputs : t -> int
   val eval : t -> Linalg.Cx.t -> Linalg.Cmat.t
   val eval_freq : t -> float -> Linalg.Cmat.t
   val poles : ?infinite_tol:float -> t -> Linalg.Cx.t array

@@ -15,7 +15,12 @@
     - ["lu.singular"]          LU factorization reports pivot breakdown
     - ["pool.worker"]          domain-pool worker raises mid-chunk
     - ["algorithm2.diverge"]   recursion residuals inflated to trigger
-                               the divergence guard *)
+                               the divergence guard
+    - ["artifact.corrupt"]     header byte flipped in an encoded model
+                               artifact (serving layer)
+    - ["artifact.truncate"]    encoded model artifact cut short
+    - ["compiled.defective"]   pole-residue compilation forced into the
+                               direct-LU fallback *)
 
 exception Injected of string
 (** Raised by {!check} at an armed site. *)

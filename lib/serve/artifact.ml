@@ -1,0 +1,274 @@
+open Linalg
+open Mfti
+
+type t = {
+  name : string;
+  created : float;
+  fit_err : float;
+  model : Engine.Model.t;
+}
+
+let v ?(name = "") ?(fit_err = Float.nan) ?created model =
+  let created = match created with Some c -> c | None -> Unix.time () in
+  { name; created; fit_err; model }
+
+let magic = "MFTIART\x00"
+let format_version = 1
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let i =
+        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(i) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ------------------------------------------------------------------ *)
+(* Encoding *)
+
+let w_u32 b n =
+  if n < 0 then invalid_arg "Artifact: negative length";
+  Buffer.add_int32_le b (Int32.of_int n)
+
+let w_u8 b n = Buffer.add_char b (Char.chr (n land 0xff))
+let w_f64 b x = Buffer.add_int64_le b (Int64.bits_of_float x)
+
+let w_str b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
+
+let w_floats b a =
+  w_u32 b (Array.length a);
+  Array.iter (w_f64 b) a
+
+let w_cmat b m =
+  let rows, cols = Cmat.dims m in
+  w_u32 b rows;
+  w_u32 b cols;
+  let re = Cmat.unsafe_re m and im = Cmat.unsafe_im m in
+  for k = 0 to (rows * cols) - 1 do
+    w_f64 b re.(k);
+    w_f64 b im.(k)
+  done
+
+let encode t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  w_u32 b format_version;
+  w_str b t.name;
+  w_f64 b t.created;
+  let m = t.model in
+  let sys = Engine.Model.descriptor m in
+  w_u32 b (Engine.Model.order m);
+  w_u32 b (Engine.Model.inputs m);
+  w_u32 b (Engine.Model.outputs m);
+  w_u32 b (Engine.Model.rank m);
+  w_f64 b t.fit_err;
+  w_floats b (Engine.Model.sigma m);
+  let timings = Engine.Model.timings m in
+  w_u32 b (List.length timings);
+  List.iter
+    (fun (name, dt) ->
+      w_str b name;
+      w_f64 b dt)
+    timings;
+  (match Engine.Model.stats m with
+   | None -> w_u8 b 0
+   | Some s ->
+     w_u8 b 1;
+     w_u32 b s.Engine.Model.selected_units;
+     w_u32 b s.Engine.Model.total_units;
+     w_u32 b s.Engine.Model.iterations;
+     w_floats b s.Engine.Model.history);
+  w_cmat b sys.Statespace.Descriptor.e;
+  w_cmat b sys.Statespace.Descriptor.a;
+  w_cmat b sys.Statespace.Descriptor.b;
+  w_cmat b sys.Statespace.Descriptor.c;
+  w_cmat b sys.Statespace.Descriptor.d;
+  let body = Buffer.contents b in
+  let crc = crc32 body in
+  let tail = Buffer.create 4 in
+  Buffer.add_int32_le tail crc;
+  body ^ Buffer.contents tail
+
+let to_string t =
+  let s = encode t in
+  (* deterministic damage for the robustness tests *)
+  if Fault.armed "artifact.truncate" then
+    String.sub s 0 (Stdlib.max 0 (String.length s - 9))
+  else if Fault.armed "artifact.corrupt" then begin
+    let bytes = Bytes.of_string s in
+    (* flip the last magic byte: header corruption, detected pre-CRC *)
+    Bytes.set bytes 7 '\xff';
+    Bytes.to_string bytes
+  end
+  else s
+
+(* ------------------------------------------------------------------ *)
+(* Decoding *)
+
+exception Bad of string
+
+let of_string ?source s =
+  let n = String.length s in
+  let bytes = Bytes.unsafe_of_string s in
+  let pos = ref 0 in
+  let need k what =
+    if !pos + k > n then raise (Bad (Printf.sprintf "truncated %s" what))
+  in
+  let r_u32 what =
+    need 4 what;
+    let v = Int32.to_int (Bytes.get_int32_le bytes !pos) land 0xFFFFFFFF in
+    pos := !pos + 4;
+    if v < 0 || v > 0x7FFFFFF then
+      raise (Bad (Printf.sprintf "implausible %s (%d)" what v));
+    v
+  in
+  let r_u8 what =
+    need 1 what;
+    let v = Char.code (Bytes.get bytes !pos) in
+    incr pos;
+    v
+  in
+  let r_f64 what =
+    need 8 what;
+    let v = Int64.float_of_bits (Bytes.get_int64_le bytes !pos) in
+    pos := !pos + 8;
+    v
+  in
+  let r_str what =
+    let len = r_u32 (what ^ " length") in
+    need len what;
+    let v = String.sub s !pos len in
+    pos := !pos + len;
+    v
+  in
+  let r_floats what =
+    let len = r_u32 (what ^ " count") in
+    let a = Array.make len 0. in
+    for i = 0 to len - 1 do
+      a.(i) <- r_f64 what
+    done;
+    a
+  in
+  let r_cmat what =
+    let rows = r_u32 (what ^ " rows") in
+    let cols = r_u32 (what ^ " cols") in
+    let m = Cmat.create rows cols in
+    let re = Cmat.unsafe_re m and im = Cmat.unsafe_im m in
+    need (16 * rows * cols) what;
+    for k = 0 to (rows * cols) - 1 do
+      re.(k) <- Int64.float_of_bits (Bytes.get_int64_le bytes !pos);
+      im.(k) <- Int64.float_of_bits (Bytes.get_int64_le bytes (!pos + 8));
+      pos := !pos + 16
+    done;
+    m
+  in
+  match
+    let ml = String.length magic in
+    if n < ml + 4 + 4 then raise (Bad "truncated header");
+    if String.sub s 0 ml <> magic then raise (Bad "bad magic");
+    pos := ml;
+    let ver = r_u32 "version" in
+    if ver <> format_version then
+      raise (Bad (Printf.sprintf "unsupported version %d (expected %d)" ver
+                    format_version));
+    (* structural damage anywhere downstream surfaces here, before any
+       field is trusted *)
+    let stored =
+      Int32.logand (Bytes.get_int32_le bytes (n - 4)) 0xFFFFFFFFl
+    in
+    let computed = crc32 (String.sub s 0 (n - 4)) in
+    if stored <> computed then raise (Bad "checksum mismatch");
+    let name = r_str "name" in
+    let created = r_f64 "created" in
+    let order = r_u32 "order" in
+    let inputs = r_u32 "inputs" in
+    let outputs = r_u32 "outputs" in
+    let rank = r_u32 "rank" in
+    let fit_err = r_f64 "fit_err" in
+    let sigma = r_floats "sigma" in
+    let ntimings = r_u32 "timings count" in
+    let timings = ref [] in
+    for _ = 1 to ntimings do
+      let name = r_str "timing name" in
+      let dt = r_f64 "timing value" in
+      timings := (name, dt) :: !timings
+    done;
+    let timings = List.rev !timings in
+    let stats =
+      match r_u8 "stats flag" with
+      | 0 -> None
+      | 1 ->
+        let selected_units = r_u32 "selected_units" in
+        let total_units = r_u32 "total_units" in
+        let iterations = r_u32 "iterations" in
+        let history = r_floats "history" in
+        Some
+          { Engine.Model.selected_units; total_units; iterations; history }
+      | k -> raise (Bad (Printf.sprintf "bad stats flag %d" k))
+    in
+    let e = r_cmat "E" in
+    let a = r_cmat "A" in
+    let b = r_cmat "B" in
+    let c = r_cmat "C" in
+    let d = r_cmat "D" in
+    if !pos <> n - 4 then raise (Bad "trailing bytes");
+    let sys =
+      try Statespace.Descriptor.create ~e ~a ~b ~c ~d
+      with Invalid_argument m -> raise (Bad ("inconsistent matrices: " ^ m))
+    in
+    if Statespace.Descriptor.order sys <> order
+       || Statespace.Descriptor.inputs sys <> inputs
+       || Statespace.Descriptor.outputs sys <> outputs
+    then raise (Bad "header dimensions disagree with matrices");
+    let model = Engine.Model.make ~sigma ?stats ~timings ~rank sys in
+    { name; created; fit_err; model }
+  with
+  | t -> Ok t
+  | exception Bad message ->
+    Error (Mfti_error.Parse { source; line = None; message })
+
+(* ------------------------------------------------------------------ *)
+(* Files *)
+
+let save path t =
+  let oc = open_out_bin path in
+  output_string oc (to_string t);
+  close_out oc
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  with
+  | s -> of_string ~source:path s
+  | exception Sys_error m ->
+    Error (Mfti_error.Parse { source = Some path; line = None; message = m })
+
+let load_exn path =
+  match load path with
+  | Ok t -> t
+  | Error e -> Mfti_error.raise_error e

@@ -1,0 +1,72 @@
+(** Versioned, checksummed binary artifacts for fitted models.
+
+    A fitted {!Mfti.Engine.Model.t} dies with the process; an artifact
+    is its durable form — the realization matrices plus the fit
+    metadata a serving layer needs (ports, order, singular values,
+    recursion stats, stage timings, fit error).
+
+    {2 Format (version 1)}
+
+    All integers are unsigned 32-bit little-endian; all floats are raw
+    IEEE-754 bits (64-bit little-endian, via [Int64.bits_of_float]) —
+    never printed and re-parsed, so every value round-trips bitwise.
+    Field order is canonical and fixed:
+
+    {v
+    magic   "MFTIART\x00"                       8 bytes
+    version u32 = 1
+    name    u32 length + bytes
+    created f64 (unix time of packing)
+    order, inputs, outputs, rank               4 x u32
+    fit_err f64 (NaN when unknown)
+    sigma   u32 count + count x f64
+    timings u32 count + count x (string, f64)
+    stats   u8 flag; when 1: selected, total,
+            iterations (u32) + history floats
+    E A B C D  each: u32 rows, u32 cols,
+            rows*cols x (f64 re, f64 im), column-major
+    crc32   u32 over every preceding byte
+    v}
+
+    Version policy: readers accept exactly the versions they know
+    (currently 1) and reject anything else as {!Linalg.Mfti_error.Parse}
+    — a newer writer never silently half-loads.  Any structural damage
+    (bad magic, truncation, checksum mismatch, trailing bytes) is a
+    [Parse] error too, never a crash.
+
+    Fault-injection sites (see {!Linalg.Fault}): ["artifact.corrupt"]
+    flips a header byte in the encoded output, ["artifact.truncate"]
+    drops the trailing bytes — both make the result unloadable in a
+    deterministic way for the robustness tests. *)
+
+type t = {
+  name : string;          (** human label, e.g. the source file *)
+  created : float;        (** unix time the artifact was packed *)
+  fit_err : float;        (** relative fit error at pack time; NaN = unknown *)
+  model : Mfti.Engine.Model.t;
+}
+
+(** [v ?name ?fit_err ?created model] fills defaults: empty name,
+    [nan] fit error, [created = Unix.time ()]. *)
+val v : ?name:string -> ?fit_err:float -> ?created:float ->
+  Mfti.Engine.Model.t -> t
+
+(** Current format version (1). *)
+val format_version : int
+
+(** Encode to the binary format.  Deterministic: encoding the result of
+    {!of_string} reproduces the input bytes exactly. *)
+val to_string : t -> string
+
+(** Decode; every failure mode is a {!Linalg.Mfti_error.Parse}. *)
+val of_string : ?source:string -> string -> (t, Linalg.Mfti_error.t) result
+
+(** [save path t] writes [to_string t] atomically enough for our use
+    (binary mode, single write). *)
+val save : string -> t -> unit
+
+(** [load path] reads and decodes; I/O errors and corrupt content both
+    surface as [Error]. *)
+val load : string -> (t, Linalg.Mfti_error.t) result
+
+val load_exn : string -> t

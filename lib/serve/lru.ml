@@ -1,0 +1,93 @@
+type 'a entry = { value : 'a; bytes : int; mutable tick : int }
+
+type 'a t = {
+  budget : int;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutable clock : int;
+  mutable resident : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable oversize : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  oversize : int;
+  resident_bytes : int;
+  budget_bytes : int;
+  count : int;
+}
+
+let create ~budget =
+  if budget < 0 then invalid_arg "Lru.create: negative budget";
+  { budget; tbl = Hashtbl.create 16; clock = 0; resident = 0;
+    hits = 0; misses = 0; evictions = 0; oversize = 0 }
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.tick <- t.clock
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+    t.hits <- t.hits + 1;
+    touch t e;
+    Some e.value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let drop t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> ()
+  | Some e ->
+    Hashtbl.remove t.tbl key;
+    t.resident <- t.resident - e.bytes
+
+let remove = drop
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, tick) when tick <= e.tick -> acc
+        | _ -> Some (key, e.tick))
+      t.tbl None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, _) ->
+    drop t key;
+    t.evictions <- t.evictions + 1
+
+let insert t key ~bytes v =
+  if bytes < 0 then invalid_arg "Lru.insert: negative size";
+  drop t key;
+  if bytes > t.budget then t.oversize <- t.oversize + 1
+  else begin
+    while t.resident + bytes > t.budget && Hashtbl.length t.tbl > 0 do
+      evict_lru t
+    done;
+    let e = { value = v; bytes; tick = 0 } in
+    touch t e;
+    Hashtbl.replace t.tbl key e;
+    t.resident <- t.resident + bytes
+  end
+
+let mem t key = Hashtbl.mem t.tbl key
+
+let keys_by_recency t =
+  Hashtbl.fold (fun key e acc -> (key, e.tick) :: acc) t.tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.map fst
+
+let resident_bytes t = t.resident
+
+let stats (t : 'a t) =
+  { hits = t.hits; misses = t.misses; evictions = t.evictions;
+    oversize = t.oversize; resident_bytes = t.resident;
+    budget_bytes = t.budget; count = Hashtbl.length t.tbl }

@@ -1,0 +1,46 @@
+(** Byte-budgeted LRU cache keyed by string ids.
+
+    Backing store for the server's resident model set: each entry
+    carries the byte size it is accounted at (the artifact's on-disk
+    size), and inserting past the budget evicts least-recently-used
+    entries until the new entry fits.  A value larger than the whole
+    budget is not cached at all (counted in [stats.oversize]).
+
+    Recency is a monotone logical clock bumped by {!find} hits and
+    {!insert}, so the eviction order is fully deterministic.  Not
+    thread-safe; the server drives it from a single domain. *)
+
+type 'a t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;      (** entries removed to make room *)
+  oversize : int;       (** inserts rejected for exceeding the budget *)
+  resident_bytes : int;
+  budget_bytes : int;
+  count : int;          (** resident entries *)
+}
+
+(** [create ~budget] with [budget >= 0] bytes. *)
+val create : budget:int -> 'a t
+
+(** [find t key] returns the cached value and marks it most recently
+    used; counts a hit or miss either way. *)
+val find : 'a t -> string -> 'a option
+
+(** [insert t key ~bytes v] caches [v] accounted at [bytes >= 0],
+    evicting LRU entries as needed.  Replaces any existing entry under
+    [key] (its bytes are released first; not counted as an eviction). *)
+val insert : 'a t -> string -> bytes:int -> 'a -> unit
+
+val mem : 'a t -> string -> bool
+
+(** [remove t key] drops the entry if present (not an eviction). *)
+val remove : 'a t -> string -> unit
+
+(** Resident keys, most recently used first. *)
+val keys_by_recency : 'a t -> string list
+
+val resident_bytes : 'a t -> int
+val stats : 'a t -> stats

@@ -1,0 +1,322 @@
+open Linalg
+
+type op_stat = {
+  mutable count : int;
+  mutable op_errors : int;
+  mutable total_s : float;
+  mutable max_s : float;
+}
+
+type t = {
+  root : string;
+  cache : (Artifact.t * Compiled.t) Lru.t;
+  started : float;
+  ops : (string, op_stat) Hashtbl.t;
+  mutable requests : int;
+  mutable errors : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+}
+
+let create ?(cache_bytes = 256 * 1024 * 1024) ~root () =
+  { root;
+    cache = Lru.create ~budget:cache_bytes;
+    started = Unix.gettimeofday ();
+    ops = Hashtbl.create 8;
+    requests = 0; errors = 0; bytes_in = 0; bytes_out = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Errors as typed responses *)
+
+let kind_of_error = function
+  | Mfti_error.Parse _ -> "parse"
+  | Mfti_error.Validation _ -> "validation"
+  | Mfti_error.Numerical_breakdown _ -> "numerical"
+  | Mfti_error.Non_convergence _ -> "non-convergence"
+  | Mfti_error.Budget_exhausted _ -> "budget"
+  | Mfti_error.Fault_injected _ -> "fault"
+
+let error_response ?op e =
+  let base =
+    [ ("ok", Sjson.Bool false);
+      ( "error",
+        Sjson.Obj
+          [ ("kind", Sjson.Str (kind_of_error e));
+            ("message", Sjson.Str (Mfti_error.to_string e)) ] ) ]
+  in
+  Sjson.Obj
+    (match op with
+     | Some op -> ("op", Sjson.Str op) :: base
+     | None -> base)
+
+let invalid message =
+  Mfti_error.raise_error
+    (Mfti_error.Validation { context = "serve"; message })
+
+(* ------------------------------------------------------------------ *)
+(* Model store *)
+
+let id_ok id =
+  String.length id > 0
+  && String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' -> true
+         | _ -> false)
+       id
+
+let path_of_id t id = Filename.concat t.root (id ^ ".mfti")
+
+(* Load through the cache; [snd] of the result tells whether it was
+   resident already. *)
+let get_model t id =
+  if not (id_ok id) then invalid ("malformed model id " ^ String.escaped id);
+  match Lru.find t.cache id with
+  | Some v -> (v, true)
+  | None ->
+    let path = path_of_id t id in
+    if not (Sys.file_exists path) then invalid ("unknown model id " ^ id);
+    let art =
+      match Artifact.load path with
+      | Ok art -> art
+      | Error e -> Mfti_error.raise_error e
+    in
+    let compiled = Compiled.of_model art.Artifact.model in
+    let bytes = (Unix.stat path).Unix.st_size in
+    Lru.insert t.cache id ~bytes (art, compiled);
+    ((art, compiled), false)
+
+let list_ids t =
+  match Sys.readdir t.root with
+  | entries ->
+    Array.to_list entries
+    |> List.filter_map (fun f -> Filename.chop_suffix_opt ~suffix:".mfti" f)
+    |> List.filter id_ok
+    |> List.sort compare
+  | exception Sys_error m -> invalid ("model root unreadable: " ^ m)
+
+(* ------------------------------------------------------------------ *)
+(* Request fields *)
+
+let str_field req name =
+  match Sjson.member name req with
+  | Some (Sjson.Str s) -> s
+  | Some _ -> invalid (Printf.sprintf "field %S must be a string" name)
+  | None -> invalid (Printf.sprintf "missing field %S" name)
+
+let max_grid_points = 1 lsl 16
+
+let freqs_field req =
+  match Sjson.member "freqs" req with
+  | Some (Sjson.Arr (_ :: _ as xs)) ->
+    if List.length xs > max_grid_points then
+      invalid
+        (Printf.sprintf "freqs exceeds the %d-point request cap"
+           max_grid_points);
+    Array.of_list
+      (List.map
+         (function
+           | Sjson.Num f when Float.is_finite f -> f
+           | _ -> invalid "freqs entries must be finite numbers")
+         xs)
+  | Some _ -> invalid "field \"freqs\" must be a non-empty array"
+  | None -> invalid "missing field \"freqs\""
+
+(* ------------------------------------------------------------------ *)
+(* Ops *)
+
+let mode_str c =
+  match Compiled.mode c with
+  | Compiled.Pole_residue -> "pole-residue"
+  | Compiled.Direct -> "direct"
+
+let op_list_models t =
+  let models =
+    List.map
+      (fun id ->
+        let bytes =
+          try (Unix.stat (path_of_id t id)).Unix.st_size with _ -> 0
+        in
+        Sjson.Obj
+          [ ("id", Sjson.Str id);
+            ("bytes", Sjson.Num (float_of_int bytes));
+            ("cached", Sjson.Bool (Lru.mem t.cache id)) ])
+      (list_ids t)
+  in
+  Sjson.Obj
+    [ ("ok", Sjson.Bool true);
+      ("op", Sjson.Str "list-models");
+      ("models", Sjson.Arr models) ]
+
+let op_model_info t req =
+  let id = str_field req "model" in
+  let (art, compiled), cached = get_model t id in
+  let m = art.Artifact.model in
+  Sjson.Obj
+    [ ("ok", Sjson.Bool true);
+      ("op", Sjson.Str "model-info");
+      ("model", Sjson.Str id);
+      ("name", Sjson.Str art.Artifact.name);
+      ("created", Sjson.Num art.Artifact.created);
+      ("order", Sjson.Num (float_of_int (Mfti.Engine.Model.order m)));
+      ("inputs", Sjson.Num (float_of_int (Mfti.Engine.Model.inputs m)));
+      ("outputs", Sjson.Num (float_of_int (Mfti.Engine.Model.outputs m)));
+      ("rank", Sjson.Num (float_of_int (Mfti.Engine.Model.rank m)));
+      ("fit_err", Sjson.Num art.Artifact.fit_err);
+      ("mode", Sjson.Str (mode_str compiled));
+      ("poles", Sjson.Num (float_of_int (Array.length (Compiled.poles compiled))));
+      ("cached", Sjson.Bool cached) ]
+
+let matrix_json h =
+  let p, m = Cmat.dims h in
+  Sjson.Arr
+    (List.init p (fun i ->
+         Sjson.Arr
+           (List.init m (fun jc ->
+                let z = Cmat.get h i jc in
+                Sjson.Arr [ Sjson.Num z.Cx.re; Sjson.Num z.Cx.im ]))))
+
+let op_eval_grid t req =
+  let id = str_field req "model" in
+  let freqs = freqs_field req in
+  let (_, compiled), cached = get_model t id in
+  let grid = Compiled.eval_grid compiled freqs in
+  Sjson.Obj
+    [ ("ok", Sjson.Bool true);
+      ("op", Sjson.Str "eval-grid");
+      ("model", Sjson.Str id);
+      ("points", Sjson.Num (float_of_int (Array.length freqs)));
+      ("outputs", Sjson.Num (float_of_int (Compiled.outputs compiled)));
+      ("inputs", Sjson.Num (float_of_int (Compiled.inputs compiled)));
+      ("cached", Sjson.Bool cached);
+      ("results", Sjson.Arr (Array.to_list (Array.map matrix_json grid))) ]
+
+let stats_json t =
+  let cache = Lru.stats t.cache in
+  let per_op =
+    Hashtbl.fold
+      (fun op s acc ->
+        ( op,
+          Sjson.Obj
+            [ ("count", Sjson.Num (float_of_int s.count));
+              ("errors", Sjson.Num (float_of_int s.op_errors));
+              ("total_s", Sjson.Num s.total_s);
+              ("max_s", Sjson.Num s.max_s) ] )
+        :: acc)
+      t.ops []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Sjson.Obj
+    [ ("ok", Sjson.Bool true);
+      ("op", Sjson.Str "stats");
+      ("uptime_s", Sjson.Num (Unix.gettimeofday () -. t.started));
+      ("requests", Sjson.Num (float_of_int t.requests));
+      ("errors", Sjson.Num (float_of_int t.errors));
+      ("bytes_in", Sjson.Num (float_of_int t.bytes_in));
+      ("bytes_out", Sjson.Num (float_of_int t.bytes_out));
+      ("by_op", Sjson.Obj per_op);
+      ( "cache",
+        Sjson.Obj
+          [ ("hits", Sjson.Num (float_of_int cache.Lru.hits));
+            ("misses", Sjson.Num (float_of_int cache.Lru.misses));
+            ("evictions", Sjson.Num (float_of_int cache.Lru.evictions));
+            ("oversize", Sjson.Num (float_of_int cache.Lru.oversize));
+            ("resident_bytes", Sjson.Num (float_of_int cache.Lru.resident_bytes));
+            ("budget_bytes", Sjson.Num (float_of_int cache.Lru.budget_bytes));
+            ("models", Sjson.Num (float_of_int cache.Lru.count)) ] ) ]
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch *)
+
+let shutdown_response =
+  Sjson.Obj [ ("ok", Sjson.Bool true); ("op", Sjson.Str "shutdown") ]
+
+let dispatch t req =
+  match str_field req "op" with
+  | "list-models" -> (op_list_models t, false)
+  | "model-info" -> (op_model_info t req, false)
+  | "eval-grid" -> (op_eval_grid t req, false)
+  | "stats" -> (stats_json t, false)
+  | "shutdown" -> (shutdown_response, true)
+  | op -> invalid ("unknown op " ^ String.escaped op)
+
+let op_stat t op =
+  match Hashtbl.find_opt t.ops op with
+  | Some s -> s
+  | None ->
+    let s = { count = 0; op_errors = 0; total_s = 0.; max_s = 0. } in
+    Hashtbl.add t.ops op s;
+    s
+
+let handle_line t line =
+  t.requests <- t.requests + 1;
+  t.bytes_in <- t.bytes_in + String.length line + 1;
+  let t0 = Unix.gettimeofday () in
+  let op_name = ref "invalid" in
+  let response, stop =
+    match Sjson.parse line with
+    | req ->
+      (match Sjson.member "op" req with
+       | Some (Sjson.Str op) -> op_name := op
+       | _ -> ());
+      (* anything escaping an op lands in the taxonomy, then in a typed
+         response — a request can never kill the serve loop *)
+      (match Mfti_error.guard ~context:"serve" (fun () -> dispatch t req) with
+       | Ok r -> r
+       | Error e -> (error_response ~op:!op_name e, false))
+    | exception Sjson.Parse_error m ->
+      ( error_response
+          (Mfti_error.Parse { source = None; line = None; message = m }),
+        false )
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let s = op_stat t !op_name in
+  s.count <- s.count + 1;
+  s.total_s <- s.total_s +. dt;
+  if dt > s.max_s then s.max_s <- dt;
+  let failed =
+    match Sjson.member "ok" response with Some (Sjson.Bool true) -> false | _ -> true
+  in
+  if failed then begin
+    t.errors <- t.errors + 1;
+    s.op_errors <- s.op_errors + 1
+  end;
+  let text = Sjson.to_string response in
+  t.bytes_out <- t.bytes_out + String.length text + 1;
+  (text, stop)
+
+(* ------------------------------------------------------------------ *)
+(* Transports *)
+
+let serve_channels t ic oc =
+  let rec loop () =
+    match input_line ic with
+    | "" -> loop ()  (* blank keep-alive lines are ignored *)
+    | line ->
+      let response, stop = handle_line t line in
+      output_string oc response;
+      output_char oc '\n';
+      flush oc;
+      if stop then `Stop else loop ()
+    | exception End_of_file -> `Eof
+  in
+  loop ()
+
+let serve_unix_socket t ~path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  let rec accept_loop () =
+    let conn, _ = Unix.accept sock in
+    let ic = Unix.in_channel_of_descr conn in
+    let oc = Unix.out_channel_of_descr conn in
+    let outcome = serve_channels t ic oc in
+    (try Unix.close conn with Unix.Unix_error _ -> ());
+    match outcome with `Stop -> () | `Eof -> accept_loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    accept_loop

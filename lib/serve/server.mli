@@ -1,0 +1,63 @@
+(** Model evaluation server.
+
+    Serves a directory of packed artifacts ([<root>/<id>.mfti]) over a
+    line-delimited-JSON protocol: one request object per line in, one
+    response object per line out.  No external dependencies — the
+    transport is stdin/stdout ({!serve_channels}) or a Unix domain
+    socket ({!serve_unix_socket}).
+
+    {2 Protocol}
+
+    Requests are objects with an ["op"] field:
+
+    - [{"op":"list-models"}] — enumerate artifacts under the root:
+      [{"ok":true,"op":"list-models","models":[{"id":...,"bytes":...,
+      "cached":...}]}]
+    - [{"op":"model-info","model":ID}] — artifact metadata plus the
+      compiled evaluator's mode ("pole-residue" or "direct") and pole
+      count.
+    - [{"op":"eval-grid","model":ID,"freqs":[f1,...]}] — evaluate
+      [H(j 2 pi f)] at every frequency (batched over the domain pool).
+      ["results"] is one [p x m] matrix per frequency, each entry a
+      [[re, im]] pair, bit-exact (the emitter round-trips floats).
+    - [{"op":"stats"}] — counters snapshot (see {!stats_json}).
+    - [{"op":"shutdown"}] — acknowledge and stop the serve loop.
+
+    Every failure is a typed response, never a crash or a dropped
+    connection: [{"ok":false,"error":{"kind":K,"message":M}}] where [K]
+    mirrors the {!Linalg.Mfti_error} taxonomy ("parse", "validation",
+    "numerical", "non-convergence", "budget", "fault").  Malformed JSON
+    is "parse"; an unknown op, bad field, or unknown model id is
+    "validation"; a corrupt artifact is whatever {!Artifact.load}
+    reports (typically "parse").
+
+    Model ids are restricted to [A-Za-z0-9_.-] — the server never
+    concatenates request text into a path outside the root.
+
+    Loaded artifacts are compiled once ({!Compiled.of_model}) and kept
+    in an {!Lru} cache accounted at their on-disk byte size. *)
+
+type t
+
+(** [create ~root ()] serves artifacts under directory [root].
+    [cache_bytes] is the LRU budget (default 256 MiB). *)
+val create : ?cache_bytes:int -> root:string -> unit -> t
+
+(** [handle_line t line] processes one request line and returns the
+    response line (no trailing newline) plus [true] when the request
+    asked the serve loop to stop.  Never raises. *)
+val handle_line : t -> string -> string * bool
+
+(** Serve until EOF or a shutdown request; responses are flushed after
+    every line.  Returns how the loop ended. *)
+val serve_channels : t -> in_channel -> out_channel -> [ `Eof | `Stop ]
+
+(** Bind a Unix domain socket at [path] (unlinking any stale one),
+    accept connections sequentially, and serve each until EOF.  Returns
+    after a shutdown request; the socket file is removed. *)
+val serve_unix_socket : t -> path:string -> unit
+
+(** Counters snapshot: total/per-op request counts, error count,
+    latency totals and maxima (seconds), bytes in/out, cache
+    hits/misses/evictions/residency, uptime. *)
+val stats_json : t -> Sjson.t

@@ -1,0 +1,34 @@
+(** Minimal JSON reader/writer shared by the serving layer and the
+    benchmark reporters (there is no JSON library in the build
+    environment, and the server protocol must not grow one).
+
+    This is the single escaping/emission routine in the repo:
+    [bench/bjson.ml] re-exports this module, and {!Server} builds every
+    protocol response through it.
+
+    Number emission round-trips exactly: a finite [Num x] is printed
+    with the shortest of [%.6g]/[%.12g]/[%.17g] that parses back to the
+    identical float, so values survive a write/parse cycle bit-for-bit
+    (the serving protocol depends on this).  Non-finite floats have no
+    JSON representation and are emitted as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+exception Parse_error of string
+
+(** Recursive-descent parser for the subset we emit (strings, numbers,
+    bools, null, arrays, objects).  Raises {!Parse_error} with an offset
+    message on malformed input. *)
+val parse : string -> t
+
+(** [member k json] is the value bound to key [k] when [json] is an
+    object containing it. *)
+val member : string -> t -> t option

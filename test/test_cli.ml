@@ -121,6 +121,76 @@ let test_lenient_recovers () =
   check_contains "diagnostics line" "diagnostics:" text;
   Sys.remove dirty
 
+(* pack -> inspect -> serve: the full artifact lifecycle over the CLI *)
+let artifact_path =
+  Filename.concat (Filename.get_temp_dir_name ()) "mfti_cli_model.mfti"
+
+let test_pack () =
+  let code, text =
+    run (Printf.sprintf "pack %s --out %s --name ladder" workload artifact_path)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "pack" "packed ladder ->" text;
+  check_contains "pack" "2x2 ports" text;
+  Alcotest.(check bool) "artifact exists" true (Sys.file_exists artifact_path)
+
+let test_inspect () =
+  let code, text = run (Printf.sprintf "inspect %s" artifact_path) in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "inspect" "format v1, checksum ok" text;
+  check_contains "inspect" "name: ladder" text;
+  check_contains "inspect" "2 outputs x 2 inputs" text;
+  check_contains "inspect" "compiled: pole-residue" text
+
+let test_inspect_corrupt () =
+  let bad = Filename.concat (Filename.get_temp_dir_name ()) "mfti_bad.mfti" in
+  let ic = open_in_bin artifact_path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let b = Bytes.of_string s in
+  Bytes.set b (Bytes.length b / 2)
+    (Char.chr (Char.code (Bytes.get b (Bytes.length b / 2)) lxor 1));
+  let oc = open_out_bin bad in
+  output_bytes oc b;
+  close_out oc;
+  let code, text = run (Printf.sprintf "inspect %s" bad) in
+  Alcotest.(check int) "corrupt artifact exits 65" 65 code;
+  check_contains "diagnostic" "checksum" text;
+  Sys.remove bad
+
+let test_serve_stdio () =
+  let root = Filename.concat (Filename.get_temp_dir_name ()) "mfti_cli_root" in
+  (try Unix.mkdir root 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let model = Filename.concat root "ladder.mfti" in
+  let code, _ = run (Printf.sprintf "pack %s --out %s" workload model) in
+  Alcotest.(check int) "pack for serving" 0 code;
+  let requests =
+    Filename.concat (Filename.get_temp_dir_name ()) "mfti_cli_requests"
+  in
+  write_file requests
+    "{\"op\":\"list-models\"}\n\
+     {\"op\":\"eval-grid\",\"model\":\"ladder\",\"freqs\":[1e6,1e9]}\n\
+     {\"op\":\"model-info\",\"model\":\"missing\"}\n\
+     {\"op\":\"shutdown\"}\n";
+  let out = Filename.temp_file "mfti_cli_serve" ".out" in
+  let cmd =
+    Printf.sprintf "%s serve --root %s < %s > %s 2>/dev/null"
+      (Filename.quote cli) (Filename.quote root) (Filename.quote requests) out
+  in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  Sys.remove requests;
+  Alcotest.(check int) "serve exit code" 0 code;
+  check_contains "list" "\"id\": \"ladder\"" text;
+  check_contains "eval" "\"op\": \"eval-grid\", \"model\": \"ladder\", \"points\": 2"
+    text;
+  check_contains "typed error" "\"ok\": false" text;
+  check_contains "typed error kind" "\"kind\": \"validation\"" text;
+  check_contains "shutdown ack" "\"op\": \"shutdown\"" text
+
 let test_diagnostics_reported () =
   let code, text = run (Printf.sprintf "fit %s" workload) in
   Alcotest.(check int) "exit code" 0 code;
@@ -138,5 +208,9 @@ let () =
          Alcotest.test_case "bad input" `Quick test_bad_input;
          Alcotest.test_case "exit codes" `Quick test_exit_codes;
          Alcotest.test_case "lenient recovery" `Quick test_lenient_recovers;
+         Alcotest.test_case "pack" `Quick test_pack;
+         Alcotest.test_case "inspect" `Quick test_inspect;
+         Alcotest.test_case "inspect corrupt" `Quick test_inspect_corrupt;
+         Alcotest.test_case "serve over stdio" `Quick test_serve_stdio;
          Alcotest.test_case "diagnostics reported" `Quick
            test_diagnostics_reported ]) ]

@@ -1,0 +1,573 @@
+(* Serving layer: artifact round-trips (bitwise), corrupt/truncated
+   artifact detection, compiled pole-residue accuracy against direct
+   descriptor evaluation, LRU cache accounting, and the line-delimited
+   JSON protocol including its typed error paths. *)
+
+open Linalg
+open Statespace
+open Serve
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures *)
+
+let spec ports =
+  { Random_sys.order = 16; ports; rank_d = ports; freq_lo = 1e2;
+    freq_hi = 1e6; damping = 0.12; seed = 7 + ports }
+
+let sys_of ports = Random_sys.generate (spec ports)
+
+let model_of sys =
+  Mfti.Engine.Model.make
+    ~sigma:[| 3.0; 1.5; 0.25 |]
+    ~stats:{ Mfti.Engine.Model.selected_units = 4; total_units = 9;
+             iterations = 3; history = [| 0.5; 0.25; 0.125 |] }
+    ~timings:[ ("ingest", 0.001); ("reduce", 0.002) ]
+    ~rank:(Descriptor.order sys) sys
+
+let artifact_of ?(name = "test-model") sys =
+  Artifact.v ~name ~fit_err:3.25e-7 ~created:1.7e9 (model_of sys)
+
+let fresh_dir =
+  let ctr = ref 0 in
+  fun () ->
+    incr ctr;
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "mfti_serve_test_%d_%d" (Unix.getpid ()) !ctr)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+(* bitwise float comparison: IEEE bits, so NaN = NaN and -0. <> 0. *)
+let same_float what x y =
+  if not (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)) then
+    Alcotest.failf "%s: %h <> %h" what x y
+
+let same_mat what x y =
+  let dx = Cmat.dims x and dy = Cmat.dims y in
+  Alcotest.(check (pair int int)) (what ^ " dims") dx dy;
+  let xr = Cmat.unsafe_re x and xi = Cmat.unsafe_im x in
+  let yr = Cmat.unsafe_re y and yi = Cmat.unsafe_im y in
+  Array.iteri (fun k v -> same_float (Printf.sprintf "%s re[%d]" what k) v yr.(k)) xr;
+  Array.iteri (fun k v -> same_float (Printf.sprintf "%s im[%d]" what k) v yi.(k)) xi
+
+let rel_err got exact =
+  Cmat.norm_fro (Cmat.sub got exact)
+  /. Stdlib.max (Cmat.norm_fro exact) 1e-300
+
+let expect_parse what = function
+  | Error (Mfti_error.Parse _) -> ()
+  | Error e ->
+    Alcotest.failf "%s: expected Parse error, got %s" what
+      (Mfti_error.to_string e)
+  | Ok _ -> Alcotest.failf "%s: damaged artifact was accepted" what
+
+(* ------------------------------------------------------------------ *)
+(* Artifact *)
+
+let test_artifact_round_trip () =
+  let sys = sys_of 3 in
+  let art = artifact_of sys in
+  match Artifact.of_string (Artifact.to_string art) with
+  | Error e -> Alcotest.failf "decode failed: %s" (Mfti_error.to_string e)
+  | Ok got ->
+    Alcotest.(check string) "name" art.Artifact.name got.Artifact.name;
+    same_float "created" art.Artifact.created got.Artifact.created;
+    same_float "fit_err" art.Artifact.fit_err got.Artifact.fit_err;
+    let m = art.Artifact.model and m' = got.Artifact.model in
+    Alcotest.(check int) "rank" (Mfti.Engine.Model.rank m)
+      (Mfti.Engine.Model.rank m');
+    Array.iteri
+      (fun i v -> same_float (Printf.sprintf "sigma[%d]" i) v
+          (Mfti.Engine.Model.sigma m').(i))
+      (Mfti.Engine.Model.sigma m);
+    Alcotest.(check (list (pair string (float 0.)))) "timings"
+      (Mfti.Engine.Model.timings m) (Mfti.Engine.Model.timings m');
+    (match Mfti.Engine.Model.stats m, Mfti.Engine.Model.stats m' with
+     | Some s, Some s' ->
+       Alcotest.(check int) "selected" s.Mfti.Engine.Model.selected_units
+         s'.Mfti.Engine.Model.selected_units;
+       Alcotest.(check int) "iterations" s.Mfti.Engine.Model.iterations
+         s'.Mfti.Engine.Model.iterations
+     | _ -> Alcotest.fail "stats lost in round trip");
+    let d = Mfti.Engine.Model.descriptor m
+    and d' = Mfti.Engine.Model.descriptor m' in
+    same_mat "E" d.Descriptor.e d'.Descriptor.e;
+    same_mat "A" d.Descriptor.a d'.Descriptor.a;
+    same_mat "B" d.Descriptor.b d'.Descriptor.b;
+    same_mat "C" d.Descriptor.c d'.Descriptor.c;
+    same_mat "D" d.Descriptor.d d'.Descriptor.d
+
+(* NaN fit error (the "unknown" marker) must survive the raw-bits path *)
+let test_artifact_nan_fit_err () =
+  let art = Artifact.v ~name:"n" (model_of (sys_of 1)) in
+  match Artifact.of_string (Artifact.to_string art) with
+  | Error e -> Alcotest.failf "decode failed: %s" (Mfti_error.to_string e)
+  | Ok got ->
+    Alcotest.(check bool) "fit_err is nan" true
+      (Float.is_nan got.Artifact.fit_err)
+
+let test_artifact_byte_stable () =
+  let art = artifact_of (sys_of 2) in
+  let s1 = Artifact.to_string art in
+  match Artifact.of_string s1 with
+  | Error e -> Alcotest.failf "decode failed: %s" (Mfti_error.to_string e)
+  | Ok got ->
+    let s2 = Artifact.to_string got in
+    Alcotest.(check int) "encoded length" (String.length s1) (String.length s2);
+    Alcotest.(check bool) "decode/encode is the identity on bytes" true
+      (String.equal s1 s2)
+
+let test_artifact_fault_corrupt () =
+  let art = artifact_of (sys_of 2) in
+  let s = Fault.with_spec "artifact.corrupt" (fun () -> Artifact.to_string art) in
+  expect_parse "corrupt header" (Artifact.of_string s)
+
+let test_artifact_fault_truncate () =
+  let art = artifact_of (sys_of 2) in
+  let s = Fault.with_spec "artifact.truncate" (fun () -> Artifact.to_string art) in
+  expect_parse "truncated" (Artifact.of_string s)
+
+let test_artifact_payload_bitflip () =
+  let art = artifact_of (sys_of 2) in
+  let s = Artifact.to_string art in
+  (* flip one bit in the middle of the payload: only the CRC can see it *)
+  let b = Bytes.of_string s in
+  let k = String.length s / 2 in
+  Bytes.set b k (Char.chr (Char.code (Bytes.get b k) lxor 0x10));
+  expect_parse "payload bit flip" (Artifact.of_string (Bytes.to_string b))
+
+let test_artifact_bad_version () =
+  let art = artifact_of (sys_of 2) in
+  let s = Artifact.to_string art in
+  let b = Bytes.of_string s in
+  Bytes.set b 8 '\x63';  (* version field follows the 8-byte magic *)
+  expect_parse "future version" (Artifact.of_string (Bytes.to_string b));
+  expect_parse "trailing garbage" (Artifact.of_string (s ^ "!!"));
+  expect_parse "empty" (Artifact.of_string "");
+  expect_parse "not an artifact" (Artifact.of_string "MFTIART\x00 nope")
+
+let test_artifact_file_round_trip () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "m.mfti" in
+  let art = artifact_of (sys_of 2) in
+  Artifact.save path art;
+  let got = Artifact.load_exn path in
+  Alcotest.(check string) "name" art.Artifact.name got.Artifact.name;
+  same_mat "A"
+    (Mfti.Engine.Model.descriptor art.Artifact.model).Descriptor.a
+    (Mfti.Engine.Model.descriptor got.Artifact.model).Descriptor.a;
+  expect_parse "missing file" (Artifact.load (Filename.concat dir "no.mfti"))
+
+(* property: encoding is deterministic and self-inverse across systems *)
+let prop_artifact_round_trip =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 4 >>= fun ports ->
+      int_range 1 10 >>= fun order ->
+      int_bound 1000 >|= fun seed -> (ports, order, seed))
+  in
+  let arb =
+    QCheck.make gen ~print:(fun (p, n, s) ->
+        Printf.sprintf "ports=%d order=%d seed=%d" p n s)
+  in
+  QCheck.Test.make ~name:"artifact byte-stability across random systems"
+    ~count:25 arb
+    (fun (ports, order, seed) ->
+      let sys =
+        Random_sys.generate
+          { Random_sys.order; ports; rank_d = ports; freq_lo = 10.;
+            freq_hi = 1e5; damping = 0.2; seed }
+      in
+      let art = Artifact.v ~name:"prop" (Mfti.Engine.Model.make ~rank:order sys) in
+      let s1 = Artifact.to_string art in
+      match Artifact.of_string s1 with
+      | Error _ -> false
+      | Ok got -> String.equal s1 (Artifact.to_string got))
+
+(* ------------------------------------------------------------------ *)
+(* Compiled *)
+
+let eval_tol = 1e-10
+
+let test_compiled_accuracy () =
+  List.iter
+    (fun ports ->
+      let sys = sys_of ports in
+      let c = Compiled.of_descriptor ~tol:1e-11 sys in
+      Alcotest.(check bool)
+        (Printf.sprintf "ports=%d compiles to pole-residue" ports)
+        true (Compiled.mode c = Compiled.Pole_residue);
+      Alcotest.(check int) "pole count" (Descriptor.order sys)
+        (Array.length (Compiled.poles c));
+      Array.iter
+        (fun f ->
+          let e = rel_err (Compiled.eval_freq c f) (Descriptor.eval_freq sys f) in
+          if e > eval_tol then
+            Alcotest.failf "ports=%d f=%g: rel err %.3e > %.0e" ports f e
+              eval_tol)
+        (Sampling.logspace 1e1 1e7 64))
+    [ 1; 2; 4; 8 ]
+
+let test_compiled_grid_matches_single () =
+  let c = Compiled.of_descriptor ~tol:1e-11 (sys_of 2) in
+  let freqs = Sampling.logspace 1e2 1e6 33 in
+  let grid = Compiled.eval_grid c freqs in
+  Array.iteri
+    (fun i f -> same_mat (Printf.sprintf "point %d" i) grid.(i)
+        (Compiled.eval_freq c f))
+    freqs
+
+let test_compiled_grid_domain_invariant () =
+  let c = Compiled.of_descriptor ~tol:1e-11 (sys_of 4) in
+  let freqs = Sampling.logspace 1e2 1e6 257 in
+  let pooled = Compiled.eval_grid c freqs in
+  let sequential = Parallel.with_sequential (fun () -> Compiled.eval_grid c freqs) in
+  Array.iteri
+    (fun i _ -> same_mat (Printf.sprintf "point %d" i) pooled.(i) sequential.(i))
+    freqs
+
+let test_compiled_defective_fault () =
+  let sys = sys_of 2 in
+  let (c, diag) =
+    Fault.with_spec "compiled.defective" (fun () ->
+        Diag.with_collector (fun () -> Compiled.of_descriptor sys))
+  in
+  Alcotest.(check bool) "direct mode" true (Compiled.mode c = Compiled.Direct);
+  Alcotest.(check int) "no poles" 0 (Array.length (Compiled.poles c));
+  Alcotest.(check bool) "fallback recorded" true
+    (Diag.recorded diag "compiled.defective_fallback");
+  (* Direct mode is the exact per-point LU evaluation *)
+  let s = Cx.jw 1e4 in
+  same_mat "direct eval" (Compiled.eval c s) (Descriptor.eval sys s)
+
+let test_compiled_static () =
+  let d = Cmat.create 2 2 in
+  Cmat.set d 0 0 { Cx.re = 0.5; im = 0. };
+  Cmat.set d 1 1 { Cx.re = -0.25; im = 0. };
+  let sys =
+    Descriptor.create ~e:(Cmat.create 0 0) ~a:(Cmat.create 0 0)
+      ~b:(Cmat.create 0 2) ~c:(Cmat.create 2 0) ~d
+  in
+  let c = Compiled.of_descriptor sys in
+  Alcotest.(check bool) "pole-residue" true
+    (Compiled.mode c = Compiled.Pole_residue);
+  Alcotest.(check int) "no poles" 0 (Array.length (Compiled.poles c));
+  same_mat "H = D" (Compiled.eval c (Cx.jw 42.)) d
+
+(* the acceptance-gate headline: pack, reload, recompile, evaluate —
+   every float identical to serving the in-memory model *)
+let test_pack_load_eval_bit_identical () =
+  let sys = sys_of 4 in
+  let art = artifact_of sys in
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "bit.mfti" in
+  Artifact.save path art;
+  let loaded = Artifact.load_exn path in
+  let c0 = Compiled.of_model art.Artifact.model in
+  let c1 = Compiled.of_model loaded.Artifact.model in
+  Alcotest.(check bool) "same mode" true
+    (Compiled.mode c0 = Compiled.mode c1);
+  let freqs = Sampling.logspace 1e2 1e6 48 in
+  let g0 = Compiled.eval_grid c0 freqs and g1 = Compiled.eval_grid c1 freqs in
+  Array.iteri
+    (fun i _ -> same_mat (Printf.sprintf "point %d" i) g0.(i) g1.(i))
+    freqs
+
+(* ------------------------------------------------------------------ *)
+(* LRU *)
+
+let test_lru_eviction_order () =
+  let cache = Lru.create ~budget:100 in
+  Lru.insert cache "a" ~bytes:40 0;
+  Lru.insert cache "b" ~bytes:40 1;
+  Lru.insert cache "c" ~bytes:40 2;
+  Alcotest.(check bool) "a evicted" false (Lru.mem cache "a");
+  Alcotest.(check (list string)) "recency order" [ "c"; "b" ]
+    (Lru.keys_by_recency cache);
+  Alcotest.(check int) "bytes" 80 (Lru.resident_bytes cache);
+  Alcotest.(check int) "evictions" 1 (Lru.stats cache).Lru.evictions
+
+let test_lru_find_bumps_recency () =
+  let cache = Lru.create ~budget:100 in
+  Lru.insert cache "a" ~bytes:40 0;
+  Lru.insert cache "b" ~bytes:40 1;
+  Alcotest.(check (option int)) "hit" (Some 0) (Lru.find cache "a");
+  Lru.insert cache "c" ~bytes:40 2;
+  (* b, not a, is now the LRU victim *)
+  Alcotest.(check bool) "a kept" true (Lru.mem cache "a");
+  Alcotest.(check bool) "b evicted" false (Lru.mem cache "b");
+  let s = Lru.stats cache in
+  Alcotest.(check int) "hits" 1 s.Lru.hits;
+  Alcotest.(check int) "count" 2 s.Lru.count
+
+let test_lru_oversize () =
+  let cache = Lru.create ~budget:100 in
+  Lru.insert cache "a" ~bytes:40 0;
+  Lru.insert cache "huge" ~bytes:101 1;
+  Alcotest.(check bool) "oversize not cached" false (Lru.mem cache "huge");
+  Alcotest.(check bool) "existing entry untouched" true (Lru.mem cache "a");
+  Alcotest.(check int) "oversize counted" 1 (Lru.stats cache).Lru.oversize;
+  Alcotest.(check int) "no eviction charged" 0 (Lru.stats cache).Lru.evictions
+
+let test_lru_replace_releases_bytes () =
+  let cache = Lru.create ~budget:100 in
+  Lru.insert cache "a" ~bytes:60 0;
+  Lru.insert cache "a" ~bytes:30 1;
+  Alcotest.(check int) "bytes after replace" 30 (Lru.resident_bytes cache);
+  Alcotest.(check (option int)) "new value" (Some 1) (Lru.find cache "a");
+  Lru.remove cache "a";
+  Alcotest.(check int) "bytes after remove" 0 (Lru.resident_bytes cache);
+  Alcotest.(check int) "still no evictions" 0 (Lru.stats cache).Lru.evictions
+
+(* ------------------------------------------------------------------ *)
+(* Server protocol *)
+
+let j_mem k j =
+  match Sjson.member k j with
+  | Some v -> v
+  | None -> Alcotest.failf "response missing %S in %s" k (Sjson.to_string j)
+
+let j_bool k j =
+  match j_mem k j with
+  | Sjson.Bool b -> b
+  | _ -> Alcotest.failf "%S is not a bool" k
+
+let j_num k j =
+  match j_mem k j with
+  | Sjson.Num x -> x
+  | _ -> Alcotest.failf "%S is not a number" k
+
+let j_str k j =
+  match j_mem k j with
+  | Sjson.Str s -> s
+  | _ -> Alcotest.failf "%S is not a string" k
+
+let request srv line =
+  let text, stop = Server.handle_line srv line in
+  (Sjson.parse text, stop)
+
+let expect_error srv ~kind line =
+  let j, stop = request srv line in
+  Alcotest.(check bool) "not ok" false (j_bool "ok" j);
+  Alcotest.(check bool) "does not stop the loop" false stop;
+  Alcotest.(check string) "error kind" kind (j_str "kind" (j_mem "error" j))
+
+(* one root with two models, shared across the protocol tests *)
+let server_root =
+  lazy
+    (let dir = fresh_dir () in
+     Artifact.save (Filename.concat dir "alpha.mfti")
+       (artifact_of ~name:"alpha" (sys_of 2));
+     Artifact.save (Filename.concat dir "beta.mfti")
+       (artifact_of ~name:"beta" (sys_of 1));
+     dir)
+
+let make_server ?cache_bytes () =
+  Server.create ?cache_bytes ~root:(Lazy.force server_root) ()
+
+let test_server_list_models () =
+  let srv = make_server () in
+  let j, _ = request srv {|{"op":"list-models"}|} in
+  Alcotest.(check bool) "ok" true (j_bool "ok" j);
+  match j_mem "models" j with
+  | Sjson.Arr models ->
+    Alcotest.(check (list string)) "ids" [ "alpha"; "beta" ]
+      (List.map (j_str "id") models);
+    List.iter
+      (fun m -> Alcotest.(check bool) "not yet cached" false (j_bool "cached" m))
+      models
+  | _ -> Alcotest.fail "models is not an array"
+
+let test_server_model_info () =
+  let srv = make_server () in
+  let j, _ = request srv {|{"op":"model-info","model":"alpha"}|} in
+  Alcotest.(check bool) "ok" true (j_bool "ok" j);
+  Alcotest.(check string) "name" "alpha" (j_str "name" j);
+  Alcotest.(check (float 0.)) "order" 16. (j_num "order" j);
+  Alcotest.(check (float 0.)) "inputs" 2. (j_num "inputs" j);
+  Alcotest.(check string) "mode" "pole-residue" (j_str "mode" j);
+  Alcotest.(check bool) "first hit is a miss" false (j_bool "cached" j);
+  let j2, _ = request srv {|{"op":"model-info","model":"alpha"}|} in
+  Alcotest.(check bool) "second hit is cached" true (j_bool "cached" j2)
+
+let test_server_eval_bit_exact () =
+  let srv = make_server () in
+  let freqs = [ 1.5e3; 2.5e4; 7.25e5 ] in
+  let line =
+    Sjson.to_string
+      (Sjson.Obj
+         [ ("op", Sjson.Str "eval-grid"); ("model", Sjson.Str "alpha");
+           ("freqs", Sjson.Arr (List.map (fun f -> Sjson.Num f) freqs)) ])
+  in
+  let j, _ = request srv line in
+  Alcotest.(check bool) "ok" true (j_bool "ok" j);
+  Alcotest.(check (float 0.)) "points" 3. (j_num "points" j);
+  (* reference: compile the artifact in-process *)
+  let art = Artifact.load_exn
+      (Filename.concat (Lazy.force server_root) "alpha.mfti") in
+  let c = Compiled.of_model art.Artifact.model in
+  let grid = Compiled.eval_grid c (Array.of_list freqs) in
+  match j_mem "results" j with
+  | Sjson.Arr pts ->
+    List.iteri
+      (fun k rows ->
+        let h = grid.(k) in
+        match rows with
+        | Sjson.Arr rows ->
+          List.iteri
+            (fun i cols ->
+              match cols with
+              | Sjson.Arr cols ->
+                List.iteri
+                  (fun jc z ->
+                    let exact = Cmat.get h i jc in
+                    match z with
+                    | Sjson.Arr [ Sjson.Num re; Sjson.Num im ] ->
+                      same_float "re over the wire" exact.Cx.re re;
+                      same_float "im over the wire" exact.Cx.im im
+                    | _ -> Alcotest.fail "entry is not an [re, im] pair")
+                  cols
+              | _ -> Alcotest.fail "row is not an array")
+            rows
+        | _ -> Alcotest.fail "point is not a matrix")
+      pts
+  | _ -> Alcotest.fail "results is not an array"
+
+let test_server_error_paths () =
+  let srv = make_server () in
+  expect_error srv ~kind:"validation" {|{"op":"model-info","model":"nope"}|};
+  expect_error srv ~kind:"validation" {|{"op":"model-info","model":"../evil"}|};
+  expect_error srv ~kind:"validation" {|{"op":"launch-missiles"}|};
+  expect_error srv ~kind:"validation" {|{"op":"eval-grid","model":"alpha"}|};
+  expect_error srv ~kind:"validation"
+    {|{"op":"eval-grid","model":"alpha","freqs":[]}|};
+  expect_error srv ~kind:"validation"
+    {|{"op":"eval-grid","model":"alpha","freqs":["x"]}|};
+  expect_error srv ~kind:"validation" {|{"no_op_at_all":1}|};
+  expect_error srv ~kind:"parse" {|{"op": truncated|};
+  expect_error srv ~kind:"parse" "not json at all";
+  (* a corrupt artifact in the root is a typed response, not a crash *)
+  let bad = Filename.concat (Lazy.force server_root) "damaged.mfti" in
+  let oc = open_out_bin bad in
+  output_string oc "MFTIART\x00 this is not a model";
+  close_out oc;
+  expect_error srv ~kind:"parse" {|{"op":"model-info","model":"damaged"}|};
+  Sys.remove bad;
+  (* the loop survived all of the above *)
+  let j, _ = request srv {|{"op":"list-models"}|} in
+  Alcotest.(check bool) "server still serves" true (j_bool "ok" j)
+
+let test_server_stats_and_shutdown () =
+  let srv = make_server () in
+  ignore (request srv {|{"op":"model-info","model":"alpha"}|});
+  ignore (request srv {|{"op":"model-info","model":"alpha"}|});
+  ignore (request srv {|{"op":"nonsense"}|});
+  let j, stop = request srv {|{"op":"stats"}|} in
+  Alcotest.(check bool) "stats do not stop" false stop;
+  Alcotest.(check (float 0.)) "requests" 4. (j_num "requests" j);
+  Alcotest.(check (float 0.)) "errors" 1. (j_num "errors" j);
+  let cache = j_mem "cache" j in
+  Alcotest.(check (float 0.)) "one miss" 1. (j_num "misses" cache);
+  Alcotest.(check (float 0.)) "one hit" 1. (j_num "hits" cache);
+  Alcotest.(check (float 0.)) "one resident model" 1. (j_num "models" cache);
+  Alcotest.(check bool) "bytes flowed" true (j_num "bytes_out" j > 0.);
+  let info = j_mem "model-info" (j_mem "by_op" j) in
+  Alcotest.(check (float 0.)) "per-op count" 2. (j_num "count" info);
+  let j, stop = request srv {|{"op":"shutdown"}|} in
+  Alcotest.(check bool) "shutdown acknowledged" true (j_bool "ok" j);
+  Alcotest.(check bool) "loop stops" true stop
+
+let test_server_cache_eviction () =
+  let bytes =
+    (Unix.stat (Filename.concat (Lazy.force server_root) "alpha.mfti"))
+      .Unix.st_size
+  in
+  (* budget fits exactly one artifact: loading the second evicts the first *)
+  let srv = make_server ~cache_bytes:(bytes + 16) () in
+  ignore (request srv {|{"op":"model-info","model":"alpha"}|});
+  ignore (request srv {|{"op":"model-info","model":"beta"}|});
+  let j, _ = request srv {|{"op":"stats"}|} in
+  let cache = j_mem "cache" j in
+  Alcotest.(check (float 0.)) "eviction happened" 1. (j_num "evictions" cache);
+  Alcotest.(check (float 0.)) "one resident" 1. (j_num "models" cache);
+  let j, _ = request srv {|{"op":"model-info","model":"alpha"}|} in
+  Alcotest.(check bool) "evicted model reloads" true (j_bool "ok" j)
+
+let test_server_channels () =
+  let srv = make_server () in
+  let dir = fresh_dir () in
+  let req_path = Filename.concat dir "requests" in
+  let resp_path = Filename.concat dir "responses" in
+  let oc = open_out req_path in
+  output_string oc
+    "{\"op\":\"list-models\"}\n\n{\"op\":\"stats\"}\n{\"op\":\"shutdown\"}\n\
+     {\"op\":\"after-shutdown-is-never-read\"}\n";
+  close_out oc;
+  let ic = open_in req_path and oc = open_out resp_path in
+  let outcome = Server.serve_channels srv ic oc in
+  close_in ic;
+  close_out oc;
+  Alcotest.(check bool) "stopped by shutdown" true (outcome = `Stop);
+  let ic = open_in resp_path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  Alcotest.(check int) "three responses, blank line skipped" 3
+    (List.length lines);
+  List.iter
+    (fun l -> Alcotest.(check bool) "each response is ok" true
+        (j_bool "ok" (Sjson.parse l)))
+    lines
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "serve"
+    [ ("artifact",
+       [ Alcotest.test_case "round trip" `Quick test_artifact_round_trip;
+         Alcotest.test_case "nan fit_err" `Quick test_artifact_nan_fit_err;
+         Alcotest.test_case "byte stable" `Quick test_artifact_byte_stable;
+         Alcotest.test_case "fault: corrupt" `Quick test_artifact_fault_corrupt;
+         Alcotest.test_case "fault: truncate" `Quick
+           test_artifact_fault_truncate;
+         Alcotest.test_case "payload bit flip" `Quick
+           test_artifact_payload_bitflip;
+         Alcotest.test_case "bad version / framing" `Quick
+           test_artifact_bad_version;
+         Alcotest.test_case "file round trip" `Quick
+           test_artifact_file_round_trip;
+         QCheck_alcotest.to_alcotest prop_artifact_round_trip ]);
+      ("compiled",
+       [ Alcotest.test_case "accuracy across ports" `Quick
+           test_compiled_accuracy;
+         Alcotest.test_case "grid = single points" `Quick
+           test_compiled_grid_matches_single;
+         Alcotest.test_case "grid domain invariance" `Quick
+           test_compiled_grid_domain_invariant;
+         Alcotest.test_case "fault: defective pencil" `Quick
+           test_compiled_defective_fault;
+         Alcotest.test_case "static system" `Quick test_compiled_static;
+         Alcotest.test_case "pack/load/eval bit-identical" `Quick
+           test_pack_load_eval_bit_identical ]);
+      ("lru",
+       [ Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+         Alcotest.test_case "find bumps recency" `Quick
+           test_lru_find_bumps_recency;
+         Alcotest.test_case "oversize rejected" `Quick test_lru_oversize;
+         Alcotest.test_case "replace releases bytes" `Quick
+           test_lru_replace_releases_bytes ]);
+      ("server",
+       [ Alcotest.test_case "list models" `Quick test_server_list_models;
+         Alcotest.test_case "model info + cache" `Quick test_server_model_info;
+         Alcotest.test_case "eval bit-exact over the wire" `Quick
+           test_server_eval_bit_exact;
+         Alcotest.test_case "typed error paths" `Quick test_server_error_paths;
+         Alcotest.test_case "stats + shutdown" `Quick
+           test_server_stats_and_shutdown;
+         Alcotest.test_case "cache eviction" `Quick test_server_cache_eviction;
+         Alcotest.test_case "channel loop" `Quick test_server_channels ]) ]
