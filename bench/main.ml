@@ -13,7 +13,11 @@
      dune exec bench/main.exe -- engine [--smoke]  -- batch vs incremental
                                             Algorithm 2 (BENCH_engine.json)
      dune exec bench/main.exe -- serve [--smoke]   -- compiled pole-residue
-                                            vs per-point LU (BENCH_serve.json) *)
+                                            vs per-point LU (BENCH_serve.json)
+     dune exec bench/main.exe -- supervisor [--smoke] -- socket transport
+                                            throughput at 1/2/4 workers and
+                                            overload shed rate
+                                            (BENCH_supervisor.json) *)
 
 let commands =
   [ ("fig1", Fig1.run);
@@ -25,7 +29,8 @@ let commands =
     ("micro", Micro.run);
     ("kernels", Kernels.run ?smoke:None);
     ("engine", Engine_bench.run ?smoke:None);
-    ("serve", Serve_bench.run ?smoke:None) ]
+    ("serve", Serve_bench.run ?smoke:None);
+    ("supervisor", Supervisor_bench.run ?smoke:None) ]
 
 let run_all () =
   List.iter (fun (_, f) -> f ()) commands
@@ -39,6 +44,8 @@ let () =
     Engine_bench.run ~smoke:(List.mem "--smoke" rest) ()
   | _ :: "serve" :: rest ->
     Serve_bench.run ~smoke:(List.mem "--smoke" rest) ()
+  | _ :: "supervisor" :: rest ->
+    Supervisor_bench.run ~smoke:(List.mem "--smoke" rest) ()
   | [ _ ] | [ _; "all" ] -> run_all ()
   | [ _; cmd ] ->
     (match List.assoc_opt cmd commands with

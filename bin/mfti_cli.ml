@@ -610,17 +610,62 @@ let cache_mb_arg =
   let doc = "Model cache budget in MiB." in
   Arg.(value & opt int 256 & info [ "cache-mb" ] ~docv:"MB" ~doc)
 
-let run_serve root socket cache_mb =
+let workers_arg =
+  let doc = "Worker pool size for the socket transport (>= 1)." in
+  Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+
+let queue_arg =
+  let doc =
+    "Admission queue capacity; connections beyond it are shed with a \
+     typed 'overloaded' response."
+  in
+  Arg.(value & opt int 16 & info [ "queue" ] ~docv:"N" ~doc)
+
+let request_timeout_arg =
+  let doc =
+    "Per-request deadline in milliseconds (also bounds how long a \
+     partially-received frame may stall)."
+  in
+  Arg.(value & opt int 5000
+       & info [ "request-timeout-ms" ] ~docv:"MS" ~doc)
+
+let drain_arg =
+  let doc =
+    "Graceful-drain budget in milliseconds: on shutdown, in-flight \
+     connections get this long to finish before being force-closed."
+  in
+  Arg.(value & opt int 2000 & info [ "drain-ms" ] ~docv:"MS" ~doc)
+
+let report_quarantine server =
+  List.iter
+    (fun (q : Serve.Artifact.quarantine) ->
+      Printf.eprintf "mfti serve: quarantined %s -> %s: %s\n%!"
+        q.original q.quarantined
+        (Linalg.Mfti_error.to_string q.reason))
+    (Serve.Server.quarantined server)
+
+let run_serve root socket cache_mb workers queue request_timeout_ms drain_ms =
   guarded @@ fun () ->
   if cache_mb < 0 then invalid_arg "serve: cache budget must be >= 0";
+  if workers < 1 then invalid_arg "serve: --workers must be >= 1";
+  if queue < 1 then invalid_arg "serve: --queue must be >= 1";
+  if request_timeout_ms < 1 then
+    invalid_arg "serve: --request-timeout-ms must be >= 1";
+  if drain_ms < 0 then invalid_arg "serve: --drain-ms must be >= 0";
   let server =
     Serve.Server.create ~cache_bytes:(cache_mb * 1024 * 1024) ~root ()
   in
+  report_quarantine server;
   (match socket with
    | None -> ignore (Serve.Server.serve_channels server stdin stdout)
    | Some path ->
-     Printf.eprintf "mfti serve: listening on %s\n%!" path;
-     Serve.Server.serve_unix_socket server ~path);
+     Printf.eprintf "mfti serve: listening on %s (%d workers, queue %d)\n%!"
+       path workers queue;
+     let config =
+       { Serve.Supervisor.default_config with
+         workers; queue; request_timeout_ms; drain_ms }
+     in
+     Serve.Supervisor.run ~config server ~path);
   Printf.eprintf "mfti serve: %s\n%!"
     (Serve.Sjson.to_string (Serve.Server.stats_json server));
   0
@@ -628,9 +673,14 @@ let run_serve root socket cache_mb =
 let serve_cmd =
   let info =
     Cmd.info "serve"
-      ~doc:"Serve eval-grid/model-info queries over stdio or a Unix socket."
+      ~doc:
+        "Serve eval-grid/model-info queries over stdio or a Unix socket \
+         (socket transport is supervised: worker pool, deadlines, load \
+         shedding, graceful drain)."
   in
-  Cmd.v info Term.(const run_serve $ root_arg $ socket_arg $ cache_mb_arg)
+  Cmd.v info
+    Term.(const run_serve $ root_arg $ socket_arg $ cache_mb_arg
+          $ workers_arg $ queue_arg $ request_timeout_arg $ drain_arg)
 
 let () =
   let doc = "matrix-format tangential interpolation macromodeling" in

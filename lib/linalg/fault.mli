@@ -20,7 +20,15 @@
                                artifact (serving layer)
     - ["artifact.truncate"]    encoded model artifact cut short
     - ["compiled.defective"]   pole-residue compilation forced into the
-                               direct-LU fallback *)
+                               direct-LU fallback
+    - ["serve.torn_write"]     artifact save killed mid-write: half the
+                               bytes reach the temp file, no rename
+    - ["serve.slow_client"]    supervisor treats a partial request frame
+                               as having blown its read deadline
+    - ["serve.stall"]          request handler sleeps past the request
+                               deadline, forcing a "timeout" response
+    - ["serve.conn_drop"]      worker raises mid-connection, exercising
+                               the supervisor restart/backoff path *)
 
 exception Injected of string
 (** Raised by {!check} at an armed site. *)

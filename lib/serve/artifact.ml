@@ -251,10 +251,44 @@ let of_string ?source s =
 (* ------------------------------------------------------------------ *)
 (* Files *)
 
+let temp_suffix = ".tmp"
+let quarantine_suffix = ".quarantined"
+
+let write_all fd s ~len =
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+(* Crash-safe: the bytes land in [path ^ ".tmp"], are fsynced, and only
+   then renamed over [path].  A crash at any point leaves either the old
+   artifact intact or a torn ".tmp" orphan — never a torn ".mfti".  The
+   ["serve.torn_write"] fault site simulates the crash: half the bytes
+   are written, the temp file is left behind, and a typed error is
+   raised without renaming. *)
 let save path t =
-  let oc = open_out_bin path in
-  output_string oc (to_string t);
-  close_out oc
+  let data = to_string t in
+  let tmp = path ^ temp_suffix in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  (match
+     if Fault.armed "serve.torn_write" then begin
+       write_all fd data ~len:(String.length data / 2);
+       Mfti_error.raise_error (Mfti_error.Fault_injected { site = "serve.torn_write" })
+     end;
+     write_all fd data ~len:(String.length data);
+     Unix.fsync fd
+   with
+   | () -> Unix.close fd
+   | exception e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.rename tmp path;
+  (* best-effort directory fsync so the rename itself is durable *)
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | dirfd ->
+    (try Unix.fsync dirfd with Unix.Unix_error _ -> ());
+    (try Unix.close dirfd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
 
 let load path =
   match
@@ -272,3 +306,48 @@ let load_exn path =
   match load path with
   | Ok t -> t
   | Error e -> Mfti_error.raise_error e
+
+(* ------------------------------------------------------------------ *)
+(* Startup recovery *)
+
+type quarantine = {
+  original : string;
+  quarantined : string;
+  reason : Mfti_error.t;
+}
+
+(* Scan a model root for damage left by interrupted writers: orphaned
+   ".mfti.tmp" files (a save that died before its rename) and torn or
+   corrupt ".mfti" files (a legacy non-atomic writer, disk damage).
+   Each is renamed aside with a ".quarantined" suffix — outside the
+   servable namespace, which is exactly "*.mfti" — so a damaged model
+   is never silently loaded, and the evidence survives for inspection. *)
+let recover_root ?(verify = true) root =
+  match Sys.readdir root with
+  | exception Sys_error _ -> []
+  | entries ->
+    Array.sort compare entries;
+    Array.to_list entries
+    |> List.filter_map (fun f ->
+        let p = Filename.concat root f in
+        let quarantine reason =
+          let q = p ^ quarantine_suffix in
+          match Sys.rename p q with
+          | () -> Some { original = p; quarantined = q; reason }
+          | exception Sys_error m ->
+            (* the rename itself failed: report it, leave the file *)
+            Some
+              { original = p; quarantined = p;
+                reason =
+                  Mfti_error.Parse
+                    { source = Some p; line = None;
+                      message = "quarantine rename failed: " ^ m } }
+        in
+        if Filename.check_suffix f (".mfti" ^ temp_suffix) then
+          quarantine
+            (Mfti_error.Parse
+               { source = Some p; line = None;
+                 message = "orphaned temp file from an interrupted save" })
+        else if Filename.check_suffix f ".mfti" && verify then
+          match load p with Ok _ -> None | Error e -> quarantine e
+        else None)

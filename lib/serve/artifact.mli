@@ -37,7 +37,21 @@
     Fault-injection sites (see {!Linalg.Fault}): ["artifact.corrupt"]
     flips a header byte in the encoded output, ["artifact.truncate"]
     drops the trailing bytes — both make the result unloadable in a
-    deterministic way for the robustness tests. *)
+    deterministic way for the robustness tests.  ["serve.torn_write"]
+    simulates a writer killed mid-{!save}: half the bytes reach the
+    temp file, no rename happens, and a typed
+    {!Linalg.Mfti_error.Fault_injected} error is raised.
+
+    {2 Crash safety}
+
+    {!save} is atomic: bytes are written to [path ^ ".tmp"], fsynced,
+    and renamed over [path] (with a best-effort directory fsync), so a
+    crash leaves either the previous artifact intact or an orphaned
+    temp file — never a torn [.mfti].  {!recover_root} is the matching
+    startup scan: it quarantines orphaned temp files and (optionally)
+    any [.mfti] that fails to decode, renaming them aside with a
+    [".quarantined"] suffix so they leave the servable namespace but
+    survive for inspection. *)
 
 type t = {
   name : string;          (** human label, e.g. the source file *)
@@ -61,8 +75,10 @@ val to_string : t -> string
 (** Decode; every failure mode is a {!Linalg.Mfti_error.Parse}. *)
 val of_string : ?source:string -> string -> (t, Linalg.Mfti_error.t) result
 
-(** [save path t] writes [to_string t] atomically enough for our use
-    (binary mode, single write). *)
+(** [save path t] writes [to_string t] atomically: temp file + fsync +
+    rename.  Raises {!Linalg.Mfti_error.Error} at the
+    ["serve.torn_write"] fault site (leaving a torn temp file behind,
+    as a killed writer would). *)
 val save : string -> t -> unit
 
 (** [load path] reads and decodes; I/O errors and corrupt content both
@@ -70,3 +86,20 @@ val save : string -> t -> unit
 val load : string -> (t, Linalg.Mfti_error.t) result
 
 val load_exn : string -> t
+
+(** One quarantined file found by {!recover_root}: where it was, where
+    it went, and the typed diagnostic explaining why. *)
+type quarantine = {
+  original : string;
+  quarantined : string;     (** [original ^ ".quarantined"], or equal to
+                                [original] when the rename itself failed *)
+  reason : Linalg.Mfti_error.t;
+}
+
+(** [recover_root root] scans a model directory for damage left by
+    interrupted writers: orphaned [*.mfti.tmp] files are always
+    quarantined; when [verify] (default [true]) every [*.mfti] is
+    decoded (checksum and all) and quarantined on failure.  Returns the
+    quarantine record for each file moved aside, in sorted filename
+    order.  An unreadable [root] yields [[]]. *)
+val recover_root : ?verify:bool -> string -> quarantine list

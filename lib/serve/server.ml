@@ -12,18 +12,35 @@ type t = {
   cache : (Artifact.t * Compiled.t) Lru.t;
   started : float;
   ops : (string, op_stat) Hashtbl.t;
+  (* one lock guards the cache and every mutable counter: supervisor
+     workers call [handle_line] from several domains concurrently, and
+     the LRU byte accounting must stay exact, not approximate *)
+  lock : Mutex.t;
+  quarantined : Artifact.quarantine list;
+  mutable extra_stats : unit -> (string * Sjson.t) list;
   mutable requests : int;
   mutable errors : int;
   mutable bytes_in : int;
   mutable bytes_out : int;
 }
 
-let create ?(cache_bytes = 256 * 1024 * 1024) ~root () =
+let create ?(cache_bytes = 256 * 1024 * 1024) ?(recover = true) ~root () =
+  let quarantined = if recover then Artifact.recover_root root else [] in
   { root;
     cache = Lru.create ~budget:cache_bytes;
     started = Unix.gettimeofday ();
     ops = Hashtbl.create 8;
+    lock = Mutex.create ();
+    quarantined;
+    extra_stats = (fun () -> []);
     requests = 0; errors = 0; bytes_in = 0; bytes_out = 0 }
+
+let quarantined t = t.quarantined
+let set_stats_hook t f = t.extra_stats <- f
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 (* ------------------------------------------------------------------ *)
 (* Errors as typed responses *)
@@ -53,6 +70,22 @@ let invalid message =
   Mfti_error.raise_error
     (Mfti_error.Validation { context = "serve"; message })
 
+(* Protocol-level failure that is not a fitting-pipeline error: the
+   supervisor uses this for load shedding ("overloaded") and deadline
+   expiry ("timeout").  Same shape as [error_response] so clients parse
+   one format. *)
+let protocol_error ?op ~kind ~message () =
+  let base =
+    [ ("ok", Sjson.Bool false);
+      ( "error",
+        Sjson.Obj
+          [ ("kind", Sjson.Str kind); ("message", Sjson.Str message) ] ) ]
+  in
+  Sjson.Obj
+    (match op with
+     | Some op -> ("op", Sjson.Str op) :: base
+     | None -> base)
+
 (* ------------------------------------------------------------------ *)
 (* Model store *)
 
@@ -68,10 +101,14 @@ let id_ok id =
 let path_of_id t id = Filename.concat t.root (id ^ ".mfti")
 
 (* Load through the cache; [snd] of the result tells whether it was
-   resident already. *)
+   resident already.  The lock covers each cache operation but not the
+   disk load + compile in between: two workers missing on the same id
+   load it twice and the second insert replaces the first (the LRU
+   releases the replaced bytes), which keeps the byte accounting exact
+   without serializing every model load. *)
 let get_model t id =
   if not (id_ok id) then invalid ("malformed model id " ^ String.escaped id);
-  match Lru.find t.cache id with
+  match locked t (fun () -> Lru.find t.cache id) with
   | Some v -> (v, true)
   | None ->
     let path = path_of_id t id in
@@ -83,7 +120,7 @@ let get_model t id =
     in
     let compiled = Compiled.of_model art.Artifact.model in
     let bytes = (Unix.stat path).Unix.st_size in
-    Lru.insert t.cache id ~bytes (art, compiled);
+    locked t (fun () -> Lru.insert t.cache id ~bytes (art, compiled));
     ((art, compiled), false)
 
 let list_ids t =
@@ -140,7 +177,7 @@ let op_list_models t =
         Sjson.Obj
           [ ("id", Sjson.Str id);
             ("bytes", Sjson.Num (float_of_int bytes));
-            ("cached", Sjson.Bool (Lru.mem t.cache id)) ])
+            ("cached", Sjson.Bool (locked t (fun () -> Lru.mem t.cache id))) ])
       (list_ids t)
   in
   Sjson.Obj
@@ -192,38 +229,46 @@ let op_eval_grid t req =
       ("results", Sjson.Arr (Array.to_list (Array.map matrix_json grid))) ]
 
 let stats_json t =
-  let cache = Lru.stats t.cache in
-  let per_op =
-    Hashtbl.fold
-      (fun op s acc ->
-        ( op,
-          Sjson.Obj
-            [ ("count", Sjson.Num (float_of_int s.count));
-              ("errors", Sjson.Num (float_of_int s.op_errors));
-              ("total_s", Sjson.Num s.total_s);
-              ("max_s", Sjson.Num s.max_s) ] )
-        :: acc)
-      t.ops []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  (* snapshot under the lock; render (and call the supervisor's stats
+     hook, which takes its own lock) outside it so lock ordering stays
+     one-directional *)
+  let base =
+    locked t (fun () ->
+        let cache = Lru.stats t.cache in
+        let per_op =
+          Hashtbl.fold
+            (fun op s acc ->
+              ( op,
+                Sjson.Obj
+                  [ ("count", Sjson.Num (float_of_int s.count));
+                    ("errors", Sjson.Num (float_of_int s.op_errors));
+                    ("total_s", Sjson.Num s.total_s);
+                    ("max_s", Sjson.Num s.max_s) ] )
+              :: acc)
+            t.ops []
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+        in
+        [ ("ok", Sjson.Bool true);
+          ("op", Sjson.Str "stats");
+          ("uptime_s", Sjson.Num (Unix.gettimeofday () -. t.started));
+          ("requests", Sjson.Num (float_of_int t.requests));
+          ("errors", Sjson.Num (float_of_int t.errors));
+          ("bytes_in", Sjson.Num (float_of_int t.bytes_in));
+          ("bytes_out", Sjson.Num (float_of_int t.bytes_out));
+          ("quarantined", Sjson.Num (float_of_int (List.length t.quarantined)));
+          ("by_op", Sjson.Obj per_op);
+          ( "cache",
+            Sjson.Obj
+              [ ("hits", Sjson.Num (float_of_int cache.Lru.hits));
+                ("misses", Sjson.Num (float_of_int cache.Lru.misses));
+                ("evictions", Sjson.Num (float_of_int cache.Lru.evictions));
+                ("oversize", Sjson.Num (float_of_int cache.Lru.oversize));
+                ("resident_bytes",
+                 Sjson.Num (float_of_int cache.Lru.resident_bytes));
+                ("budget_bytes", Sjson.Num (float_of_int cache.Lru.budget_bytes));
+                ("models", Sjson.Num (float_of_int cache.Lru.count)) ] ) ])
   in
-  Sjson.Obj
-    [ ("ok", Sjson.Bool true);
-      ("op", Sjson.Str "stats");
-      ("uptime_s", Sjson.Num (Unix.gettimeofday () -. t.started));
-      ("requests", Sjson.Num (float_of_int t.requests));
-      ("errors", Sjson.Num (float_of_int t.errors));
-      ("bytes_in", Sjson.Num (float_of_int t.bytes_in));
-      ("bytes_out", Sjson.Num (float_of_int t.bytes_out));
-      ("by_op", Sjson.Obj per_op);
-      ( "cache",
-        Sjson.Obj
-          [ ("hits", Sjson.Num (float_of_int cache.Lru.hits));
-            ("misses", Sjson.Num (float_of_int cache.Lru.misses));
-            ("evictions", Sjson.Num (float_of_int cache.Lru.evictions));
-            ("oversize", Sjson.Num (float_of_int cache.Lru.oversize));
-            ("resident_bytes", Sjson.Num (float_of_int cache.Lru.resident_bytes));
-            ("budget_bytes", Sjson.Num (float_of_int cache.Lru.budget_bytes));
-            ("models", Sjson.Num (float_of_int cache.Lru.count)) ] ) ]
+  Sjson.Obj (base @ t.extra_stats ())
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch *)
@@ -240,6 +285,7 @@ let dispatch t req =
   | "shutdown" -> (shutdown_response, true)
   | op -> invalid ("unknown op " ^ String.escaped op)
 
+(* call with [t.lock] held *)
 let op_stat t op =
   match Hashtbl.find_opt t.ops op with
   | Some s -> s
@@ -249,8 +295,9 @@ let op_stat t op =
     s
 
 let handle_line t line =
-  t.requests <- t.requests + 1;
-  t.bytes_in <- t.bytes_in + String.length line + 1;
+  locked t (fun () ->
+      t.requests <- t.requests + 1;
+      t.bytes_in <- t.bytes_in + String.length line + 1);
   let t0 = Unix.gettimeofday () in
   let op_name = ref "invalid" in
   let response, stop =
@@ -270,19 +317,20 @@ let handle_line t line =
         false )
   in
   let dt = Unix.gettimeofday () -. t0 in
-  let s = op_stat t !op_name in
-  s.count <- s.count + 1;
-  s.total_s <- s.total_s +. dt;
-  if dt > s.max_s then s.max_s <- dt;
   let failed =
     match Sjson.member "ok" response with Some (Sjson.Bool true) -> false | _ -> true
   in
-  if failed then begin
-    t.errors <- t.errors + 1;
-    s.op_errors <- s.op_errors + 1
-  end;
   let text = Sjson.to_string response in
-  t.bytes_out <- t.bytes_out + String.length text + 1;
+  locked t (fun () ->
+      let s = op_stat t !op_name in
+      s.count <- s.count + 1;
+      s.total_s <- s.total_s +. dt;
+      if dt > s.max_s then s.max_s <- dt;
+      if failed then begin
+        t.errors <- t.errors + 1;
+        s.op_errors <- s.op_errors + 1
+      end;
+      t.bytes_out <- t.bytes_out + String.length text + 1);
   (text, stop)
 
 (* ------------------------------------------------------------------ *)
@@ -302,21 +350,68 @@ let serve_channels t ic oc =
   in
   loop ()
 
-let serve_unix_socket t ~path =
+(* Bind a listening Unix socket at [path] without the unlink-then-bind
+   race: blindly unlinking would delete a *live* server's socket.  A
+   pre-existing path is probed with [connect] — a successful connect
+   means someone is serving there (typed error); a refused connect
+   means a stale file from a dead process (safe to remove).  Only a
+   successful bind confers ownership of the path; callers release it
+   with [release_unix], which unlinks only what we bound. *)
+let bind_unix ~path =
+  (match Unix.stat path with
+   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+   | { Unix.st_kind = Unix.S_SOCK; _ } ->
+     let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+     let live =
+       match Unix.connect probe (Unix.ADDR_UNIX path) with
+       | () -> true
+       | exception Unix.Unix_error _ -> false
+     in
+     (try Unix.close probe with Unix.Unix_error _ -> ());
+     if live then
+       invalid ("socket path " ^ path ^ " already has a live server")
+     else (try Unix.unlink path with Unix.Unix_error _ -> ())
+   | _ -> invalid ("socket path " ^ path ^ " exists and is not a socket"));
+  (* a client closing mid-response must surface as EPIPE, not kill the
+     process with SIGPIPE *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.unlink path with Unix.Unix_error _ -> ());
-  Unix.bind sock (Unix.ADDR_UNIX path);
-  Unix.listen sock 8;
+  match
+    Unix.bind sock (Unix.ADDR_UNIX path);
+    Unix.listen sock 64
+  with
+  | () -> sock
+  | exception e ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    raise e
+
+let release_unix ~path sock =
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  try Unix.unlink path with Unix.Unix_error _ -> ()
+
+let serve_unix_socket t ~path =
+  let sock = bind_unix ~path in
   let rec accept_loop () =
     let conn, _ = Unix.accept sock in
     let ic = Unix.in_channel_of_descr conn in
     let oc = Unix.out_channel_of_descr conn in
-    let outcome = serve_channels t ic oc in
-    (try Unix.close conn with Unix.Unix_error _ -> ());
+    (* [Fun.protect] so an exception between accept and close cannot
+       leak the descriptor; closing the *channels* (out first) flushes
+       any buffered response bytes to a draining client.  Both channels
+       share the fd, so the second close reports EBADF — ignored. *)
+    let outcome =
+      Fun.protect
+        ~finally:(fun () ->
+          (try close_out oc with Sys_error _ -> ());
+          (try close_in ic with Sys_error _ -> ()))
+        (fun () ->
+          (* a client vanishing mid-response (EPIPE under the channel)
+             ends that connection, not the server *)
+          match serve_channels t ic oc with
+          | outcome -> outcome
+          | exception Sys_error _ -> `Eof)
+    in
     match outcome with `Stop -> () | `Eof -> accept_loop ()
   in
-  Fun.protect
-    ~finally:(fun () ->
-      (try Unix.close sock with Unix.Unix_error _ -> ());
-      try Unix.unlink path with Unix.Unix_error _ -> ())
-    accept_loop
+  Fun.protect ~finally:(fun () -> release_unix ~path sock) accept_loop

@@ -35,26 +35,68 @@
     concatenates request text into a path outside the root.
 
     Loaded artifacts are compiled once ({!Compiled.of_model}) and kept
-    in an {!Lru} cache accounted at their on-disk byte size. *)
+    in an {!Lru} cache accounted at their on-disk byte size.  The cache
+    and every counter sit behind one internal mutex, so {!handle_line}
+    is safe to call concurrently from {!Supervisor} worker domains —
+    the LRU byte accounting stays exact under contention. *)
 
 type t
 
 (** [create ~root ()] serves artifacts under directory [root].
-    [cache_bytes] is the LRU budget (default 256 MiB). *)
-val create : ?cache_bytes:int -> root:string -> unit -> t
+    [cache_bytes] is the LRU budget (default 256 MiB).  Unless
+    [recover] is [false], the root is scanned first
+    ({!Artifact.recover_root}): torn or orphaned files are quarantined
+    before anything can be served from them — see {!quarantined}. *)
+val create : ?cache_bytes:int -> ?recover:bool -> root:string -> unit -> t
+
+(** Files moved aside by the startup recovery scan (empty when
+    [~recover:false] or the root was clean). *)
+val quarantined : t -> Artifact.quarantine list
+
+(** [set_stats_hook t f] registers extra top-level fields appended to
+    every {!stats_json} response.  The {!Supervisor} uses this to
+    publish queue depth, sheds, timeouts, restarts and per-worker
+    latency through the ordinary ["stats"] op.  [f] is called outside
+    the server's internal lock. *)
+val set_stats_hook : t -> (unit -> (string * Sjson.t) list) -> unit
 
 (** [handle_line t line] processes one request line and returns the
     response line (no trailing newline) plus [true] when the request
-    asked the serve loop to stop.  Never raises. *)
+    asked the serve loop to stop.  Never raises; safe to call from
+    several domains concurrently. *)
 val handle_line : t -> string -> string * bool
+
+(** [protocol_error ~kind ~message ()] builds the standard
+    [{"ok":false,"error":{...}}] response for protocol-level conditions
+    outside the {!Linalg.Mfti_error} taxonomy — the supervisor's
+    ["overloaded"] (load shedding) and ["timeout"] (deadline expiry)
+    kinds. *)
+val protocol_error : ?op:string -> kind:string -> message:string -> unit -> Sjson.t
 
 (** Serve until EOF or a shutdown request; responses are flushed after
     every line.  Returns how the loop ended. *)
 val serve_channels : t -> in_channel -> out_channel -> [ `Eof | `Stop ]
 
-(** Bind a Unix domain socket at [path] (unlinking any stale one),
-    accept connections sequentially, and serve each until EOF.  Returns
-    after a shutdown request; the socket file is removed. *)
+(** [bind_unix ~path] binds and listens on a Unix domain socket at
+    [path] without the unlink-then-bind race: if the path is currently
+    connectable (a live server owns it) the call fails with a typed
+    {!Linalg.Mfti_error.Validation} error instead of deleting the live
+    socket; a stale file from a dead process is removed and rebound.
+    SIGPIPE is set to ignore.  A successful bind confers ownership —
+    release with {!release_unix}. *)
+val bind_unix : path:string -> Unix.file_descr
+
+(** [release_unix ~path sock] closes the listening socket and unlinks
+    the path we own.  Never raises. *)
+val release_unix : path:string -> Unix.file_descr -> unit
+
+(** Bind a Unix domain socket at [path] (via {!bind_unix}), accept
+    connections sequentially, and serve each until EOF.  Per-connection
+    channels are closed through [Fun.protect] (output first, flushing
+    buffered bytes) so an error between accept and close can never leak
+    the descriptor.  Returns after a shutdown request; the socket file
+    is removed.  For concurrent serving with deadlines and load
+    shedding use {!Supervisor} instead. *)
 val serve_unix_socket : t -> path:string -> unit
 
 (** Counters snapshot: total/per-op request counts, error count,

@@ -121,8 +121,12 @@ let parse (s : string) : t =
              | 'r' -> Buffer.add_char b '\r'
              | 'u' ->
                if !pos + 4 >= n then fail "bad unicode escape";
+               (* int_of_string would raise Failure on mutated hex
+                  digits; every malformed input must be Parse_error *)
                let code =
-                 int_of_string ("0x" ^ String.sub s (!pos + 1) 4)
+                 match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+                 | Some c when c >= 0 -> c
+                 | _ -> fail "bad unicode escape"
                in
                pos := !pos + 4;
                if code < 128 then Buffer.add_char b (Char.chr code)

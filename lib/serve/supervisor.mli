@@ -1,0 +1,101 @@
+(** Supervised concurrent serving over a Unix domain socket.
+
+    {!Server.serve_unix_socket} serves one connection at a time with no
+    deadlines; this module is the production tier on top of the same
+    {!Server.handle_line} core:
+
+    - one accept loop owns the listening socket (bound race-free via
+      {!Server.bind_unix}) and feeds a {b bounded admission queue};
+    - a fixed pool of workers — OCaml 5 domains, falling back to
+      threads when the domain budget is exhausted — pops connections
+      and serves them, each evaluation wrapped in
+      {!Linalg.Parallel.with_sequential} so worker domains never race
+      on the kernel pool's submission protocol;
+    - when the queue is full the accept loop {b sheds}: the client
+      immediately receives the typed
+      [{"ok":false,"error":{"kind":"overloaded",...}}] response instead
+      of waiting in an unbounded backlog;
+    - {b deadlines}: an idle connection may sit [idle_timeout_ms]
+      between frames (expiry closes it silently); once the first byte
+      of a frame arrives the rest must land within
+      [request_timeout_ms], and a request whose evaluation blows that
+      budget gets a ["timeout"] response instead of its (discarded)
+      result;
+    - a worker whose handler raises is {b restarted} with exponential
+      backoff ([backoff_base_ms] doubling up to [backoff_cap_ms],
+      reset after a cleanly-finished connection);
+    - {!stop} {b drains gracefully}: stop accepting (the socket closes
+      immediately so new connects are refused), let in-flight
+      connections finish within [drain_ms], then force-close the
+      stragglers and join every runner.
+
+    Fault sites (see {!Linalg.Fault}) exercised by the chaos suite:
+    ["serve.slow_client"] forces the partial-frame deadline,
+    ["serve.stall"] makes a request overshoot its deadline,
+    ["serve.conn_drop"] kills a worker mid-connection (restart path).
+
+    Statistics are published through the ordinary ["stats"] op: {!start}
+    registers a {!Server.set_stats_hook} adding a ["supervisor"] object
+    with queue depth, sheds, timeouts, restarts and per-worker
+    latency. *)
+
+type config = {
+  workers : int;             (** worker pool size (>= 1) *)
+  queue : int;               (** admission queue capacity (>= 1) *)
+  request_timeout_ms : int;  (** per-request / partial-frame deadline *)
+  idle_timeout_ms : int;     (** keep-alive between frames *)
+  drain_ms : int;            (** graceful-drain budget in {!stop} *)
+  backoff_base_ms : int;     (** first restart delay *)
+  backoff_cap_ms : int;      (** restart delay ceiling *)
+  max_line_bytes : int;      (** request frame cap *)
+}
+
+(** 2 workers, queue 16, 5 s request / 30 s idle timeouts, 2 s drain,
+    10 ms..1 s backoff, 8 MiB frames. *)
+val default_config : config
+
+type t
+
+type worker_snapshot = {
+  ws_served : int;       (** requests answered *)
+  ws_conns : int;        (** connections handled *)
+  ws_total_s : float;    (** summed request latency *)
+  ws_max_s : float;      (** worst request latency *)
+  ws_restarts : int;     (** times this worker was restarted *)
+}
+
+type snapshot = {
+  sn_workers : int;
+  sn_queue_capacity : int;
+  accepted : int;          (** connections accepted *)
+  dispatched : int;        (** connections handed to a worker *)
+  shed : int;              (** connections refused with "overloaded" *)
+  idle_timeouts : int;     (** idle keep-alives expired (silent close) *)
+  read_timeouts : int;     (** partial frames / unread responses timed out *)
+  request_timeouts : int;  (** evaluations that blew the request deadline *)
+  restarts : int;          (** worker + accept-loop restarts *)
+  queue_depth : int;       (** connections waiting right now *)
+  queue_max : int;         (** high-water mark of the queue *)
+  in_flight : int;         (** connections being served right now *)
+  draining : bool;
+  per_worker : worker_snapshot array;
+}
+
+(** [start server ~path] binds [path] (race-free, typed error if a live
+    server owns it), spawns the accept loop and workers, registers the
+    stats hook, and returns immediately.  Raises
+    {!Linalg.Mfti_error.Error} ([Validation]) on a nonsensical
+    [config]. *)
+val start : ?config:config -> Server.t -> path:string -> t
+
+(** Consistent counter snapshot (also published as the ["supervisor"]
+    object in ["stats"] responses). *)
+val stats : t -> snapshot
+
+(** Graceful drain then forced shutdown; joins every runner and removes
+    the socket file.  Idempotent. *)
+val stop : t -> unit
+
+(** [run server ~path] is {!start}, block until a client's
+    [{"op":"shutdown"}] initiates the drain, then {!stop}. *)
+val run : ?config:config -> Server.t -> path:string -> unit

@@ -1,0 +1,102 @@
+(* CI smoke driver for the supervised socket transport.
+
+   Usage: smoke_clients.exe SOCKET MODEL
+
+   Attacks a running `mfti serve --socket SOCKET` with four concurrent
+   clients: one stalls mid-frame (and must be timed out with a typed
+   "timeout" response), three issue well-formed requests (and must all
+   complete).  A final client checks the stats op reports the timeout,
+   then sends the shutdown request so the server drains.  Exit 0 only
+   when every expectation holds; failures print to stderr. *)
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with Unix.Unix_error (e, _, _) ->
+     die "connect %s: %s" path (Unix.error_message e));
+  fd
+
+let send_raw fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+let recv_line ?(timeout = 10.0) fd what =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    let s = Buffer.contents buf in
+    match String.index_opt s '\n' with
+    | Some i -> String.sub s 0 i
+    | None ->
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0. then die "%s: no response within %.1fs" what timeout
+      else
+        match Unix.select [ fd ] [] [] left with
+        | [], _, _ -> go ()
+        | _ ->
+          (match Unix.read fd chunk 0 (Bytes.length chunk) with
+           | 0 -> die "%s: connection closed" what
+           | k -> Buffer.add_subbytes buf chunk 0 k; go ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+(* string-level checks keep this driver free of the serve library, so
+   it exercises the CLI binary exactly as an external client would *)
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+  at 0
+
+let expect_ok what line =
+  if not (contains line "\"ok\": true") then
+    die "%s: expected ok response, got %s" what line
+
+let expect_kind what kind line =
+  if not (contains line (Printf.sprintf "\"kind\": %S" kind)) then
+    die "%s: expected %S error, got %s" what kind line
+
+let () =
+  let socket, model =
+    match Sys.argv with
+    | [| _; s; m |] -> (s, m)
+    | _ -> die "usage: smoke_clients SOCKET MODEL"
+  in
+  (* client 1: stalls mid-frame *)
+  let slow = connect socket in
+  send_raw slow "{\"op\":\"eval-grid\",\"model\":\"";
+  (* clients 2-4: well-formed traffic while the slow client hangs *)
+  let fast = Array.init 3 (fun _ -> connect socket) in
+  Array.iteri
+    (fun i fd ->
+      let what = Printf.sprintf "fast client %d" i in
+      send_raw fd
+        (Printf.sprintf "{\"op\":\"model-info\",\"model\":%S}\n" model);
+      expect_ok what (recv_line fd what);
+      Unix.close fd)
+    fast;
+  print_endline "fast clients: 3/3 ok";
+  (* the stalled client must receive a typed timeout, per policy *)
+  let l = recv_line ~timeout:15.0 slow "slow client" in
+  expect_kind "slow client" "timeout" l;
+  Unix.close slow;
+  print_endline "slow client: timed out with typed response";
+  (* stats must account for the stall; then drain the server *)
+  let last = connect socket in
+  send_raw last "{\"op\":\"stats\"}\n";
+  let stats = recv_line last "stats" in
+  expect_ok "stats" stats;
+  if not (contains stats "\"supervisor\"") then
+    die "stats: missing supervisor block: %s" stats;
+  if contains stats "\"read_timeouts\": 0," then
+    die "stats: slow-client timeout not recorded: %s" stats;
+  send_raw last "{\"op\":\"shutdown\"}\n";
+  expect_ok "shutdown" (recv_line last "shutdown");
+  Unix.close last;
+  print_endline "shutdown: acknowledged, server draining"

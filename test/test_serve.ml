@@ -525,6 +525,235 @@ let test_server_channels () =
     lines
 
 (* ------------------------------------------------------------------ *)
+(* Sjson fuzz: deterministic byte mutations of valid frames.  Every
+   mutation must either parse to a value or raise [Sjson.Parse_error] —
+   no other exception may escape the parser.  Seeded SplitMix64, no
+   [Random] at runtime, so a failure replays exactly. *)
+
+let fuzz_seed_frames =
+  [ "{\"op\":\"eval-grid\",\"model\":\"alpha\",\"freqs\":[1e3,2.5e4,-0.0]}";
+    "{\"op\":\"model-info\",\"model\":\"beta\",\"extra\":null}";
+    "{\"a\":[true,false,null,[],{}],\"b\":{\"c\":[1,2,3]}}";
+    "{\"s\":\"esc \\\" \\\\ \\/ \\b \\f \\n \\r \\t \\u0041 end\"}";
+    "[1.5e-300,\"\\u00e9\",{\"k\":\"v\"},[[[0]]]]" ]
+
+let test_sjson_fuzz () =
+  let rng = Rng.create 0xC0FFEE in
+  let parses = ref 0 and rejects = ref 0 in
+  List.iter
+    (fun frame ->
+      for _ = 1 to 1500 do
+        let b = Bytes.of_string frame in
+        let muts = 1 + Rng.int rng 3 in
+        for _ = 1 to muts do
+          Bytes.set b (Rng.int rng (Bytes.length b))
+            (Char.chr (Rng.int rng 256))
+        done;
+        let s = Bytes.to_string b in
+        match Sjson.parse s with
+        | _ -> incr parses
+        | exception Sjson.Parse_error _ -> incr rejects
+        | exception e ->
+          Alcotest.failf "parser escape on %S: %s" s (Printexc.to_string e)
+      done)
+    fuzz_seed_frames;
+  (* the corpus must actually exercise both outcomes *)
+  Alcotest.(check bool) "some mutations still parse" true (!parses > 0);
+  Alcotest.(check bool) "some mutations are rejected" true (!rejects > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Crash-safe artifact store *)
+
+let test_artifact_atomic_save () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "m.mfti" in
+  let art = artifact_of ~name:"m" (sys_of 1) in
+  Artifact.save path art;
+  Alcotest.(check bool) "no temp file left" false
+    (Sys.file_exists (path ^ ".tmp"));
+  (match Artifact.load path with
+   | Ok got -> Alcotest.(check string) "loads back" "m" got.Artifact.name
+   | Error e -> Alcotest.failf "load failed: %s" (Mfti_error.to_string e));
+  (* overwrite is atomic too *)
+  Artifact.save path (artifact_of ~name:"m2" (sys_of 1));
+  match Artifact.load path with
+  | Ok got -> Alcotest.(check string) "overwritten" "m2" got.Artifact.name
+  | Error e -> Alcotest.failf "reload failed: %s" (Mfti_error.to_string e)
+
+let test_artifact_torn_write () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "torn.mfti" in
+  let art = artifact_of ~name:"torn" (sys_of 1) in
+  (match
+     Fault.with_spec "serve.torn_write" (fun () -> Artifact.save path art)
+   with
+   | () -> Alcotest.fail "torn write did not raise"
+   | exception Mfti_error.Error (Mfti_error.Fault_injected _) -> ()
+   | exception e ->
+     Alcotest.failf "wrong exception: %s" (Printexc.to_string e));
+  Alcotest.(check bool) "no final artifact appears" false
+    (Sys.file_exists path);
+  Alcotest.(check bool) "torn temp file left behind" true
+    (Sys.file_exists (path ^ ".tmp"));
+  (* a crash mid-overwrite must leave the previous version intact *)
+  Artifact.save path art;
+  (match
+     Fault.with_spec "serve.torn_write" (fun () ->
+         Artifact.save path (artifact_of ~name:"newer" (sys_of 1)))
+   with
+   | () -> Alcotest.fail "torn overwrite did not raise"
+   | exception Mfti_error.Error _ -> ());
+  match Artifact.load path with
+  | Ok got ->
+    Alcotest.(check string) "previous version intact" "torn"
+      got.Artifact.name
+  | Error e -> Alcotest.failf "load failed: %s" (Mfti_error.to_string e)
+
+let test_recovery_quarantine () =
+  let dir = fresh_dir () in
+  let good = Filename.concat dir "good.mfti" in
+  Artifact.save good (artifact_of ~name:"good" (sys_of 1));
+  (* orphaned temp from a killed writer *)
+  (try
+     Fault.with_spec "serve.torn_write" (fun () ->
+         Artifact.save (Filename.concat dir "orphan.mfti")
+           (artifact_of ~name:"orphan" (sys_of 1)))
+   with Mfti_error.Error _ -> ());
+  (* a torn *final* file, as if rename won but an ancient writer was
+     not atomic: half the encoded bytes under the servable name *)
+  let torn = Filename.concat dir "halved.mfti" in
+  let bytes = Artifact.to_string (artifact_of ~name:"halved" (sys_of 1)) in
+  let oc = open_out_bin torn in
+  output_string oc (String.sub bytes 0 (String.length bytes / 2));
+  close_out oc;
+  let qs = Artifact.recover_root dir in
+  Alcotest.(check int) "two files quarantined" 2 (List.length qs);
+  List.iter
+    (fun (q : Artifact.quarantine) ->
+      Alcotest.(check bool) "moved aside" true
+        (Sys.file_exists q.Artifact.quarantined);
+      Alcotest.(check bool) "gone from servable namespace" false
+        (Sys.file_exists q.Artifact.original);
+      match q.Artifact.reason with
+      | Mfti_error.Parse _ -> ()
+      | e ->
+        Alcotest.failf "expected Parse diagnostic, got %s"
+          (Mfti_error.to_string e))
+    qs;
+  Alcotest.(check bool) "good artifact untouched" true
+    (Sys.file_exists good);
+  (* a server over this root sees only the healthy model *)
+  let srv = Server.create ~root:dir () in
+  Alcotest.(check int) "nothing left to quarantine" 0
+    (List.length (Server.quarantined srv));
+  let j, _ = request srv "{\"op\":\"list-models\"}" in
+  (match j_mem "models" j with
+   | Sjson.Arr models ->
+     Alcotest.(check (list string)) "only the good model served" [ "good" ]
+       (List.map (j_str "id") models)
+   | _ -> Alcotest.fail "models not an array");
+  (* the torn file is never silently loadable *)
+  let j, _ =
+    request srv "{\"op\":\"model-info\",\"model\":\"halved\"}"
+  in
+  Alcotest.(check bool) "torn model not servable" false (j_bool "ok" j)
+
+let test_server_startup_recovery () =
+  let dir = fresh_dir () in
+  Artifact.save (Filename.concat dir "ok.mfti")
+    (artifact_of ~name:"ok" (sys_of 1));
+  (try
+     Fault.with_spec "serve.torn_write" (fun () ->
+         Artifact.save (Filename.concat dir "dead.mfti")
+           (artifact_of ~name:"dead" (sys_of 1)))
+   with Mfti_error.Error _ -> ());
+  let srv = Server.create ~root:dir () in
+  Alcotest.(check int) "startup scan quarantined the orphan" 1
+    (List.length (Server.quarantined srv));
+  let j, _ = request srv "{\"op\":\"stats\"}" in
+  Alcotest.(check (float 0.)) "stats reports quarantine count" 1.
+    (j_num "quarantined" j)
+
+(* ------------------------------------------------------------------ *)
+(* Socket-path race (satellite: bind_unix ownership semantics) *)
+
+let test_bind_unix_race () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "sock" in
+  let fd = Server.bind_unix ~path in
+  (* a live socket must be refused with a typed error, not unlinked *)
+  (match Server.bind_unix ~path with
+   | _ -> Alcotest.fail "second bind on a live socket succeeded"
+   | exception Mfti_error.Error (Mfti_error.Validation _) -> ());
+  Alcotest.(check bool) "live socket not deleted" true (Sys.file_exists path);
+  Server.release_unix ~path fd;
+  Alcotest.(check bool) "release removes the path" false
+    (Sys.file_exists path);
+  (* a stale file from a dead process is cleaned up and rebound *)
+  let fd2 = Server.bind_unix ~path in
+  Server.release_unix ~path fd2;
+  (* a non-socket at the path is never deleted *)
+  let oc = open_out path in
+  output_string oc "not a socket";
+  close_out oc;
+  (match Server.bind_unix ~path with
+   | fd3 ->
+     Server.release_unix ~path fd3;
+     Alcotest.fail "bound over a regular file"
+   | exception Mfti_error.Error (Mfti_error.Validation _) -> ());
+  Alcotest.(check bool) "regular file preserved" true (Sys.file_exists path)
+
+(* ------------------------------------------------------------------ *)
+(* LRU under concurrent access: N domains hammer one server whose cache
+   holds exactly one model, forcing hit/miss/eviction churn.  The
+   accounting must come out exact — the mutex guard means no lost
+   updates, no approximate counters. *)
+
+let test_lru_concurrent_exact () =
+  let alpha_bytes =
+    (Unix.stat (Filename.concat (Lazy.force server_root) "alpha.mfti"))
+      .Unix.st_size
+  in
+  let srv = make_server ~cache_bytes:(alpha_bytes + 16) () in
+  let cycle =
+    [| "{\"op\":\"model-info\",\"model\":\"alpha\"}";
+       "{\"op\":\"model-info\",\"model\":\"beta\"}";
+       "{\"op\":\"eval-grid\",\"model\":\"alpha\",\"freqs\":[1e3,1e4]}";
+       "{\"op\":\"model-info\",\"model\":\"alpha\"}" |]
+  in
+  let domains = 4 and per_domain = 40 in
+  let failures = Atomic.make 0 in
+  let body () =
+    (* worker domains must not submit to the shared kernel pool
+       concurrently; serialize evaluations exactly as the supervisor
+       tier does *)
+    Parallel.with_sequential @@ fun () ->
+    for k = 0 to per_domain - 1 do
+      let text, _ = Server.handle_line srv cycle.(k mod Array.length cycle) in
+      match Sjson.parse text with
+      | j -> if not (j_bool "ok" j) then Atomic.incr failures
+      | exception Sjson.Parse_error _ -> Atomic.incr failures
+    done
+  in
+  let ds = List.init domains (fun _ -> Domain.spawn body) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "every request succeeded" 0 (Atomic.get failures);
+  let j, _ = request srv "{\"op\":\"stats\"}" in
+  let cache = j_mem "cache" j in
+  let hits = j_num "hits" cache and misses = j_num "misses" cache in
+  (* one model lookup per request: the books must balance exactly *)
+  Alcotest.(check (float 0.)) "hits + misses = total lookups"
+    (float_of_int (domains * per_domain))
+    (hits +. misses);
+  Alcotest.(check bool) "cache thrashed between models" true
+    (j_num "evictions" cache > 0.);
+  Alcotest.(check (float 0.)) "single-slot cache holds one model" 1.
+    (j_num "models" cache);
+  Alcotest.(check (float 0.)) "no request was dropped"
+    (float_of_int ((domains * per_domain) + 1))
+    (j_num "requests" j)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "serve"
@@ -570,4 +799,17 @@ let () =
          Alcotest.test_case "stats + shutdown" `Quick
            test_server_stats_and_shutdown;
          Alcotest.test_case "cache eviction" `Quick test_server_cache_eviction;
-         Alcotest.test_case "channel loop" `Quick test_server_channels ]) ]
+         Alcotest.test_case "channel loop" `Quick test_server_channels ]);
+      ("sjson",
+       [ Alcotest.test_case "byte-mutation fuzz" `Quick test_sjson_fuzz ]);
+      ("crash-safety",
+       [ Alcotest.test_case "atomic save" `Quick test_artifact_atomic_save;
+         Alcotest.test_case "torn write" `Quick test_artifact_torn_write;
+         Alcotest.test_case "recovery quarantine" `Quick
+           test_recovery_quarantine;
+         Alcotest.test_case "server startup recovery" `Quick
+           test_server_startup_recovery ]);
+      ("concurrency",
+       [ Alcotest.test_case "bind_unix race" `Quick test_bind_unix_race;
+         Alcotest.test_case "lru exact under domains" `Quick
+           test_lru_concurrent_exact ]) ]
