@@ -98,6 +98,21 @@ let weight_of_width ~samples w =
 let rank_rule_of_tol tol =
   if tol <= 0. then Svd_reduce.Gap else Svd_reduce.Tol tol
 
+let svd_arg =
+  let b =
+    Arg.enum
+      [ ("auto", Svd_reduce.Auto); ("randomized", Svd_reduce.Randomized);
+        ("jacobi", Svd_reduce.Jacobi); ("gk", Svd_reduce.Gk) ]
+  in
+  let doc =
+    "SVD engine for the reduce stage: $(b,auto) (randomized range finder \
+     above a pencil-size cutoff, exact below), $(b,randomized) (certified \
+     Gaussian sketch with exact fallback), $(b,jacobi) (blocked parallel \
+     one-sided Jacobi) or $(b,gk) (Golub-Kahan)."
+  in
+  Arg.(value & opt b Svd_reduce.default_backend
+       & info [ "svd" ] ~docv:"BACKEND" ~doc)
+
 (* ------------------------------------------------------------------ *)
 (* fit *)
 
@@ -128,7 +143,7 @@ let symmetrize_arg =
   Arg.(value & flag & info [ "symmetrize" ] ~doc)
 
 let run_fit path policy algorithm width rank_tol seed poles save_model plot
-    symmetrize =
+    symmetrize svd_backend =
   guarded @@ fun () ->
   let load_diag = Linalg.Diag.create () in
   let data = Linalg.Diag.using load_diag (fun () -> load ~policy path) in
@@ -190,16 +205,18 @@ let run_fit path policy algorithm width rank_tol seed poles save_model plot
        | `Mfti ->
          ( "MFTI", Engine.Direct,
            { Engine.default_options with
-             weight = weight_of_width ~samples width; rank_rule; directions } )
+             weight = weight_of_width ~samples width; rank_rule; directions;
+             svd = svd_backend } )
        | `Vfti ->
          ( "VFTI", Engine.Vector,
-           { Engine.default_options with rank_rule; directions } )
+           { Engine.default_options with rank_rule; directions;
+             svd = svd_backend } )
        | `Mfti2 ->
          ( "MFTI-2", Engine.Recursive Engine.Incremental,
            { Engine.default_recursive_options with
              weight = (if width = 0 then Tangential.Uniform 2
                        else Tangential.Uniform width);
-             rank_rule; directions } )
+             rank_rule; directions; svd = svd_backend } )
      in
      let r = Engine.fit ~options ~strategy samples in
      (match alg with
@@ -217,7 +234,7 @@ let fit_cmd =
   Cmd.v info
     Term.(const run_fit $ touchstone_arg $ policy_arg $ algorithm_arg
           $ width_arg $ rank_tol_arg $ seed_arg $ poles_arg $ save_model_arg
-          $ plot_arg $ symmetrize_arg)
+          $ plot_arg $ symmetrize_arg $ svd_arg)
 
 (* ------------------------------------------------------------------ *)
 (* engine: drive the staged pipeline explicitly, with per-stage timing *)
@@ -261,7 +278,7 @@ let holdout_arg =
   Arg.(value & opt int 0 & info [ "holdout-every" ] ~docv:"N" ~doc)
 
 let run_engine path policy strategy width rank_tol seed batch threshold
-    max_iterations probe holdout_every =
+    max_iterations probe holdout_every svd_backend =
   guarded @@ fun () ->
   let data = load ~policy path in
   let dataset = Dataset.of_samples data.Rf.Touchstone.samples in
@@ -292,6 +309,7 @@ let run_engine path policy strategy width rank_tol seed batch threshold
          | Engine.Direct | Engine.Vector -> weight_of_width ~samples width);
       rank_rule = rank_rule_of_tol rank_tol;
       directions = Direction.Orthonormal seed;
+      svd = svd_backend;
       batch; threshold; max_iterations;
       probe = (if probe > 0 then Some probe else None) }
   in
@@ -332,7 +350,7 @@ let engine_cmd =
   Cmd.v info
     Term.(const run_engine $ touchstone_arg $ policy_arg $ strategy_arg
           $ width_arg $ rank_tol_arg $ seed_arg $ batch_arg $ threshold_arg
-          $ max_iterations_arg $ probe_arg $ holdout_arg)
+          $ max_iterations_arg $ probe_arg $ holdout_arg $ svd_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gen *)

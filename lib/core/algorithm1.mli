@@ -19,6 +19,7 @@ type options = Engine.options = {
   real_model : bool;                (** apply Lemma 3.2 before the SVD *)
   mode : Svd_reduce.mode;
   rank_rule : Svd_reduce.rank_rule;
+  svd : Svd_reduce.backend;        (** SVD engine for the reduce stage *)
   batch : int;
   threshold : float;
   max_iterations : int;

@@ -7,6 +7,7 @@ type options = Engine.options = {
   real_model : bool;
   mode : Svd_reduce.mode;
   rank_rule : Svd_reduce.rank_rule;
+  svd : Svd_reduce.backend;
   batch : int;
   threshold : float;
   max_iterations : int;

@@ -28,6 +28,7 @@ type options = Engine.options = {
   real_model : bool;
   mode : Svd_reduce.mode;
   rank_rule : Svd_reduce.rank_rule;
+  svd : Svd_reduce.backend;        (** SVD engine for the reduce stage *)
   batch : int;             (** k0: units moved per iteration (>= 1) *)
   threshold : float;       (** Th: mean relative held-out residual target *)
   max_iterations : int;

@@ -9,6 +9,7 @@ type options = {
   real_model : bool;
   mode : Svd_reduce.mode;
   rank_rule : Svd_reduce.rank_rule;
+  svd : Svd_reduce.backend;
   batch : int;
   threshold : float;
   max_iterations : int;
@@ -23,6 +24,7 @@ let default_options =
     real_model = true;
     mode = Svd_reduce.default_mode;
     rank_rule = Svd_reduce.default_rank_rule;
+    svd = Svd_reduce.default_backend;
     batch = 8;
     threshold = 1e-3;
     max_iterations = 64;
@@ -350,7 +352,8 @@ let recurse st asm =
     in
     let reduced =
       timed st "reduce" (fun () ->
-          Svd_reduce.reduce ~mode:o.mode ~rank_rule:o.rank_rule subr)
+          Svd_reduce.reduce ~mode:o.mode ~rank_rule:o.rank_rule
+            ~backend:o.svd subr)
     in
     let model = reduced.Svd_reduce.model in
     match !remaining with
@@ -460,7 +463,7 @@ let reduce_raw st =
        let reduced =
          timed st "reduce" (fun () ->
              Svd_reduce.reduce ~mode:st.options.mode
-               ~rank_rule:st.options.rank_rule p)
+               ~rank_rule:st.options.rank_rule ~backend:st.options.svd p)
        in
        st.reduction <- Some reduced;
        let width = Tangential.right_width st.data in

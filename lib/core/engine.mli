@@ -26,6 +26,7 @@ type options = {
   real_model : bool;                 (** realify before reduction *)
   mode : Svd_reduce.mode;
   rank_rule : Svd_reduce.rank_rule;
+  svd : Svd_reduce.backend;          (** SVD engine for the reduce stage *)
   batch : int;                       (** units added per iteration *)
   threshold : float;                 (** stop when the mean held-out
                                          residual drops below this *)

@@ -183,23 +183,34 @@ let fill_entry b a jcol =
    axis; parallelize the longer one.  Chunking cannot affect the result
    ([fill_entry] is per-entry pure), so any domain count gives the same
    bits. *)
+(* Below this many multiply-adds the pool handshake costs more than
+   the fill itself (BENCH_kernels: 4 ports / 16 samples ran at 1.12x
+   on 4 domains); [~chunk] spanning the whole range keeps the loop
+   inline in the caller.  The cutoff is a work estimate, not a domain
+   count, so chunking still cannot affect the result. *)
+let fill_work_cutoff = 65536
+
 let fill_rect b ~r0 ~r1 ~c0 ~c1 =
   let nr = r1 - r0 and nc = c1 - c0 in
-  if nr > 0 && nc > 0 then
+  if nr > 0 && nc > 0 then begin
+    let small = nr * nc * (b.inputs + b.outputs) < fill_work_cutoff in
     if nc >= nr then
-      Parallel.parallel_for nc (fun j0 j1 ->
+      let chunk = if small then Some nc else None in
+      Parallel.parallel_for ?chunk nc (fun j0 j1 ->
           for jcol = c0 + j0 to c0 + j1 - 1 do
             for a = r0 to r1 - 1 do
               fill_entry b a jcol
             done
           done)
     else
-      Parallel.parallel_for nr (fun i0 i1 ->
+      let chunk = if small then Some nr else None in
+      Parallel.parallel_for ?chunk nr (fun i0 i1 ->
           for a = r0 + i0 to r0 + i1 - 1 do
             for jcol = c0 to c1 - 1 do
               fill_entry b a jcol
             done
           done)
+  end
 
 (* Copy a right block's columns in without computing anything. *)
 let push_right_data b (rb : Tangential.right_block) =

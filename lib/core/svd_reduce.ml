@@ -2,6 +2,7 @@ open Linalg
 
 type mode = Pencil of Cx.t option | Stacked
 type rank_rule = Fixed of int | Tol of float | Gap | Auto_noise
+type backend = Auto | Randomized | Jacobi | Gk
 
 type result = {
   model : Statespace.Descriptor.t;
@@ -11,15 +12,48 @@ type result = {
 
 let default_mode = Stacked
 let default_rank_rule = Gap
+let default_backend = Auto
 
-let pick_rank rule (d : Svd.t) =
+(* Below this spectrum length a sketch cannot beat the exact path, so
+   [Auto] stays exact; above it the MFTI pencil is numerically
+   low-rank (Lemma 3.3 bounds it by order + rank D) and the
+   randomized range finder turns the reduce-stage SVD into parallel
+   GEMMs. *)
+let randomized_cutoff = 96
+
+(* Decompose through the selected backend.  Returns the factorization
+   plus a certified bound on every singular value a truncated
+   (randomized) spectrum cut off, for the tail-aware rank rules. *)
+let decompose_backend backend a =
+  let exact_auto x = (Svd.decompose x, None) in
+  let randomized x =
+    let r = Rsvd.decompose_adaptive x in
+    if r.Rsvd.certified then (r.Rsvd.svd, Some r.Rsvd.residual)
+    else begin
+      Diag.record ~site:"svd.rsvd.fallback"
+        (Printf.sprintf
+           "sketch %d/%d residual %.3g not certified; exact cascade"
+           r.Rsvd.sketch r.Rsvd.total r.Rsvd.residual);
+      Diag.incr_retries ();
+      exact_auto x
+    end
+  in
+  match backend with
+  | Jacobi -> (Svd.decompose ~algorithm:Svd.Blocked_jacobi a, None)
+  | Gk -> (Svd.decompose ~algorithm:Svd.Golub_kahan a, None)
+  | Randomized -> randomized a
+  | Auto ->
+    let m, n = Cmat.dims a in
+    if Stdlib.min m n >= randomized_cutoff then randomized a else exact_auto a
+
+let pick_rank ?tail_bound rule (d : Svd.t) =
   let n = Array.length d.Svd.sigma in
   match rule with
   | Fixed r ->
     if r < 1 then invalid_arg "Svd_reduce: rank must be >= 1";
     Stdlib.min r n
   | Tol tol -> Stdlib.max 1 (Svd.rank ~rtol:tol d)
-  | Gap -> Stdlib.max 1 (Svd.rank_gap d)
+  | Gap -> Stdlib.max 1 (Svd.rank_gap_of_values ?tail_bound d.Svd.sigma)
   | Auto_noise ->
     if n = 0 || d.Svd.sigma.(0) = 0. then 0
     else begin
@@ -52,22 +86,26 @@ let pencil_matrix ?(x0 = None) (t : Loewner.t) =
   (x0, Cmat.sub (Cmat.scale x0 t.Loewner.ll) t.Loewner.sll)
 
 let reduce ?(mode = default_mode) ?(rank_rule = default_rank_rule)
-    (t : Loewner.t) =
-  let y, x, sigma =
+    ?(backend = default_backend) (t : Loewner.t) =
+  let y, x, sigma, tail_bound =
     match mode with
     | Pencil x0 ->
       let _, p = pencil_matrix ~x0 t in
-      let d = Svd.decompose p in
-      (d.Svd.u, d.Svd.v, d.Svd.sigma)
+      let d, tb = decompose_backend backend p in
+      (d.Svd.u, d.Svd.v, d.Svd.sigma, tb)
     | Stacked ->
-      let row = Svd.decompose (Cmat.hcat t.Loewner.ll t.Loewner.sll) in
-      let col = Svd.decompose (Cmat.vcat t.Loewner.ll t.Loewner.sll) in
-      (row.Svd.u, col.Svd.v, row.Svd.sigma)
+      let row, tb = decompose_backend backend (Cmat.hcat t.Loewner.ll t.Loewner.sll) in
+      let col, _ = decompose_backend backend (Cmat.vcat t.Loewner.ll t.Loewner.sll) in
+      (row.Svd.u, col.Svd.v, row.Svd.sigma, tb)
   in
   let rank =
     let d_for_rank = { Svd.u = y; sigma; v = x } in
-    pick_rank rank_rule d_for_rank
+    pick_rank ?tail_bound rank_rule d_for_rank
   in
+  (* A truncated (randomized) factorization retains [sketch] columns
+     per side; the projection can only keep directions present in
+     both. *)
+  let rank = Stdlib.min rank (Stdlib.min (Cmat.cols y) (Cmat.cols x)) in
   let nsig = Array.length sigma in
   (* Keeping directions whose singular value sits at the roundoff floor
      only injects noise into the projected realization; demote the rank

@@ -29,6 +29,24 @@ type rank_rule =
           it — a tolerance-free rule for noisy data (an extension beyond
           the paper, which sets the threshold by hand) *)
 
+(** Which SVD engine performs the projection. *)
+type backend =
+  | Auto
+      (** exact below a ~96 spectrum-length cutoff, [Randomized] above
+          it — the regime where the MFTI pencil is numerically
+          low-rank (Lemma 3.3) and a Gaussian sketch wins *)
+  | Randomized
+      (** adaptive {!Linalg.Rsvd} range finder; when the residual
+          certificate fails (sketch missed part of the range, or the
+          ["svd.rsvd.degrade"] fault poisoned it) the exact cascade
+          reruns and ["svd.rsvd.fallback"] is recorded in the ambient
+          {!Linalg.Diag} collector *)
+  | Jacobi
+      (** exact blocked one-sided Jacobi
+          ({!Linalg.Svd.algorithm.Blocked_jacobi}) — the parallel
+          exact path *)
+  | Gk  (** exact Golub-Kahan (with its usual Jacobi fallback) *)
+
 type result = {
   model : Statespace.Descriptor.t;
   rank : int;              (** retained order *)
@@ -37,16 +55,23 @@ type result = {
 
 val default_mode : mode       (* Stacked *)
 val default_rank_rule : rank_rule  (* Gap *)
+val default_backend : backend (* Auto *)
 
-(** [reduce ?mode ?rank_rule loewner] projects and realizes.
+(** [reduce ?mode ?rank_rule ?backend loewner] projects and realizes.
 
     The chosen rank is automatically demoted past trailing singular
     values at the roundoff floor ([<= 1e-13 sigma_max]) — keeping them
     only injects noise into the realization; a demotion is recorded in
     the ambient {!Linalg.Diag} collector as ["svd_reduce.rank_demotion"].
     The collector also receives the retained-subspace condition estimate
-    [sigma_max / sigma_rank] and the log10 drop at the cut. *)
-val reduce : ?mode:mode -> ?rank_rule:rank_rule -> Loewner.t -> result
+    [sigma_max / sigma_rank] and the log10 drop at the cut.
+
+    Under a [Randomized] (or auto-selected randomized) backend the rank
+    rules run on the truncated spectrum with the certified residual as
+    tail bound ({!Linalg.Svd.rank_gap_of_values}), so rank decisions
+    match the exact path on well-gapped spectra. *)
+val reduce :
+  ?mode:mode -> ?rank_rule:rank_rule -> ?backend:backend -> Loewner.t -> result
 
 (** Singular values of [LL], [sLL] and [x0 LL - sLL] — the three curves
     of the paper's Fig. 1.  [x0] defaults to [lambda.(0)]. *)

@@ -6,20 +6,23 @@ type options = {
   real_model : bool;
   mode : Svd_reduce.mode;
   rank_rule : Svd_reduce.rank_rule;
+  svd : Svd_reduce.backend;
 }
 
 let default_options =
   { directions = Direction.Orthonormal 0;
     real_model = true;
     mode = Svd_reduce.default_mode;
-    rank_rule = Svd_reduce.default_rank_rule }
+    rank_rule = Svd_reduce.default_rank_rule;
+    svd = Svd_reduce.default_backend }
 
 let engine_options options =
   { Engine.default_options with
     directions = options.directions;
     real_model = options.real_model;
     mode = options.mode;
-    rank_rule = options.rank_rule }
+    rank_rule = options.rank_rule;
+    svd = options.svd }
 
 let fit_result ?(options = default_options) samples =
   Engine.fit_result ~options:(engine_options options)

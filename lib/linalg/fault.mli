@@ -12,6 +12,12 @@
     - ["loewner.poison"]       NaN written into the assembled pencil
     - ["svd.no_converge"]      sweep/iteration budgets collapsed to force
                                the SVD non-convergence cascade
+    - ["svd.rsvd.degrade"]     randomized-SVD residual certificate
+                               poisoned to infinity, so the reduce stage
+                               deterministically takes the exact-cascade
+                               fallback (recorded as ["svd.rsvd.fallback"]
+                               in {!Diag}; the sketch's own Householder
+                               retreat is ["svd.rsvd.cholqr_fallback"])
     - ["lu.singular"]          LU factorization reports pivot breakdown
     - ["pool.worker"]          domain-pool worker raises mid-chunk
     - ["algorithm2.diverge"]   recursion residuals inflated to trigger

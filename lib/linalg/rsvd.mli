@@ -1,0 +1,63 @@
+(** Randomized truncated SVD (Gaussian range finder).
+
+    For a numerically low-rank [m x n] matrix — the regime of the MFTI
+    pencil [[L sL]], whose rank is bounded by the model order (Lemma
+    3.3) — the full SVD is wasted work: a Gaussian sketch [Y = A Om]
+    captures the range with high probability, and the decomposition
+    reduces to a few large GEMMs (which go through the cache-blocked
+    parallel {!Cmat} kernel) plus a small dense SVD of [Q* A].
+
+    The factorization is {e certified}: because [Q] has orthonormal
+    columns, [|A - Q Q* A|_F^2 = |A|_F^2 - |Q* A|_F^2] exactly, so the
+    residual of the returned truncation is usually known without
+    forming the error matrix.  The difference of squares cancels once
+    the true residual is below about [sqrt eps * |A|_F]; in that
+    regime the error matrix is formed explicitly (one extra GEMM) so
+    tiny tails still certify deterministically.  Callers check
+    {!field-certified} and fall back
+    to the exact path when the sketch missed part of the range —
+    {!Core.Svd_reduce} records ["svd.rsvd.fallback"] and reruns the
+    Jacobi/GK cascade.
+
+    All randomness is drawn from a {!Rng} stream fixed by [seed], and
+    every parallel kernel used is domain-count independent, so results
+    are reproducible across runs and domain counts.
+
+    Fault sites: ["svd.rsvd.degrade"] poisons the residual certificate
+    to [infinity] (the factorization itself is untouched), forcing the
+    caller's fallback path deterministically. *)
+
+type t = {
+  svd : Svd.t;
+      (** truncated factorization: [u] is [m x l], [sigma] has the [l]
+          leading singular values (descending), [v] is [n x l], where
+          [l] is the final sketch width *)
+  residual : float;
+      (** certified [|A - Q Q* A|_F]; every singular value the
+          truncation cut off is [<= residual], so it is a valid
+          [tail_bound] for {!Svd.rank_gap_of_values} *)
+  certified : bool;  (** [residual <= tol * |A|_F] *)
+  sketch : int;      (** final sketch width [l] *)
+  total : int;       (** [min (m, n)] — the full spectrum length *)
+}
+
+(** [decompose ?seed ?oversample ?power ?tol ~rank a] sketches with
+    [rank + oversample] Gaussian columns (default oversample [8]),
+    runs [power] power iterations (default [1]) with re-orthogonalization
+    between applications, and certifies against [tol * |A|_F] (default
+    [1e-10]).  Matrices with [min (m, n) <= 32] or a sketch covering
+    the full spectrum are dispatched to the exact path ([residual = 0],
+    [certified = true]). *)
+val decompose :
+  ?seed:int -> ?oversample:int -> ?power:int -> ?tol:float ->
+  rank:int -> Cmat.t -> t
+
+(** [decompose_adaptive ?seed ?power ?tol a] grows the sketch
+    geometrically (starting near [min (m, n) / 4]) until the residual
+    certifies or the sketch covers the full spectrum, reusing the
+    already-orthonormalized block at each step (new sketch columns are
+    projected against the existing basis, not recomputed).  This is
+    the reduce-stage entry point: the pencil rank is not known a
+    priori. *)
+val decompose_adaptive :
+  ?seed:int -> ?power:int -> ?tol:float -> Cmat.t -> t

@@ -30,6 +30,13 @@ exception No_convergence
 type algorithm =
   | Auto         (** Jacobi for small matrices, Golub-Kahan otherwise *)
   | Jacobi       (** unconditionally convergent, high relative accuracy *)
+  | Blocked_jacobi
+      (** same cascade and per-pair arithmetic as [Jacobi], but the
+          circle-method tournament pairs column {e blocks}: each domain
+          rotates a whole block pair per task, which amortizes the pool
+          handshake that caps the column-pair scheduler at ~1x on the
+          pencil sizes the reduce stage produces.  Bit-identical across
+          domain counts; falls back to [Jacobi] below ~16 columns. *)
   | Golub_kahan  (** bidiagonalization + implicit QR; much faster *)
 
 val decompose : ?algorithm:algorithm -> Cmat.t -> t
@@ -46,6 +53,19 @@ val rank : rtol:float -> t -> int
     number of values before the largest gap, or [Array.length sigma] when
     no significant gap exists. *)
 val rank_gap : ?floor:float -> t -> int
+
+(** [rank_of_values ~rtol sigma] is {!rank} over a bare descending
+    spectrum (e.g. the truncated spectrum of a randomized SVD). *)
+val rank_of_values : rtol:float -> float array -> int
+
+(** [rank_gap_of_values ?floor ?tail_bound sigma] is {!rank_gap} over a
+    bare descending spectrum.  [tail_bound] makes the rule safe on
+    truncated spectra: it is a certified upper bound on every singular
+    value the truncation cut off (sigma_{k+1} <= tail_bound), and the
+    drop from the last retained value into that bound competes as a
+    candidate gap — so a spectrum cut exactly at its cliff still
+    reports the full retained count. *)
+val rank_gap_of_values : ?floor:float -> ?tail_bound:float -> float array -> int
 
 (** Spectral norm [s.(0)] (0 for empty matrices). *)
 val norm2 : Cmat.t -> float

@@ -35,11 +35,18 @@ let sample_system sys freqs =
        fans out per frequency on the domain pool; slots are written
        disjointly and the per-sample arithmetic does not depend on
        the chunking, so the result is identical for any domain
-       count.  [chunk:1] because solve cost dominates handshakes. *)
+       count.  [chunk:1] because solve cost dominates handshakes —
+       except below ~order 32, where one O(order^3) solve no longer
+       covers the pool round trip and the sweep runs inline.  (Audit
+       note: even large sweeps cap near 1.4x on 4 domains; each eval
+       allocates its factorization workspace, so the multicore GC,
+       not the handshake, is the ceiling there.) *)
+    let order = Descriptor.order sys in
+    let chunk = if order * order * order < 32768 then n else 1 in
     let out =
       Array.make n { freq = 0.; s = Cmat.create 0 0 }
     in
-    Parallel.parallel_for ~chunk:1 n (fun lo hi ->
+    Parallel.parallel_for ~chunk n (fun lo hi ->
         for i = lo to hi - 1 do
           let freq = freqs.(i) in
           out.(i) <- { freq; s = Descriptor.eval_freq sys freq }

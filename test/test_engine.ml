@@ -264,6 +264,45 @@ let test_dataset_of_system () =
 (* ------------------------------------------------------------------ *)
 (* Vector-fitting model wrapper *)
 
+(* ------------------------------------------------------------------ *)
+(* Reduce backends *)
+
+(* The rank decision — and the retained spectrum behind it — must not
+   depend on which SVD backend ran the reduce stage (randomized,
+   blocked Jacobi, exact cascade) nor on the pool size it ran under.
+   The randomized path certifies a 1e-10 |A|_F truncation, so retained
+   values are compared at 1e-8 relative rather than bit-exactly. *)
+let test_backend_rank_invariance () =
+  List.iter
+    (fun ports ->
+      let smps = samples ~ports ~seed:3 12 in
+      let run backend domains =
+        Parallel.set_domain_count domains;
+        Fun.protect
+          ~finally:(fun () -> Parallel.set_domain_count 1)
+          (fun () ->
+            Engine.fit
+              ~options:{ Engine.default_options with svd = backend } smps)
+      in
+      let base = run Svd_reduce.Gk 1 in
+      List.iter
+        (fun (backend, domains, label) ->
+          let f = run backend domains in
+          Alcotest.(check int)
+            (Printf.sprintf "%d ports: %s rank" ports label)
+            base.Engine.rank f.Engine.rank;
+          for i = 0 to base.Engine.rank - 1 do
+            let s0 = base.Engine.sigma.(i) and s1 = f.Engine.sigma.(i) in
+            if abs_float (s0 -. s1) > 1e-8 *. (1. +. s0) then
+              Alcotest.failf "%d ports: %s sigma %d differs (%g vs %g)" ports
+                label i s0 s1
+          done)
+        [ (Svd_reduce.Jacobi, 1, "jacobi@1dom");
+          (Svd_reduce.Randomized, 1, "rsvd@1dom");
+          (Svd_reduce.Randomized, 4, "rsvd@4dom");
+          (Svd_reduce.Auto, 4, "auto@4dom") ])
+    [ 2; 4; 8 ]
+
 let test_vf_fit_model () =
   let sys = Random_sys.generate (spec 2 81) in
   let smps = Sampling.sample_system sys (Sampling.logspace 100. 1e5 40) in
@@ -303,6 +342,9 @@ let () =
       ( "dataset",
         [ Alcotest.test_case "partition" `Quick test_dataset_partition;
           Alcotest.test_case "of_system" `Quick test_dataset_of_system ] );
+      ( "reduce backends",
+        [ Alcotest.test_case "rank invariant across backends and pools"
+            `Quick test_backend_rank_invariance ] );
       ( "vf",
         [ Alcotest.test_case "fit_model wraps vector fitting" `Quick
             test_vf_fit_model ] ) ]

@@ -108,6 +108,32 @@ let test_svd_gk_fallback () =
       Alcotest.(check bool) "singular values finite" true
         (Array.for_all Float.is_finite r.Svd.sigma))
 
+let test_rsvd_degrade_fallback () =
+  (* Poisoning the randomized certificate must never fail the fit: the
+     reduce stage records the fallback, reruns the exact cascade, and
+     lands on exactly the rank the exact backend would have chosen. *)
+  let smps = samples 24 in
+  let options backend =
+    { Algorithm1.default_options with svd = backend }
+  in
+  let exact = Algorithm1.fit ~options:(options Svd_reduce.Jacobi) smps in
+  Fault.with_spec "svd.rsvd.degrade" (fun () ->
+      match
+        Algorithm1.fit_result ~options:(options Svd_reduce.Randomized) smps
+      with
+      | Error e ->
+        Alcotest.failf "degraded certificate must not fail the fit: %s"
+          (Mfti_error.to_string e)
+      | Ok r ->
+        Alcotest.(check bool) "fallback recorded" true
+          (Diag.recorded r.Algorithm1.diagnostics "svd.rsvd.fallback");
+        Alcotest.(check bool) "retries counted" true
+          (r.Algorithm1.diagnostics.Diag.retries > 0);
+        Alcotest.(check int) "rank matches the exact cascade"
+          exact.Algorithm1.rank r.Algorithm1.rank;
+        Alcotest.(check bool) "model still evaluable" true
+          (finite_model r.Algorithm1.model smps))
+
 let test_lu_singular_qr_fallback () =
   Fault.with_spec "lu.singular" (fun () ->
       let a = Cmat.random rng 12 12 and b = Cmat.random rng 12 3 in
@@ -275,6 +301,8 @@ let () =
             test_svd_no_converge_degrades;
           Alcotest.test_case "svd.no_converge -> GK falls back to Jacobi"
             `Quick test_svd_gk_fallback;
+          Alcotest.test_case "svd.rsvd.degrade -> exact-cascade fallback"
+            `Quick test_rsvd_degrade_fallback;
           Alcotest.test_case "lu.singular -> QR fallback" `Quick
             test_lu_singular_qr_fallback ] );
       ( "pool",

@@ -809,6 +809,185 @@ let test_sparse_lu_fill_reported () =
   Alcotest.(check bool) "fill >= nnz" true (Sparse_lu.fill f >= Sparse.nnz sp)
 
 (* ------------------------------------------------------------------ *)
+(* Rank rules over bare spectra (truncated-spectrum safe variants) *)
+
+let test_rank_of_values () =
+  Alcotest.(check int) "empty" 0 (Svd.rank_of_values ~rtol:1e-10 [||]);
+  Alcotest.(check int) "zero spectrum" 0 (Svd.rank_of_values ~rtol:1e-10 [| 0. |]);
+  Alcotest.(check int) "counts above rtol * sigma0" 2
+    (Svd.rank_of_values ~rtol:1e-6 [| 1.0; 1e-3; 1e-9 |])
+
+let test_rank_gap_boundary () =
+  (* Spectrum truncated exactly at its cliff: no internal drop clears
+     the 10x threshold, so without a tail bound the rule falls back to
+     the floor count; with the certified bound the drop from the last
+     retained value into the tail is itself a candidate gap and the
+     full retained count is reported. *)
+  let sigma = [| 100.; 50.; 49.5 |] in
+  Alcotest.(check int) "no bound: floor count" 3
+    (Svd.rank_gap_of_values sigma);
+  Alcotest.(check int) "bound below cliff: boundary gap wins" 3
+    (Svd.rank_gap_of_values ~tail_bound:1e-8 sigma)
+
+let test_rank_gap_internal_wins () =
+  (* A genuine interior cliff must still beat a shallow boundary drop. *)
+  let sigma = [| 100.; 1e-6; 5e-7 |] in
+  Alcotest.(check int) "no bound" 1 (Svd.rank_gap_of_values sigma);
+  Alcotest.(check int) "shallow boundary loses" 1
+    (Svd.rank_gap_of_values ~tail_bound:1e-7 sigma)
+
+let test_rank_gap_boundary_below_floor () =
+  (* A last retained value already under the noise floor is not a
+     boundary candidate; the floor count decides. *)
+  Alcotest.(check int) "tail candidate below floor ignored" 1
+    (Svd.rank_gap_of_values ~floor:0.5 ~tail_bound:1e-30 [| 1.0; 0.2 |])
+
+let test_rank_gap_matches_untruncated () =
+  (* Truncating a spectrum at a genuine cliff and supplying the first
+     cut value as the tail bound must reproduce the full-spectrum
+     decision. *)
+  let full = [| 10.; 9.; 8.5; 1e-9; 1e-10 |] in
+  let trunc = Array.sub full 0 3 in
+  Alcotest.(check int) "full" 3 (Svd.rank_gap_of_values full);
+  Alcotest.(check int) "truncated + bound" 3
+    (Svd.rank_gap_of_values ~tail_bound:full.(3) trunc)
+
+(* ------------------------------------------------------------------ *)
+(* Blocked one-sided Jacobi *)
+
+let test_svd_blocked_matches_plain () =
+  let rng = Rng.create 21 in
+  List.iter
+    (fun (m, n) ->
+      let a = Cmat.random rng m n in
+      let dp = Svd.decompose ~algorithm:Svd.Jacobi a in
+      let db = Svd.decompose ~algorithm:Svd.Blocked_jacobi a in
+      Array.iteri
+        (fun i s ->
+          check_small ~tol:1e-10
+            (Printf.sprintf "%dx%d sigma %d" m n i)
+            ((s -. dp.Svd.sigma.(i)) /. (1. +. s)))
+        db.Svd.sigma;
+      check_small ~tol:1e-9 "blocked USV* = A"
+        (Cmat.norm_fro (Cmat.sub (Svd.reconstruct db) a)
+        /. (1. +. Cmat.norm_fro a)))
+    [ (48, 40); (60, 20) ]
+
+let test_svd_blocked_domain_invariant () =
+  (* The tournament schedule is fixed by the matrix shape alone, so the
+     blocked factorization is bit-identical whether the intra-block
+     passes run inline or fan out on the pool. *)
+  let rng = Rng.create 22 in
+  let a = Cmat.random rng 56 40 in
+  let d_par = Svd.decompose ~algorithm:Svd.Blocked_jacobi a in
+  let d_seq =
+    Parallel.with_sequential (fun () ->
+        Svd.decompose ~algorithm:Svd.Blocked_jacobi a)
+  in
+  Alcotest.(check bool) "sigma bit-identical" true
+    (d_par.Svd.sigma = d_seq.Svd.sigma);
+  Alcotest.(check bool) "u bit-identical" true
+    (Cmat.equal ~tol:0. d_par.Svd.u d_seq.Svd.u);
+  Alcotest.(check bool) "v bit-identical" true
+    (Cmat.equal ~tol:0. d_par.Svd.v d_seq.Svd.v)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized range-finder SVD *)
+
+(* Exactly low-rank test matrix: the sketch captures the whole range,
+   so the certificate must reach machine precision with a sketch far
+   narrower than the spectrum. *)
+let low_rank_matrix seed m n r =
+  let rng = Rng.create seed in
+  Cmat.mul (Cmat.random rng m r) (Cmat.random rng r n)
+
+let test_rsvd_certified_bound () =
+  let a = low_rank_matrix 31 80 48 8 in
+  let r = Rsvd.decompose ~rank:8 a in
+  Alcotest.(check bool) "certified" true r.Rsvd.certified;
+  Alcotest.(check bool) "sketch narrower than spectrum" true
+    (r.Rsvd.sketch < 48);
+  let recon = Cmat.norm_fro (Cmat.sub (Svd.reconstruct r.Rsvd.svd) a) in
+  let na = Cmat.norm_fro a in
+  Alcotest.(check bool) "reconstruction within certificate" true
+    (recon <= r.Rsvd.residual +. (1e-9 *. na))
+
+let test_rsvd_adaptive () =
+  let a = low_rank_matrix 32 90 60 12 in
+  let r = Rsvd.decompose_adaptive a in
+  Alcotest.(check bool) "certified" true r.Rsvd.certified;
+  Alcotest.(check bool) "sketch narrower than spectrum" true
+    (r.Rsvd.sketch < 60);
+  let recon = Cmat.norm_fro (Cmat.sub (Svd.reconstruct r.Rsvd.svd) a) in
+  Alcotest.(check bool) "reconstruction within certificate" true
+    (recon <= r.Rsvd.residual +. (1e-9 *. Cmat.norm_fro a));
+  (* The certified tail bound plugged into the gap rule recovers the
+     true numerical rank. *)
+  Alcotest.(check int) "rank via tail bound" 12
+    (Svd.rank_gap_of_values ~tail_bound:r.Rsvd.residual r.Rsvd.svd.Svd.sigma)
+
+let test_rsvd_deterministic () =
+  let a = low_rank_matrix 5 64 40 6 in
+  let r1 = Rsvd.decompose ~seed:42 ~rank:6 a in
+  let r2 = Rsvd.decompose ~seed:42 ~rank:6 a in
+  Alcotest.(check bool) "sigma bit-identical" true
+    (r1.Rsvd.svd.Svd.sigma = r2.Rsvd.svd.Svd.sigma);
+  Alcotest.(check bool) "u bit-identical" true
+    (Cmat.equal ~tol:0. r1.Rsvd.svd.Svd.u r2.Rsvd.svd.Svd.u);
+  Alcotest.(check bool) "v bit-identical" true
+    (Cmat.equal ~tol:0. r1.Rsvd.svd.Svd.v r2.Rsvd.svd.Svd.v);
+  Alcotest.(check (float 0.)) "residual bit-identical" r1.Rsvd.residual
+    r2.Rsvd.residual
+
+let test_rsvd_domain_invariant () =
+  (* Sketch, power iteration and CholeskyQR2 are all GEMM-shaped, and
+     GEMM output is chunking-invariant, so the factorization is
+     bit-identical under any pool size. *)
+  let a = low_rank_matrix 9 72 44 7 in
+  let r_par = Rsvd.decompose ~rank:7 a in
+  let r_seq = Parallel.with_sequential (fun () -> Rsvd.decompose ~rank:7 a) in
+  Alcotest.(check bool) "sigma bit-identical" true
+    (r_par.Rsvd.svd.Svd.sigma = r_seq.Rsvd.svd.Svd.sigma);
+  Alcotest.(check bool) "u bit-identical" true
+    (Cmat.equal ~tol:0. r_par.Rsvd.svd.Svd.u r_seq.Rsvd.svd.Svd.u)
+
+let test_rsvd_wide () =
+  let a = low_rank_matrix 13 40 90 5 in
+  let r = Rsvd.decompose ~rank:5 a in
+  Alcotest.(check bool) "certified" true r.Rsvd.certified;
+  Alcotest.(check int) "u rows" 40 (Cmat.rows r.Rsvd.svd.Svd.u);
+  Alcotest.(check int) "v rows" 90 (Cmat.rows r.Rsvd.svd.Svd.v);
+  check_small ~tol:1e-9 "wide reconstruction"
+    (Cmat.norm_fro (Cmat.sub (Svd.reconstruct r.Rsvd.svd) a)
+    /. (1. +. Cmat.norm_fro a))
+
+let test_rsvd_small_exact () =
+  (* Below the sketch cutoff the exact path answers directly with a
+     zero-residual certificate. *)
+  let rng = Rng.create 17 in
+  let a = Cmat.random rng 20 10 in
+  let r = Rsvd.decompose ~rank:4 a in
+  Alcotest.(check bool) "certified" true r.Rsvd.certified;
+  Alcotest.(check (float 0.)) "residual" 0. r.Rsvd.residual;
+  let d = Svd.decompose a in
+  Array.iteri
+    (fun i s -> check_float (Printf.sprintf "sigma %d" i) s r.Rsvd.svd.Svd.sigma.(i))
+    d.Svd.sigma
+
+let test_rsvd_degrade_fault () =
+  (* The degrade fault poisons the certificate only: the factorization
+     itself stays intact but can never certify. *)
+  let a = low_rank_matrix 31 80 48 8 in
+  Fault.with_spec "svd.rsvd.degrade" (fun () ->
+      let r = Rsvd.decompose ~rank:8 a in
+      Alcotest.(check bool) "uncertified" false r.Rsvd.certified;
+      Alcotest.(check bool) "residual poisoned" true
+        (r.Rsvd.residual = Float.infinity);
+      check_small ~tol:1e-9 "factorization intact"
+        (Cmat.norm_fro (Cmat.sub (Svd.reconstruct r.Rsvd.svd) a)
+        /. (1. +. Cmat.norm_fro a)))
+
+(* ------------------------------------------------------------------ *)
 (* Property-based tests *)
 
 let small_dim = QCheck.Gen.int_range 1 8
@@ -903,11 +1082,33 @@ let prop_qr_preserves_norm =
       let qb = Qr.apply_q f b in
       abs_float (Cmat.norm_fro qb -. Cmat.norm_fro b) <= 1e-9 *. (1. +. Cmat.norm_fro b))
 
+(* Larger low-rank matrices so the sketch path (spectrum > 32) actually
+   engages, unlike [arb_cmat]'s tiny shapes. *)
+let arb_low_rank =
+  QCheck.make
+    QCheck.Gen.(
+      int_range 40 70 >>= fun m ->
+      int_range 36 48 >>= fun n ->
+      int_range 1 10 >>= fun r ->
+      int_bound 1_000_000 >|= fun seed ->
+      let rng = Rng.create seed in
+      Cmat.mul (Cmat.random rng m r) (Cmat.random rng r n))
+    ~print:(fun m ->
+      Format.asprintf "%dx%d matrix@.%a" (Cmat.rows m) (Cmat.cols m) Cmat.pp m)
+
+let prop_rsvd_certificate =
+  QCheck.Test.make ~name:"rsvd certificate bounds reconstruction" ~count:15
+    arb_low_rank (fun a ->
+      let r = Rsvd.decompose_adaptive a in
+      let recon = Cmat.norm_fro (Cmat.sub (Svd.reconstruct r.Rsvd.svd) a) in
+      r.Rsvd.certified
+      && recon <= r.Rsvd.residual +. (1e-8 *. (1. +. Cmat.norm_fro a)))
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [ prop_ctranspose_involution; prop_mul_ctranspose; prop_fro_triangle;
       prop_lu_solve; prop_svd_reconstruct; prop_svd_norm_bound; prop_eig_det;
-      prop_qr_preserves_norm ]
+      prop_qr_preserves_norm; prop_rsvd_certificate ]
 
 let () =
   Alcotest.run "linalg"
@@ -956,7 +1157,32 @@ let () =
          Alcotest.test_case "pinv" `Quick test_svd_pinv;
          Alcotest.test_case "algorithms agree" `Quick test_svd_algorithms_agree;
          Alcotest.test_case "gk graded spectrum" `Quick test_svd_gk_graded_spectrum;
-         Alcotest.test_case "norm2" `Quick test_svd_norm2 ]);
+         Alcotest.test_case "norm2" `Quick test_svd_norm2;
+         Alcotest.test_case "blocked = plain" `Quick test_svd_blocked_matches_plain;
+         Alcotest.test_case "blocked domain-invariant (bit)" `Quick
+           test_svd_blocked_domain_invariant ]);
+      ("rank rules",
+       [ Alcotest.test_case "rank_of_values" `Quick test_rank_of_values;
+         Alcotest.test_case "gap at truncation boundary" `Quick
+           test_rank_gap_boundary;
+         Alcotest.test_case "interior gap beats boundary" `Quick
+           test_rank_gap_internal_wins;
+         Alcotest.test_case "boundary below floor" `Quick
+           test_rank_gap_boundary_below_floor;
+         Alcotest.test_case "truncated matches full spectrum" `Quick
+           test_rank_gap_matches_untruncated ]);
+      ("rsvd",
+       [ Alcotest.test_case "certified bound" `Quick test_rsvd_certified_bound;
+         Alcotest.test_case "adaptive" `Quick test_rsvd_adaptive;
+         Alcotest.test_case "deterministic under seed" `Quick
+           test_rsvd_deterministic;
+         Alcotest.test_case "domain-invariant (bit)" `Quick
+           test_rsvd_domain_invariant;
+         Alcotest.test_case "wide" `Quick test_rsvd_wide;
+         Alcotest.test_case "small falls back to exact" `Quick
+           test_rsvd_small_exact;
+         Alcotest.test_case "degrade fault poisons certificate" `Quick
+           test_rsvd_degrade_fault ]);
       ("eig",
        [ Alcotest.test_case "2x2 rotation" `Quick test_eig_2x2;
          Alcotest.test_case "triangular" `Quick test_eig_triangular;
