@@ -120,6 +120,57 @@ let run ?(smoke = false) () =
   let speedup =
     median (Array.init reps (fun r -> batch_t.(r) /. incr_t.(r)))
   in
+
+  (* certification arms: check-only vs full repair on a model pushed
+     mildly (sigma_max peak ~1.05) outside the passive region — the
+     curable regime the engine's certify stage handles on noisy data *)
+  let corder = if smoke then 12 else 40 in
+  let cports = if smoke then 2 else 8 in
+  let cfreqs = Sampling.logspace 1e6 1e10 (if smoke then 48 else 256) in
+  let violator =
+    let base =
+      Random_sys.generate
+        { Random_sys.order = corder; ports = cports; rank_d = cports / 2;
+          freq_lo = 1e6; freq_hi = 1e10; damping = 0.05; seed = 7 }
+    in
+    let peak = 1. +. Rf.Passivity.max_violation base ~freqs:cfreqs in
+    let t = 1.05 /. peak in
+    Descriptor.create ~e:base.Descriptor.e ~a:base.Descriptor.a
+      ~b:base.Descriptor.b
+      ~c:(Cmat.scale_float t base.Descriptor.c)
+      ~d:(Cmat.scale_float t base.Descriptor.d)
+  in
+  let certify_arm mode () =
+    match
+      Certify.run ~options:{ Certify.default_options with mode }
+        ~freqs:cfreqs violator
+    with
+    | Ok r -> r
+    | Error e -> failwith ("engine bench: certify " ^ Mfti_error.to_string e)
+  in
+  (* correctness gate: check sees the violation, repair cures it *)
+  (match (certify_arm Certify.Check (), certify_arm Certify.Repair ()) with
+   | (_, Some before), (_, Some after) ->
+     if Certify.Certificate.passed before then
+       failwith "engine bench: violator passed the check arm";
+     if not (Certify.Certificate.passed after) then
+       failwith "engine bench: repair arm failed to certify";
+     Printf.printf "  certify %-24s pre %.3g -> post %.3g (%d repairs)\n%!"
+       (Printf.sprintf "(order %d, %d ports)" corder cports)
+       before.Certify.Certificate.worst_margin
+       after.Certify.Certificate.worst_margin
+       after.Certify.Certificate.repair_iterations
+   | _ -> failwith "engine bench: certify arm returned no certificate");
+  let check_t = Array.make reps 0. and repair_t = Array.make reps 0. in
+  for rep = 0 to reps - 1 do
+    check_t.(rep) <- wall (certify_arm Certify.Check);
+    repair_t.(rep) <- wall (certify_arm Certify.Repair)
+  done;
+  let certify_check_s = median check_t in
+  let certify_repair_s = median repair_t in
+  let repair_ratio =
+    median (Array.init reps (fun r -> repair_t.(r) /. check_t.(r)))
+  in
   (* [fit.iterations] is the iteration the returned (best) model came
      from; the schedule length — one residual-history entry per round —
      is what the wall-clock covers. *)
@@ -127,18 +178,24 @@ let run ?(smoke = false) () =
   let size =
     Printf.sprintf "%dports_%dsamples_%diters" ports nsamples iters_run
   in
+  let csize = Printf.sprintf "%dports_order%d" cports corder in
   Util.print_table
     ~header:[ "op"; "size"; "domains"; "median"; "speedup" ]
     [ [ "algorithm2_batch"; size; string_of_int ndom;
         Printf.sprintf "%.3f ms" (batch_s *. 1e3); "1.00x" ];
       [ "algorithm2_incremental"; size; string_of_int ndom;
         Printf.sprintf "%.3f ms" (incr_s *. 1e3);
-        Printf.sprintf "%.2fx" speedup ] ];
+        Printf.sprintf "%.2fx" speedup ];
+      [ "certify_check"; csize; string_of_int ndom;
+        Printf.sprintf "%.3f ms" (certify_check_s *. 1e3); "1.00x" ];
+      [ "certify_repair"; csize; string_of_int ndom;
+        Printf.sprintf "%.3f ms" (certify_repair_s *. 1e3);
+        Printf.sprintf "%.2fx" repair_ratio ] ];
 
-  let row op med spd =
+  let row ?(sz = size) op med spd =
     Json.Obj
       [ ("op", Json.Str op);
-        ("size", Json.Str size);
+        ("size", Json.Str sz);
         ("domains", Json.Num (float_of_int ndom));
         ("median_ns", Json.Num (Float.round (med *. 1e9)));
         ("speedup", Json.Num spd) ]
@@ -158,10 +215,14 @@ let run ?(smoke = false) () =
         ("batch_s", Json.Num batch_s);
         ("incremental_s", Json.Num incr_s);
         ("speedup", Json.Num speedup);
+        ("certify_check_s", Json.Num certify_check_s);
+        ("certify_repair_s", Json.Num certify_repair_s);
         ( "results",
           Json.Arr
             [ row "algorithm2_batch" batch_s 1.0;
-              row "algorithm2_incremental" incr_s speedup ] ) ]
+              row "algorithm2_incremental" incr_s speedup;
+              row ~sz:csize "certify_check" certify_check_s 1.0;
+              row ~sz:csize "certify_repair" certify_repair_s repair_ratio ] ) ]
   in
   let path = if smoke then "BENCH_engine.smoke.json" else "BENCH_engine.json" in
   let oc = open_out path in
@@ -179,7 +240,8 @@ let run ?(smoke = false) () =
       (fun field ->
         if Json.member field parsed = None then
           failwith ("engine bench: JSON missing " ^ field))
-      [ "schema"; "iterations"; "batch_s"; "incremental_s"; "speedup" ];
+      [ "schema"; "iterations"; "batch_s"; "incremental_s"; "speedup";
+        "certify_check_s"; "certify_repair_s" ];
     (match Json.member "results" parsed with
      | Some (Json.Arr (_ :: _ as rs)) ->
        List.iter

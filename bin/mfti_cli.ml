@@ -113,6 +113,28 @@ let svd_arg =
   Arg.(value & opt b Svd_reduce.default_backend
        & info [ "svd" ] ~docv:"BACKEND" ~doc)
 
+let certify_arg =
+  let m =
+    Arg.enum
+      [ ("repair", Certify.Repair); ("check", Certify.Check);
+        ("off", Certify.Off) ]
+  in
+  let doc =
+    "Certify the fitted model: $(b,repair) enforces stability and \
+     passivity (pole reflection + perturbative contraction; incurable \
+     models are refused with a typed error), $(b,check) records the \
+     stability/passivity verdict without modifying the model, $(b,off) \
+     skips certification.  A bare $(b,--certify) means $(b,repair)."
+  in
+  Arg.(value & opt ~vopt:Certify.Repair m Certify.Off
+       & info [ "certify" ] ~docv:"MODE" ~doc)
+
+let print_certificate = function
+  | None -> ()
+  | Some c -> Printf.printf "certificate: %s\n" (Certify.Certificate.to_string c)
+
+let sample_freqs samples = Array.map (fun s -> s.Sampling.freq) samples
+
 (* ------------------------------------------------------------------ *)
 (* fit *)
 
@@ -143,7 +165,7 @@ let symmetrize_arg =
   Arg.(value & flag & info [ "symmetrize" ] ~doc)
 
 let run_fit path policy algorithm width rank_tol seed poles save_model plot
-    symmetrize svd_backend =
+    symmetrize svd_backend certify_mode =
   guarded @@ fun () ->
   let load_diag = Linalg.Diag.create () in
   let data = Linalg.Diag.using load_diag (fun () -> load ~policy path) in
@@ -197,7 +219,21 @@ let run_fit path policy algorithm width rank_tol seed poles save_model plot
      let model, _ = Vfit.Vf.fit ~options samples in
      Printf.printf "VF: order %d, ERR %.3e\n" (Vfit.Vf.order model)
        (Vfit.Vf.err model samples);
-     post_process "VF" (Vfit.Vf.to_descriptor model)
+     let d = Vfit.Vf.to_descriptor model in
+     let d =
+       match certify_mode with
+       | Certify.Off -> d
+       | mode ->
+         (match
+            Certify.run ~options:{ Certify.default_options with mode }
+              ~freqs:(sample_freqs samples) d
+          with
+          | Ok (d, cert) ->
+            print_certificate cert;
+            d
+          | Error e -> Linalg.Mfti_error.raise_error e)
+     in
+     post_process "VF" d
    | (`Mfti | `Vfti | `Mfti2) as alg ->
      (* the three Loewner paths are strategies over the same engine *)
      let name, strategy, options =
@@ -218,6 +254,7 @@ let run_fit path policy algorithm width rank_tol seed poles save_model plot
                        else Tangential.Uniform width);
              rank_rule; directions; svd = svd_backend } )
      in
+     let options = { options with Engine.certify = certify_mode } in
      let r = Engine.fit ~options ~strategy samples in
      (match alg with
       | `Mfti2 ->
@@ -225,6 +262,7 @@ let run_fit path policy algorithm width rank_tol seed poles save_model plot
           r.Engine.selected_units r.Engine.total_units r.Engine.iterations
       | `Mfti | `Vfti -> ());
      describe name r.Engine.model r.Engine.rank;
+     print_certificate r.Engine.certificate;
      print_diagnostics r.Engine.diagnostics;
      post_process name r.Engine.model);
   0
@@ -234,7 +272,7 @@ let fit_cmd =
   Cmd.v info
     Term.(const run_fit $ touchstone_arg $ policy_arg $ algorithm_arg
           $ width_arg $ rank_tol_arg $ seed_arg $ poles_arg $ save_model_arg
-          $ plot_arg $ symmetrize_arg $ svd_arg)
+          $ plot_arg $ symmetrize_arg $ svd_arg $ certify_arg)
 
 (* ------------------------------------------------------------------ *)
 (* engine: drive the staged pipeline explicitly, with per-stage timing *)
@@ -278,7 +316,7 @@ let holdout_arg =
   Arg.(value & opt int 0 & info [ "holdout-every" ] ~docv:"N" ~doc)
 
 let run_engine path policy strategy width rank_tol seed batch threshold
-    max_iterations probe holdout_every svd_backend =
+    max_iterations probe holdout_every svd_backend certify_mode =
   guarded @@ fun () ->
   let data = load ~policy path in
   let dataset = Dataset.of_samples data.Rf.Touchstone.samples in
@@ -311,7 +349,8 @@ let run_engine path policy strategy width rank_tol seed batch threshold
       directions = Direction.Orthonormal seed;
       svd = svd_backend;
       batch; threshold; max_iterations;
-      probe = (if probe > 0 then Some probe else None) }
+      probe = (if probe > 0 then Some probe else None);
+      certify = certify_mode }
   in
   let ok = function
     | Ok x -> x
@@ -321,6 +360,7 @@ let run_engine path policy strategy width rank_tol seed batch threshold
   ok (Engine.assemble st);
   ok (Engine.realify st);
   ok (Engine.reduce st);
+  ok (Engine.certify st);
   let m = ok (Engine.model st) in
   List.iter
     (fun (stage, dt) -> Printf.printf "stage %-9s %9.4f s\n" stage dt)
@@ -339,6 +379,7 @@ let run_engine path policy strategy width rank_tol seed batch threshold
     (Engine.Model.report ~name:"engine" m report_samples);
   Printf.printf "retained order: %d; stable: %b; real: %b\n"
     (Engine.Model.rank m) (Engine.Model.stable m) (Engine.Model.is_real m);
+  print_certificate (Engine.Model.certificate m);
   print_diagnostics (Engine.Model.diagnostics m);
   0
 
@@ -350,7 +391,8 @@ let engine_cmd =
   Cmd.v info
     Term.(const run_engine $ touchstone_arg $ policy_arg $ strategy_arg
           $ width_arg $ rank_tol_arg $ seed_arg $ batch_arg $ threshold_arg
-          $ max_iterations_arg $ probe_arg $ holdout_arg $ svd_arg)
+          $ max_iterations_arg $ probe_arg $ holdout_arg $ svd_arg
+          $ certify_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gen *)
@@ -511,13 +553,25 @@ let pack_name_arg =
 
 (* Fit with the same algorithm switch as `fit`, returning the unified
    model wrapper plus the samples it was fitted on. *)
-let fit_to_model ~algorithm ~width ~rank_tol ~seed ~poles samples =
+let fit_to_model ~algorithm ~width ~rank_tol ~seed ~poles ~certify samples =
   let rank_rule = rank_rule_of_tol rank_tol in
   let directions = Direction.Orthonormal seed in
   match algorithm with
   | `Vf ->
-    Vfit.Vf.fit_model
-      ~options:{ Vfit.Vf.default_options with n_poles = poles } samples
+    let m =
+      Vfit.Vf.fit_model
+        ~options:{ Vfit.Vf.default_options with n_poles = poles } samples
+    in
+    (match certify with
+     | Certify.Off -> m
+     | mode ->
+       (match
+          Engine.Model.certify
+            ~options:{ Certify.default_options with mode }
+            ~freqs:(sample_freqs samples) m
+        with
+        | Ok m -> m
+        | Error e -> Linalg.Mfti_error.raise_error e))
   | (`Mfti | `Vfti | `Mfti2) as alg ->
     let strategy, options =
       match alg with
@@ -535,13 +589,17 @@ let fit_to_model ~algorithm ~width ~rank_tol ~seed ~poles samples =
                       else Tangential.Uniform width);
             rank_rule; directions } )
     in
+    let options = { options with Engine.certify } in
     Engine.Model.of_fit (Engine.fit ~options ~strategy samples)
 
-let run_pack path policy algorithm width rank_tol seed poles out name =
+let run_pack path policy algorithm width rank_tol seed poles out name
+    certify =
   guarded @@ fun () ->
   let data = load ~policy path in
   let samples = Tangential.trim_even data.Rf.Touchstone.samples in
-  let model = fit_to_model ~algorithm ~width ~rank_tol ~seed ~poles samples in
+  let model =
+    fit_to_model ~algorithm ~width ~rank_tol ~seed ~poles ~certify samples
+  in
   let fit_err = Engine.Model.err model samples in
   let name = match name with Some n -> n | None -> Filename.basename path in
   let artifact = Serve.Artifact.v ~name ~fit_err model in
@@ -550,6 +608,7 @@ let run_pack path policy algorithm width rank_tol seed poles out name =
   Printf.printf "packed %s -> %s (order %d, %dx%d ports, ERR %.3e, %d bytes)\n"
     name out (Engine.Model.order model) (Engine.Model.outputs model)
     (Engine.Model.inputs model) fit_err bytes;
+  print_certificate (Engine.Model.certificate model);
   0
 
 let pack_cmd =
@@ -560,7 +619,7 @@ let pack_cmd =
   Cmd.v info
     Term.(const run_pack $ touchstone_arg $ policy_arg $ algorithm_arg
           $ width_arg $ rank_tol_arg $ seed_arg $ poles_arg $ pack_out_arg
-          $ pack_name_arg)
+          $ pack_name_arg $ certify_arg)
 
 (* ------------------------------------------------------------------ *)
 (* inspect: decode an artifact header (checksum-verified by load) *)
@@ -573,13 +632,18 @@ let run_inspect path =
   guarded @@ fun () ->
   let art = Serve.Artifact.load_exn path in
   let m = art.Serve.Artifact.model in
-  let tm = Unix.gmtime art.Serve.Artifact.created in
   Printf.printf "artifact: %s (format v%d, checksum ok)\n" path
     Serve.Artifact.format_version;
   Printf.printf "name: %s\n" art.Serve.Artifact.name;
-  Printf.printf "created: %04d-%02d-%02dT%02d:%02d:%02dZ\n"
-    (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
-    tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec;
+  (* a NaN/inf timestamp must print as "unknown", not feed Unix.gmtime *)
+  Printf.printf "created: %s\n"
+    (let c = art.Serve.Artifact.created in
+     if Float.is_finite c && c >= 0. then
+       let tm = Unix.gmtime c in
+       Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ"
+         (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+         tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+     else "unknown");
   Printf.printf "order %d, %d outputs x %d inputs, rank %d\n"
     (Engine.Model.order m) (Engine.Model.outputs m) (Engine.Model.inputs m)
     (Engine.Model.rank m);
@@ -594,6 +658,10 @@ let run_inspect path =
        s.Engine.Model.selected_units s.Engine.Model.total_units
        s.Engine.Model.iterations
    | None -> ());
+  (match Engine.Model.certificate m with
+   | Some c ->
+     Printf.printf "certificate: %s\n" (Certify.Certificate.to_string c)
+   | None -> Printf.printf "certificate: none (uncertified)\n");
   List.iter
     (fun (stage, dt) -> Printf.printf "stage %-9s %9.4f s\n" stage dt)
     (Engine.Model.timings m);
@@ -654,6 +722,21 @@ let drain_arg =
   in
   Arg.(value & opt int 2000 & info [ "drain-ms" ] ~docv:"MS" ~doc)
 
+let admission_arg =
+  let a =
+    Arg.enum
+      [ ("open", Serve.Server.Open); ("warn", Serve.Server.Warn);
+        ("strict", Serve.Server.Strict) ]
+  in
+  let doc =
+    "Admission policy for uncertified or failed-certification models: \
+     $(b,strict) refuses them with a typed response, $(b,warn) serves \
+     them but counts the lapse in stats, $(b,open) ignores \
+     certification."
+  in
+  Arg.(value & opt a Serve.Server.Warn
+       & info [ "admission" ] ~docv:"POLICY" ~doc)
+
 let report_quarantine server =
   List.iter
     (fun (q : Serve.Artifact.quarantine) ->
@@ -662,7 +745,8 @@ let report_quarantine server =
         (Linalg.Mfti_error.to_string q.reason))
     (Serve.Server.quarantined server)
 
-let run_serve root socket cache_mb workers queue request_timeout_ms drain_ms =
+let run_serve root socket cache_mb workers queue request_timeout_ms drain_ms
+    admission =
   guarded @@ fun () ->
   if cache_mb < 0 then invalid_arg "serve: cache budget must be >= 0";
   if workers < 1 then invalid_arg "serve: --workers must be >= 1";
@@ -671,7 +755,8 @@ let run_serve root socket cache_mb workers queue request_timeout_ms drain_ms =
     invalid_arg "serve: --request-timeout-ms must be >= 1";
   if drain_ms < 0 then invalid_arg "serve: --drain-ms must be >= 0";
   let server =
-    Serve.Server.create ~cache_bytes:(cache_mb * 1024 * 1024) ~root ()
+    Serve.Server.create ~cache_bytes:(cache_mb * 1024 * 1024) ~admission
+      ~root ()
   in
   report_quarantine server;
   (match socket with
@@ -698,7 +783,8 @@ let serve_cmd =
   in
   Cmd.v info
     Term.(const run_serve $ root_arg $ socket_arg $ cache_mb_arg
-          $ workers_arg $ queue_arg $ request_timeout_arg $ drain_arg)
+          $ workers_arg $ queue_arg $ request_timeout_arg $ drain_arg
+          $ admission_arg)
 
 let () =
   let doc = "matrix-format tangential interpolation macromodeling" in

@@ -13,6 +13,7 @@ type options = Engine.options = {
   divergence_factor : float;
   iteration_budget : float;
   probe : int option;
+  certify : Certify.mode;
 }
 
 let default_options = Engine.default_options
@@ -27,6 +28,7 @@ type result = Engine.fit = {
   total_units : int;
   iterations : int;
   history : float array;
+  certificate : Certify.Certificate.t option;
   diagnostics : Linalg.Diag.t;
   timings : (string * float) list;
 }

@@ -26,6 +26,7 @@ type options = Engine.options = {
   divergence_factor : float;
   iteration_budget : float;
   probe : int option;
+  certify : Certify.mode;
 }
 
 val default_options : options
@@ -45,6 +46,7 @@ type result = Engine.fit = {
   total_units : int;
   iterations : int;
   history : float array;
+  certificate : Certify.Certificate.t option;
   diagnostics : Linalg.Diag.t;
       (** what the numerics did: condition / rank gap of the reduction,
           fallbacks taken, retries, wall time *)

@@ -14,6 +14,7 @@ type options = Engine.options = {
   divergence_factor : float;
   iteration_budget : float;
   probe : int option;
+  certify : Certify.mode;
 }
 
 let default_options = Engine.default_recursive_options
@@ -28,6 +29,7 @@ type result = Engine.fit = {
   total_units : int;
   iterations : int;
   history : float array;
+  certificate : Certify.Certificate.t option;
   diagnostics : Linalg.Diag.t;
   timings : (string * float) list;
 }

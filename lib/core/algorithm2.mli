@@ -43,6 +43,8 @@ type options = Engine.options = {
   probe : int option;
       (** residual-probing cap per iteration; [None] (the default)
           scores every held-out unit, the exact Algorithm 2 *)
+  certify : Certify.mode;
+      (** post-reduce certification mode ([Off] by default) *)
 }
 
 val default_options : options
@@ -62,6 +64,7 @@ type result = Engine.fit = {
   history : float array;   (** mean held-out relative residual per iteration
                                ([nan] for the final one when nothing is
                                held out) *)
+  certificate : Certify.Certificate.t option;
   diagnostics : Linalg.Diag.t;
       (** what the numerics did, including which recursion guard (if
           any) ended the iteration: ["algorithm2.divergence"],

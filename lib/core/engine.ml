@@ -16,6 +16,7 @@ type options = {
   divergence_factor : float;
   iteration_budget : float;
   probe : int option;
+  certify : Certify.mode;
 }
 
 let default_options =
@@ -30,14 +31,15 @@ let default_options =
     max_iterations = 64;
     divergence_factor = 1e3;
     iteration_budget = Float.infinity;
-    probe = None }
+    probe = None;
+    certify = Certify.Off }
 
 let default_recursive_options =
   { default_options with weight = Tangential.Uniform 2 }
 
 type assembly = Batch | Incremental
 type strategy = Direct | Vector | Recursive of assembly
-type stage = Ingested | Assembled | Realified | Reduced
+type stage = Ingested | Assembled | Realified | Reduced | Certified
 
 let context_of_strategy = function
   | Direct -> "algorithm1"
@@ -58,6 +60,8 @@ type state = {
   mutable pencil : Loewner.t option;
   mutable realified : Loewner.t option;
   mutable reduction : Svd_reduce.result option;
+  mutable certified :
+    (Statespace.Descriptor.t * Certify.Certificate.t option) option;
   mutable selected_units : int;
   mutable total_units : int;
   mutable iterations : int;
@@ -117,6 +121,7 @@ let ingest ?(options = default_options) ?(strategy = Direct) dataset =
             let dt = Unix.gettimeofday () -. started in
             { options; strategy; context; dataset; data; started; diagnostics;
               pencil = None; realified = None; reduction = None;
+              certified = None;
               selected_units = 0; total_units = 0; iterations = 0;
               history = [||]; timings = [ ("ingest", dt) ] }))
 
@@ -472,7 +477,27 @@ let reduce_raw st =
        st.iterations <- 1;
        st.history <- [||])
 
-let complete st = reduce_raw st
+(* ------------------------------------------------------------------ *)
+(* Certification stage *)
+
+let certify_raw st =
+  match st.certified with
+  | Some _ -> ()
+  | None ->
+    reduce_raw st;
+    let model = (Option.get st.reduction).Svd_reduce.model in
+    (match st.options.certify with
+     | Certify.Off -> st.certified <- Some (model, None)
+     | mode ->
+       let copts = { Certify.default_options with mode } in
+       let freqs = Dataset.frequencies st.dataset in
+       (match
+          timed st "certify" (fun () -> Certify.run ~options:copts ~freqs model)
+        with
+        | Ok pair -> st.certified <- Some pair
+        | Result.Error e -> Mfti_error.raise_error e))
+
+let complete st = certify_raw st
 
 (* ------------------------------------------------------------------ *)
 (* Public stage wrappers *)
@@ -483,14 +508,19 @@ let staged st f =
 let assemble st = staged st (fun () -> assemble_raw st)
 let realify st = staged st (fun () -> realify_raw st)
 let reduce st = staged st (fun () -> reduce_raw st)
+let certify st = staged st (fun () -> certify_raw st)
 
 let stage st =
-  match st.reduction with
-  | Some _ -> Reduced
+  match st.certified with
+  | Some _ -> Certified
   | None ->
-    (match st.realified with
-     | Some _ -> Realified
-     | None -> (match st.pencil with Some _ -> Assembled | None -> Ingested))
+    (match st.reduction with
+     | Some _ -> Reduced
+     | None ->
+       (match st.realified with
+        | Some _ -> Realified
+        | None ->
+          (match st.pencil with Some _ -> Assembled | None -> Ingested)))
 
 let tangential st = st.data
 let dataset st = st.dataset
@@ -512,6 +542,7 @@ type fit = {
   total_units : int;
   iterations : int;
   history : float array;
+  certificate : Certify.Certificate.t option;
   diagnostics : Diag.t;
   timings : (string * float) list;
 }
@@ -521,7 +552,12 @@ let fit_of_state st =
   let loewner =
     match st.realified with Some p -> p | None -> Option.get st.pencil
   in
-  { model = reduced.Svd_reduce.model;
+  let model, certificate =
+    match st.certified with
+    | Some (m, c) -> (m, c)
+    | None -> (reduced.Svd_reduce.model, None)
+  in
+  { model;
     rank = reduced.Svd_reduce.rank;
     sigma = reduced.Svd_reduce.sigma;
     data = st.data;
@@ -530,6 +566,7 @@ let fit_of_state st =
     total_units = st.total_units;
     iterations = st.iterations;
     history = st.history;
+    certificate;
     diagnostics = st.diagnostics;
     timings = st.timings }
 
@@ -546,16 +583,17 @@ module Model = struct
     rank : int;
     sigma : float array;
     stats : stats option;
+    certificate : Certify.Certificate.t option;
     diagnostics : Diag.t;
     timings : (string * float) list;
   }
 
-  let make ?(sigma = [||]) ?stats ?diagnostics ?(timings = []) ~rank descriptor
-      =
+  let make ?(sigma = [||]) ?stats ?certificate ?diagnostics ?(timings = [])
+      ~rank descriptor =
     let diagnostics =
       match diagnostics with Some d -> d | None -> Diag.create ()
     in
-    { descriptor; rank; sigma; stats; diagnostics; timings }
+    { descriptor; rank; sigma; stats; certificate; diagnostics; timings }
 
   let of_fit f =
     { descriptor = f.model;
@@ -567,6 +605,7 @@ module Model = struct
             total_units = f.total_units;
             iterations = f.iterations;
             history = f.history };
+      certificate = f.certificate;
       diagnostics = f.diagnostics;
       timings = f.timings }
 
@@ -574,6 +613,13 @@ module Model = struct
   let rank m = m.rank
   let sigma m = m.sigma
   let stats m = m.stats
+  let certificate m = m.certificate
+
+  let certify ?options ~freqs m =
+    match Certify.run ?options ~freqs m.descriptor with
+    | Ok (descriptor, certificate) -> Ok { m with descriptor; certificate }
+    | Result.Error e -> Result.Error e
+
   let diagnostics m = m.diagnostics
   let timings m = m.timings
   let order m = Statespace.Descriptor.order m.descriptor

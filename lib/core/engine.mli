@@ -3,7 +3,7 @@
     All four fitting paths (MFTI Algorithm 1 and 2, VFTI, vector
     fitting's model wrapper) are strategies over one pipeline:
 
-    {v ingest -> assemble -> realify -> reduce -> model v}
+    {v ingest -> assemble -> realify -> reduce -> certify -> model v}
 
     Each stage is explicit and resumable over a shared {!state}: calling
     a stage runs every stage it depends on that has not run yet, and
@@ -38,6 +38,11 @@ type options = {
       (** score at most this many held-out units per iteration (strided
           subsample); [None] scores all of them — the exact Algorithm 2
           reordering *)
+  certify : Certify.mode;
+      (** post-reduce certification: [Off] (default) skips the stage
+          entirely, [Check] records a {!Certify.Certificate.t} without
+          touching the model, [Repair] additionally enforces stability
+          and passivity (see {!Certify.run}) *)
 }
 
 (** [Full] weight, [Stacked]/[Gap] reduction, recursion knobs at the
@@ -57,7 +62,7 @@ type strategy =
   | Vector               (** VFTI: width-1 blocks (forces [Uniform 1]) *)
   | Recursive of assembly  (** MFTI Algorithm 2 *)
 
-type stage = Ingested | Assembled | Realified | Reduced
+type stage = Ingested | Assembled | Realified | Reduced | Certified
 
 (** Mutable pipeline state; create with {!ingest}. *)
 type state
@@ -79,6 +84,13 @@ val realify : state -> (unit, Linalg.Mfti_error.t) result
     greedy selection loop. *)
 val reduce : state -> (unit, Linalg.Mfti_error.t) result
 
+(** Run the certification pass on the reduced model, against the
+    dataset's own frequency grid.  With [options.certify = Off] the
+    stage completes instantly (model unchanged, no certificate); with
+    [Repair] an incurable model is a typed error and the state stays at
+    {!Reduced}. *)
+val certify : state -> (unit, Linalg.Mfti_error.t) result
+
 (** Furthest stage that has completed. *)
 val stage : state -> stage
 
@@ -93,8 +105,8 @@ val reduction : state -> Svd_reduce.result option
 val diagnostics : state -> Linalg.Diag.t
 
 (** Accumulated per-stage wall times, in first-hit order: ["ingest"],
-    ["assemble"], ["realify"], ["reduce"] and (recursion only)
-    ["evaluate"]. *)
+    ["assemble"], ["realify"], ["reduce"], (recursion only)
+    ["evaluate"] and (when enabled) ["certify"]. *)
 val timings : state -> (string * float) list
 
 (** Everything a finished fit produced.  The per-algorithm [result]
@@ -109,6 +121,9 @@ type fit = {
   total_units : int;
   iterations : int;
   history : float array;      (** mean held-out residual per iteration *)
+  certificate : Certify.Certificate.t option;
+      (** certification evidence; [None] when the stage ran with
+          [certify = Off] *)
   diagnostics : Linalg.Diag.t;
   timings : (string * float) list;
 }
@@ -127,7 +142,8 @@ module Model : sig
 
   (** Wrap a bare descriptor (e.g. a vector-fitting result). *)
   val make :
-    ?sigma:float array -> ?stats:stats -> ?diagnostics:Linalg.Diag.t ->
+    ?sigma:float array -> ?stats:stats ->
+    ?certificate:Certify.Certificate.t -> ?diagnostics:Linalg.Diag.t ->
     ?timings:(string * float) list -> rank:int ->
     Statespace.Descriptor.t -> t
 
@@ -137,6 +153,18 @@ module Model : sig
   val rank : t -> int
   val sigma : t -> float array
   val stats : t -> stats option
+
+  (** Certification evidence attached by the engine's certify stage or
+      by {!certify}; [None] for uncertified models. *)
+  val certificate : t -> Certify.Certificate.t option
+
+  (** [certify ?options ~freqs m] runs {!Certify.run} on the wrapped
+      descriptor and returns the model with the (possibly repaired)
+      realization and its certificate attached. *)
+  val certify :
+    ?options:Certify.options -> freqs:float array -> t ->
+    (t, Linalg.Mfti_error.t) result
+
   val diagnostics : t -> Linalg.Diag.t
   val timings : t -> (string * float) list
 

@@ -34,7 +34,22 @@
     - ["serve.stall"]          request handler sleeps past the request
                                deadline, forcing a "timeout" response
     - ["serve.conn_drop"]      worker raises mid-connection, exercising
-                               the supervisor restart/backoff path *)
+                               the supervisor restart/backoff path
+    - ["certify.unstable"]     certification's stability verdict forced
+                               false: in [Check] mode the certificate
+                               reports [stable = false], in [Repair]
+                               mode the post-reflection re-check fails
+                               and the model is refused with a typed
+                               [Numerical_breakdown]
+    - ["certify.passivity_violation"]
+                               certification's sampled passivity margin
+                               forced above the perturbative repair
+                               limit, so [Repair] refuses the model as
+                               incurable ([Numerical_breakdown])
+    - ["certify.repair_stall"] certification's passivity re-check pinned
+                               to "still violating", so the bounded
+                               repair loop exhausts and [Repair] fails
+                               with a typed [Non_convergence] *)
 
 exception Injected of string
 (** Raised by {!check} at an armed site. *)

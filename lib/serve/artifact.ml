@@ -13,7 +13,7 @@ let v ?(name = "") ?(fit_err = Float.nan) ?created model =
   { name; created; fit_err; model }
 
 let magic = "MFTIART\x00"
-let format_version = 1
+let format_version = 2
 
 (* ------------------------------------------------------------------ *)
 (* CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) *)
@@ -104,6 +104,18 @@ let encode t =
   w_cmat b sys.Statespace.Descriptor.b;
   w_cmat b sys.Statespace.Descriptor.c;
   w_cmat b sys.Statespace.Descriptor.d;
+  (* version 2: certification block, last so a v1 body is a prefix *)
+  (match Engine.Model.certificate m with
+   | None -> w_u8 b 0
+   | Some c ->
+     w_u8 b 1;
+     w_u8 b (if c.Certify.Certificate.stable then 1 else 0);
+     w_u8 b (if c.Certify.Certificate.passive then 1 else 0);
+     w_u32 b c.Certify.Certificate.flipped;
+     w_u32 b c.Certify.Certificate.repair_iterations;
+     w_f64 b c.Certify.Certificate.worst_margin;
+     w_f64 b c.Certify.Certificate.pre_margin;
+     w_f64 b c.Certify.Certificate.fit_delta);
   let body = Buffer.contents b in
   let crc = crc32 body in
   let tail = Buffer.create 4 in
@@ -189,8 +201,8 @@ let of_string ?source s =
     if String.sub s 0 ml <> magic then raise (Bad "bad magic");
     pos := ml;
     let ver = r_u32 "version" in
-    if ver <> format_version then
-      raise (Bad (Printf.sprintf "unsupported version %d (expected %d)" ver
+    if ver <> 1 && ver <> format_version then
+      raise (Bad (Printf.sprintf "unsupported version %d (expected 1..%d)" ver
                     format_version));
     (* structural damage anywhere downstream surfaces here, before any
        field is trusted *)
@@ -232,6 +244,31 @@ let of_string ?source s =
     let b = r_cmat "B" in
     let c = r_cmat "C" in
     let d = r_cmat "D" in
+    (* version-1 files simply end here: they load with no certificate *)
+    let certificate =
+      if ver < 2 then None
+      else
+        let r_bool what =
+          match r_u8 what with
+          | 0 -> false
+          | 1 -> true
+          | k -> raise (Bad (Printf.sprintf "bad %s %d" what k))
+        in
+        match r_u8 "certificate flag" with
+        | 0 -> None
+        | 1 ->
+          let stable = r_bool "certificate stable" in
+          let passive = r_bool "certificate passive" in
+          let flipped = r_u32 "certificate flipped" in
+          let repair_iterations = r_u32 "certificate repairs" in
+          let worst_margin = r_f64 "certificate worst margin" in
+          let pre_margin = r_f64 "certificate pre margin" in
+          let fit_delta = r_f64 "certificate fit delta" in
+          Some
+            { Certify.Certificate.stable; passive; flipped; worst_margin;
+              pre_margin; repair_iterations; fit_delta }
+        | k -> raise (Bad (Printf.sprintf "bad certificate flag %d" k))
+    in
     if !pos <> n - 4 then raise (Bad "trailing bytes");
     let sys =
       try Statespace.Descriptor.create ~e ~a ~b ~c ~d
@@ -241,7 +278,7 @@ let of_string ?source s =
        || Statespace.Descriptor.inputs sys <> inputs
        || Statespace.Descriptor.outputs sys <> outputs
     then raise (Bad "header dimensions disagree with matrices");
-    let model = Engine.Model.make ~sigma ?stats ~timings ~rank sys in
+    let model = Engine.Model.make ~sigma ?stats ?certificate ~timings ~rank sys in
     { name; created; fit_err; model }
   with
   | t -> Ok t

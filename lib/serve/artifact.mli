@@ -5,7 +5,7 @@
     metadata a serving layer needs (ports, order, singular values,
     recursion stats, stage timings, fit error).
 
-    {2 Format (version 1)}
+    {2 Format (version 2)}
 
     All integers are unsigned 32-bit little-endian; all floats are raw
     IEEE-754 bits (64-bit little-endian, via [Int64.bits_of_float]) —
@@ -14,7 +14,7 @@
 
     {v
     magic   "MFTIART\x00"                       8 bytes
-    version u32 = 1
+    version u32 = 2
     name    u32 length + bytes
     created f64 (unix time of packing)
     order, inputs, outputs, rank               4 x u32
@@ -25,14 +25,25 @@
             iterations (u32) + history floats
     E A B C D  each: u32 rows, u32 cols,
             rows*cols x (f64 re, f64 im), column-major
+    cert    u8 flag; when 1: stable u8, passive u8,
+            flipped u32, repair_iterations u32,
+            worst_margin f64, pre_margin f64,
+            fit_delta f64          (version >= 2 only)
     crc32   u32 over every preceding byte
     v}
 
+    Version 2 appends exactly the [cert] block — a version-1 body is a
+    byte prefix of the version-2 body for the same model.
+
     Version policy: readers accept exactly the versions they know
-    (currently 1) and reject anything else as {!Linalg.Mfti_error.Parse}
-    — a newer writer never silently half-loads.  Any structural damage
-    (bad magic, truncation, checksum mismatch, trailing bytes) is a
-    [Parse] error too, never a crash.
+    (currently 1 and 2) and reject anything else as
+    {!Linalg.Mfti_error.Parse} — a newer writer never silently
+    half-loads.  A version-1 file (no [cert] block) loads with
+    [Engine.Model.certificate = None], indistinguishable from a
+    version-2 file packed without certification — either way the model
+    is {e uncertified} and a strict serving policy refuses it.  Any
+    structural damage (bad magic, truncation, checksum mismatch,
+    trailing bytes) is a [Parse] error too, never a crash.
 
     Fault-injection sites (see {!Linalg.Fault}): ["artifact.corrupt"]
     flips a header byte in the encoded output, ["artifact.truncate"]
@@ -65,7 +76,8 @@ type t = {
 val v : ?name:string -> ?fit_err:float -> ?created:float ->
   Mfti.Engine.Model.t -> t
 
-(** Current format version (1). *)
+(** Current format version (2); writers always emit it, readers also
+    accept 1. *)
 val format_version : int
 
 (** Encode to the binary format.  Deterministic: encoding the result of

@@ -7,8 +7,16 @@ type op_stat = {
   mutable max_s : float;
 }
 
+type admission = Open | Warn | Strict
+
+let admission_name = function
+  | Open -> "open"
+  | Warn -> "warn"
+  | Strict -> "strict"
+
 type t = {
   root : string;
+  admission : admission;
   cache : (Artifact.t * Compiled.t) Lru.t;
   started : float;
   ops : (string, op_stat) Hashtbl.t;
@@ -22,18 +30,23 @@ type t = {
   mutable errors : int;
   mutable bytes_in : int;
   mutable bytes_out : int;
+  mutable admission_refused : int;
+  mutable admission_warned : int;
 }
 
-let create ?(cache_bytes = 256 * 1024 * 1024) ?(recover = true) ~root () =
+let create ?(cache_bytes = 256 * 1024 * 1024) ?(recover = true)
+    ?(admission = Warn) ~root () =
   let quarantined = if recover then Artifact.recover_root root else [] in
   { root;
+    admission;
     cache = Lru.create ~budget:cache_bytes;
     started = Unix.gettimeofday ();
     ops = Hashtbl.create 8;
     lock = Mutex.create ();
     quarantined;
     extra_stats = (fun () -> []);
-    requests = 0; errors = 0; bytes_in = 0; bytes_out = 0 }
+    requests = 0; errors = 0; bytes_in = 0; bytes_out = 0;
+    admission_refused = 0; admission_warned = 0 }
 
 let quarantined t = t.quarantined
 let set_stats_hook t f = t.extra_stats <- f
@@ -100,6 +113,33 @@ let id_ok id =
 
 let path_of_id t id = Filename.concat t.root (id ^ ".mfti")
 
+(* Certification gate between disk and the cache.  An artifact with no
+   certificate (a version-1 file or a pack without [--certify]) or a
+   certificate that records a failed check is inadmissible evidence:
+   [Strict] refuses it with a typed response, [Warn] serves it but
+   counts the lapse, [Open] waves everything through.  Runs on cache
+   misses only — a resident model already passed the same policy. *)
+let admission_gate t id (art : Artifact.t) =
+  let defect =
+    match Mfti.Engine.Model.certificate art.Artifact.model with
+    | None -> Some "uncertified (no certificate in the artifact)"
+    | Some c when not (Mfti.Certify.Certificate.passed c) ->
+      Some ("failed certification: " ^ Mfti.Certify.Certificate.to_string c)
+    | Some _ -> None
+  in
+  match (defect, t.admission) with
+  | None, _ | Some _, Open -> ()
+  | Some _, Warn ->
+    locked t (fun () -> t.admission_warned <- t.admission_warned + 1)
+  | Some reason, Strict ->
+    locked t (fun () -> t.admission_refused <- t.admission_refused + 1);
+    Mfti_error.raise_error
+      (Mfti_error.Validation
+         { context = "serve.admission";
+           message =
+             Printf.sprintf "model %s refused under strict admission: %s" id
+               reason })
+
 (* Load through the cache; [snd] of the result tells whether it was
    resident already.  The lock covers each cache operation but not the
    disk load + compile in between: two workers missing on the same id
@@ -118,6 +158,7 @@ let get_model t id =
       | Ok art -> art
       | Error e -> Mfti_error.raise_error e
     in
+    admission_gate t id art;
     let compiled = Compiled.of_model art.Artifact.model in
     let bytes = (Unix.stat path).Unix.st_size in
     locked t (fun () -> Lru.insert t.cache id ~bytes (art, compiled));
@@ -185,6 +226,23 @@ let op_list_models t =
       ("op", Sjson.Str "list-models");
       ("models", Sjson.Arr models) ]
 
+let certificate_json m =
+  match Mfti.Engine.Model.certificate m with
+  | None -> Sjson.Null
+  | Some c ->
+    let num x = if Float.is_finite x then Sjson.Num x else Sjson.Null in
+    Sjson.Obj
+      [ ("stable", Sjson.Bool c.Mfti.Certify.Certificate.stable);
+        ("passive", Sjson.Bool c.Mfti.Certify.Certificate.passive);
+        ("passed", Sjson.Bool (Mfti.Certify.Certificate.passed c));
+        ("flipped",
+         Sjson.Num (float_of_int c.Mfti.Certify.Certificate.flipped));
+        ("repair_iterations",
+         Sjson.Num (float_of_int c.Mfti.Certify.Certificate.repair_iterations));
+        ("worst_margin", num c.Mfti.Certify.Certificate.worst_margin);
+        ("pre_margin", num c.Mfti.Certify.Certificate.pre_margin);
+        ("fit_delta", num c.Mfti.Certify.Certificate.fit_delta) ]
+
 let op_model_info t req =
   let id = str_field req "model" in
   let (art, compiled), cached = get_model t id in
@@ -202,6 +260,7 @@ let op_model_info t req =
       ("fit_err", Sjson.Num art.Artifact.fit_err);
       ("mode", Sjson.Str (mode_str compiled));
       ("poles", Sjson.Num (float_of_int (Array.length (Compiled.poles compiled))));
+      ("certificate", certificate_json m);
       ("cached", Sjson.Bool cached) ]
 
 let matrix_json h =
@@ -256,6 +315,11 @@ let stats_json t =
           ("bytes_in", Sjson.Num (float_of_int t.bytes_in));
           ("bytes_out", Sjson.Num (float_of_int t.bytes_out));
           ("quarantined", Sjson.Num (float_of_int (List.length t.quarantined)));
+          ( "admission",
+            Sjson.Obj
+              [ ("policy", Sjson.Str (admission_name t.admission));
+                ("refused", Sjson.Num (float_of_int t.admission_refused));
+                ("warned", Sjson.Num (float_of_int t.admission_warned)) ] );
           ("by_op", Sjson.Obj per_op);
           ( "cache",
             Sjson.Obj

@@ -34,6 +34,19 @@
     Model ids are restricted to [A-Za-z0-9_.-] — the server never
     concatenates request text into a path outside the root.
 
+    {2 Admission policy}
+
+    Models carry certification evidence (a {!Mfti.Certify.Certificate.t}
+    in version-2 artifacts; see {!Artifact}).  The {!admission} policy
+    decides what happens when a model arrives without one, or with one
+    that records a failed check: [Strict] refuses it with a typed
+    ["validation"] response (context ["serve.admission"]), [Warn] (the
+    default) serves it but counts the lapse, [Open] ignores
+    certification entirely.  The gate runs on cache misses — the
+    ["model-info"] response includes the certificate (or [null]) and
+    ["stats"] reports the policy with refused/warned counts under
+    ["admission"].
+
     Loaded artifacts are compiled once ({!Compiled.of_model}) and kept
     in an {!Lru} cache accounted at their on-disk byte size.  The cache
     and every counter sit behind one internal mutex, so {!handle_line}
@@ -42,12 +55,22 @@
 
 type t
 
+(** What to do with a model whose artifact carries no certificate, or a
+    certificate recording a failed stability/passivity check. *)
+type admission =
+  | Open    (** serve everything, certification ignored *)
+  | Warn    (** serve it, but count it in [stats.admission.warned] *)
+  | Strict  (** refuse it with a typed ["validation"] response *)
+
 (** [create ~root ()] serves artifacts under directory [root].
-    [cache_bytes] is the LRU budget (default 256 MiB).  Unless
-    [recover] is [false], the root is scanned first
+    [cache_bytes] is the LRU budget (default 256 MiB).  [admission]
+    (default [Warn]) gates uncertified / failed-certification models.
+    Unless [recover] is [false], the root is scanned first
     ({!Artifact.recover_root}): torn or orphaned files are quarantined
     before anything can be served from them — see {!quarantined}. *)
-val create : ?cache_bytes:int -> ?recover:bool -> root:string -> unit -> t
+val create :
+  ?cache_bytes:int -> ?recover:bool -> ?admission:admission -> root:string ->
+  unit -> t
 
 (** Files moved aside by the startup recovery scan (empty when
     [~recover:false] or the root was clean). *)

@@ -29,6 +29,12 @@
       connections finish within [drain_ms], then force-close the
       stragglers and join every runner.
 
+    The certification {!Server.admission} policy is inherited from the
+    wrapped server: a supervisor over a [Strict] server refuses
+    uncertified / failed-certification models with the same typed
+    ["validation"] response on every worker, and the refused/warned
+    counts surface through the shared ["stats"] op.
+
     Fault sites (see {!Linalg.Fault}) exercised by the chaos suite:
     ["serve.slow_client"] forces the partial-frame deadline,
     ["serve.stall"] makes a request overshoot its deadline,

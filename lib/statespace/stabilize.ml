@@ -6,7 +6,13 @@ type result = {
   max_residual : float;
 }
 
-let reflect ?(min_decay = 1e-9) sys =
+let breakdown ?condition message =
+  Mfti_error.raise_error
+    (Mfti_error.Numerical_breakdown
+       { context = "stabilize"; message; condition })
+
+let reflect ?(min_decay = 1e-9) ?(max_residual = infinity) sys =
+  let residual_threshold = max_residual in
   let sys = Descriptor.to_proper sys in
   let n = Descriptor.order sys in
   if n = 0 then { model = sys; flipped = 0; max_residual = 0. }
@@ -14,7 +20,7 @@ let reflect ?(min_decay = 1e-9) sys =
     let f =
       match Lu.factorize sys.Descriptor.e with
       | exception Lu.Singular _ ->
-        invalid_arg "Stabilize.reflect: E singular after index reduction"
+        breakdown "E singular after index reduction"
       | f -> f
     in
     let a0 = Lu.solve f sys.Descriptor.a in
@@ -43,6 +49,14 @@ let reflect ?(min_decay = 1e-9) sys =
           if !s > 0. then
             max_residual := Stdlib.max !max_residual (sqrt (!r /. !s)))
         values;
+      (* [nan] poisoning (fault injection upstream) must also refuse:
+         a NaN residual is "not known to be below the threshold" *)
+      if not (!max_residual <= residual_threshold) then
+        breakdown ~condition:!max_residual
+          (Printf.sprintf
+             "modal decomposition residual %.3g exceeds the trust \
+              threshold %.3g; pole reflection would be untrustworthy"
+             !max_residual residual_threshold);
       let flipped = ref 0 in
       let flipped_values =
         Array.map

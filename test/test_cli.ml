@@ -137,8 +137,9 @@ let test_pack () =
 let test_inspect () =
   let code, text = run (Printf.sprintf "inspect %s" artifact_path) in
   Alcotest.(check int) "exit code" 0 code;
-  check_contains "inspect" "format v1, checksum ok" text;
+  check_contains "inspect" "format v2, checksum ok" text;
   check_contains "inspect" "name: ladder" text;
+  check_contains "inspect" "certificate: none (uncertified)" text;
   check_contains "inspect" "2 outputs x 2 inputs" text;
   check_contains "inspect" "compiled: pole-residue" text
 

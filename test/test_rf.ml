@@ -459,6 +459,61 @@ let test_passivity_pdn () =
       true
       (Passivity.max_violation model ~freqs:(Sampling.logspace 1e5 1e10 60) < 1e-6)
 
+let test_passivity_lossless_boundary () =
+  (* all-pass S(s) = (s-1)/(s+1): |S(jw)| = 1 at every frequency and
+     sigma_max D = 1 exactly — the lossless boundary.  The default
+     gamma margin must keep it on the passive side; at margin 0 the
+     feedthrough precondition itself trips. *)
+  let sys =
+    Descriptor.of_state_space
+      ~a:(Cmat.scalar (cx (-1.) 0.)) ~b:(Cmat.scalar Cx.one)
+      ~c:(Cmat.scalar (cx (-2.) 0.)) ~d:(Cmat.scalar Cx.one)
+  in
+  (match Passivity.check sys with
+   | Passivity.Passive -> ()
+   | Passivity.Feedthrough_violation s ->
+     Alcotest.failf "lossless boundary flagged at infinity (sigma D = %.12g)" s
+   | Passivity.Violations fs ->
+     Alcotest.failf "lossless boundary flagged with %d crossings"
+       (List.length fs));
+  check_small ~tol:1e-9 "sampled margin sits on the boundary"
+    (Passivity.max_violation sys ~freqs:(Sampling.logspace 1e-3 1e3 25));
+  match Passivity.check ~gamma_margin:0. sys with
+  | Passivity.Feedthrough_violation s -> check_close ~tol:1e-12 "sigma D" 1. s
+  | Passivity.Passive | Passivity.Violations _ ->
+    Alcotest.fail "margin 0 must trip the feedthrough precondition"
+
+let test_passivity_singular_e_descriptor () =
+  (* index-1: one algebraic state (zero row of E) that Kron reduction
+     solves out, leaving S(s) = 0.2/(s+1) + 0.09 — well inside the
+     unit ball, so the Hamiltonian test must pass on the reduced
+     proper model *)
+  let e = Cmat.of_rows [ [ Cx.one; Cx.zero ]; [ Cx.zero; Cx.zero ] ] in
+  let a =
+    Cmat.of_rows [ [ cx (-1.) 0.; Cx.zero ]; [ Cx.zero; cx (-1.) 0. ] ]
+  in
+  let b = Cmat.of_rows [ [ Cx.one ]; [ cx 0.3 0. ] ] in
+  let c = Cmat.of_rows [ [ cx 0.2 0.; cx 0.3 0. ] ] in
+  let sys = Descriptor.create ~e ~a ~b ~c ~d:(Cmat.zeros 1 1) in
+  check_close ~tol:1e-12 "reduced DC gain" 0.29
+    (Cx.abs (Cmat.get (Descriptor.eval sys Cx.zero) 0 0));
+  (match Passivity.check sys with
+   | Passivity.Passive -> ()
+   | Passivity.Feedthrough_violation s ->
+     Alcotest.failf "index-1 descriptor: spurious feedthrough %.3g" s
+   | Passivity.Violations fs ->
+     Alcotest.failf "index-1 descriptor: %d spurious crossings"
+       (List.length fs));
+  (* index-2 (nilpotent E coupling): a loud precondition failure, not a
+     silently wrong verdict *)
+  let e2 = Cmat.of_rows [ [ Cx.zero; Cx.one ]; [ Cx.zero; Cx.zero ] ] in
+  let sys2 =
+    Descriptor.create ~e:e2 ~a:(Cmat.identity 2) ~b ~c ~d:(Cmat.zeros 1 1)
+  in
+  match Passivity.check sys2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "index-2 descriptor accepted"
+
 (* ------------------------------------------------------------------ *)
 (* Noise *)
 
@@ -796,7 +851,11 @@ let () =
        [ Alcotest.test_case "passive ladder" `Quick test_passivity_ladder;
          Alcotest.test_case "analytic crossing" `Quick test_passivity_analytic_crossing;
          Alcotest.test_case "feedthrough" `Quick test_passivity_feedthrough;
-         Alcotest.test_case "pdn" `Quick test_passivity_pdn ]);
+         Alcotest.test_case "pdn" `Quick test_passivity_pdn;
+         Alcotest.test_case "lossless boundary" `Quick
+           test_passivity_lossless_boundary;
+         Alcotest.test_case "singular-E descriptor" `Quick
+           test_passivity_singular_e_descriptor ]);
       ("noise",
        [ Alcotest.test_case "zero level" `Quick test_noise_zero_level;
          Alcotest.test_case "statistics" `Quick test_noise_statistics;

@@ -536,6 +536,34 @@ let test_stabilize_preserves_far_response () =
   Alcotest.(check bool) "stable" true (Poles.is_stable r.Stabilize.model);
   Alcotest.(check bool) "some flips" true (r.Stabilize.flipped >= 1)
 
+let test_stabilize_residual_refusal () =
+  (* a near-defective unstable pair (eigenvalues 1 and 1 + 1e-8 coupled
+     by 1e8): the eigenvector matrix is catastrophically conditioned,
+     so the modal reconstruction residual cannot be small and a
+     reflection built on it would be untrustworthy.  With a trust
+     threshold set, the refusal must be the typed error — never
+     [Invalid_argument], never a silently wrong model. *)
+  let a =
+    Cmat.of_rows [ [ cx 1. 0.; cx 1e8 0. ]; [ Cx.zero; cx (1. +. 1e-8) 0. ] ]
+  in
+  let sys =
+    Descriptor.of_state_space ~a
+      ~b:(Cmat.of_rows [ [ Cx.one ]; [ Cx.one ] ])
+      ~c:(Cmat.of_rows [ [ Cx.one; Cx.one ] ])
+      ~d:(Cmat.zeros 1 1)
+  in
+  (match Stabilize.reflect ~max_residual:1e-12 sys with
+   | _ -> Alcotest.fail "untrustworthy modal decomposition accepted"
+   | exception Mfti_error.Error (Mfti_error.Numerical_breakdown nb) ->
+     Alcotest.(check string) "context" "stabilize" nb.context;
+     (match nb.condition with
+      | Some r -> Alcotest.(check bool) "residual reported" true (r > 1e-12)
+      | None -> Alcotest.fail "residual missing from the error"));
+  (* the default threshold (infinity) keeps legacy callers working *)
+  let r = Stabilize.reflect sys in
+  Alcotest.(check bool) "default threshold still flips" true
+    (r.Stabilize.flipped >= 1)
+
 (* ------------------------------------------------------------------ *)
 (* Property-based tests *)
 
@@ -631,5 +659,6 @@ let () =
       ("stabilize",
        [ Alcotest.test_case "flips unstable" `Quick test_stabilize_flips;
          Alcotest.test_case "no-op when stable" `Quick test_stabilize_noop_when_stable;
-         Alcotest.test_case "buried unstable mode" `Quick test_stabilize_preserves_far_response ]);
+         Alcotest.test_case "buried unstable mode" `Quick test_stabilize_preserves_far_response;
+         Alcotest.test_case "untrustworthy residual refusal" `Quick test_stabilize_residual_refusal ]);
       ("properties", statespace_props) ]
