@@ -17,7 +17,10 @@
      dune exec bench/main.exe -- supervisor [--smoke] -- socket transport
                                             throughput at 1/2/4 workers and
                                             overload shed rate
-                                            (BENCH_supervisor.json) *)
+                                            (BENCH_supervisor.json)
+     dune exec bench/main.exe -- session [--smoke] -- adaptive vs uniform
+                                            frequency selection on the PDN
+                                            workload (BENCH_session.json) *)
 
 let commands =
   [ ("fig1", Fig1.run);
@@ -30,7 +33,8 @@ let commands =
     ("kernels", Kernels.run ?smoke:None);
     ("engine", Engine_bench.run ?smoke:None);
     ("serve", Serve_bench.run ?smoke:None);
-    ("supervisor", Supervisor_bench.run ?smoke:None) ]
+    ("supervisor", Supervisor_bench.run ?smoke:None);
+    ("session", Session_bench.run ?smoke:None) ]
 
 let run_all () =
   List.iter (fun (_, f) -> f ()) commands
@@ -46,6 +50,8 @@ let () =
     Serve_bench.run ~smoke:(List.mem "--smoke" rest) ()
   | _ :: "supervisor" :: rest ->
     Supervisor_bench.run ~smoke:(List.mem "--smoke" rest) ()
+  | _ :: "session" :: rest ->
+    Session_bench.run ~smoke:(List.mem "--smoke" rest) ()
   | [ _ ] | [ _; "all" ] -> run_all ()
   | [ _; cmd ] ->
     (match List.assoc_opt cmd commands with

@@ -9,6 +9,8 @@
      pack     fit and write a binary model artifact (.mfti)
      inspect  print a packed artifact's metadata (checksum-verified)
      serve    answer eval-grid queries over stdio or a Unix socket
+     fit-stream  stream a Touchstone file into a server-resident fit
+                 session in batches and finalize into the model store
 
    Examples:
      mfti gen pdn --ports 8 --out board.s8p
@@ -321,7 +323,10 @@ let run_engine path policy strategy width rank_tol seed batch threshold
   let data = load ~policy path in
   let dataset = Dataset.of_samples data.Rf.Touchstone.samples in
   let dataset =
-    if holdout_every > 0 then Dataset.partition ~every:holdout_every dataset
+    if holdout_every > 0 then
+      match Dataset.partition ~every:holdout_every dataset with
+      | Ok d -> d
+      | Error e -> Linalg.Mfti_error.raise_error e
     else dataset
   in
   let dataset = Dataset.trim_even dataset in
@@ -786,6 +791,249 @@ let serve_cmd =
           $ workers_arg $ queue_arg $ request_timeout_arg $ drain_arg
           $ admission_arg)
 
+(* ------------------------------------------------------------------ *)
+(* fit-stream: drive a server-resident streaming fit session *)
+
+let stream_socket_arg =
+  let doc = "Unix domain socket of a running $(b,mfti serve --socket)." in
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let batches_arg =
+  let doc = "Stream the fitting samples in this many batches." in
+  Arg.(value & opt int 3 & info [ "batches" ] ~docv:"N" ~doc)
+
+let suggest_arg =
+  let doc =
+    "Ask the server for this many adaptive next-frequency suggestions \
+     before finalizing (0 = skip)."
+  in
+  Arg.(value & opt int 2 & info [ "suggest" ] ~docv:"N" ~doc)
+
+let model_id_arg =
+  let doc =
+    "Model id the finalized fit is packed under in the server's store \
+     (default: the input file's base name)."
+  in
+  Arg.(value & opt (some string) None & info [ "model-id" ] ~docv:"ID" ~doc)
+
+let certify_name = function
+  | Certify.Off -> "off"
+  | Certify.Check -> "check"
+  | Certify.Repair -> "repair"
+
+let stream_fail message =
+  Linalg.Mfti_error.raise_error
+    (Linalg.Mfti_error.Validation { context = "fit-stream"; message })
+
+let sample_json (s : Sampling.sample) =
+  let p, m = Linalg.Cmat.dims s.Sampling.s in
+  Serve.Sjson.Obj
+    [ ("freq", Serve.Sjson.Num s.Sampling.freq);
+      ( "s",
+        Serve.Sjson.Arr
+          (List.init p (fun i ->
+               Serve.Sjson.Arr
+                 (List.init m (fun j ->
+                      let z = Linalg.Cmat.get s.Sampling.s i j in
+                      Serve.Sjson.Arr
+                        [ Serve.Sjson.Num z.Linalg.Cx.re;
+                          Serve.Sjson.Num z.Linalg.Cx.im ])))) ) ]
+
+let stream_request oc ic req =
+  output_string oc (Serve.Sjson.to_string req);
+  output_char oc '\n';
+  flush oc;
+  match input_line ic with
+  | exception End_of_file -> stream_fail "server closed the connection"
+  | line ->
+    let resp =
+      match Serve.Sjson.parse line with
+      | resp -> resp
+      | exception Serve.Sjson.Parse_error m ->
+        stream_fail ("unparseable server response: " ^ m)
+    in
+    (match Serve.Sjson.member "ok" resp with
+     | Some (Serve.Sjson.Bool true) -> resp
+     | _ ->
+       let detail =
+         match Serve.Sjson.member "error" resp with
+         | Some err ->
+           (match (Serve.Sjson.member "kind" err,
+                   Serve.Sjson.member "message" err) with
+            | Some (Serve.Sjson.Str k), Some (Serve.Sjson.Str m) ->
+              k ^ ": " ^ m
+            | _ -> line)
+         | None -> line
+       in
+       stream_fail ("server refused: " ^ detail))
+
+let jstr resp name =
+  match Serve.Sjson.member name resp with
+  | Some (Serve.Sjson.Str s) -> s
+  | _ -> stream_fail (Printf.sprintf "response is missing string %S" name)
+
+let jnum resp name =
+  match Serve.Sjson.member name resp with
+  | Some (Serve.Sjson.Num f) -> f
+  | _ -> stream_fail (Printf.sprintf "response is missing number %S" name)
+
+let run_fit_stream path policy socket batches holdout_every width rank_tol
+    certify_mode suggest model_id =
+  guarded @@ fun () ->
+  if batches < 1 then invalid_arg "fit-stream: --batches must be >= 1";
+  if suggest < 0 then invalid_arg "fit-stream: --suggest must be >= 0";
+  let data = load ~policy path in
+  let samples = data.Rf.Touchstone.samples in
+  let fit, held =
+    if holdout_every > 0 then Sampling.partition ~every:holdout_every samples
+    else (samples, [||])
+  in
+  let fit = Tangential.trim_even fit in
+  if Array.length fit < 2 then
+    stream_fail "need at least one sample pair to stream";
+  let p, m = Sampling.port_dims fit in
+  let model_id =
+    match model_id with
+    | Some id -> id
+    | None -> Filename.remove_extension (Filename.basename path)
+  in
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect sock (Unix.ADDR_UNIX socket) with
+   | () -> ()
+   | exception Unix.Unix_error (e, _, _) ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     stream_fail
+       (Printf.sprintf "cannot connect to %s: %s" socket
+          (Unix.error_message e)));
+  let ic = Unix.in_channel_of_descr sock in
+  let oc = Unix.out_channel_of_descr sock in
+  Fun.protect
+    ~finally:(fun () ->
+      (try close_out oc with Sys_error _ -> ());
+      (try close_in ic with Sys_error _ -> ()))
+  @@ fun () ->
+  let request = stream_request oc ic in
+  let open_fields =
+    [ ("op", Serve.Sjson.Str "fit-open");
+      ( "ports",
+        if p = m then Serve.Sjson.Num (float_of_int p)
+        else
+          Serve.Sjson.Arr
+            [ Serve.Sjson.Num (float_of_int p);
+              Serve.Sjson.Num (float_of_int m) ] );
+      ("certify", Serve.Sjson.Str (certify_name certify_mode)) ]
+    @ (if width > 0 then [ ("width", Serve.Sjson.Num (float_of_int width)) ]
+       else [])
+    @ (if rank_tol > 0. then [ ("rank-tol", Serve.Sjson.Num rank_tol) ]
+       else [])
+  in
+  let opened = request (Serve.Sjson.Obj open_fields) in
+  let session = jstr opened "session" in
+  Printf.printf "session %s: %dx%d ports, ttl %gs\n%!" session p m
+    (jnum opened "ttl_s");
+  let npairs = Array.length fit / 2 in
+  let per_batch = Stdlib.max 1 ((npairs + batches - 1) / batches) in
+  let b = ref 0 in
+  while !b * per_batch < npairs do
+    let lo = !b * per_batch * 2 in
+    let hi = Stdlib.min (Array.length fit) ((!b + 1) * per_batch * 2) in
+    let chunk = Array.sub fit lo (hi - lo) in
+    let resp =
+      request
+        (Serve.Sjson.Obj
+           [ ("op", Serve.Sjson.Str "fit-add-samples");
+             ("session", Serve.Sjson.Str session);
+             ( "samples",
+               Serve.Sjson.Arr
+                 (Array.to_list (Array.map sample_json chunk)) ) ])
+    in
+    Printf.printf "batch %d: +%d samples (%d total), stage %s\n%!" (!b + 1)
+      (Array.length chunk)
+      (int_of_float (jnum resp "samples"))
+      (jstr resp "stage");
+    incr b
+  done;
+  if Array.length held > 0 then begin
+    let resp =
+      request
+        (Serve.Sjson.Obj
+           [ ("op", Serve.Sjson.Str "fit-add-samples");
+             ("session", Serve.Sjson.Str session);
+             ("holdout", Serve.Sjson.Bool true);
+             ( "samples",
+               Serve.Sjson.Arr
+                 (Array.to_list (Array.map sample_json held)) ) ])
+    in
+    Printf.printf "hold-out: +%d samples (%d total)\n%!" (Array.length held)
+      (int_of_float (jnum resp "holdout_samples"))
+  end;
+  let status =
+    request
+      (Serve.Sjson.Obj
+         [ ("op", Serve.Sjson.Str "fit-status");
+           ("session", Serve.Sjson.Str session);
+           ("refit", Serve.Sjson.Bool true) ])
+  in
+  (match Serve.Sjson.member "holdout_err" status with
+   | Some (Serve.Sjson.Num e) ->
+     Printf.printf "refit: stage %s, hold-out ERR %.3e\n%!"
+       (jstr status "stage") e
+   | _ -> Printf.printf "refit: stage %s\n%!" (jstr status "stage"));
+  if suggest > 0 then begin
+    let resp =
+      request
+        (Serve.Sjson.Obj
+           [ ("op", Serve.Sjson.Str "fit-suggest");
+             ("session", Serve.Sjson.Str session);
+             ("count", Serve.Sjson.Num (float_of_int suggest)) ])
+    in
+    match Serve.Sjson.member "suggestions" resp with
+    | Some (Serve.Sjson.Arr suggestions) ->
+      Printf.printf "suggested next frequencies:\n";
+      List.iter
+        (fun s ->
+          Printf.printf "  %.6g Hz (score %.3e)\n" (jnum s "freq")
+            (jnum s "score"))
+        suggestions;
+      Printf.printf "%!"
+    | _ -> stream_fail "fit-suggest response has no suggestions"
+  end;
+  let fin =
+    request
+      (Serve.Sjson.Obj
+         [ ("op", Serve.Sjson.Str "fit-finalize");
+           ("session", Serve.Sjson.Str session);
+           ("model", Serve.Sjson.Str model_id);
+           ("name", Serve.Sjson.Str (Filename.basename path)) ])
+  in
+  let fit_err =
+    match Serve.Sjson.member "fit_err" fin with
+    | Some (Serve.Sjson.Num e) -> Printf.sprintf "%.3e" e
+    | _ -> "n/a"
+  in
+  Printf.printf "finalized: model %s, order %d, rank %d, ERR %s%s\n%!"
+    (jstr fin "model")
+    (int_of_float (jnum fin "order"))
+    (int_of_float (jnum fin "rank"))
+    fit_err
+    (match Serve.Sjson.member "certificate" fin with
+     | Some (Serve.Sjson.Obj _) -> " (certified)"
+     | _ -> "");
+  0
+
+let fit_stream_cmd =
+  let info =
+    Cmd.info "fit-stream"
+      ~doc:
+        "Stream a Touchstone file into a server-resident fit session in \
+         batches, ask for adaptive next frequencies, and finalize into \
+         the server's model store."
+  in
+  Cmd.v info
+    Term.(const run_fit_stream $ touchstone_arg $ policy_arg
+          $ stream_socket_arg $ batches_arg $ holdout_arg $ width_arg
+          $ rank_tol_arg $ certify_arg $ suggest_arg $ model_id_arg)
+
 let () =
   let doc = "matrix-format tangential interpolation macromodeling" in
   let info = Cmd.info "mfti" ~version:"1.0.0" ~doc in
@@ -793,4 +1041,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ fit_cmd; engine_cmd; gen_cmd; compare_cmd; info_cmd; pack_cmd;
-            inspect_cmd; serve_cmd ]))
+            inspect_cmd; serve_cmd; fit_stream_cmd ]))

@@ -18,9 +18,24 @@ let holdout_size t = Array.length t.holdout
 let port_dims t = Sampling.port_dims t.fit
 let frequencies t = Array.map (fun s -> s.Sampling.freq) t.fit
 
+let append_fit samples t = { t with fit = Array.append t.fit samples }
+
+let append_holdout samples t =
+  { t with holdout = Array.append t.holdout samples }
+
 let partition ~every t =
-  let fit, held = Sampling.partition ~every t.fit in
-  { fit; holdout = Array.append t.holdout held }
+  if every <= 1 then
+    Result.Error
+      (Linalg.Mfti_error.Validation
+         { context = "dataset";
+           message =
+             Printf.sprintf
+               "partition: every must be >= 2 (got %d); every k-th sample \
+                moves to the hold-out set"
+               every })
+  else
+    let fit, held = Sampling.partition ~every t.fit in
+    Ok { fit; holdout = Array.append t.holdout held }
 
 let trim_even t = { t with fit = Tangential.trim_even t.fit }
 

@@ -30,9 +30,20 @@ val port_dims : t -> int * int
 (** Fitting-sample frequencies in Hz, in order. *)
 val frequencies : t -> float array
 
+(** [append_fit samples t] extends the fitting view with [samples], in
+    order, after the existing ones — the streaming-session append.  The
+    input arrays are not validated here; run {!validate} (or let the
+    session layer vet each batch) before fitting. *)
+val append_fit : Statespace.Sampling.sample array -> t -> t
+
+(** [append_holdout samples t] extends the hold-out view. *)
+val append_holdout : Statespace.Sampling.sample array -> t -> t
+
 (** [partition ~every t] moves every [every]-th fitting sample into the
-    hold-out set (appended after any existing hold-out samples). *)
-val partition : every:int -> t -> t
+    hold-out set (appended after any existing hold-out samples).
+    [every <= 1] is a typed [Validation] error — it would hold out
+    everything (1) or nothing at all (0 and below). *)
+val partition : every:int -> t -> (t, Linalg.Mfti_error.t) result
 
 (** Drop the last fitting sample when the count is odd (the tangential
     split needs an even count). *)

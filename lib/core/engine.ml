@@ -667,3 +667,338 @@ let fit ?options ?strategy samples =
   match fit_result ?options ?strategy samples with
   | Ok f -> f
   | Result.Error e -> Mfti_error.raise_error e
+
+(* ------------------------------------------------------------------ *)
+(* Streaming fit sessions *)
+
+module Session = struct
+  (* A session is the staged pipeline turned inside out: instead of one
+     ingest fixing the sample set forever, samples stream in and the
+     incremental Loewner builder absorbs each completed right/left pair
+     as one O(k) append.  The assemble stage therefore never reruns;
+     an append only invalidates the downstream realify/reduce/certify
+     caches, and a refit replays exactly those.
+
+     Bit-identity with the batch path rests on two facts: direction
+     streams depend only on (seed, block index, side), so the [k]-th
+     streamed pair produces exactly the blocks [Tangential.build] makes
+     for position [k]; and every builder entry comes from the same
+     fixed-order scalar formula regardless of append schedule, so the
+     snapshot equals [Loewner.build] on the same data bitwise. *)
+
+  type counters = {
+    appended : int;    (** fit samples accepted over the session *)
+    held_out : int;    (** hold-out samples accepted *)
+    refits : int;      (** reduce-stage reruns *)
+    suggests : int;    (** adaptive suggestions served (see {!record_suggest}) *)
+  }
+
+  type t = {
+    s_options : options;
+    s_inputs : int;
+    s_outputs : int;
+    s_right_width : int;
+    s_left_width : int;
+    s_diag : Diag.t;
+    s_builder : Loewner.builder;
+    s_freqs : (float, unit) Hashtbl.t;        (* fit + pending frequencies *)
+    s_holdout_freqs : (float, unit) Hashtbl.t;
+    mutable s_dataset : Dataset.t;            (* completed pairs + hold-out *)
+    mutable s_pending : Statespace.Sampling.sample option;
+    mutable s_blocks : int;                   (* completed pair count *)
+    mutable s_realified : Loewner.t option;
+    mutable s_reduction : Svd_reduce.result option;
+    mutable s_certified :
+      (Statespace.Descriptor.t * Certify.Certificate.t option) option;
+    mutable s_finalized : bool;
+    mutable s_invalidated : stage list;       (* dropped by the last append *)
+    mutable s_appended : int;
+    mutable s_held_out : int;
+    mutable s_refits : int;
+    mutable s_suggests : int;
+    mutable s_timings : (string * float) list;
+  }
+
+  let context = "session"
+
+  let stimed sess name f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    (if List.mem_assoc name sess.s_timings then
+       sess.s_timings <-
+         List.map
+           (fun (n, v) -> if String.equal n name then (n, v +. dt) else (n, v))
+           sess.s_timings
+     else sess.s_timings <- sess.s_timings @ [ (name, dt) ]);
+    x
+
+  let invalid message =
+    Mfti_error.raise_error (Mfti_error.Validation { context; message })
+
+  let guarded sess f =
+    Diag.using sess.s_diag (fun () -> Mfti_error.guard ~context f)
+
+  let open_ ?(options = default_options) ~inputs ~outputs () =
+    Mfti_error.guard ~context (fun () ->
+        if inputs < 1 || outputs < 1 then
+          invalid
+            (Printf.sprintf "port dimensions must be positive (got %dx%d)"
+               outputs inputs);
+        let cap = Stdlib.min inputs outputs in
+        let width =
+          match options.weight with
+          | Tangential.Full -> cap
+          | Tangential.Uniform t ->
+            if t < 1 || t > cap then
+              invalid
+                (Printf.sprintf "uniform width %d outside [1, %d]" t cap);
+            t
+          | Tangential.Per_sample _ ->
+            invalid
+              "Per_sample weights need the full sample count up front and \
+               cannot drive a stream; use Full or Uniform"
+        in
+        { s_options = options;
+          s_inputs = inputs;
+          s_outputs = outputs;
+          s_right_width = width;
+          s_left_width = width;
+          s_diag = Diag.create ();
+          s_builder = Loewner.builder ~inputs ~outputs ();
+          s_freqs = Hashtbl.create 64;
+          s_holdout_freqs = Hashtbl.create 16;
+          s_dataset = Dataset.of_samples [||];
+          s_pending = None;
+          s_blocks = 0;
+          s_realified = None;
+          s_reduction = None;
+          s_certified = None;
+          s_finalized = false;
+          s_invalidated = [];
+          s_appended = 0;
+          s_held_out = 0;
+          s_refits = 0;
+          s_suggests = 0;
+          s_timings = [] })
+
+  (* Cached downstream results at this moment, outermost first — the
+     stages an accepted fit append will drop. *)
+  let cached_downstream sess =
+    (if sess.s_certified <> None then [ Certified ] else [])
+    @ (if sess.s_reduction <> None then [ Reduced ] else [])
+    @ if sess.s_realified <> None then [ Realified ] else []
+
+  let check_sample sess ~holdout (smp : Statespace.Sampling.sample) seen =
+    let f = smp.Statespace.Sampling.freq in
+    if not (Float.is_finite f && f > 0.) then
+      invalid (Printf.sprintf "sample frequency %g must be finite and positive" f);
+    let p = Cmat.rows smp.Statespace.Sampling.s in
+    let m = Cmat.cols smp.Statespace.Sampling.s in
+    if p <> sess.s_outputs || m <> sess.s_inputs then
+      invalid
+        (Printf.sprintf "sample is %dx%d, session is %dx%d" p m
+           sess.s_outputs sess.s_inputs);
+    for i = 0 to p - 1 do
+      for j = 0 to m - 1 do
+        let z = Cmat.get smp.Statespace.Sampling.s i j in
+        if not (Float.is_finite z.Cx.re && Float.is_finite z.Cx.im) then
+          invalid
+            (Printf.sprintf "non-finite entry (%d,%d) in sample at %g Hz" i j f)
+      done
+    done;
+    let table = if holdout then sess.s_holdout_freqs else sess.s_freqs in
+    if Hashtbl.mem table f || List.mem f seen then
+      invalid (Printf.sprintf "duplicate sample frequency %g" f);
+    f :: seen
+
+  (* Append a batch of samples.  All-or-nothing: the whole batch is
+     vetted against the session (and itself) before any state changes,
+     so a refused batch leaves the session exactly as it was. *)
+  let append ?(holdout = false) sess samples =
+    guarded sess (fun () ->
+        if sess.s_finalized then
+          invalid "session is finalized; open a new one to keep fitting";
+        if Fault.armed "session.stale_append" then
+          invalid
+            "stale append: the session expired between suggest and append \
+             (fault session.stale_append)";
+        let seen = ref [] in
+        Array.iter
+          (fun smp -> seen := check_sample sess ~holdout smp !seen)
+          samples;
+        if holdout then begin
+          Array.iter
+            (fun (smp : Statespace.Sampling.sample) ->
+              Hashtbl.replace sess.s_holdout_freqs smp.Statespace.Sampling.freq ())
+            samples;
+          sess.s_dataset <- Dataset.append_holdout samples sess.s_dataset;
+          sess.s_held_out <- sess.s_held_out + Array.length samples;
+          []
+        end
+        else begin
+          let dropped =
+            if Array.length samples = 0 then [] else cached_downstream sess
+          in
+          stimed sess "assemble" (fun () ->
+              Array.iter
+                (fun (smp : Statespace.Sampling.sample) ->
+                  Hashtbl.replace sess.s_freqs smp.Statespace.Sampling.freq ();
+                  match sess.s_pending with
+                  | None -> sess.s_pending <- Some smp
+                  | Some sr ->
+                    let (ro, rc), (lo, lc) =
+                      Tangential.pair ~directions:sess.s_options.directions
+                        ~block:sess.s_blocks
+                        ~right_width:sess.s_right_width
+                        ~left_width:sess.s_left_width sr smp
+                    in
+                    Loewner.append_right sess.s_builder ro;
+                    Loewner.append_right sess.s_builder rc;
+                    Loewner.append_left sess.s_builder lo;
+                    Loewner.append_left sess.s_builder lc;
+                    sess.s_dataset <-
+                      Dataset.append_fit [| sr; smp |] sess.s_dataset;
+                    sess.s_pending <- None;
+                    sess.s_blocks <- sess.s_blocks + 1)
+                samples);
+          sess.s_appended <- sess.s_appended + Array.length samples;
+          if Array.length samples > 0 then begin
+            sess.s_realified <- None;
+            sess.s_reduction <- None;
+            sess.s_certified <- None;
+            sess.s_invalidated <- dropped
+          end;
+          dropped
+        end)
+
+  (* Downstream-only refit: snapshot the (already assembled) builder,
+     then realify + reduce.  Never rebuilds divided differences. *)
+  let realify_raw sess =
+    match sess.s_realified with
+    | Some _ -> ()
+    | None ->
+      if sess.s_blocks < 1 then
+        invalid "no complete sample pair yet; append at least 2 samples";
+      let p = stimed sess "snapshot" (fun () -> Loewner.snapshot sess.s_builder) in
+      (match Loewner.check_finite ~context p with
+       | Ok () -> ()
+       | Result.Error e -> Mfti_error.raise_error e);
+      let q =
+        if sess.s_options.real_model then
+          stimed sess "realify" (fun () -> Realify.apply p)
+        else p
+      in
+      sess.s_realified <- Some q
+
+  let reduce_raw sess =
+    match sess.s_reduction with
+    | Some _ -> ()
+    | None ->
+      realify_raw sess;
+      let p = Option.get sess.s_realified in
+      let reduced =
+        stimed sess "reduce" (fun () ->
+            Svd_reduce.reduce ~mode:sess.s_options.mode
+              ~rank_rule:sess.s_options.rank_rule ~backend:sess.s_options.svd p)
+      in
+      sess.s_reduction <- Some reduced;
+      sess.s_refits <- sess.s_refits + 1
+
+  let refit sess = guarded sess (fun () -> reduce_raw sess)
+
+  let model_raw sess =
+    reduce_raw sess;
+    let reduced = Option.get sess.s_reduction in
+    let descriptor, certificate =
+      match sess.s_certified with
+      | Some (m, c) -> (m, c)
+      | None -> (reduced.Svd_reduce.model, None)
+    in
+    Model.make ~sigma:reduced.Svd_reduce.sigma ?certificate
+      ~diagnostics:sess.s_diag ~timings:sess.s_timings
+      ~rank:reduced.Svd_reduce.rank descriptor
+
+  let model sess = guarded sess (fun () -> model_raw sess)
+
+  (* Certify (per the session options) and close.  The result is
+     bit-identical to [run ~strategy:Direct] on the same completed
+     pairs: same tangential blocks, same pencil bits, same downstream
+     stages on identical input. *)
+  let finalize sess =
+    guarded sess (fun () ->
+        if sess.s_finalized then invalid "session already finalized";
+        if Fault.armed "session.finalize_race" then
+          invalid
+            "finalize raced another finalize on this session \
+             (fault session.finalize_race)";
+        if sess.s_blocks < 1 then
+          invalid "cannot finalize before the first complete sample pair";
+        (match sess.s_pending with
+         | Some smp ->
+           Diag.record ~site:"session.trim_even"
+             (Printf.sprintf
+                "finalize with an unpaired trailing sample at %g Hz; dropped \
+                 (tangential split needs an even count)"
+                smp.Statespace.Sampling.freq)
+         | None -> ());
+        reduce_raw sess;
+        let reduced = Option.get sess.s_reduction in
+        (match sess.s_options.certify with
+         | Certify.Off ->
+           sess.s_certified <- Some (reduced.Svd_reduce.model, None)
+         | mode ->
+           let copts = { Certify.default_options with mode } in
+           let freqs = Dataset.frequencies sess.s_dataset in
+           (match
+              stimed sess "certify" (fun () ->
+                  Certify.run ~options:copts ~freqs reduced.Svd_reduce.model)
+            with
+            | Ok pair -> sess.s_certified <- Some pair
+            | Result.Error e -> Mfti_error.raise_error e));
+        sess.s_finalized <- true;
+        model_raw sess)
+
+  let stage sess =
+    match sess.s_certified with
+    | Some _ -> Certified
+    | None ->
+      (match sess.s_reduction with
+       | Some _ -> Reduced
+       | None ->
+         (match sess.s_realified with
+          | Some _ -> Realified
+          | None -> if sess.s_blocks > 0 then Assembled else Ingested))
+
+  let dataset sess = sess.s_dataset
+  let fit_samples sess = Dataset.fit_samples sess.s_dataset
+  let holdout_samples sess = Dataset.holdout_samples sess.s_dataset
+  let options sess = sess.s_options
+  let dims sess = (sess.s_outputs, sess.s_inputs)
+  let size sess = Dataset.size sess.s_dataset
+  let holdout_size sess = Dataset.holdout_size sess.s_dataset
+  let pending sess = sess.s_pending <> None
+  let finalized sess = sess.s_finalized
+  let invalidated sess = sess.s_invalidated
+  let diagnostics sess = sess.s_diag
+  let timings sess = sess.s_timings
+  let record_suggest sess = sess.s_suggests <- sess.s_suggests + 1
+
+  let counters sess =
+    { appended = sess.s_appended;
+      held_out = sess.s_held_out;
+      refits = sess.s_refits;
+      suggests = sess.s_suggests }
+
+  (* Hold-out error of the current model; [None] before the first pair
+     or when no hold-out samples exist. *)
+  let holdout_err sess =
+    if sess.s_blocks < 1 || Dataset.holdout_size sess.s_dataset = 0 then
+      Ok None
+    else
+      match model sess with
+      | Ok m ->
+        Ok (Some (Metrics.err (Model.descriptor m)
+                    (Dataset.holdout_samples sess.s_dataset)))
+      | Result.Error e -> Result.Error e
+end

@@ -206,3 +206,106 @@ val fit_result :
 val fit :
   ?options:options -> ?strategy:strategy ->
   Statespace.Sampling.sample array -> fit
+
+(** {1 Streaming fit sessions}
+
+    A session is the pipeline turned live: instead of one ingest fixing
+    the sample set, samples stream in — as instruments produce them —
+    and the incremental {!Loewner.builder} absorbs each completed
+    right/left pair as one O(k) append.  The assemble stage never
+    reruns; an append only invalidates the cached downstream stages
+    (realify / reduce / certify), and {!refit} replays exactly those.
+    {!finalize} certifies per the session options and is bit-identical
+    to [run ~strategy:Direct] over the same completed pairs.
+
+    Sessions are single-owner mutable values with no internal locking;
+    the serving layer serializes access per session. *)
+module Session : sig
+  type t
+
+  (** Monotonic per-session activity counters, for the serving layer's
+      [stats] op. *)
+  type counters = {
+    appended : int;    (** fit samples accepted over the session *)
+    held_out : int;    (** hold-out samples accepted *)
+    refits : int;      (** reduce-stage reruns *)
+    suggests : int;    (** adaptive suggestions served *)
+  }
+
+  (** [open_ ?options ~inputs ~outputs ()] starts an empty session for
+      a [outputs x inputs] response.  [Per_sample] weights are a typed
+      error (they need the full sample count up front); [Full] resolves
+      to [min inputs outputs] per block. *)
+  val open_ :
+    ?options:options -> inputs:int -> outputs:int -> unit ->
+    (t, Linalg.Mfti_error.t) result
+
+  (** [append ?holdout sess samples] accepts a batch.  Samples stream
+      in measurement order: even stream positions feed the right
+      tangential data, odd the left, exactly as {!Tangential.build}
+      assigns them — an unpaired trailing sample waits in a pending
+      slot for its partner.  The batch is vetted as a whole
+      (dimensions, finiteness, positive distinct frequencies) before
+      any state changes, so a refused batch leaves the session
+      untouched.  Returns the downstream stages the append invalidated
+      (outermost first; empty for hold-out appends, which never
+      invalidate the model).  The ["session.stale_append"] fault forces
+      the expired-session refusal path. *)
+  val append :
+    ?holdout:bool -> t -> Statespace.Sampling.sample array ->
+    (stage list, Linalg.Mfti_error.t) result
+
+  (** Re-run exactly the invalidated downstream stages (snapshot the
+      already-assembled pencil, realify, reduce).  No-op when the
+      cached reduction is current. *)
+  val refit : t -> (unit, Linalg.Mfti_error.t) result
+
+  (** Current model (refitting first if stale), uncertified until
+      {!finalize}. *)
+  val model : t -> (Model.t, Linalg.Mfti_error.t) result
+
+  (** Certify per the session options and close the session: appends
+      after a finalize are typed errors.  An unpaired pending sample is
+      dropped (recorded in the diagnostics), mirroring
+      {!Dataset.trim_even}.  The ["session.finalize_race"] fault forces
+      the concurrent-finalize refusal path. *)
+  val finalize : t -> (Model.t, Linalg.Mfti_error.t) result
+
+  (** Hold-out error of the current model; [None] when the session has
+      no hold-out samples (or no complete pair yet). *)
+  val holdout_err : t -> (float option, Linalg.Mfti_error.t) result
+
+  (** Furthest stage currently cached ([Assembled] as soon as one pair
+      is in — the builder {e is} the assembly). *)
+  val stage : t -> stage
+
+  val dataset : t -> Dataset.t
+  val fit_samples : t -> Statespace.Sampling.sample array
+  val holdout_samples : t -> Statespace.Sampling.sample array
+  val options : t -> options
+
+  (** [(outputs, inputs)] — the [p x m] response shape. *)
+  val dims : t -> int * int
+
+  (** Completed-pair fit samples (excludes the pending slot). *)
+  val size : t -> int
+
+  val holdout_size : t -> int
+
+  (** True when an unpaired sample waits for its partner. *)
+  val pending : t -> bool
+
+  val finalized : t -> bool
+
+  (** Stages dropped by the most recent fit append. *)
+  val invalidated : t -> stage list
+
+  val diagnostics : t -> Linalg.Diag.t
+  val timings : t -> (string * float) list
+
+  (** Count one adaptive suggestion against this session (the serving
+      layer calls this when it serves [fit-suggest]). *)
+  val record_suggest : t -> unit
+
+  val counters : t -> counters
+end

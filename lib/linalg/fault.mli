@@ -49,7 +49,18 @@
     - ["certify.repair_stall"] certification's passivity re-check pinned
                                to "still violating", so the bounded
                                repair loop exhausts and [Repair] fails
-                               with a typed [Non_convergence] *)
+                               with a typed [Non_convergence]
+    - ["session.stale_append"] a streaming fit session treats the next
+                               append as landing on an expired/stale
+                               session and refuses it with a typed
+                               [Validation] — the client raced the TTL
+                               reaper
+    - ["session.finalize_race"]
+                               a streaming fit session's finalize
+                               behaves as if another finalize is
+                               already in flight and refuses with a
+                               typed [Validation] — two clients racing
+                               one session id *)
 
 exception Injected of string
 (** Raised by {!check} at an armed site. *)

@@ -14,6 +14,30 @@ let admission_name = function
   | Warn -> "warn"
   | Strict -> "strict"
 
+type session_limits = {
+  max_sessions : int;
+  session_bytes : int;
+  session_ttl_s : float;
+}
+
+let default_session_limits =
+  { max_sessions = 8;
+    session_bytes = 64 * 1024 * 1024;
+    session_ttl_s = 600. }
+
+(* One live streaming-fit session.  [se_lock] serializes every op on
+   the session (sticky access): [Engine.Session.t] is single-owner
+   mutable state with no internal locking, and two supervisor workers
+   can carry requests for the same session id on different
+   connections. *)
+type session_entry = {
+  se_id : string;
+  se_session : Mfti.Engine.Session.t;
+  se_lock : Mutex.t;
+  mutable se_last_used : float;
+  mutable se_bytes : int;       (* accepted sample payload, accounted *)
+}
+
 type t = {
   root : string;
   admission : admission;
@@ -25,6 +49,10 @@ type t = {
      the LRU byte accounting must stay exact, not approximate *)
   lock : Mutex.t;
   quarantined : Artifact.quarantine list;
+  limits : session_limits;
+  sessions : (string, session_entry) Hashtbl.t;
+  mutable next_session : int;
+  mutable draining : bool;
   mutable extra_stats : unit -> (string * Sjson.t) list;
   mutable requests : int;
   mutable errors : int;
@@ -32,10 +60,26 @@ type t = {
   mutable bytes_out : int;
   mutable admission_refused : int;
   mutable admission_warned : int;
+  mutable sessions_opened : int;
+  mutable sessions_finalized : int;
+  mutable sessions_expired : int;
+  mutable sessions_refused : int;
+  mutable session_samples : int;
+  mutable session_suggests : int;
 }
 
+let validate_limits l =
+  let bad what =
+    Mfti_error.raise_error
+      (Mfti_error.Validation { context = "serve.session"; message = what })
+  in
+  if l.max_sessions < 0 then bad "max_sessions must be >= 0";
+  if l.session_bytes < 1 then bad "session_bytes must be >= 1";
+  if not (l.session_ttl_s > 0.) then bad "session_ttl_s must be > 0"
+
 let create ?(cache_bytes = 256 * 1024 * 1024) ?(recover = true)
-    ?(admission = Warn) ~root () =
+    ?(admission = Warn) ?(session_limits = default_session_limits) ~root () =
+  validate_limits session_limits;
   let quarantined = if recover then Artifact.recover_root root else [] in
   { root;
     admission;
@@ -44,9 +88,15 @@ let create ?(cache_bytes = 256 * 1024 * 1024) ?(recover = true)
     ops = Hashtbl.create 8;
     lock = Mutex.create ();
     quarantined;
+    limits = session_limits;
+    sessions = Hashtbl.create 8;
+    next_session = 0;
+    draining = false;
     extra_stats = (fun () -> []);
     requests = 0; errors = 0; bytes_in = 0; bytes_out = 0;
-    admission_refused = 0; admission_warned = 0 }
+    admission_refused = 0; admission_warned = 0;
+    sessions_opened = 0; sessions_finalized = 0; sessions_expired = 0;
+    sessions_refused = 0; session_samples = 0; session_suggests = 0 }
 
 let quarantined t = t.quarantined
 let set_stats_hook t f = t.extra_stats <- f
@@ -54,6 +104,24 @@ let set_stats_hook t f = t.extra_stats <- f
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let set_draining t b = locked t (fun () -> t.draining <- b)
+let draining t = locked t (fun () -> t.draining)
+
+(* expire idle streaming sessions; call with [t.lock] held *)
+let sweep_sessions t now =
+  let expired =
+    Hashtbl.fold
+      (fun id e acc ->
+        if now -. e.se_last_used > t.limits.session_ttl_s then id :: acc
+        else acc)
+      t.sessions []
+  in
+  List.iter
+    (fun id ->
+      Hashtbl.remove t.sessions id;
+      t.sessions_expired <- t.sessions_expired + 1)
+    expired
 
 (* ------------------------------------------------------------------ *)
 (* Errors as typed responses *)
@@ -293,7 +361,11 @@ let stats_json t =
      one-directional *)
   let base =
     locked t (fun () ->
+        sweep_sessions t (Unix.gettimeofday ());
         let cache = Lru.stats t.cache in
+        let session_bytes =
+          Hashtbl.fold (fun _ e acc -> acc + e.se_bytes) t.sessions 0
+        in
         let per_op =
           Hashtbl.fold
             (fun op s acc ->
@@ -320,6 +392,25 @@ let stats_json t =
               [ ("policy", Sjson.Str (admission_name t.admission));
                 ("refused", Sjson.Num (float_of_int t.admission_refused));
                 ("warned", Sjson.Num (float_of_int t.admission_warned)) ] );
+          ( "sessions",
+            Sjson.Obj
+              [ ("open", Sjson.Num (float_of_int (Hashtbl.length t.sessions)));
+                ("opened", Sjson.Num (float_of_int t.sessions_opened));
+                ("finalized", Sjson.Num (float_of_int t.sessions_finalized));
+                ("expired", Sjson.Num (float_of_int t.sessions_expired));
+                ("refused", Sjson.Num (float_of_int t.sessions_refused));
+                ("appended_samples",
+                 Sjson.Num (float_of_int t.session_samples));
+                ("suggest_calls", Sjson.Num (float_of_int t.session_suggests));
+                ("resident_bytes", Sjson.Num (float_of_int session_bytes));
+                ("draining", Sjson.Bool t.draining);
+                ( "limits",
+                  Sjson.Obj
+                    [ ("max_sessions",
+                       Sjson.Num (float_of_int t.limits.max_sessions));
+                      ("session_bytes",
+                       Sjson.Num (float_of_int t.limits.session_bytes));
+                      ("ttl_s", Sjson.Num t.limits.session_ttl_s) ] ) ] );
           ("by_op", Sjson.Obj per_op);
           ( "cache",
             Sjson.Obj
@@ -335,6 +426,377 @@ let stats_json t =
   Sjson.Obj (base @ t.extra_stats ())
 
 (* ------------------------------------------------------------------ *)
+(* Streaming fit sessions
+
+   Registry discipline: [t.lock] guards the session table and the
+   session counters; each entry's [se_lock] serializes the (mutable,
+   lock-free) [Engine.Session.t] underneath.  Lock order is always
+   [se_lock] before [t.lock] — lookups take [t.lock] briefly and
+   release it before locking the entry, so the two can never deadlock.
+   Expiry is lazy: any session op (and [stats]) sweeps entries whose
+   idle time exceeds the TTL.  An op that raced the sweep keeps its
+   already-resolved entry and completes; the next lookup of that id is
+   a typed refusal. *)
+
+let invalid_session message =
+  Mfti_error.raise_error
+    (Mfti_error.Validation { context = "serve.session"; message })
+
+let find_session t id =
+  let now = Unix.gettimeofday () in
+  locked t (fun () ->
+      sweep_sessions t now;
+      match Hashtbl.find_opt t.sessions id with
+      | None ->
+        invalid_session ("unknown or expired session " ^ String.escaped id)
+      | Some e ->
+        e.se_last_used <- now;
+        e)
+
+let with_entry e f =
+  Mutex.lock e.se_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock e.se_lock) f
+
+let stage_name = function
+  | Mfti.Engine.Ingested -> "ingested"
+  | Mfti.Engine.Assembled -> "assembled"
+  | Mfti.Engine.Realified -> "realified"
+  | Mfti.Engine.Reduced -> "reduced"
+  | Mfti.Engine.Certified -> "certified"
+
+let opt_int_field req name =
+  match Sjson.member name req with
+  | Some (Sjson.Num f) when Float.is_integer f -> Some (int_of_float f)
+  | Some _ -> invalid (Printf.sprintf "field %S must be an integer" name)
+  | None -> None
+
+let opt_bool_field req name =
+  match Sjson.member name req with
+  | Some (Sjson.Bool b) -> b
+  | Some _ -> invalid (Printf.sprintf "field %S must be a boolean" name)
+  | None -> false
+
+(* the 16 bytes/entry of a complex payload plus a fixed per-sample
+   overhead: what the byte budget charges an accepted sample *)
+let sample_cost s =
+  let p, m = Cmat.dims s.Statespace.Sampling.s in
+  (16 * p * m) + 16
+
+let complex_of_json = function
+  | Sjson.Arr [ Sjson.Num re; Sjson.Num im ] -> { Cx.re; im }
+  | _ -> invalid "matrix entries must be [re, im] pairs"
+
+let sample_of_json j =
+  let freq =
+    match Sjson.member "freq" j with
+    | Some (Sjson.Num f) -> f
+    | Some _ | None -> invalid "sample field \"freq\" must be a number"
+  in
+  let rows =
+    match Sjson.member "s" j with
+    | Some (Sjson.Arr (_ :: _ as rows)) -> rows
+    | Some _ | None ->
+      invalid "sample field \"s\" must be a non-empty row-major matrix"
+  in
+  let p = List.length rows in
+  let m =
+    match List.hd rows with
+    | Sjson.Arr (_ :: _ as r) -> List.length r
+    | _ -> invalid "sample rows must be non-empty arrays"
+  in
+  let h = Cmat.zeros p m in
+  List.iteri
+    (fun i row ->
+      match row with
+      | Sjson.Arr cols when List.length cols = m ->
+        List.iteri (fun jc z -> Cmat.set h i jc (complex_of_json z)) cols
+      | _ -> invalid "sample rows must all have the same length")
+    rows;
+  { Statespace.Sampling.freq; s = h }
+
+let max_batch_samples = 4096
+let max_suggestions = 64
+
+let certify_of_string = function
+  | "off" -> Mfti.Certify.Off
+  | "check" -> Mfti.Certify.Check
+  | "repair" -> Mfti.Certify.Repair
+  | s ->
+    invalid
+      (Printf.sprintf
+         "field \"certify\" must be \"off\", \"check\" or \"repair\" (got %S)"
+         s)
+
+let session_options req =
+  let weight =
+    match opt_int_field req "width" with
+    | None -> Mfti.Tangential.Full
+    | Some w -> Mfti.Tangential.Uniform w
+  in
+  let rank_rule =
+    match Sjson.member "rank-tol" req with
+    | Some (Sjson.Num tol) when Float.is_finite tol && tol > 0. ->
+      Mfti.Svd_reduce.Tol tol
+    | Some _ -> invalid "field \"rank-tol\" must be a positive number"
+    | None -> Mfti.Engine.default_options.Mfti.Engine.rank_rule
+  in
+  let certify =
+    match Sjson.member "certify" req with
+    | Some (Sjson.Str s) -> certify_of_string s
+    | Some _ -> invalid "field \"certify\" must be a string"
+    | None -> Mfti.Certify.Off
+  in
+  { Mfti.Engine.default_options with
+    Mfti.Engine.weight; rank_rule; certify }
+
+let op_fit_open t req =
+  let outputs, inputs =
+    match Sjson.member "ports" req with
+    | Some (Sjson.Num f) when Float.is_integer f && f > 0. ->
+      let p = int_of_float f in
+      (p, p)
+    | Some (Sjson.Arr [ Sjson.Num p; Sjson.Num m ])
+      when Float.is_integer p && Float.is_integer m ->
+      (int_of_float p, int_of_float m)
+    | Some _ ->
+      invalid
+        "field \"ports\" must be a positive integer or [outputs, inputs]"
+    | None -> invalid "missing field \"ports\""
+  in
+  let options = session_options req in
+  let now = Unix.gettimeofday () in
+  let id =
+    locked t (fun () ->
+        sweep_sessions t now;
+        if t.draining then
+          invalid_session
+            "server is draining; new fit sessions are refused";
+        if Hashtbl.length t.sessions >= t.limits.max_sessions then begin
+          t.sessions_refused <- t.sessions_refused + 1;
+          Mfti_error.raise_error
+            (Mfti_error.Budget_exhausted
+               { context = "serve.session";
+                 budget =
+                   Printf.sprintf "session slots (%d open, limit %d)"
+                     (Hashtbl.length t.sessions) t.limits.max_sessions })
+        end;
+        let session =
+          match Mfti.Engine.Session.open_ ~options ~inputs ~outputs () with
+          | Ok s -> s
+          | Error e -> Mfti_error.raise_error e
+        in
+        t.next_session <- t.next_session + 1;
+        let id = Printf.sprintf "s%d" t.next_session in
+        Hashtbl.replace t.sessions id
+          { se_id = id; se_session = session; se_lock = Mutex.create ();
+            se_last_used = now; se_bytes = 0 };
+        t.sessions_opened <- t.sessions_opened + 1;
+        id)
+  in
+  Sjson.Obj
+    [ ("ok", Sjson.Bool true);
+      ("op", Sjson.Str "fit-open");
+      ("session", Sjson.Str id);
+      ("outputs", Sjson.Num (float_of_int outputs));
+      ("inputs", Sjson.Num (float_of_int inputs));
+      ("ttl_s", Sjson.Num t.limits.session_ttl_s);
+      ("bytes_budget", Sjson.Num (float_of_int t.limits.session_bytes)) ]
+
+let op_fit_add t req =
+  let id = str_field req "session" in
+  let holdout = opt_bool_field req "holdout" in
+  let samples =
+    match Sjson.member "samples" req with
+    | Some (Sjson.Arr (_ :: _ as xs)) ->
+      if List.length xs > max_batch_samples then
+        invalid
+          (Printf.sprintf "samples exceeds the %d-per-request cap"
+             max_batch_samples);
+      Array.of_list (List.map sample_of_json xs)
+    | Some _ | None -> invalid "field \"samples\" must be a non-empty array"
+  in
+  let e = find_session t id in
+  with_entry e (fun () ->
+      let cost = Array.fold_left (fun acc s -> acc + sample_cost s) 0 samples in
+      if e.se_bytes + cost > t.limits.session_bytes then begin
+        locked t (fun () -> t.sessions_refused <- t.sessions_refused + 1);
+        Mfti_error.raise_error
+          (Mfti_error.Budget_exhausted
+             { context = "serve.session";
+               budget =
+                 Printf.sprintf
+                   "session bytes (%d resident + %d incoming, limit %d)"
+                   e.se_bytes cost t.limits.session_bytes })
+      end;
+      match Mfti.Engine.Session.append ~holdout e.se_session samples with
+      | Error err -> Mfti_error.raise_error err
+      | Ok stages ->
+        e.se_bytes <- e.se_bytes + cost;
+        locked t (fun () ->
+            t.session_samples <- t.session_samples + Array.length samples);
+        let s = e.se_session in
+        Sjson.Obj
+          [ ("ok", Sjson.Bool true);
+            ("op", Sjson.Str "fit-add-samples");
+            ("session", Sjson.Str id);
+            ("accepted", Sjson.Num (float_of_int (Array.length samples)));
+            ("holdout", Sjson.Bool holdout);
+            ("samples", Sjson.Num (float_of_int (Mfti.Engine.Session.size s)));
+            ("holdout_samples",
+             Sjson.Num (float_of_int (Mfti.Engine.Session.holdout_size s)));
+            ("pending", Sjson.Bool (Mfti.Engine.Session.pending s));
+            ("stage", Sjson.Str (stage_name (Mfti.Engine.Session.stage s)));
+            ("invalidated",
+             Sjson.Arr (List.map (fun st -> Sjson.Str (stage_name st)) stages));
+            ("bytes", Sjson.Num (float_of_int e.se_bytes)) ])
+
+let op_fit_status t req =
+  let id = str_field req "session" in
+  let refit = opt_bool_field req "refit" in
+  let e = find_session t id in
+  with_entry e (fun () ->
+      let s = e.se_session in
+      if refit then begin
+        match Mfti.Engine.Session.refit s with
+        | Ok () -> ()
+        | Error err -> Mfti_error.raise_error err
+      end;
+      (* the hold-out error is only reported when the cached reduction
+         is current — a bare status probe must stay cheap and must not
+         trigger a refit behind the client's back *)
+      let holdout_err =
+        match Mfti.Engine.Session.stage s with
+        | Mfti.Engine.Reduced | Mfti.Engine.Certified ->
+          (match Mfti.Engine.Session.holdout_err s with
+           | Ok (Some v) when Float.is_finite v -> Sjson.Num v
+           | _ -> Sjson.Null)
+        | _ -> Sjson.Null
+      in
+      let c = Mfti.Engine.Session.counters s in
+      Sjson.Obj
+        [ ("ok", Sjson.Bool true);
+          ("op", Sjson.Str "fit-status");
+          ("session", Sjson.Str id);
+          ("stage", Sjson.Str (stage_name (Mfti.Engine.Session.stage s)));
+          ("samples", Sjson.Num (float_of_int (Mfti.Engine.Session.size s)));
+          ("holdout_samples",
+           Sjson.Num (float_of_int (Mfti.Engine.Session.holdout_size s)));
+          ("pending", Sjson.Bool (Mfti.Engine.Session.pending s));
+          ("finalized", Sjson.Bool (Mfti.Engine.Session.finalized s));
+          ("holdout_err", holdout_err);
+          ("bytes", Sjson.Num (float_of_int e.se_bytes));
+          ("bytes_budget", Sjson.Num (float_of_int t.limits.session_bytes));
+          ( "counters",
+            Sjson.Obj
+              [ ("appended",
+                 Sjson.Num (float_of_int c.Mfti.Engine.Session.appended));
+                ("held_out",
+                 Sjson.Num (float_of_int c.Mfti.Engine.Session.held_out));
+                ("refits",
+                 Sjson.Num (float_of_int c.Mfti.Engine.Session.refits));
+                ("suggests",
+                 Sjson.Num (float_of_int c.Mfti.Engine.Session.suggests)) ] ) ])
+
+let op_fit_suggest t req =
+  let id = str_field req "session" in
+  let count =
+    match opt_int_field req "count" with
+    | None -> Mfti.Adaptive.default_options.Mfti.Adaptive.count
+    | Some c ->
+      if c < 1 || c > max_suggestions then
+        invalid
+          (Printf.sprintf "field \"count\" must be in [1, %d]" max_suggestions);
+      c
+  in
+  let candidates =
+    match Sjson.member "candidates" req with
+    | Some (Sjson.Arr (_ :: _ as xs)) ->
+      Some
+        (Array.of_list
+           (List.map
+              (function
+                | Sjson.Num f -> f
+                | _ -> invalid "candidates entries must be numbers")
+              xs))
+    | Some _ -> invalid "field \"candidates\" must be a non-empty array"
+    | None -> None
+  in
+  let e = find_session t id in
+  with_entry e (fun () ->
+      let s = e.se_session in
+      let options =
+        { Mfti.Adaptive.default_options with
+          Mfti.Adaptive.surrogate = Mfti.Engine.Session.options s;
+          count }
+      in
+      match
+        Mfti.Adaptive.suggest ~options ?candidates
+          (Mfti.Engine.Session.fit_samples s)
+      with
+      | Error err -> Mfti_error.raise_error err
+      | Ok scores ->
+        Mfti.Engine.Session.record_suggest s;
+        locked t (fun () -> t.session_suggests <- t.session_suggests + 1);
+        Sjson.Obj
+          [ ("ok", Sjson.Bool true);
+            ("op", Sjson.Str "fit-suggest");
+            ("session", Sjson.Str id);
+            ( "suggestions",
+              Sjson.Arr
+                (List.map
+                   (fun sc ->
+                     Sjson.Obj
+                       [ ("freq", Sjson.Num sc.Mfti.Adaptive.freq);
+                         ("score", Sjson.Num sc.Mfti.Adaptive.score);
+                         ("disagreement",
+                          Sjson.Num sc.Mfti.Adaptive.disagreement);
+                         ("residual", Sjson.Num sc.Mfti.Adaptive.residual) ])
+                   scores) ) ])
+
+let op_fit_finalize t req =
+  let sid = str_field req "session" in
+  let model_id = str_field req "model" in
+  if not (id_ok model_id) then
+    invalid ("malformed model id " ^ String.escaped model_id);
+  let path = path_of_id t model_id in
+  if Sys.file_exists path then
+    invalid ("model id " ^ model_id ^ " already exists in the store");
+  let name =
+    match Sjson.member "name" req with
+    | Some (Sjson.Str s) -> s
+    | Some _ -> invalid "field \"name\" must be a string"
+    | None -> model_id
+  in
+  let e = find_session t sid in
+  with_entry e (fun () ->
+      let s = e.se_session in
+      let model =
+        match Mfti.Engine.Session.finalize s with
+        | Ok m -> m
+        | Error err -> Mfti_error.raise_error err
+      in
+      let fit_err =
+        Mfti.Dataset.err
+          (Mfti.Engine.Model.descriptor model)
+          (Mfti.Engine.Session.dataset s)
+      in
+      Artifact.save path (Artifact.v ~name ~fit_err model);
+      locked t (fun () ->
+          Hashtbl.remove t.sessions sid;
+          t.sessions_finalized <- t.sessions_finalized + 1);
+      Sjson.Obj
+        [ ("ok", Sjson.Bool true);
+          ("op", Sjson.Str "fit-finalize");
+          ("session", Sjson.Str sid);
+          ("model", Sjson.Str model_id);
+          ("order", Sjson.Num (float_of_int (Mfti.Engine.Model.order model)));
+          ("rank", Sjson.Num (float_of_int (Mfti.Engine.Model.rank model)));
+          ("samples", Sjson.Num (float_of_int (Mfti.Engine.Session.size s)));
+          ("fit_err",
+           if Float.is_finite fit_err then Sjson.Num fit_err else Sjson.Null);
+          ("certificate", certificate_json model) ])
+
+(* ------------------------------------------------------------------ *)
 (* Dispatch *)
 
 let shutdown_response =
@@ -345,6 +807,11 @@ let dispatch t req =
   | "list-models" -> (op_list_models t, false)
   | "model-info" -> (op_model_info t req, false)
   | "eval-grid" -> (op_eval_grid t req, false)
+  | "fit-open" -> (op_fit_open t req, false)
+  | "fit-add-samples" -> (op_fit_add t req, false)
+  | "fit-status" -> (op_fit_status t req, false)
+  | "fit-suggest" -> (op_fit_suggest t req, false)
+  | "fit-finalize" -> (op_fit_finalize t req, false)
   | "stats" -> (stats_json t, false)
   | "shutdown" -> (shutdown_response, true)
   | op -> invalid ("unknown op " ^ String.escaped op)

@@ -23,6 +23,53 @@
     - [{"op":"stats"}] — counters snapshot (see {!stats_json}).
     - [{"op":"shutdown"}] — acknowledge and stop the serve loop.
 
+    {2 Streaming fit sessions}
+
+    A fit session is a server-resident {!Mfti.Engine.Session}: the
+    client opens it, streams sample batches, asks where to measure
+    next, and finalizes into a packed artifact — without ever holding
+    the full dataset client-side.
+
+    - [{"op":"fit-open","ports":P}] — open a session for a [P x P]
+      response ([ "ports":[p,m] ] for a rectangular one).  Optional
+      ["width"] (uniform tangential block width; default full),
+      ["rank-tol"] (reduction tolerance; default the engine's gap
+      rule), ["certify"] ("off"/"check"/"repair", applied at finalize;
+      default "off").  Returns [{"session":ID,"ttl_s":...,
+      "bytes_budget":...}].
+    - [{"op":"fit-add-samples","session":ID,"samples":[
+      {"freq":F,"s":[[[re,im],...],...]},...]}] — append a batch in
+      measurement order; ["holdout":true] routes it to the hold-out
+      view instead.  The batch is vetted whole (all-or-nothing) by the
+      session; the response reports the accepted count, current
+      pipeline ["stage"], and which cached stages the append
+      ["invalidated"].
+    - [{"op":"fit-status","session":ID}] — stage, sample counts, byte
+      usage and per-session counters.  ["refit":true] first re-runs
+      the invalidated downstream stages; ["holdout_err"] is reported
+      only while the cached reduction is current (never triggers a
+      refit implicitly).
+    - [{"op":"fit-suggest","session":ID}] — adaptive next-frequency
+      suggestions ({!Mfti.Adaptive}), best first.  Optional ["count"]
+      and explicit ["candidates"].
+    - [{"op":"fit-finalize","session":ID,"model":MID}] — certify per
+      the session options, pack the model into the store as
+      [MID.mfti] (refusing to overwrite an existing id), and close the
+      session.  Optional ["name"] labels the artifact.
+
+    Sessions are budgeted: at most [max_sessions] live at once, at
+    most [session_bytes] of accepted sample payload each — exhaustion
+    is a typed ["budget"] response ({!Linalg.Mfti_error.Budget_exhausted},
+    context ["serve.session"]).  A session idle past [session_ttl_s]
+    is expired lazily (swept on the next session op or ["stats"]);
+    touching an expired or unknown id is a typed ["validation"]
+    refusal.  While {!set_draining} is on, [fit-open] is refused but
+    live sessions keep streaming — the supervisor's drain lets
+    in-flight fits land before the listener goes away.  Each session
+    is serialized by its own lock (sticky access), so concurrent
+    requests for one id — even over different connections — apply in
+    some serial order; distinct sessions proceed in parallel.
+
     Every failure is a typed response, never a crash or a dropped
     connection: [{"ok":false,"error":{"kind":K,"message":M}}] where [K]
     mirrors the {!Linalg.Mfti_error} taxonomy ("parse", "validation",
@@ -62,15 +109,39 @@ type admission =
   | Warn    (** serve it, but count it in [stats.admission.warned] *)
   | Strict  (** refuse it with a typed ["validation"] response *)
 
+(** Budgets for streaming fit sessions.  [max_sessions] caps the live
+    session count; [session_bytes] caps the accepted sample payload of
+    one session (16 bytes per complex entry plus a small per-sample
+    overhead); [session_ttl_s] is the idle time after which a session
+    is expired. *)
+type session_limits = {
+  max_sessions : int;
+  session_bytes : int;
+  session_ttl_s : float;
+}
+
+(** 8 sessions, 64 MiB each, 10-minute idle TTL. *)
+val default_session_limits : session_limits
+
 (** [create ~root ()] serves artifacts under directory [root].
     [cache_bytes] is the LRU budget (default 256 MiB).  [admission]
     (default [Warn]) gates uncertified / failed-certification models.
-    Unless [recover] is [false], the root is scanned first
-    ({!Artifact.recover_root}): torn or orphaned files are quarantined
-    before anything can be served from them — see {!quarantined}. *)
+    [session_limits] budgets streaming fit sessions (default
+    {!default_session_limits}).  Unless [recover] is [false], the root
+    is scanned first ({!Artifact.recover_root}): torn or orphaned
+    files are quarantined before anything can be served from them —
+    see {!quarantined}. *)
 val create :
-  ?cache_bytes:int -> ?recover:bool -> ?admission:admission -> root:string ->
+  ?cache_bytes:int -> ?recover:bool -> ?admission:admission ->
+  ?session_limits:session_limits -> root:string ->
   unit -> t
+
+(** [set_draining t true] refuses new [fit-open] requests with a typed
+    ["validation"] response while letting live sessions stream and
+    finalize.  The {!Supervisor} turns this on when a drain starts. *)
+val set_draining : t -> bool -> unit
+
+val draining : t -> bool
 
 (** Files moved aside by the startup recovery scan (empty when
     [~recover:false] or the root was clean). *)

@@ -241,11 +241,15 @@ let timeout_response ?op what ms =
 
 let request_stop t =
   Mutex.lock t.mu;
-  if not t.stopping then begin
+  let first = not t.stopping in
+  if first then begin
     t.stopping <- true;
     Condition.broadcast t.nonempty
   end;
-  Mutex.unlock t.mu
+  Mutex.unlock t.mu;
+  (* new fit sessions are refused for the whole drain window; sessions
+     already open keep streaming until their connection finishes *)
+  if first then Server.set_draining t.server true
 
 (* ------------------------------------------------------------------ *)
 (* Connection handler (runs on a worker) *)

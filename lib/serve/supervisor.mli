@@ -35,6 +35,20 @@
     ["validation"] response on every worker, and the refused/warned
     counts surface through the shared ["stats"] op.
 
+    {b Streaming fit sessions} ride the same worker pool.  Routing is
+    session-sticky at two levels: a connection is owned by one worker
+    for its whole lifetime, and requests that reach one session id
+    from {e different} connections serialize on that session's own
+    lock inside {!Server} — so a streaming client always observes its
+    appends in order, and two clients racing one id apply in some
+    serial order instead of corrupting the fit.  Drain semantics:
+    initiating a drain (a ["shutdown"] request or {!stop}) flips
+    {!Server.set_draining}, refusing new [fit-open] requests
+    immediately, while connections already streaming a session keep
+    their worker until they finish or the [drain_ms] deadline
+    force-closes them — an in-flight [fit-finalize] either lands a
+    complete artifact or leaves none (the artifact write is atomic).
+
     Fault sites (see {!Linalg.Fault}) exercised by the chaos suite:
     ["serve.slow_client"] forces the partial-frame deadline,
     ["serve.stall"] makes a request overshoot its deadline,

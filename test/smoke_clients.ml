@@ -1,13 +1,19 @@
 (* CI smoke driver for the supervised socket transport.
 
    Usage: smoke_clients.exe SOCKET MODEL
+          smoke_clients.exe --lines SOCKET
 
-   Attacks a running `mfti serve --socket SOCKET` with four concurrent
-   clients: one stalls mid-frame (and must be timed out with a typed
-   "timeout" response), three issue well-formed requests (and must all
-   complete).  A final client checks the stats op reports the timeout,
-   then sends the shutdown request so the server drains.  Exit 0 only
-   when every expectation holds; failures print to stderr. *)
+   Default mode attacks a running `mfti serve --socket SOCKET` with
+   four concurrent clients: one stalls mid-frame (and must be timed
+   out with a typed "timeout" response), three issue well-formed
+   requests (and must all complete).  A final client checks the stats
+   op reports the timeout, then sends the shutdown request so the
+   server drains.  Exit 0 only when every expectation holds; failures
+   print to stderr.
+
+   --lines is a plain pipe client: each stdin line is sent over one
+   connection and the response line printed to stdout — the socket
+   equivalent of piping requests into a stdio server. *)
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
 
@@ -62,11 +68,25 @@ let expect_kind what kind line =
   if not (contains line (Printf.sprintf "\"kind\": %S" kind)) then
     die "%s: expected %S error, got %s" what kind line
 
+let run_lines socket =
+  let fd = connect socket in
+  (try
+     while true do
+       let line = input_line stdin in
+       if String.trim line <> "" then begin
+         send_raw fd (line ^ "\n");
+         print_endline (recv_line ~timeout:60.0 fd "lines client")
+       end
+     done
+   with End_of_file -> ());
+  Unix.close fd
+
 let () =
   let socket, model =
     match Sys.argv with
+    | [| _; "--lines"; s |] -> run_lines s; exit 0
     | [| _; s; m |] -> (s, m)
-    | _ -> die "usage: smoke_clients SOCKET MODEL"
+    | _ -> die "usage: smoke_clients [--lines] SOCKET [MODEL]"
   in
   (* client 1: stalls mid-frame *)
   let slow = connect socket in

@@ -378,6 +378,92 @@ let test_chaos_storm () =
             "after the storm")
 
 (* ------------------------------------------------------------------ *)
+(* Streaming fit session over the supervised socket: two connections
+   interleave ops on one session id (sticky serialization inside the
+   server), and the per-session counters surface exactly through the
+   ordinary stats op. *)
+
+let j_num k j =
+  match j_mem k j with
+  | Sjson.Num x -> x
+  | _ -> Alcotest.failf "%S is not a number" k
+
+let session_sample_json (s : Sampling.sample) =
+  let p, m = Cmat.dims s.Sampling.s in
+  Sjson.Obj
+    [ ("freq", Sjson.Num s.Sampling.freq);
+      ( "s",
+        Sjson.Arr
+          (List.init p (fun i ->
+               Sjson.Arr
+                 (List.init m (fun j ->
+                      let z = Cmat.get s.Sampling.s i j in
+                      Sjson.Arr [ Sjson.Num z.Cx.re; Sjson.Num z.Cx.im ])))) ) ]
+
+let test_session_over_socket () =
+  with_supervisor @@ fun _sup _srv path ->
+  let sys = Random_sys.generate (spec 2) in
+  let sample f = { Sampling.freq = f; s = Descriptor.eval_freq sys f } in
+  let batch ?(holdout = false) sid freqs =
+    Sjson.to_string
+      (Sjson.Obj
+         ([ ("op", Sjson.Str "fit-add-samples");
+            ("session", Sjson.Str sid);
+            ( "samples",
+              Sjson.Arr
+                (Array.to_list
+                   (Array.map (fun f -> session_sample_json (sample f)) freqs))
+            ) ]
+          @ if holdout then [ ("holdout", Sjson.Bool true) ] else []))
+  in
+  let a = connect path in
+  Fun.protect ~finally:(fun () -> close_quiet a) @@ fun () ->
+  let abuf = Buffer.create 256 in
+  send_line a "{\"op\":\"fit-open\",\"ports\":2,\"certify\":\"check\"}";
+  let jo = expect_ok "fit-open" (recv_line_buf abuf a) in
+  let sid = j_str "session" jo in
+  send_line a (batch sid (Sampling.logspace 1e2 1e6 12));
+  ignore (expect_ok "batch on conn A" (recv_line_buf abuf a));
+  (* a second connection reaches the same session: sticky by id, not
+     by transport *)
+  let b = connect path in
+  Fun.protect ~finally:(fun () -> close_quiet b) @@ fun () ->
+  let bbuf = Buffer.create 256 in
+  send_line b (batch sid (Sampling.logspace 1.5e2 1.5e6 12));
+  let jb = expect_ok "batch on conn B" (recv_line_buf bbuf b) in
+  Alcotest.(check (float 0.)) "both batches landed" 24. (j_num "samples" jb);
+  send_line b (batch ~holdout:true sid [| 3.3e3; 4.7e4 |]);
+  ignore (expect_ok "hold-out on conn B" (recv_line_buf bbuf b));
+  send_line b
+    (Printf.sprintf "{\"op\":\"fit-suggest\",\"session\":%S,\"count\":2}" sid);
+  ignore (expect_ok "suggest on conn B" (recv_line_buf bbuf b));
+  (* counters through the ordinary stats op, exact *)
+  send_line a "{\"op\":\"stats\"}";
+  let js = expect_ok "stats" (recv_line_buf abuf a) in
+  let sess = j_mem "sessions" js in
+  Alcotest.(check (float 0.)) "opened" 1. (j_num "opened" sess);
+  Alcotest.(check (float 0.)) "open" 1. (j_num "open" sess);
+  Alcotest.(check (float 0.)) "appended samples" 26.
+    (j_num "appended_samples" sess);
+  Alcotest.(check (float 0.)) "suggest calls" 1. (j_num "suggest_calls" sess);
+  Alcotest.(check (float 0.)) "nothing refused" 0. (j_num "refused" sess);
+  Alcotest.(check bool) "bytes accounted" true
+    (j_num "resident_bytes" sess > 0.);
+  (* finalize on connection A; the packed model serves on connection B *)
+  send_line a
+    (Printf.sprintf
+       "{\"op\":\"fit-finalize\",\"session\":%S,\"model\":\"sess-model\"}" sid);
+  ignore (expect_ok "finalize" (recv_line_buf abuf a));
+  send_line b "{\"op\":\"model-info\",\"model\":\"sess-model\"}";
+  let ji = expect_ok "packed model served" (recv_line_buf bbuf b) in
+  Alcotest.(check (float 0.)) "ports" 2. (j_num "inputs" ji);
+  send_line b "{\"op\":\"stats\"}";
+  let js2 = expect_ok "stats after finalize" (recv_line_buf bbuf b) in
+  let sess2 = j_mem "sessions" js2 in
+  Alcotest.(check (float 0.)) "finalized" 1. (j_num "finalized" sess2);
+  Alcotest.(check (float 0.)) "none open" 0. (j_num "open" sess2)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "chaos"
@@ -393,4 +479,6 @@ let () =
          Alcotest.test_case "slow client fault" `Quick
            test_slow_client_fault;
          Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
+         Alcotest.test_case "session over socket" `Quick
+           test_session_over_socket;
          Alcotest.test_case "chaos storm" `Quick test_chaos_storm ]) ]

@@ -73,6 +73,89 @@ let test_builder_matches_build () =
       (2, Tangential.Full, 3); (3, Tangential.Uniform 2, 4);
       (3, Tangential.Full, 5) ]
 
+(* Interleaving freedom: right and left blocks may arrive in ANY
+   relative order (each side's own order fixed), in any chunking, and
+   the snapshot still matches the batch build bitwise — entries are
+   filled the moment both their row and column data exist, by a
+   per-entry pure formula.  Property-tested over schedules and domain
+   counts. *)
+let builder_interleaving_prop =
+  let schedule ~pattern nblocks =
+    (* [pattern.(i mod len)] rights, then one left, cycling; leftovers
+       flushed at the end — a deterministic family of skewed orders *)
+    let order = ref [] and nr = ref 0 and nl = ref 0 and pi = ref 0 in
+    while !nr < nblocks || !nl < nblocks do
+      let burst = pattern.(!pi mod Array.length pattern) in
+      for _ = 1 to burst do
+        if !nr < nblocks then begin
+          order := `R !nr :: !order;
+          incr nr
+        end
+      done;
+      if !nl < Stdlib.min nblocks !nr then begin
+        order := `L !nl :: !order;
+        incr nl
+      end
+      else if !nr >= nblocks && !nl < nblocks then begin
+        order := `L !nl :: !order;
+        incr nl
+      end;
+      incr pi
+    done;
+    List.rev !order
+  in
+  QCheck.Test.make ~count:24
+    ~name:"interleaved appends are bit-identical to the batch build"
+    QCheck.(triple (int_range 1 3) (int_range 2 5) (int_range 0 1000))
+    (fun (ports, npairs, seed) ->
+        let smps = samples ~ports ~seed (2 * npairs) in
+        let data = Tangential.build smps in
+        let fresh = Loewner.build data in
+        let nblocks = Array.length data.Tangential.right in
+        let patterns =
+          [ [| 1 |]; [| nblocks |]; [| 2; 1 |]; [| 1; 3 |];
+            [| (seed mod 3) + 1; 1 |] ]
+        in
+        List.for_all
+          (fun pattern ->
+            List.for_all
+              (fun ndom ->
+                Parallel.set_domain_count ndom;
+                Fun.protect
+                  ~finally:(fun () -> Parallel.set_domain_count 1)
+                  (fun () ->
+                    let b =
+                      Loewner.builder ~right_capacity:1 ~left_capacity:1
+                        ~inputs:data.Tangential.inputs
+                        ~outputs:data.Tangential.outputs ()
+                    in
+                    List.iter
+                      (function
+                        | `R i ->
+                          Loewner.append_right b data.Tangential.right.(i)
+                        | `L i ->
+                          Loewner.append_left b data.Tangential.left.(i))
+                      (schedule ~pattern nblocks);
+                    check_pencil
+                      (Printf.sprintf "ports %d pairs %d" ports npairs)
+                      (Loewner.snapshot b) fresh;
+                    true))
+              [ 1; 4 ])
+          patterns)
+
+(* All lefts before any right: the append_right fill path does all the
+   work against a fully populated row side. *)
+let test_builder_lefts_first () =
+  let smps = samples ~ports:3 ~seed:19 8 in
+  let data = Tangential.build smps in
+  let b =
+    Loewner.builder ~inputs:data.Tangential.inputs
+      ~outputs:data.Tangential.outputs ()
+  in
+  Array.iter (Loewner.append_left b) data.Tangential.left;
+  Array.iter (Loewner.append_right b) data.Tangential.right;
+  check_pencil "lefts first" (Loewner.snapshot b) (Loewner.build data)
+
 (* Chunking across domains cannot change any bit of the fill. *)
 let test_builder_domain_invariance () =
   let smps = samples ~ports:3 ~seed:7 10 in
@@ -231,7 +314,11 @@ let test_engine_validation () =
 
 let test_dataset_partition () =
   let smps = samples ~ports:2 ~seed:61 12 in
-  let d = Dataset.partition ~every:3 (Dataset.of_samples smps) in
+  let d =
+    match Dataset.partition ~every:3 (Dataset.of_samples smps) with
+    | Ok d -> d
+    | Error e -> Alcotest.fail (Mfti_error.to_string e)
+  in
   Alcotest.(check int) "fit size" 8 (Dataset.size d);
   Alcotest.(check int) "holdout size" 4 (Dataset.holdout_size d);
   (* held-out samples are exactly positions 2, 5, 8, 11 *)
@@ -250,6 +337,22 @@ let test_dataset_partition () =
   let m = Engine.Model.of_fit fitted in
   Alcotest.(check (float 0.)) "Dataset.err scores the holdout" err_holdout
     (Dataset.err (Engine.Model.descriptor m) d)
+
+(* [every <= 1] must be a typed validation error, not a silent
+   acceptance or an untyped exception. *)
+let test_dataset_partition_invalid () =
+  let smps = samples ~ports:2 ~seed:61 8 in
+  let d = Dataset.of_samples smps in
+  List.iter
+    (fun every ->
+      match Dataset.partition ~every d with
+      | Error (Mfti_error.Validation { context = "dataset"; _ }) -> ()
+      | Ok _ ->
+        Alcotest.failf "partition ~every:%d accepted" every
+      | Error e ->
+        Alcotest.failf "partition ~every:%d: wrong error %s" every
+          (Mfti_error.to_string e))
+    [ 1; 0; -3 ]
 
 let test_dataset_of_system () =
   let sys = Random_sys.generate (spec 2 71) in
@@ -324,7 +427,10 @@ let test_vf_fit_model () =
 let () =
   Alcotest.run "engine"
     [ ( "builder",
-        [ Alcotest.test_case "incremental = fresh build (bit)" `Quick
+        [ QCheck_alcotest.to_alcotest builder_interleaving_prop;
+          Alcotest.test_case "lefts before rights (bit)" `Quick
+            test_builder_lefts_first;
+          Alcotest.test_case "incremental = fresh build (bit)" `Quick
             test_builder_matches_build;
           Alcotest.test_case "domain-count invariant (bit)" `Quick
             test_builder_domain_invariance;
@@ -341,6 +447,8 @@ let () =
             test_engine_validation ] );
       ( "dataset",
         [ Alcotest.test_case "partition" `Quick test_dataset_partition;
+          Alcotest.test_case "partition rejects every <= 1" `Quick
+            test_dataset_partition_invalid;
           Alcotest.test_case "of_system" `Quick test_dataset_of_system ] );
       ( "reduce backends",
         [ Alcotest.test_case "rank invariant across backends and pools"

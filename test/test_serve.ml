@@ -754,6 +754,257 @@ let test_lru_concurrent_exact () =
     (j_num "requests" j)
 
 (* ------------------------------------------------------------------ *)
+(* Streaming fit sessions over the protocol *)
+
+let stream_sys = lazy (sys_of 2)
+
+let stream_samples freqs =
+  let sys = Lazy.force stream_sys in
+  Array.map
+    (fun f -> { Sampling.freq = f; s = Descriptor.eval_freq sys f })
+    freqs
+
+let sample_json (s : Sampling.sample) =
+  let p, m = Cmat.dims s.Sampling.s in
+  Sjson.Obj
+    [ ("freq", Sjson.Num s.Sampling.freq);
+      ( "s",
+        Sjson.Arr
+          (List.init p (fun i ->
+               Sjson.Arr
+                 (List.init m (fun j ->
+                      let z = Cmat.get s.Sampling.s i j in
+                      Sjson.Arr [ Sjson.Num z.Cx.re; Sjson.Num z.Cx.im ])))) ) ]
+
+let add_line ?(holdout = false) session samples =
+  Sjson.to_string
+    (Sjson.Obj
+       ([ ("op", Sjson.Str "fit-add-samples");
+          ("session", Sjson.Str session);
+          ( "samples",
+            Sjson.Arr (Array.to_list (Array.map sample_json samples)) ) ]
+        @ if holdout then [ ("holdout", Sjson.Bool true) ] else []))
+
+let session_server ?session_limits () =
+  Server.create ?session_limits ~root:(fresh_dir ()) ()
+
+let open_session ?(extra = []) srv =
+  let j, _ =
+    request srv
+      (Sjson.to_string
+         (Sjson.Obj
+            ([ ("op", Sjson.Str "fit-open"); ("ports", Sjson.Num 2.) ]
+             @ extra)))
+  in
+  Alcotest.(check bool) "fit-open ok" true (j_bool "ok" j);
+  j_str "session" j
+
+let test_session_stream_roundtrip () =
+  let srv = session_server () in
+  let sid = open_session ~extra:[ ("certify", Sjson.Str "check") ] srv in
+  let fit = stream_samples (Sampling.logspace 1e2 1e6 24) in
+  let held = stream_samples (Sampling.logspace 1.7e2 0.7e6 5) in
+  (* two fit batches: the first ends mid-pair, so a sample waits in the
+     pending slot until the second batch completes it *)
+  let j1, _ = request srv (add_line sid (Array.sub fit 0 9)) in
+  Alcotest.(check bool) "batch 1 ok" true (j_bool "ok" j1);
+  Alcotest.(check bool) "odd batch leaves a pending sample" true
+    (j_bool "pending" j1);
+  Alcotest.(check (float 0.)) "completed pairs only" 8. (j_num "samples" j1);
+  let j2, _ =
+    request srv (add_line sid (Array.sub fit 9 (Array.length fit - 9)))
+  in
+  Alcotest.(check bool) "batch 2 ok" true (j_bool "ok" j2);
+  Alcotest.(check (float 0.)) "all samples in" 24. (j_num "samples" j2);
+  Alcotest.(check string) "stage assembled" "assembled" (j_str "stage" j2);
+  let jh, _ = request srv (add_line ~holdout:true sid held) in
+  Alcotest.(check (float 0.)) "hold-out in" 5. (j_num "holdout_samples" jh);
+  (* status with refit reports a finite hold-out error *)
+  let js, _ =
+    request srv
+      (Printf.sprintf
+         "{\"op\":\"fit-status\",\"session\":%S,\"refit\":true}" sid)
+  in
+  Alcotest.(check bool) "status ok" true (j_bool "ok" js);
+  Alcotest.(check string) "stage reduced" "reduced" (j_str "stage" js);
+  Alcotest.(check bool) "hold-out err reported" true
+    (match j_mem "holdout_err" js with
+     | Sjson.Num e -> Float.is_finite e && e >= 0.
+     | _ -> false);
+  let c = j_mem "counters" js in
+  Alcotest.(check (float 0.)) "appended counter" 24. (j_num "appended" c);
+  Alcotest.(check (float 0.)) "held-out counter" 5. (j_num "held_out" c);
+  (* adaptive suggestions come back best-first, inside the band *)
+  let jg, _ =
+    request srv
+      (Printf.sprintf
+         "{\"op\":\"fit-suggest\",\"session\":%S,\"count\":3}" sid)
+  in
+  Alcotest.(check bool) "suggest ok" true (j_bool "ok" jg);
+  (match j_mem "suggestions" jg with
+   | Sjson.Arr (_ :: _ as ss) ->
+     Alcotest.(check bool) "at most 3" true (List.length ss <= 3);
+     let scores = List.map (j_num "score") ss in
+     Alcotest.(check bool) "descending scores" true
+       (List.for_all2 ( >= ) scores (List.tl scores @ [ -1. ]));
+     List.iter
+       (fun s ->
+         let f = j_num "freq" s in
+         Alcotest.(check bool) "inside the sampled band" true
+           (f >= 1e2 && f <= 1e6))
+       ss
+   | _ -> Alcotest.fail "no suggestions");
+  (* finalize packs a loadable artifact carrying the check certificate *)
+  let jf, _ =
+    request srv
+      (Printf.sprintf
+         "{\"op\":\"fit-finalize\",\"session\":%S,\"model\":\"streamed\"}"
+         sid)
+  in
+  Alcotest.(check bool) "finalize ok" true (j_bool "ok" jf);
+  Alcotest.(check bool) "certificate present" true
+    (match j_mem "certificate" jf with Sjson.Obj _ -> true | _ -> false);
+  let ji, _ =
+    request srv "{\"op\":\"model-info\",\"model\":\"streamed\"}"
+  in
+  Alcotest.(check bool) "packed model servable" true (j_bool "ok" ji);
+  Alcotest.(check (float 0.)) "ports" 2. (j_num "inputs" ji);
+  (* the session is gone: its id no longer resolves *)
+  expect_error srv ~kind:"validation"
+    (Printf.sprintf "{\"op\":\"fit-status\",\"session\":%S}" sid);
+  (* and the books balance *)
+  let jt, _ = request srv "{\"op\":\"stats\"}" in
+  let sess = j_mem "sessions" jt in
+  Alcotest.(check (float 0.)) "opened" 1. (j_num "opened" sess);
+  Alcotest.(check (float 0.)) "finalized" 1. (j_num "finalized" sess);
+  Alcotest.(check (float 0.)) "none open" 0. (j_num "open" sess);
+  Alcotest.(check (float 0.)) "appended samples" 29.
+    (j_num "appended_samples" sess);
+  Alcotest.(check (float 0.)) "suggest calls" 1. (j_num "suggest_calls" sess)
+
+let test_session_slot_budget () =
+  let srv =
+    session_server
+      ~session_limits:{ Server.default_session_limits with max_sessions = 1 }
+      ()
+  in
+  let _sid = open_session srv in
+  expect_error srv ~kind:"budget" "{\"op\":\"fit-open\",\"ports\":2}";
+  let jt, _ = request srv "{\"op\":\"stats\"}" in
+  let sess = j_mem "sessions" jt in
+  Alcotest.(check (float 0.)) "refusal counted" 1. (j_num "refused" sess);
+  Alcotest.(check (float 0.)) "one open" 1. (j_num "open" sess)
+
+let test_session_byte_budget () =
+  let srv =
+    session_server
+      ~session_limits:{ Server.default_session_limits with session_bytes = 300 }
+      ()
+  in
+  let sid = open_session srv in
+  (* 2x2 complex samples cost 80 bytes each: the first batch of three
+     fits, a second overruns the 300-byte budget and is refused whole *)
+  let fit = stream_samples (Sampling.logspace 1e2 1e6 8) in
+  let j1, _ = request srv (add_line sid (Array.sub fit 0 3)) in
+  Alcotest.(check bool) "under budget accepted" true (j_bool "ok" j1);
+  expect_error srv ~kind:"budget" (add_line sid (Array.sub fit 3 3));
+  (* the refused batch changed nothing *)
+  let js, _ =
+    request srv (Printf.sprintf "{\"op\":\"fit-status\",\"session\":%S}" sid)
+  in
+  Alcotest.(check (float 0.)) "samples unchanged" 2. (j_num "samples" js);
+  Alcotest.(check (float 0.)) "bytes unchanged" 240. (j_num "bytes" js)
+
+let test_session_ttl_expiry () =
+  let srv =
+    session_server
+      ~session_limits:
+        { Server.default_session_limits with session_ttl_s = 0.05 }
+      ()
+  in
+  let sid = open_session srv in
+  Unix.sleepf 0.12;
+  expect_error srv ~kind:"validation"
+    (Printf.sprintf "{\"op\":\"fit-status\",\"session\":%S}" sid);
+  let jt, _ = request srv "{\"op\":\"stats\"}" in
+  let sess = j_mem "sessions" jt in
+  Alcotest.(check (float 0.)) "expiry counted" 1. (j_num "expired" sess);
+  Alcotest.(check (float 0.)) "none open" 0. (j_num "open" sess)
+
+let test_session_drain_refusal () =
+  let srv = session_server () in
+  let sid = open_session srv in
+  Server.set_draining srv true;
+  (* no new sessions while draining... *)
+  expect_error srv ~kind:"validation" "{\"op\":\"fit-open\",\"ports\":2}";
+  (* ...but the live session streams and finalizes *)
+  let fit = stream_samples (Sampling.logspace 1e2 1e6 12) in
+  let j1, _ = request srv (add_line sid fit) in
+  Alcotest.(check bool) "live session still appends" true (j_bool "ok" j1);
+  let jf, _ =
+    request srv
+      (Printf.sprintf
+         "{\"op\":\"fit-finalize\",\"session\":%S,\"model\":\"drained\"}"
+         sid)
+  in
+  Alcotest.(check bool) "live session finalizes" true (j_bool "ok" jf);
+  Server.set_draining srv false;
+  let sid2 = open_session srv in
+  Alcotest.(check bool) "fit-open works again" true (String.length sid2 > 0)
+
+let test_session_protocol_errors () =
+  let srv = session_server () in
+  expect_error srv ~kind:"validation"
+    "{\"op\":\"fit-status\",\"session\":\"nope\"}";
+  expect_error srv ~kind:"validation" "{\"op\":\"fit-open\",\"ports\":0}";
+  expect_error srv ~kind:"validation"
+    "{\"op\":\"fit-open\",\"ports\":2,\"certify\":\"sometimes\"}";
+  let sid = open_session srv in
+  expect_error srv ~kind:"validation"
+    (Printf.sprintf
+       "{\"op\":\"fit-add-samples\",\"session\":%S,\"samples\":[{\"freq\":1e3}]}"
+       sid);
+  expect_error srv ~kind:"validation"
+    (Printf.sprintf
+       "{\"op\":\"fit-add-samples\",\"session\":%S,\"samples\":[]}" sid);
+  (* a 3x3 sample into a 2x2 session: vetted by the session, refused whole *)
+  let wrong =
+    Array.map
+      (fun (s : Sampling.sample) -> { s with Sampling.s = Cmat.zeros 3 3 })
+      (stream_samples [| 1e3; 2e3 |])
+  in
+  expect_error srv ~kind:"validation" (add_line sid wrong);
+  (* finalizing an empty session is refused, the id survives *)
+  expect_error srv ~kind:"validation"
+    (Printf.sprintf
+       "{\"op\":\"fit-finalize\",\"session\":%S,\"model\":\"empty\"}" sid);
+  let js, _ =
+    request srv (Printf.sprintf "{\"op\":\"fit-status\",\"session\":%S}" sid)
+  in
+  Alcotest.(check bool) "session survives refused finalize" true
+    (j_bool "ok" js)
+
+let test_session_fault_sites () =
+  let srv = session_server () in
+  let sid = open_session srv in
+  let fit = stream_samples (Sampling.logspace 1e2 1e6 12) in
+  Fault.with_spec "session.stale_append" (fun () ->
+      expect_error srv ~kind:"validation" (add_line sid fit));
+  let j1, _ = request srv (add_line sid fit) in
+  Alcotest.(check bool) "append works once disarmed" true (j_bool "ok" j1);
+  Fault.with_spec "session.finalize_race" (fun () ->
+      expect_error srv ~kind:"validation"
+        (Printf.sprintf
+           "{\"op\":\"fit-finalize\",\"session\":%S,\"model\":\"raced\"}"
+           sid));
+  let jf, _ =
+    request srv
+      (Printf.sprintf
+         "{\"op\":\"fit-finalize\",\"session\":%S,\"model\":\"raced\"}" sid)
+  in
+  Alcotest.(check bool) "finalize works once disarmed" true (j_bool "ok" jf)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "serve"
@@ -809,6 +1060,17 @@ let () =
            test_recovery_quarantine;
          Alcotest.test_case "server startup recovery" `Quick
            test_server_startup_recovery ]);
+      ("sessions",
+       [ Alcotest.test_case "stream / suggest / finalize" `Quick
+           test_session_stream_roundtrip;
+         Alcotest.test_case "slot budget" `Quick test_session_slot_budget;
+         Alcotest.test_case "byte budget" `Quick test_session_byte_budget;
+         Alcotest.test_case "ttl expiry" `Quick test_session_ttl_expiry;
+         Alcotest.test_case "drain refuses fit-open" `Quick
+           test_session_drain_refusal;
+         Alcotest.test_case "typed protocol errors" `Quick
+           test_session_protocol_errors;
+         Alcotest.test_case "fault sites" `Quick test_session_fault_sites ]);
       ("concurrency",
        [ Alcotest.test_case "bind_unix race" `Quick test_bind_unix_race;
          Alcotest.test_case "lru exact under domains" `Quick
