@@ -3,3 +3,12 @@
    Kept as a thin alias so the reporters keep their [Bjson] name. *)
 
 include Serve.Sjson
+
+(* Every BENCH_*.json opens with the same header fields so downstream
+   tooling can key on the schema and normalize speedup/throughput
+   numbers by the core count that backed the run. *)
+let std_header ~schema ~tool ~smoke =
+  [ ("schema", Str schema);
+    ("generated_by", Str tool);
+    ("smoke", Bool smoke);
+    ("cpus", Num (float_of_int (Domain.recommended_domain_count ()))) ]

@@ -202,10 +202,9 @@ let run ?(smoke = false) () =
   in
   let json =
     Json.Obj
-      [ ("schema", Json.Str "mfti-bench-engine/1");
-        ("generated_by", Json.Str "bench/main.exe engine");
-        ("smoke", Json.Bool smoke);
-        ("reps", Json.Num (float_of_int reps));
+      (Json.std_header ~schema:"mfti-bench-engine/1"
+         ~tool:"bench/main.exe engine" ~smoke
+      @ [ ("reps", Json.Num (float_of_int reps));
         ("domains", Json.Num (float_of_int ndom));
         ("ports", Json.Num (float_of_int ports));
         ("samples", Json.Num (float_of_int nsamples));
@@ -222,7 +221,7 @@ let run ?(smoke = false) () =
             [ row "algorithm2_batch" batch_s 1.0;
               row "algorithm2_incremental" incr_s speedup;
               row ~sz:csize "certify_check" certify_check_s 1.0;
-              row ~sz:csize "certify_repair" certify_repair_s repair_ratio ] ) ]
+              row ~sz:csize "certify_repair" certify_repair_s repair_ratio ] ) ])
   in
   let path = if smoke then "BENCH_engine.smoke.json" else "BENCH_engine.json" in
   let oc = open_out path in

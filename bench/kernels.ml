@@ -420,15 +420,10 @@ let run ?(smoke = false) () =
        rows);
   let json =
     Json.Obj
-      [ ("schema", Json.Str "mfti-bench-kernels/1");
-        ("generated_by", Json.Str "bench/main.exe kernels");
-        ("smoke", Json.Bool smoke);
-        ("reps", Json.Num (float_of_int reps));
+      (Json.std_header ~schema:"mfti-bench-kernels/1"
+         ~tool:"bench/main.exe kernels" ~smoke
+      @ [ ("reps", Json.Num (float_of_int reps));
         ("domains", Json.Num (float_of_int ndom));
-        (* speedup columns are meaningless without knowing how many
-           cores backed the domains — see the BENCH note in README *)
-        ( "cpus",
-          Json.Num (float_of_int (Domain.recommended_domain_count ())) );
         ( "results",
           Json.Arr
             (List.map
@@ -439,7 +434,7 @@ let run ?(smoke = false) () =
                      ("domains", Json.Num (float_of_int r.domains));
                      ("median_ns", Json.Num (Float.round r.median_ns));
                      ("speedup", Json.Num r.speedup) ])
-               rows) ) ]
+               rows) ) ])
   in
   let path = if smoke then "BENCH_kernels.smoke.json" else "BENCH_kernels.json" in
   let oc = open_out path in

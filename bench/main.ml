@@ -20,7 +20,10 @@
                                             (BENCH_supervisor.json)
      dune exec bench/main.exe -- session [--smoke] -- adaptive vs uniform
                                             frequency selection on the PDN
-                                            workload (BENCH_session.json) *)
+                                            workload (BENCH_session.json)
+     dune exec bench/main.exe -- sparse [--smoke] -- assemble / factor /
+                                            Krylov-reduce a ~100k-node
+                                            plane grid (BENCH_sparse.json) *)
 
 let commands =
   [ ("fig1", Fig1.run);
@@ -34,7 +37,8 @@ let commands =
     ("engine", Engine_bench.run ?smoke:None);
     ("serve", Serve_bench.run ?smoke:None);
     ("supervisor", Supervisor_bench.run ?smoke:None);
-    ("session", Session_bench.run ?smoke:None) ]
+    ("session", Session_bench.run ?smoke:None);
+    ("sparse", Sparse_bench.run ?smoke:None) ]
 
 let run_all () =
   List.iter (fun (_, f) -> f ()) commands
@@ -52,6 +56,8 @@ let () =
     Supervisor_bench.run ~smoke:(List.mem "--smoke" rest) ()
   | _ :: "session" :: rest ->
     Session_bench.run ~smoke:(List.mem "--smoke" rest) ()
+  | _ :: "sparse" :: rest ->
+    Sparse_bench.run ~smoke:(List.mem "--smoke" rest) ()
   | [ _ ] | [ _; "all" ] -> run_all ()
   | [ _; cmd ] ->
     (match List.assoc_opt cmd commands with

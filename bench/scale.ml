@@ -41,7 +41,7 @@ let run () =
           dense;
         [ Printf.sprintf "%dx%d" grid grid;
           string_of_int n;
-          string_of_int (Linalg.Sparse.nnz g);
+          string_of_int (Sparse.Scsr.nnz g);
           Util.fmt_time t_dense;
           Util.fmt_time t_sparse;
           Util.fmt_sci !worst ])

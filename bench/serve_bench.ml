@@ -176,10 +176,9 @@ let run ?(smoke = false) () =
   in
   let json =
     Json.Obj
-      [ ("schema", Json.Str "mfti-bench-serve/1");
-        ("generated_by", Json.Str "bench/main.exe serve");
-        ("smoke", Json.Bool smoke);
-        ("reps", Json.Num (float_of_int reps));
+      (Json.std_header ~schema:"mfti-bench-serve/1"
+         ~tool:"bench/main.exe serve" ~smoke
+      @ [ ("reps", Json.Num (float_of_int reps));
         ("domains", Json.Num (float_of_int ndom));
         ("ports", Json.Num (float_of_int ports));
         ("order", Json.Num (float_of_int order));
@@ -198,7 +197,7 @@ let run ?(smoke = false) () =
             [ row "direct_lu" 1 direct_s 1.0;
               row "compiled_domains1" 1 seq_s seq_speedup;
               row (Printf.sprintf "compiled_domains%d" ndom) ndom par_s
-                par_speedup ] ) ]
+                par_speedup ] ) ])
   in
   let path = if smoke then "BENCH_serve.smoke.json" else "BENCH_serve.json" in
   let oc = open_out path in

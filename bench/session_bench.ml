@@ -184,10 +184,9 @@ let run ?(smoke = false) () =
   in
   let json =
     Json.Obj
-      [ ("schema", Json.Str "mfti-bench-session/1");
-        ("generated_by", Json.Str "bench/main.exe session");
-        ("smoke", Json.Bool smoke);
-        ("workload", Json.Str "pdn");
+      (Json.std_header ~schema:"mfti-bench-session/1"
+         ~tool:"bench/main.exe session" ~smoke
+      @ [ ("workload", Json.Str "pdn");
         ("ports", Json.Num (float_of_int p));
         ("f_lo", Json.Num f_lo);
         ("f_hi", Json.Num f_hi);
@@ -201,7 +200,7 @@ let run ?(smoke = false) () =
           Json.Arr
             [ arm "uniform" uniform_n uniform_e uniform_s uniform_trace;
               arm "adaptive" adaptive_n adaptive_e adaptive_s adaptive_trace
-            ] ) ]
+            ] ) ])
   in
   let path =
     if smoke then "BENCH_session.smoke.json" else "BENCH_session.json"

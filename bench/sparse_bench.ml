@@ -1,0 +1,205 @@
+(* Sparse substrate at acceptance scale: assemble, factor and
+   Krylov-reduce a ~100k-node PDN plane grid (writes BENCH_sparse.json).
+
+   The dense MNA path is cubic in the state count and simply absent at
+   this size (320x320 plane = 102k states); every arm below runs
+   through lib/linalg/sparse.  The
+   krylov_reduce arm is the headline: a full tangential rational Krylov
+   pre-reduction of the grid to a few hundred states, and krylov_mfti
+   carries it end-to-end through the staged MFTI engine.
+
+   --smoke shrinks the grid to 24x24 and additionally validates the
+   committed BENCH_sparse.json: it must parse, describe a >= 100k-node
+   grid, and carry assemble / factor / krylov_reduce arms. *)
+
+module Json = Bjson
+
+let band = (1e5, 1e9)
+
+let spec ~side =
+  { Rf.Pdn.default_spec with
+    nx = side; ny = side;
+    ports = 8;
+    decaps = 16;
+    (* resistive plane: MNA order stays at the node count, which is the
+       regime the 100k acceptance targets *)
+    plane_rl = false;
+    seed = 7 }
+
+let run ?(smoke = false) () =
+  Util.heading "Sparse pipeline: 100k-node plane grid";
+  let side = if smoke then 24 else 320 in
+  let f_lo, f_hi = band in
+  let sp = spec ~side in
+  let circuit, assemble_s = Util.time_it (fun () -> Rf.Pdn.build sp) in
+  let (g, c, b, l), system_s =
+    Util.time_it (fun () -> Rf.Mna.sparse_system circuit)
+  in
+  let nodes = Rf.Mna.num_nodes circuit in
+  let states = Rf.Mna.num_states circuit in
+  Printf.printf "grid %dx%d: %d nodes, %d states, nnz(G) = %d\n%!" side side
+    nodes states (Sparse.Scsr.nnz g);
+  let pattern = Sparse.Scsr.scale_add ~alpha:Linalg.Cx.one c ~beta:Linalg.Cx.one g in
+  let perm, ordering_s =
+    Util.time_it (fun () -> Sparse.Ordering.amd pattern)
+  in
+  let f_mid = sqrt (f_lo *. f_hi) in
+  let pencil =
+    Sparse.Scsr.scale_add
+      ~alpha:(Linalg.Cx.jw (2. *. Float.pi *. f_mid)) c ~beta:Linalg.Cx.one g
+  in
+  let fac, factor_s =
+    Util.time_it (fun () ->
+        match Sparse.Slu.factorize ~perm pencil with
+        | Ok f -> f
+        | Error e -> failwith (Linalg.Mfti_error.to_string e))
+  in
+  let _, solve_s = Util.time_it (fun () -> Sparse.Slu.solve fac b) in
+  let koptions =
+    { Mfti.Krylov.default_options with
+      f_lo; f_hi;
+      shifts = (if smoke then 4 else 8);
+      max_order = (if smoke then 96 else 240);
+      tol = 1e-8; z0 = Some 50. }
+  in
+  let sys = { Mfti.Krylov.g; c; b; l } in
+  let kr, reduce_s =
+    Util.time_it (fun () ->
+        match Mfti.Krylov.reduce ~options:koptions sys with
+        | Ok kr -> kr
+        | Error e -> failwith (Linalg.Mfti_error.to_string e))
+  in
+  let (model, _), mfti_s =
+    Util.time_it (fun () ->
+        match Mfti.Krylov.fit_mfti ~options:koptions sys with
+        | Ok r -> r
+        | Error e -> failwith (Linalg.Mfti_error.to_string e))
+  in
+  let holdout_err =
+    let h = kr.Mfti.Krylov.history in
+    if Array.length h > 0 then h.(Array.length h - 1) else Float.nan
+  in
+  let arms =
+    [ ("assemble", assemble_s +. system_s);
+      ("ordering", ordering_s);
+      ("factor", factor_s);
+      ("solve", solve_s);
+      ("krylov_reduce", reduce_s);
+      ("krylov_mfti", mfti_s) ]
+  in
+  Util.print_table
+    ~header:[ "op"; "seconds" ]
+    (List.map (fun (op, s) -> [ op; Printf.sprintf "%.3f" s ]) arms);
+  Printf.printf
+    "krylov: order %d from %d shifts, %d factorizations, hold-out err %.3e\n"
+    kr.Mfti.Krylov.order
+    (Array.length kr.Mfti.Krylov.shift_freqs)
+    kr.Mfti.Krylov.factorizations holdout_err;
+  Printf.printf "krylov+mfti: final order %d\n%!"
+    (Mfti.Engine.Model.rank model);
+  let json =
+    Json.Obj
+      (Json.std_header ~schema:"mfti-bench-sparse/1"
+         ~tool:"bench/main.exe sparse" ~smoke
+      @ [ ("grid", Json.Str (Printf.sprintf "%dx%d" side side));
+          ("nodes", Json.Num (float_of_int nodes));
+          ("states", Json.Num (float_of_int states));
+          ("nnz_g", Json.Num (float_of_int (Sparse.Scsr.nnz g)));
+          ("ports", Json.Num (float_of_int sp.Rf.Pdn.ports));
+          ("f_lo", Json.Num f_lo);
+          ("f_hi", Json.Num f_hi);
+          ( "krylov",
+            Json.Obj
+              [ ("order", Json.Num (float_of_int kr.Mfti.Krylov.order));
+                ( "shifts",
+                  Json.Num
+                    (float_of_int (Array.length kr.Mfti.Krylov.shift_freqs)) );
+                ( "factorizations",
+                  Json.Num (float_of_int kr.Mfti.Krylov.factorizations) );
+                ("holdout_err", Json.Num holdout_err);
+                ( "final_order",
+                  Json.Num (float_of_int (Mfti.Engine.Model.rank model)) ) ] );
+          ( "results",
+            Json.Arr
+              (List.map
+                 (fun (op, s) ->
+                   Json.Obj [ ("op", Json.Str op); ("seconds", Json.Num s) ])
+                 arms) ) ])
+  in
+  let path = if smoke then "BENCH_sparse.smoke.json" else "BENCH_sparse.json" in
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path;
+
+  if smoke then begin
+    (* the emitted smoke JSON must round-trip *)
+    let read p =
+      let ic = open_in p in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      Json.parse text
+    in
+    let parsed = read path in
+    List.iter
+      (fun field ->
+        if Json.member field parsed = None then
+          failwith ("sparse bench: JSON missing " ^ field))
+      [ "schema"; "cpus"; "grid"; "nodes"; "krylov"; "results" ];
+    Printf.printf "smoke: JSON parses, header well-formed\n%!";
+    (* the committed full report must describe the 100k-node acceptance
+       run with every pipeline arm present and positive *)
+    let committed =
+      List.find_opt Sys.file_exists
+        [ "BENCH_sparse.json"; "../BENCH_sparse.json" ]
+    in
+    match committed with
+    | None ->
+      failwith
+        "sparse bench: committed BENCH_sparse.json not found (rerun `dune \
+         exec bench/main.exe -- sparse`)"
+    | Some p ->
+      let parsed = read p in
+      (match Json.member "nodes" parsed with
+       | Some (Json.Num n) when n >= 1e5 -> ()
+       | _ ->
+         failwith
+           "sparse bench: committed BENCH_sparse.json is not a 100k-node \
+            run");
+      let rows =
+        match Json.member "results" parsed with
+        | Some (Json.Arr rs) -> rs
+        | _ -> failwith "sparse bench: committed report missing results"
+      in
+      let seconds op =
+        List.find_map
+          (fun r ->
+            match (Json.member "op" r, Json.member "seconds" r) with
+            | Some (Json.Str o), Some (Json.Num s) when o = op -> Some s
+            | _ -> None)
+          rows
+      in
+      List.iter
+        (fun op ->
+          match seconds op with
+          | Some s when s > 0. -> ()
+          | _ ->
+            failwith
+              (Printf.sprintf
+                 "sparse bench: committed BENCH_sparse.json lacks a \
+                  positive %s arm"
+                 op))
+        [ "assemble"; "factor"; "krylov_reduce" ];
+      (match Json.member "krylov" parsed with
+       | Some k ->
+         (match Json.member "holdout_err" k with
+          | Some (Json.Num e) when e < 1e-3 -> ()
+          | _ ->
+            failwith
+              "sparse bench: committed krylov hold-out error missing or \
+               above 1e-3")
+       | None -> failwith "sparse bench: committed report missing krylov");
+      Printf.printf "smoke: committed BENCH_sparse.json validates\n%!"
+  end

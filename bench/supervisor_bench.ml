@@ -192,10 +192,9 @@ let run ?(smoke = false) () =
 
   let json =
     Json.Obj
-      [ ("schema", Json.Str "mfti-bench-supervisor/1");
-        ("generated_by", Json.Str "bench/main.exe supervisor");
-        ("smoke", Json.Bool smoke);
-        ("clients", Json.Num (float_of_int clients));
+      (Json.std_header ~schema:"mfti-bench-supervisor/1"
+         ~tool:"bench/main.exe supervisor" ~smoke
+      @ [ ("clients", Json.Num (float_of_int clients));
         ("requests_per_client", Json.Num (float_of_int per_client));
         ( "throughput",
           Json.Arr
@@ -210,7 +209,7 @@ let run ?(smoke = false) () =
             [ ("blast", Json.Num (float_of_int blast));
               ("accepted", Json.Num (float_of_int accepted));
               ("shed", Json.Num (float_of_int shed));
-              ("shed_rate", Json.Num shed_rate) ] ) ]
+              ("shed_rate", Json.Num shed_rate) ] ) ])
   in
   let path =
     if smoke then "BENCH_supervisor.smoke.json" else "BENCH_supervisor.json"

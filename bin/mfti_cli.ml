@@ -44,6 +44,20 @@ let seed_arg =
   let doc = "Random seed (directions, placement, noise)." in
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let flo_arg =
+  let doc = "Lowest frequency (Hz)." in
+  Arg.(value & opt float 1e6 & info [ "f-lo" ] ~docv:"HZ" ~doc)
+
+let fhi_arg =
+  let doc = "Highest frequency (Hz)." in
+  Arg.(value & opt float 3e9 & info [ "f-hi" ] ~docv:"HZ" ~doc)
+
+let validation ~context message =
+  Linalg.Mfti_error.raise_error
+    (Linalg.Mfti_error.Validation { context; message })
+
+let is_netlist path = Filename.check_suffix path ".ckt"
+
 let policy_arg =
   let lenient =
     let doc =
@@ -279,18 +293,65 @@ let fit_cmd =
 (* ------------------------------------------------------------------ *)
 (* engine: drive the staged pipeline explicitly, with per-stage timing *)
 
+let engine_input_arg =
+  let doc =
+    "Input: Touchstone (.sNp) sampled data for the dense strategies, or \
+     an MNA netlist (.ckt, from $(b,mfti gen --netlist)) for the sparse \
+     krylov strategies."
+  in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
 let strategy_arg =
   let s =
     Arg.enum
       [ ("direct", `Direct); ("vector", `Vector);
-        ("incremental", `Incremental); ("batch", `Batch) ]
+        ("incremental", `Incremental); ("batch", `Batch);
+        ("krylov", `Krylov); ("krylov+mfti", `KrylovMfti) ]
   in
   let doc =
     "Engine strategy: $(b,direct) (Algorithm 1), $(b,vector) (VFTI), \
      $(b,incremental) (recursive Algorithm 2 with incremental Loewner \
-     assembly) or $(b,batch) (recursive over the full pencil)."
+     assembly), $(b,batch) (recursive over the full pencil), \
+     $(b,krylov) (sparse tangential rational Krylov pre-reduction of an \
+     MNA netlist) or $(b,krylov+mfti) (Krylov pre-reduction, then the \
+     direct MFTI engine on samples of the reduced model)."
   in
   Arg.(value & opt s `Incremental & info [ "strategy" ] ~docv:"STRAT" ~doc)
+
+let shifts_arg =
+  let doc =
+    "Initial log-spaced interpolation shifts for the krylov strategies."
+  in
+  Arg.(value & opt int 8 & info [ "shifts" ] ~docv:"N" ~doc)
+
+let krylov_order_arg =
+  let doc = "Hard cap on the Krylov-reduced order." in
+  Arg.(value & opt int 240 & info [ "krylov-order" ] ~docv:"N" ~doc)
+
+let krylov_tol_arg =
+  let doc =
+    "Hold-out relative-error target for the adaptive shift rounds."
+  in
+  Arg.(value & opt float 1e-6 & info [ "krylov-tol" ] ~docv:"TOL" ~doc)
+
+let z0_arg =
+  let doc =
+    "Reference impedance (ohms) for the Z-to-S conversion of a reduced \
+     netlist model."
+  in
+  Arg.(value & opt float 50. & info [ "z0" ] ~docv:"OHMS" ~doc)
+
+let engine_pack_arg =
+  let doc = "Also write the final model as a packed artifact (.mfti)." in
+  Arg.(value & opt (some string) None & info [ "pack" ] ~docv:"FILE" ~doc)
+
+let pack_artifact ~path ~fit_err ~out model =
+  let name = Filename.remove_extension (Filename.basename path) in
+  let artifact = Serve.Artifact.v ~name ~fit_err model in
+  Serve.Artifact.save out artifact;
+  Printf.printf "packed %s -> %s (order %d, %dx%d ports)\n" name out
+    (Engine.Model.order model) (Engine.Model.outputs model)
+    (Engine.Model.inputs model)
 
 let batch_arg =
   let doc = "Units moved into the active set per recursion iteration." in
@@ -317,9 +378,103 @@ let holdout_arg =
   in
   Arg.(value & opt int 0 & info [ "holdout-every" ] ~docv:"N" ~doc)
 
+(* krylov / krylov+mfti: sparse MNA netlist in, Engine.Model out — the
+   certify / pack / serve stages downstream are strategy-blind. *)
+let run_engine_krylov ~path ~strategy ~width ~rank_tol ~seed ~svd_backend
+    ~certify_mode ~flo ~fhi ~shifts ~krylov_order ~krylov_tol ~z0 ~pack_out =
+  let ok = function
+    | Ok x -> x
+    | Error e -> Linalg.Mfti_error.raise_error e
+  in
+  if not (is_netlist path) then
+    validation ~context:"engine"
+      (Printf.sprintf
+         "strategy krylov reduces a sparse MNA netlist but %s is not a \
+          .ckt file; generate one with `mfti gen pdn --grid RxC \
+          --netlist FILE`" path);
+  let circuit = ok (Rf.Netlist.load path) in
+  Printf.printf "netlist: %d nodes, %d states, %d ports\n%!"
+    (Rf.Mna.num_nodes circuit) (Rf.Mna.num_states circuit)
+    (Rf.Mna.num_ports circuit);
+  let sys = Krylov.of_mna circuit in
+  let koptions =
+    { Krylov.default_options with
+      f_lo = flo; f_hi = fhi; shifts; max_order = krylov_order;
+      tol = krylov_tol; z0 = Some z0 }
+  in
+  let diag = Linalg.Diag.create () in
+  let model, kr =
+    Linalg.Diag.using diag (fun () ->
+        match strategy with
+        | `Krylov ->
+          let kr = ok (Krylov.reduce ~options:koptions sys) in
+          let m =
+            match certify_mode with
+            | Certify.Off -> kr.Krylov.model
+            | mode ->
+              ok
+                (Engine.Model.certify
+                   ~options:{ Certify.default_options with mode }
+                   ~freqs:(Sampling.logspace flo fhi 64) kr.Krylov.model)
+          in
+          (m, kr)
+        | `KrylovMfti ->
+          let fit_options =
+            { Engine.default_options with
+              weight =
+                (if width = 0 then Tangential.Full
+                 else Tangential.Uniform width);
+              rank_rule = rank_rule_of_tol rank_tol;
+              directions = Direction.Orthonormal seed;
+              svd = svd_backend; certify = certify_mode }
+          in
+          ok (Krylov.fit_mfti ~options:koptions ~fit_options sys))
+  in
+  List.iter
+    (fun (stage, dt) -> Printf.printf "krylov %-9s %9.4f s\n" stage dt)
+    kr.Krylov.timings;
+  Printf.printf "krylov: order %d from %d shifts, %d factorizations\n"
+    kr.Krylov.order
+    (Array.length kr.Krylov.shift_freqs)
+    kr.Krylov.factorizations;
+  Array.iteri
+    (fun i e -> Printf.printf "round %d: hold-out err %.3e\n" (i + 1) e)
+    kr.Krylov.history;
+  (match strategy with
+   | `KrylovMfti ->
+     List.iter
+       (fun (stage, dt) -> Printf.printf "stage %-9s %9.4f s\n" stage dt)
+       (Engine.Model.timings model)
+   | `Krylov -> ());
+  Printf.printf "retained order: %d; stable: %b; real: %b\n"
+    (Engine.Model.rank model) (Engine.Model.stable model)
+    (Engine.Model.is_real model);
+  print_certificate (Engine.Model.certificate model);
+  print_diagnostics diag;
+  (match pack_out with
+   | None -> ()
+   | Some out ->
+     let h = kr.Krylov.history in
+     let fit_err =
+       if Array.length h > 0 then h.(Array.length h - 1) else Float.nan
+     in
+     pack_artifact ~path ~fit_err ~out model);
+  0
+
 let run_engine path policy strategy width rank_tol seed batch threshold
-    max_iterations probe holdout_every svd_backend certify_mode =
+    max_iterations probe holdout_every svd_backend certify_mode flo fhi
+    shifts krylov_order krylov_tol z0 pack_out =
   guarded @@ fun () ->
+  match strategy with
+  | (`Krylov | `KrylovMfti) as strategy ->
+    run_engine_krylov ~path ~strategy ~width ~rank_tol ~seed ~svd_backend
+      ~certify_mode ~flo ~fhi ~shifts ~krylov_order ~krylov_tol ~z0
+      ~pack_out
+  | (`Direct | `Vector | `Incremental | `Batch) as strategy ->
+  if is_netlist path then
+    validation ~context:"engine"
+      "netlist (.ckt) input needs --strategy krylov or krylov+mfti; the \
+       dense strategies fit sampled Touchstone data";
   let data = load ~policy path in
   let dataset = Dataset.of_samples data.Rf.Touchstone.samples in
   let dataset =
@@ -386,6 +541,10 @@ let run_engine path policy strategy width rank_tol seed batch threshold
     (Engine.Model.rank m) (Engine.Model.stable m) (Engine.Model.is_real m);
   print_certificate (Engine.Model.certificate m);
   print_diagnostics (Engine.Model.diagnostics m);
+  (match pack_out with
+   | None -> ()
+   | Some out ->
+     pack_artifact ~path ~fit_err:(Engine.Model.err m report_samples) ~out m);
   0
 
 let engine_cmd =
@@ -394,10 +553,11 @@ let engine_cmd =
       ~doc:"Run the staged fitting engine with per-stage timings."
   in
   Cmd.v info
-    Term.(const run_engine $ touchstone_arg $ policy_arg $ strategy_arg
+    Term.(const run_engine $ engine_input_arg $ policy_arg $ strategy_arg
           $ width_arg $ rank_tol_arg $ seed_arg $ batch_arg $ threshold_arg
           $ max_iterations_arg $ probe_arg $ holdout_arg $ svd_arg
-          $ certify_arg)
+          $ certify_arg $ flo_arg $ fhi_arg $ shifts_arg $ krylov_order_arg
+          $ krylov_tol_arg $ z0_arg $ engine_pack_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gen *)
@@ -410,7 +570,7 @@ let kind_arg =
 
 let out_arg =
   let doc = "Output Touchstone file (port count must match extension)." in
-  Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
 
 let ports_arg =
   let doc = "Number of ports for the PDN." in
@@ -420,57 +580,176 @@ let points_arg =
   let doc = "Number of frequency points." in
   Arg.(value & opt int 100 & info [ "points"; "n" ] ~docv:"N" ~doc)
 
-let flo_arg =
-  let doc = "Lowest frequency (Hz)." in
-  Arg.(value & opt float 1e6 & info [ "f-lo" ] ~docv:"HZ" ~doc)
-
-let fhi_arg =
-  let doc = "Highest frequency (Hz)." in
-  Arg.(value & opt float 3e9 & info [ "f-hi" ] ~docv:"HZ" ~doc)
-
 let noise_arg =
   let doc = "Relative measurement-noise level (e.g. 0.001 = -60 dB)." in
   Arg.(value & opt float 0. & info [ "noise" ] ~docv:"LEVEL" ~doc)
 
-let run_gen kind out ports points flo fhi noise seed =
-  guarded @@ fun () ->
-  let freqs = Sampling.logspace flo fhi points in
-  let samples =
-    match kind with
-    | `Pdn ->
-      let grid = Stdlib.max 3 (int_of_float (ceil (sqrt (float_of_int (2 * ports))))) in
-      let spec =
-        { Rf.Pdn.default_spec with nx = grid; ny = grid; ports;
-          decaps = Stdlib.max 2 (ports / 2); seed }
-      in
-      Rf.Pdn.scattering spec ~z0:50. freqs
-    | `Ladder -> Rf.Ladder.scattering Rf.Ladder.default_spec ~z0:50. freqs
+let grid_arg =
+  let doc =
+    "PDN plane grid as $(b,ROWSxCOLS) (e.g. $(b,316x316) for a \
+     ~100k-node plane).  Planes beyond 2500 nodes use resistive \
+     segments so the MNA order stays at the node count."
   in
+  Arg.(value & opt (some string) None & info [ "grid" ] ~docv:"RxC" ~doc)
+
+let nodes_arg =
+  let doc =
+    "Approximate PDN node budget; expands to the smallest square grid \
+     with at least this many nodes."
+  in
+  Arg.(value & opt (some int) None & info [ "nodes" ] ~docv:"N" ~doc)
+
+let decaps_arg =
+  let doc =
+    "Decoupling capacitors placed on the plane (default: half the port \
+     count, at least 2)."
+  in
+  Arg.(value & opt (some int) None & info [ "decaps" ] ~docv:"D" ~doc)
+
+let netlist_arg =
+  let doc =
+    "Write the PDN as an MNA netlist (.ckt) instead of (or in addition \
+     to) sampling it; feed the file to \
+     $(b,mfti engine --strategy krylov)."
+  in
+  Arg.(value & opt (some string) None & info [ "netlist" ] ~docv:"FILE" ~doc)
+
+let parse_grid s =
+  let fail () =
+    validation ~context:"gen"
+      (Printf.sprintf
+         "--grid %s: expected ROWSxCOLS with both sides >= 2 (e.g. 64x64)"
+         s)
+  in
+  match String.split_on_char 'x' (String.lowercase_ascii s) with
+  | [ rows; cols ] ->
+    (match
+       (int_of_string_opt (String.trim rows),
+        int_of_string_opt (String.trim cols))
+     with
+     | Some r, Some c when r >= 2 && c >= 2 -> (r, c)
+     | Some _, Some _ -> fail ()
+     | _ -> fail ())
+  | _ -> fail ()
+
+let write_workload ~out ~noise ~seed samples =
   let samples =
     if noise > 0. then Rf.Noise.add_relative ~seed ~level:noise samples
     else samples
   in
   let expected = Rf.Touchstone.ports_of_filename out in
   let actual, _ = Sampling.port_dims samples in
-  if expected <> actual then begin
-    Printf.eprintf "error: workload has %d ports but %s implies %d\n" actual
-      out expected;
-    1
-  end
-  else begin
-    Rf.Touchstone.write_file out
-      { Rf.Touchstone.parameter = Rf.Touchstone.S; z0 = 50.; samples }
-      ~comment:"generated by mfti gen";
-    Printf.printf "wrote %d samples, %d ports -> %s\n" (Array.length samples)
-      actual out;
+  if expected <> actual then
+    validation ~context:"gen"
+      (Printf.sprintf "workload has %d ports but %s implies %d" actual out
+         expected);
+  Rf.Touchstone.write_file out
+    { Rf.Touchstone.parameter = Rf.Touchstone.S; z0 = 50.; samples }
+    ~comment:"generated by mfti gen";
+  Printf.printf "wrote %d samples, %d ports -> %s\n" (Array.length samples)
+    actual out
+
+let run_gen kind out ports points flo fhi noise seed grid nodes decaps
+    netlist =
+  guarded @@ fun () ->
+  if out = None && netlist = None then
+    validation ~context:"gen" "nothing to write: pass --out and/or --netlist";
+  if ports <= 0 then
+    validation ~context:"gen"
+      (Printf.sprintf "--ports %d: need at least one port" ports);
+  if out <> None && points <= 0 then
+    validation ~context:"gen"
+      (Printf.sprintf "--points %d: need at least one frequency point"
+         points);
+  (match nodes with
+   | Some n when n <= 0 ->
+     validation ~context:"gen"
+       (Printf.sprintf "--nodes %d: the node budget must be positive" n)
+   | _ -> ());
+  (match decaps with
+   | Some d when d < 0 ->
+     validation ~context:"gen"
+       (Printf.sprintf "--decaps %d: the decap count cannot be negative" d)
+   | _ -> ());
+  let dims =
+    match (grid, nodes) with
+    | Some _, Some _ ->
+      validation ~context:"gen"
+        "--grid and --nodes are two ways to size the same plane; pass one"
+    | Some g, None -> Some (parse_grid g)
+    | None, Some n ->
+      let side =
+        Stdlib.max 2 (int_of_float (ceil (sqrt (float_of_int n))))
+      in
+      Some (side, side)
+    | None, None -> None
+  in
+  match kind with
+  | `Ladder ->
+    if dims <> None || netlist <> None then
+      validation ~context:"gen"
+        "--grid/--nodes/--netlist size a PDN plane; use `gen pdn`";
+    let out = Option.get out in
+    let freqs = Sampling.logspace flo fhi points in
+    write_workload ~out ~noise ~seed
+      (Rf.Ladder.scattering Rf.Ladder.default_spec ~z0:50. freqs);
     0
-  end
+  | `Pdn ->
+    let nx, ny =
+      match dims with
+      | Some (rows, cols) -> (cols, rows)
+      | None ->
+        let side =
+          Stdlib.max 3
+            (int_of_float (ceil (sqrt (float_of_int (2 * ports)))))
+        in
+        (side, side)
+    in
+    let node_count = nx * ny in
+    let decaps =
+      match decaps with Some d -> d | None -> Stdlib.max 2 (ports / 2)
+    in
+    if ports + decaps > node_count then
+      validation ~context:"gen"
+        (Printf.sprintf
+           "%d ports + %d decaps need distinct grid nodes but the %dx%d \
+            plane only has %d"
+           ports decaps ny nx node_count);
+    let spec =
+      { Rf.Pdn.default_spec with
+        nx; ny; ports; decaps; plane_rl = node_count <= 2500; seed }
+    in
+    (match netlist with
+     | None -> ()
+     | Some file ->
+       let circuit = Rf.Pdn.build spec in
+       Rf.Netlist.save file circuit;
+       Printf.printf "wrote netlist: %d nodes, %d states, %d ports -> %s\n"
+         (Rf.Mna.num_nodes circuit) (Rf.Mna.num_states circuit)
+         (Rf.Mna.num_ports circuit) file);
+    (match out with
+     | None -> ()
+     | Some out ->
+       let freqs = Sampling.logspace flo fhi points in
+       let samples =
+         if node_count > 600 then
+           Rf.Pdn.scattering_sparse spec ~z0:50. freqs
+         else Rf.Pdn.scattering spec ~z0:50. freqs
+       in
+       write_workload ~out ~noise ~seed samples);
+    0
 
 let gen_cmd =
-  let info = Cmd.info "gen" ~doc:"Generate a synthetic workload as Touchstone." in
+  let info =
+    Cmd.info "gen"
+      ~doc:
+        "Generate a synthetic workload as Touchstone samples and/or an \
+         MNA netlist."
+  in
   Cmd.v info
     Term.(const run_gen $ kind_arg $ out_arg $ ports_arg $ points_arg
-          $ flo_arg $ fhi_arg $ noise_arg $ seed_arg)
+          $ flo_arg $ fhi_arg $ noise_arg $ seed_arg $ grid_arg $ nodes_arg
+          $ decaps_arg $ netlist_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare *)

@@ -1,0 +1,97 @@
+(** Tangential rational Krylov pre-reduction for sparse MNA systems.
+
+    MFTI interpolates {e measured} transfer data; for a synthesized
+    100k-node power-grid netlist there is no instrument — sampling the
+    full system densely enough to feed the Loewner pencil would itself
+    be the dominant cost.  This module closes the gap: a moment-matching
+    projection built from sparse shifted solves
+
+    {v  X_i = (sigma_i C + G)^{-1} B  v}
+
+    compresses the MNA descriptor [(s C + G) x = B u, y = L x] to a few
+    hundred states at a cost of one sparse LU per shift (the AMD
+    ordering is computed once and reused across the sweep — see
+    {!Sparse.Slu.factorize}).  The reduced model interpolates the full
+    transfer function at every shift; adaptive rounds add shifts where
+    a held-out probe says the response is not yet pinned down, reusing
+    {!Adaptive.suggest} once enough probes have accumulated.
+
+    The basis is kept {e real} — each complex block contributes
+    [[Re X, Im X]] — so the reduced model is real and matches both
+    [H(sigma)] and [H(conj sigma)]: the downstream realify / certify
+    stages see exactly the model class they expect.  Deflation of
+    converged directions happens inside a two-pass block Gram-Schmidt
+    with CholeskyQR2 re-orthonormalization (Householder fallback when
+    the Gram matrix loses definiteness).
+
+    The output is an {!Engine.Model.t}, so certification, packing and
+    serving work unchanged; {!fit_mfti} goes one step further and runs
+    the staged MFTI engine on samples of the reduced model — the
+    [krylov+mfti] strategy: sparse physics to a few hundred states,
+    tangential interpolation down to tens. *)
+
+(** The sparse first-order system [(s C + G) x = B u, y = L x] —
+    exactly what {!Rf.Mna.sparse_system} produces. *)
+type system = {
+  g : Sparse.Scsr.t;       (** conductance part, [n x n] *)
+  c : Sparse.Scsr.t;       (** susceptance part, [n x n] *)
+  b : Linalg.Cmat.t;       (** port injection, [n x m] *)
+  l : Linalg.Cmat.t;       (** port selection, [p x n] *)
+}
+
+(** Build the system from an assembled MNA circuit. *)
+val of_mna : Rf.Mna.t -> system
+
+type options = {
+  f_lo : float;            (** band of interest, Hz *)
+  f_hi : float;
+  shifts : int;            (** initial log-spaced interpolation shifts *)
+  batch : int;             (** shifts added per adaptive round *)
+  max_rounds : int;        (** adaptive rounds after the initial sweep *)
+  max_order : int;         (** hard cap on the reduced order *)
+  tol : float;             (** stop when the max relative hold-out
+                               error drops below this *)
+  deflation_tol : float;   (** drop basis candidates whose residual
+                               after re-orthogonalization falls below
+                               this fraction of the block norm *)
+  holdout : int;           (** held-out probe frequencies (interleaved
+                               with the shift grid, never equal to a
+                               shift) *)
+  z0 : float option;       (** when set, convert the reduced impedance
+                               model to scattering parameters at this
+                               reference before returning *)
+}
+
+(** [1e4 .. 1e10] Hz, 8 initial shifts, 4 per round, 6 rounds, order
+    cap 240, [tol = 1e-6], [z0 = None]. *)
+val default_options : options
+
+type reduction = {
+  model : Engine.Model.t;    (** the reduced descriptor, wrapped *)
+  order : int;               (** retained reduced order *)
+  shift_freqs : float array; (** every shift frequency used, in the
+                                 order the basis absorbed them *)
+  history : float array;     (** max relative hold-out error after
+                                 each round *)
+  factorizations : int;      (** sparse LU factorizations performed *)
+  timings : (string * float) list;
+      (** ["ordering"], ["factor"], ["basis"], ["project"],
+          ["evaluate"] wall times in seconds *)
+}
+
+(** [reduce ?options sys] runs the projection.  Ill-posed options and
+    empty systems are [Validation] errors; a singular shifted pencil
+    surfaces as the underlying {!Sparse.Slu} [Numerical_breakdown].
+    Deterministic: same system, same options, same model. *)
+val reduce : ?options:options -> system -> (reduction, Linalg.Mfti_error.t) result
+
+(** [fit_mfti ?options ?fit_options ?fit_points sys] is the
+    [krylov+mfti] strategy: {!reduce}, sample the reduced model at
+    [fit_points] (default 128) log-spaced frequencies over the band,
+    and run the staged engine ({!Engine.strategy} [Direct]) on those
+    samples.  [fit_options.certify] controls certification of the
+    final model exactly as in a dense fit.  Returns the MFTI model
+    together with the intermediate Krylov result. *)
+val fit_mfti :
+  ?options:options -> ?fit_options:Engine.options -> ?fit_points:int ->
+  system -> (Engine.Model.t * reduction, Linalg.Mfti_error.t) result

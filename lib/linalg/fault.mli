@@ -60,7 +60,17 @@
                                behaves as if another finalize is
                                already in flight and refuses with a
                                typed [Validation] — two clients racing
-                               one session id *)
+                               one session id
+    - ["sparse.singular_pivot"]
+                               sparse LU reports a zero pivot at the
+                               first elimination step, surfacing the
+                               typed [Numerical_breakdown] a singular
+                               shifted pencil would produce
+    - ["sparse.ordering_degrade"]
+                               AMD ordering abandoned: the natural
+                               (identity) permutation is returned and
+                               the degradation recorded in {!Diag}, so
+                               fill blow-ups stay observable *)
 
 exception Injected of string
 (** Raised by {!check} at an armed site. *)

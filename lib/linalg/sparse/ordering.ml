@@ -1,0 +1,434 @@
+(* Fill-reducing orderings for sparse LU.
+
+   [amd] is an approximate-minimum-degree ordering in the style of
+   Amestoy, Davis and Duff (the organization follows CSparse's
+   cs_amd): quotient-graph elimination with element absorption,
+   approximate external degrees maintained by a two-pass marking
+   trick, and hash-based merging of indistinguishable supervariables.
+   [rcm] is the reverse Cuthill-McKee bandwidth reducer kept from the
+   first sparse cut, still useful as a comparison point.
+
+   With partial pivoting any permutation yields a correct
+   factorization — ordering only affects fill — so [amd] is allowed
+   to degrade but never to fail: an internal error (or the armed
+   ["sparse.ordering_degrade"] fault site) falls back to the natural
+   order and records the degrade in {!Linalg.Diag}. *)
+
+open Linalg
+
+let identity n = Array.init n (fun i -> i)
+
+(* symmetrized pattern of a square matrix, diagonal dropped: returns
+   (ptr, ind) with each adjacency list sorted and duplicate-free *)
+let symmetric_pattern (a : Scsr.t) =
+  let n = Scsr.rows a in
+  let cnt = Array.make (n + 1) 0 in
+  let an = Scsr.nnz a in
+  let rp = a.Scsr.rowptr and ci = a.Scsr.colind in
+  for i = 0 to n - 1 do
+    for p = rp.(i) to rp.(i + 1) - 1 do
+      let j = ci.(p) in
+      if j <> i then begin
+        cnt.(i + 1) <- cnt.(i + 1) + 1;
+        cnt.(j + 1) <- cnt.(j + 1) + 1
+      end
+    done
+  done;
+  for i = 0 to n - 1 do
+    cnt.(i + 1) <- cnt.(i + 1) + cnt.(i)
+  done;
+  let cap = cnt.(n) in
+  ignore an;
+  let cursor = Array.sub cnt 0 n in
+  let ind = Array.make (Stdlib.max cap 1) 0 in
+  for i = 0 to n - 1 do
+    for p = rp.(i) to rp.(i + 1) - 1 do
+      let j = ci.(p) in
+      if j <> i then begin
+        ind.(cursor.(i)) <- j;
+        cursor.(i) <- cursor.(i) + 1;
+        ind.(cursor.(j)) <- i;
+        cursor.(j) <- cursor.(j) + 1
+      end
+    done
+  done;
+  (* sort + dedup each list in place *)
+  let ptr = Array.make (n + 1) 0 in
+  let w = ref 0 in
+  for i = 0 to n - 1 do
+    let lo = cnt.(i) and hi = cnt.(i + 1) in
+    let seg = Array.sub ind lo (hi - lo) in
+    Array.sort compare seg;
+    ptr.(i) <- !w;
+    Array.iteri
+      (fun k j ->
+        if k = 0 || j <> seg.(k - 1) then begin
+          ind.(!w) <- j;
+          incr w
+        end)
+      seg
+  done;
+  ptr.(n) <- !w;
+  (ptr, ind, !w)
+
+let amd_core (a : Scsr.t) =
+  let n = Scsr.rows a in
+  if n = 0 then [||]
+  else begin
+    let sp, si, snz = symmetric_pattern a in
+    (* node lists live in a growable arena: for a live variable the
+       list is [elements ... variables ...] (elen element ids first),
+       for a live element it is the variables of its pivotal block *)
+    let arena = ref (Array.make (Stdlib.max (2 * snz + (8 * n) + 64) 1) 0) in
+    let pos = Array.make n 0 in
+    let len = Array.make n 0 in
+    let elen = Array.make n 0 in
+    let free = ref 0 in
+    for i = 0 to n - 1 do
+      pos.(i) <- sp.(i);
+      len.(i) <- sp.(i + 1) - sp.(i)
+    done;
+    Array.blit si 0 !arena 0 snz;
+    free := snz;
+    let nv = Array.make n 1 in         (* supervariable mass; 0 = merged *)
+    let dead = Array.make n false in   (* merged variable or absorbed element *)
+    let iselt = Array.make n false in
+    let degree = Array.init n (fun i -> len.(i)) in
+    (* degree buckets: doubly-linked lists threaded through dnext/dprev *)
+    let dhead = Array.make n (-1) in
+    let dnext = Array.make n (-1) in
+    let dprev = Array.make n (-1) in
+    let inlist = Array.make n false in
+    let deg_insert i d =
+      let d = Stdlib.min (Stdlib.max d 0) (n - 1) in
+      dnext.(i) <- dhead.(d);
+      dprev.(i) <- -d - 1;      (* negative = head marker for bucket d *)
+      if dhead.(d) >= 0 then dprev.(dhead.(d)) <- i;
+      dhead.(d) <- i;
+      inlist.(i) <- true
+    in
+    let deg_remove i =
+      if inlist.(i) then begin
+        let nx = dnext.(i) and pv = dprev.(i) in
+        if nx >= 0 then dprev.(nx) <- pv;
+        if pv >= 0 then dnext.(pv) <- nx
+        else dhead.(-pv - 1) <- nx;
+        inlist.(i) <- false
+      end
+    in
+    for i = 0 to n - 1 do
+      deg_insert i degree.(i)
+    done;
+    let mark = ref 0 in
+    let wmark = Array.make n 0 in
+    let wdiff = Array.make n 0 in        (* |Le \ Lk|, nv-weighted *)
+    let esweep = Array.make n (-1) in
+    let hashval = Array.make n 0 in
+    let hnext = Array.make n (-1) in
+    let hhead = Array.make n (-1) in
+    let children = Array.make n [] in
+    let elim = Array.make n 0 in
+    let nelim = ref 0 in
+    let nel = ref 0 in
+    let mindeg = ref 0 in
+    let compact need =
+      let live = ref 0 in
+      for i = 0 to n - 1 do
+        if not dead.(i) then live := !live + len.(i)
+      done;
+      let cap = Stdlib.max (Array.length !arena) (!live + need + n + 64) in
+      let fresh = Array.make cap 0 in
+      let f = ref 0 in
+      for i = 0 to n - 1 do
+        if not dead.(i) then begin
+          Array.blit !arena pos.(i) fresh !f len.(i);
+          pos.(i) <- !f;
+          f := !f + len.(i)
+        end
+      done;
+      arena := fresh;
+      free := !f
+    in
+    let ensure need =
+      if !free + need > Array.length !arena then compact need
+    in
+    while !nel < n do
+      while dhead.(!mindeg) < 0 do incr mindeg done;
+      let k = dhead.(!mindeg) in
+      deg_remove k;
+      (* space bound for Lk: k's own list plus the lists of its elements *)
+      let bound = ref len.(k) in
+      let kp0 = pos.(k) in
+      for p = kp0 to kp0 + elen.(k) - 1 do
+        let e = !arena.(p) in
+        if not dead.(e) then bound := !bound + len.(e)
+      done;
+      ensure !bound;
+      let sweep = !nelim in
+      elim.(!nelim) <- k;
+      incr nelim;
+      nel := !nel + nv.(k);
+      iselt.(k) <- true;
+      incr mark;
+      let lkmark = !mark in
+      wmark.(k) <- lkmark;
+      let w = !arena in
+      let lkstart = !free in
+      let push_var v =
+        if nv.(v) > 0 && (not dead.(v)) && (not iselt.(v))
+           && wmark.(v) <> lkmark then begin
+          wmark.(v) <- lkmark;
+          w.(!free) <- v;
+          incr free
+        end
+      in
+      let kp = pos.(k) in
+      for p = kp to kp + elen.(k) - 1 do
+        let e = w.(p) in
+        if not dead.(e) then begin
+          for q = pos.(e) to pos.(e) + len.(e) - 1 do
+            push_var w.(q)
+          done;
+          dead.(e) <- true     (* e's pivotal block is swallowed by k *)
+        end
+      done;
+      for p = kp + elen.(k) to kp + len.(k) - 1 do
+        push_var w.(p)
+      done;
+      pos.(k) <- lkstart;
+      len.(k) <- !free - lkstart;
+      elen.(k) <- 0;
+      let dk = ref 0 in
+      for p = lkstart to !free - 1 do
+        dk := !dk + nv.(w.(p))
+      done;
+      (* scan 1: wdiff.(e) = nv-weighted |Le \ Lk| for every element
+         adjacent to Lk *)
+      for p = lkstart to lkstart + len.(k) - 1 do
+        let i = w.(p) in
+        for q = pos.(i) to pos.(i) + elen.(i) - 1 do
+          let e = w.(q) in
+          if not dead.(e) then begin
+            if esweep.(e) <> sweep then begin
+              esweep.(e) <- sweep;
+              let wt = ref 0 in
+              for r = pos.(e) to pos.(e) + len.(e) - 1 do
+                let v = w.(r) in
+                if nv.(v) > 0 && (not dead.(v)) && not iselt.(v) then
+                  wt := !wt + nv.(v)
+              done;
+              wdiff.(e) <- !wt
+            end;
+            wdiff.(e) <- wdiff.(e) - nv.(i)
+          end
+        done
+      done;
+      (* scan 2: rebuild each i in Lk as [k, surviving elements,
+         surviving variables], refresh its approximate degree, and
+         absorb elements whose pivotal block is contained in Lk *)
+      let need2 = ref 0 in
+      for p = lkstart to lkstart + len.(k) - 1 do
+        need2 := !need2 + len.(w.(p)) + 1
+      done;
+      ensure !need2;
+      let w = !arena in
+      let lkstart = pos.(k) in     (* compaction may have moved Lk *)
+      for p = lkstart to lkstart + len.(k) - 1 do
+        let i = w.(p) in
+        let ip = pos.(i) in
+        let ielen = elen.(i) and ilen = len.(i) in
+        let dst = !free in
+        w.(!free) <- k;
+        incr free;
+        let esum = ref 0 in
+        let h = ref k in
+        for q = ip to ip + ielen - 1 do
+          let e = w.(q) in
+          if not dead.(e) then begin
+            let d = if esweep.(e) = sweep then wdiff.(e) else len.(e) in
+            if d <= 0 then dead.(e) <- true    (* aggressive absorption *)
+            else begin
+              w.(!free) <- e;
+              incr free;
+              esum := !esum + d;
+              h := !h + e
+            end
+          end
+        done;
+        let new_elen = !free - dst in
+        let vsum = ref 0 in
+        for q = ip + ielen to ip + ilen - 1 do
+          let v = w.(q) in
+          if nv.(v) > 0 && (not dead.(v)) && (not iselt.(v))
+             && wmark.(v) <> lkmark then begin
+            w.(!free) <- v;
+            incr free;
+            vsum := !vsum + nv.(v);
+            h := !h + v
+          end
+        done;
+        pos.(i) <- dst;
+        elen.(i) <- new_elen;
+        len.(i) <- !free - dst;
+        deg_remove i;
+        (* Amestoy-Davis-Duff approximate external degree:
+           min(n - nel, old + |Lk \ i|, |Ai \ Lk| + |Lk \ i| + sum |Le \ Lk|) *)
+        let lk_contrib = !dk - nv.(i) in
+        let d_fresh = !esum + !vsum + lk_contrib in
+        let d_grown = degree.(i) + lk_contrib in
+        let d = Stdlib.min (Stdlib.min d_fresh d_grown) (n - !nel) in
+        let d = Stdlib.max d 0 in
+        degree.(i) <- d;
+        hashval.(i) <- ((!h mod n) + n) mod n
+      done;
+      (* supervariable merge: bucket Lk by hash, compare exact lists *)
+      let touched = ref [] in
+      for p = lkstart to lkstart + len.(k) - 1 do
+        let i = w.(p) in
+        if (not dead.(i)) && nv.(i) > 0 then begin
+          let h = hashval.(i) in
+          if hhead.(h) < 0 then touched := h :: !touched;
+          hnext.(i) <- hhead.(h);
+          hhead.(h) <- i
+        end
+      done;
+      List.iter
+        (fun h ->
+          let i = ref hhead.(h) in
+          hhead.(h) <- -1;
+          while !i >= 0 do
+            let iv = !i in
+            if (not dead.(iv)) && nv.(iv) > 0 then begin
+              let j = ref hnext.(iv) in
+              while !j >= 0 do
+                let jv = !j in
+                let next = hnext.(jv) in
+                if (not dead.(jv)) && nv.(jv) > 0
+                   && elen.(jv) = elen.(iv) && len.(jv) = len.(iv) then begin
+                  incr mark;
+                  let m = !mark in
+                  for q = pos.(iv) to pos.(iv) + len.(iv) - 1 do
+                    wmark.(w.(q)) <- m
+                  done;
+                  let same = ref true in
+                  for q = pos.(jv) to pos.(jv) + len.(jv) - 1 do
+                    if wmark.(w.(q)) <> m then same := false
+                  done;
+                  if !same then begin
+                    nv.(iv) <- nv.(iv) + nv.(jv);
+                    nv.(jv) <- 0;
+                    dead.(jv) <- true;
+                    deg_remove jv;
+                    children.(iv) <- jv :: children.(iv)
+                  end
+                end;
+                j := next
+              done
+            end;
+            i := hnext.(iv)
+          done)
+        !touched;
+      (* re-list the surviving members of Lk *)
+      for p = lkstart to lkstart + len.(k) - 1 do
+        let i = w.(p) in
+        if (not dead.(i)) && nv.(i) > 0 then begin
+          deg_insert i degree.(i);
+          if degree.(i) < !mindeg then mindeg := degree.(i)
+        end
+      done;
+      if len.(k) = 0 then dead.(k) <- true   (* empty element: drop it *)
+    done;
+    (* expand principals (elimination order) with their merged twins *)
+    let perm = Array.make n 0 in
+    let idx = ref 0 in
+    let rec emit v =
+      perm.(!idx) <- v;
+      incr idx;
+      List.iter emit (List.rev children.(v))
+    in
+    for e = 0 to !nelim - 1 do
+      emit elim.(e)
+    done;
+    if !idx <> n then failwith "amd: lost nodes";
+    perm
+  end
+
+let validate n perm =
+  if Array.length perm <> n then failwith "amd: bad length";
+  let seen = Array.make n false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n || seen.(i) then failwith "amd: not a permutation";
+      seen.(i) <- true)
+    perm;
+  perm
+
+let amd (a : Scsr.t) =
+  let n, n' = Scsr.dims a in
+  if n <> n' then invalid_arg "Ordering.amd: matrix not square";
+  if Fault.armed "sparse.ordering_degrade" then begin
+    Diag.record ~site:"sparse.ordering_degrade"
+      "fault injected: fill-reducing ordering degraded to natural";
+    identity n
+  end
+  else
+    try validate n (amd_core a)
+    with e ->
+      Diag.record ~site:"sparse.ordering_degrade"
+        (Printf.sprintf "amd degraded to natural order: %s"
+           (Printexc.to_string e));
+      identity n
+
+let rcm (a : Scsr.t) =
+  let n, n' = Scsr.dims a in
+  if n <> n' then invalid_arg "Ordering.rcm: matrix not square";
+  let sp, si, _ = symmetric_pattern a in
+  let degree = Array.init n (fun i -> sp.(i + 1) - sp.(i)) in
+  let visited = Array.make n false in
+  let order = Array.make n 0 in
+  let filled = ref 0 in
+  let queue = Queue.create () in
+  (* process every connected component, starting from a minimum-degree
+     node (a cheap stand-in for a pseudo-peripheral vertex) *)
+  let next_start () =
+    let best = ref (-1) in
+    for i = 0 to n - 1 do
+      if (not visited.(i)) && (!best < 0 || degree.(i) < degree.(!best)) then
+        best := i
+    done;
+    if !best < 0 then None else Some !best
+  in
+  let rec component () =
+    match next_start () with
+    | None -> ()
+    | Some start ->
+      visited.(start) <- true;
+      Queue.push start queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        order.(!filled) <- v;
+        incr filled;
+        let fresh = ref [] in
+        for p = sp.(v) to sp.(v + 1) - 1 do
+          let u = si.(p) in
+          if not visited.(u) then fresh := u :: !fresh
+        done;
+        let fresh =
+          List.sort (fun a b -> compare degree.(a) degree.(b)) !fresh
+        in
+        List.iter
+          (fun u ->
+            if not visited.(u) then begin
+              visited.(u) <- true;
+              Queue.push u queue
+            end)
+          fresh
+      done;
+      component ()
+  in
+  component ();
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    out.(i) <- order.(n - 1 - i)
+  done;
+  out

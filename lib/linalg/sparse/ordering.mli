@@ -1,0 +1,19 @@
+(** Fill-reducing orderings for sparse LU.
+
+    Both functions return a symmetric permutation in the convention
+    used across the library: [perm.(new_position) = original_index],
+    directly usable with {!Scsr.permute} and {!Slu.factorize}.
+
+    With partial pivoting any permutation yields a correct
+    factorization, so ordering quality is never allowed to break one:
+    [amd] degrades to the natural order on any internal failure (or
+    when the ["sparse.ordering_degrade"] fault site is armed),
+    recording the degrade in {!Linalg.Diag}. *)
+
+(** Approximate minimum degree (Amestoy–Davis–Duff style quotient-graph
+    elimination with element absorption and supervariable merging) on
+    the symmetrized pattern of a square matrix. *)
+val amd : Scsr.t -> int array
+
+(** Reverse Cuthill–McKee bandwidth reduction. *)
+val rcm : Scsr.t -> int array

@@ -2,10 +2,18 @@
    organization follows CSparse's cs_lu).
 
    L is built column by column with *original* row indices and a unit
-   diagonal stored explicitly as each column's first entry; pinv maps an
-   original row to its pivot step (-1 while not yet pivotal).  Solving
+   diagonal stored explicitly as each column's first entry; pinv maps a
+   (permuted) row to its pivot step (-1 while not yet pivotal).  Solving
    L x = A(:,k) only touches the entries reachable from A(:,k)'s pattern
-   in L's graph, found by DFS in topological order. *)
+   in L's graph, found by DFS in topological order.
+
+   The numeric core works on a column-major view obtained by
+   transposing the (symmetrically permuted) CSR input — an O(nnz)
+   counting pass, cheap next to the factorization itself.  Failures are
+   typed: a zero pivot (or the armed ["sparse.singular_pivot"] fault
+   site) comes back as [Mfti_error.Numerical_breakdown]. *)
+
+open Linalg
 
 exception Singular of int
 
@@ -26,7 +34,8 @@ let growbuf_make n =
 let growbuf_push g i vre vim =
   if g.len = Array.length g.idx then begin
     let cap = 2 * g.len in
-    let idx = Array.make cap 0 and re = Array.make cap 0. and im = Array.make cap 0. in
+    let idx = Array.make cap 0 in
+    let re = Array.make cap 0. and im = Array.make cap 0. in
     Array.blit g.idx 0 idx 0 g.len;
     Array.blit g.re 0 re 0 g.len;
     Array.blit g.im 0 im 0 g.len;
@@ -39,7 +48,7 @@ let growbuf_push g i vre vim =
   g.im.(g.len) <- vim;
   g.len <- g.len + 1
 
-type ordering = [ `Natural | `Rcm ]
+type ordering = [ `Natural | `Rcm | `Amd ]
 
 type factor = {
   n : int;
@@ -51,13 +60,11 @@ type factor = {
   sym_perm : int array option;  (* new_position -> original index *)
 }
 
-let factorize_core (a : Sparse.t) =
-  let n, n' = Sparse.dims a in
-  if n <> n' then invalid_arg "Sparse_lu.factorize: matrix not square";
-  let acolptr = a.Sparse.colptr and arowind = a.Sparse.rowind in
-  let are = a.Sparse.re and aim = a.Sparse.im in
-  let l = growbuf_make (4 * Sparse.nnz a) in
-  let u = growbuf_make (4 * Sparse.nnz a) in
+(* [acolptr/arowind/are/aim] is a column-major (CSC) view of the
+   already-permuted matrix *)
+let factorize_core n acolptr arowind are aim =
+  let l = growbuf_make (4 * acolptr.(n)) in
+  let u = growbuf_make (4 * acolptr.(n)) in
   let lp = Array.make (n + 1) 0 in
   let up = Array.make (n + 1) 0 in
   let pinv = Array.make n (-1) in
@@ -173,26 +180,70 @@ let factorize_core (a : Sparse.t) =
   done;
   lp.(n) <- l.len;
   up.(n) <- u.len;
-  (* rows without a pivot can only happen on structural singularity,
-     which the zero-pivot test above already catches for square systems *)
   (* convert L's row indices to pivot order *)
   for p = 0 to l.len - 1 do
     l.idx.(p) <- pinv.(l.idx.(p))
   done;
-  (n, lp, l, up, u, pinv)
+  (lp, l, up, u, pinv)
 
-let factorize ?(ordering = `Natural) (a : Sparse.t) =
-  match ordering with
-  | `Natural ->
-    let n, lp, l, up, u, pinv = factorize_core a in
-    { n; lp; l; up; u; pinv; sym_perm = None }
-  | `Rcm ->
-    let perm = Sparse.rcm_ordering a in
-    let n, lp, l, up, u, pinv = factorize_core (Sparse.permute a ~perm) in
-    { n; lp; l; up; u; pinv; sym_perm = Some perm }
+let singular ?(injected = false) k =
+  Mfti_error.Numerical_breakdown
+    { context = "sparse.lu";
+      message =
+        Printf.sprintf "%szero pivot at elimination step %d"
+          (if injected then "injected " else "")
+          k;
+      condition = None }
+
+let bad_perm msg =
+  Mfti_error.Validation { context = "sparse.lu"; message = msg }
+
+let factorize ?(ordering = `Amd) ?perm (a : Scsr.t) =
+  let n, n' = Scsr.dims a in
+  if n <> n' then Error (bad_perm "matrix not square")
+  else if Fault.armed "sparse.singular_pivot" then
+    Error (singular ~injected:true 0)
+  else begin
+    let perm_ok =
+      match perm with
+      | Some p ->
+        if Array.length p <> n then Error (bad_perm "bad permutation length")
+        else begin
+          let seen = Array.make n false in
+          let ok = ref true in
+          Array.iter
+            (fun old ->
+              if old < 0 || old >= n || seen.(old) then ok := false
+              else seen.(old) <- true)
+            p;
+          if !ok then Ok (Some p) else Error (bad_perm "not a permutation")
+        end
+      | None ->
+        Ok
+          (match ordering with
+           | `Natural -> None
+           | `Rcm -> Some (Ordering.rcm a)
+           | `Amd -> Some (Ordering.amd a))
+    in
+    match perm_ok with
+    | Error e -> Error e
+    | Ok perm ->
+      let ap = match perm with None -> a | Some p -> Scsr.permute a ~perm:p in
+      let at = Scsr.transpose ap in
+      (match
+         factorize_core n at.Scsr.rowptr at.Scsr.colind at.Scsr.re at.Scsr.im
+       with
+       | exception Singular k -> Error (singular k)
+       | lp, l, up, u, pinv -> Ok { n; lp; l; up; u; pinv; sym_perm = perm })
+  end
+
+let factorize_exn ?ordering ?perm a =
+  match factorize ?ordering ?perm a with
+  | Ok f -> f
+  | Error e -> Mfti_error.raise_error e
 
 let solve f b =
-  if Cmat.rows b <> f.n then invalid_arg "Sparse_lu.solve: dimension mismatch";
+  if Cmat.rows b <> f.n then invalid_arg "Slu.solve: dimension mismatch";
   let nrhs = Cmat.cols b in
   (* with a symmetric ordering, solve A' x' = b' where b'_i = b_{perm i}
      and x_{perm i} = x'_i *)
@@ -241,15 +292,20 @@ let solve f b =
         done
     done
   done;
-  (match f.sym_perm with
-   | None -> x
-   | Some perm ->
-     let out = Cmat.zeros f.n nrhs in
-     for jcol = 0 to nrhs - 1 do
-       for i = 0 to f.n - 1 do
-         Cmat.set out perm.(i) jcol (Cmat.get x i jcol)
-       done
-     done;
-     out)
+  match f.sym_perm with
+  | None -> x
+  | Some perm ->
+    let out = Cmat.zeros f.n nrhs in
+    let outr = Cmat.unsafe_re out and outi = Cmat.unsafe_im out in
+    for jcol = 0 to nrhs - 1 do
+      let off = jcol * f.n in
+      for i = 0 to f.n - 1 do
+        outr.(off + perm.(i)) <- xr.(off + i);
+        outi.(off + perm.(i)) <- xi_.(off + i)
+      done
+    done;
+    out
 
 let fill f = f.l.len + f.u.len
+let order f = f.sym_perm
+let size f = f.n

@@ -1,0 +1,44 @@
+(** Sparse LU with partial pivoting and fill-reducing ordering.
+
+    A left-looking Gilbert–Peierls factorization of a square complex
+    CSR matrix.  A symmetric fill-reducing permutation is applied
+    first — approximate minimum degree by default — and partial
+    pivoting by largest modulus keeps the numerics safe under any
+    ordering.
+
+    Failures are typed through {!Linalg.Mfti_error}: a zero pivot (or
+    the armed ["sparse.singular_pivot"] fault site) is
+    [Numerical_breakdown]; a malformed permutation is [Validation].
+    An AMD-internal failure never fails the factorization — it
+    degrades to the natural order and records
+    ["sparse.ordering_degrade"] in {!Linalg.Diag}. *)
+
+type ordering = [ `Natural | `Rcm | `Amd ]
+
+type factor
+
+(** [factorize ?ordering ?perm a] factors square [a].  [perm]
+    short-circuits the ordering computation with a precomputed
+    symmetric permutation ([perm.(new) = old]) — pass the
+    {!Ordering.amd} of the pattern once and reuse it across a
+    frequency sweep, since [Scsr.scale_add] keeps the pattern stable.
+    Default [ordering] is [`Amd]. *)
+val factorize :
+  ?ordering:ordering -> ?perm:int array -> Scsr.t ->
+  (factor, Linalg.Mfti_error.t) result
+
+(** Raising form: wraps the error in {!Linalg.Mfti_error.Error}. *)
+val factorize_exn : ?ordering:ordering -> ?perm:int array -> Scsr.t -> factor
+
+(** [solve f b] solves [a x = b] for one or more dense right-hand-side
+    columns. *)
+val solve : factor -> Linalg.Cmat.t -> Linalg.Cmat.t
+
+(** Stored entries in [L] plus [U] — the fill the ordering is trying
+    to keep down. *)
+val fill : factor -> int
+
+(** The symmetric permutation that was applied, if any. *)
+val order : factor -> int array option
+
+val size : factor -> int

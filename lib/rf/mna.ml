@@ -160,42 +160,55 @@ let to_descriptor t =
   let d = Cmat.zeros nports nports in
   Statespace.Descriptor.create ~e:cap ~a:(Cmat.neg g) ~b ~c ~d
 
-(* sparse assembly: (G, C) in CSC form *)
+(* sparse assembly: (G, C) in CSR form *)
 let to_sparse t =
   let n = num_states t in
-  let g = Sparse.create ~rows:n ~cols:n in
-  let c = Sparse.create ~rows:n ~cols:n in
+  let hint = 8 * (List.length t.elements + 1) in
+  let g = Sparse.Scsr.create ~hint ~rows:n ~cols:n () in
+  let c = Sparse.Scsr.create ~hint ~rows:n ~cols:n () in
   stamp t
-    ~addg:(fun i jcol x -> Sparse.add g i jcol (Cx.of_float x))
-    ~addc:(fun i jcol x -> Sparse.add c i jcol (Cx.of_float x));
-  (Sparse.compress g, Sparse.compress c)
+    ~addg:(fun i jcol x -> Sparse.Scsr.add_real g i jcol x)
+    ~addc:(fun i jcol x -> Sparse.Scsr.add_real c i jcol x);
+  (Sparse.Scsr.compress g, Sparse.Scsr.compress c)
+
+let sparse_system t =
+  let g, c = to_sparse t in
+  let b, l = port_matrices t in
+  (g, c, b, l)
+
+let sparse_ordering t =
+  let g, c = to_sparse t in
+  (* the pattern of sC + G is frequency-independent: a fill-reducing
+     ordering of the union pattern serves every frequency point *)
+  Sparse.Ordering.amd (Sparse.Scsr.scale_add ~alpha:Cx.one c ~beta:Cx.one g)
 
 let impedance_sparse t freqs =
   let g, c = to_sparse t in
   let b, cout = port_matrices t in
-  (* the pattern of sC + G is frequency-independent: compute the
-     fill-reducing ordering once and reuse it for every point *)
-  let pattern = Sparse.scale_add ~alpha:Cx.one c ~beta:Cx.one g in
-  let perm = Sparse.rcm_ordering pattern in
-  let gp = Sparse.permute g ~perm and cp = Sparse.permute c ~perm in
-  let bp = Cmat.select_rows b perm in
-  let n = num_states t in
-  let inv = Array.make n 0 in
-  Array.iteri (fun newpos old -> inv.(old) <- newpos) perm;
+  let pattern = Sparse.Scsr.scale_add ~alpha:Cx.one c ~beta:Cx.one g in
+  let perm = Sparse.Ordering.amd pattern in
   Array.map
     (fun freq ->
       let s = Cx.jw (2. *. Float.pi *. freq) in
-      (* (sC + G) x = B, in RCM coordinates *)
-      let m = Sparse.scale_add ~alpha:s cp ~beta:Cx.one gp in
-      let x =
-        match Sparse_lu.factorize m with
-        | exception Sparse_lu.Singular _ ->
-          raise (Statespace.Descriptor.Singular_pencil s)
-        | f -> Sparse_lu.solve f bp
-      in
-      let x_orig = Cmat.select_rows x inv in
-      { Statespace.Sampling.freq; s = Cmat.mul cout x_orig })
+      let m = Sparse.Scsr.scale_add ~alpha:s c ~beta:Cx.one g in
+      match Sparse.Slu.factorize ~perm m with
+      | Error _ -> raise (Statespace.Descriptor.Singular_pencil s)
+      | Ok f ->
+        let x = Sparse.Slu.solve f b in
+        { Statespace.Sampling.freq; s = Cmat.mul cout x })
     freqs
 
 let impedance t freqs =
   Statespace.Sampling.sample_system (to_descriptor t) freqs
+
+(* beyond a few hundred states the dense descriptor sweep's cubic
+   factorizations lose to sparse LU on MNA patterns *)
+let sparse_threshold = 600
+
+let impedance_auto t freqs =
+  if num_states t <= sparse_threshold then impedance t freqs
+  else impedance_sparse t freqs
+
+(* insertion-order views for the netlist writer *)
+let elements t = List.rev t.elements
+let ports t = List.rev t.ports

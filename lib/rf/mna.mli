@@ -48,7 +48,17 @@ val to_descriptor : t -> Statespace.Descriptor.t
 
 (** Sparse assembly: the [(G, C)] pair with
     [(sC + G) x = B u, y = B^T x]. *)
-val to_sparse : t -> Linalg.Sparse.t * Linalg.Sparse.t
+val to_sparse : t -> Sparse.Scsr.t * Sparse.Scsr.t
+
+(** [sparse_system circuit] is [(g, c, b, l)]: the sparse MNA pencil
+    plus the dense port injection/selection matrices, the form the
+    Krylov reduction consumes ([Z(s) = l (sC + G)^{-1} b]). *)
+val sparse_system :
+  t -> Sparse.Scsr.t * Sparse.Scsr.t * Linalg.Cmat.t * Linalg.Cmat.t
+
+(** AMD ordering of the frequency-independent pattern of [sC + G],
+    reusable across a whole sweep via [Slu.factorize ~perm]. *)
+val sparse_ordering : t -> int array
 
 (** [impedance circuit freqs] samples [Z(j 2 pi f)] via the dense model. *)
 val impedance : t -> float array -> Statespace.Sampling.sample array
@@ -57,3 +67,12 @@ val impedance : t -> float array -> Statespace.Sampling.sample array
     circuit size, the right path for plane grids with thousands of
     states. *)
 val impedance_sparse : t -> float array -> Statespace.Sampling.sample array
+
+(** Dense below ~600 states, sparse above. *)
+val impedance_auto : t -> float array -> Statespace.Sampling.sample array
+
+(** Elements in insertion order (for the netlist writer). *)
+val elements : t -> element list
+
+(** Ports in insertion order as [(plus, minus)] pairs. *)
+val ports : t -> (node * node) list

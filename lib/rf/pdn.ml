@@ -12,20 +12,23 @@ type spec = {
   decap_c : float;
   decap_esr : float;
   decap_esl : float;
+  plane_rl : bool;
   seed : int;
 }
 
 let default_spec =
   { nx = 4; ny = 4; ports = 4; decaps = 3;
     cell_r = 0.01; cell_l = 0.5e-9; cell_c = 10e-12; cell_g = 1e-6;
-    decap_c = 100e-9; decap_esr = 0.02; decap_esl = 1e-9; seed = 0 }
+    decap_c = 100e-9; decap_esr = 0.02; decap_esl = 1e-9;
+    plane_rl = true; seed = 0 }
 
 let example2_spec =
   (* 7x7 plane, 10 decaps, 14 ports: descriptor order 153 — comparable to
      the effective order the paper's recovered models suggest (95-260) *)
   { nx = 7; ny = 7; ports = 14; decaps = 10;
     cell_r = 0.008; cell_l = 0.4e-9; cell_c = 22e-12; cell_g = 2e-6;
-    decap_c = 220e-9; decap_esr = 0.015; decap_esl = 0.8e-9; seed = 14 }
+    decap_c = 220e-9; decap_esr = 0.015; decap_esl = 0.8e-9;
+    plane_rl = true; seed = 14 }
 
 let validate spec =
   if spec.nx < 2 || spec.ny < 2 then invalid_arg "Pdn.build: grid must be at least 2x2";
@@ -48,18 +51,19 @@ let build spec =
   for iy = 0 to spec.ny - 1 do
     for ix = 0 to spec.nx - 1 do
       let a = plane_node ix iy in
+      (* RL segments carry one branch state each; a resistive plane
+         ([plane_rl = false]) keeps the state count at the node count,
+         which is what makes 100k-node grids factor in seconds *)
+      let segment b =
+        if spec.plane_rl then
+          Mna.Rl_branch { a; b; ohms = jittered spec.cell_r;
+                          henries = jittered spec.cell_l }
+        else Mna.Resistor { a; b; ohms = jittered spec.cell_r }
+      in
       if ix + 1 < spec.nx then
-        circuit :=
-          Mna.add !circuit
-            (Mna.Rl_branch { a; b = plane_node (ix + 1) iy;
-                             ohms = jittered spec.cell_r;
-                             henries = jittered spec.cell_l });
+        circuit := Mna.add !circuit (segment (plane_node (ix + 1) iy));
       if iy + 1 < spec.ny then
-        circuit :=
-          Mna.add !circuit
-            (Mna.Rl_branch { a; b = plane_node ix (iy + 1);
-                             ohms = jittered spec.cell_r;
-                             henries = jittered spec.cell_l });
+        circuit := Mna.add !circuit (segment (plane_node ix (iy + 1)));
       (* Distributed plane capacitance and dielectric loss to ground. *)
       circuit :=
         Mna.add !circuit (Mna.Capacitor { a; b = 0; farads = jittered spec.cell_c });

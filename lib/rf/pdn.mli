@@ -25,6 +25,10 @@ type spec = {
   decap_c : float;     (** decap capacitance, farads *)
   decap_esr : float;   (** decap equivalent series resistance, ohms *)
   decap_esl : float;   (** decap equivalent series inductance, henries *)
+  plane_rl : bool;     (** [true]: RL plane segments (one branch state
+                           each, the paper-faithful default); [false]:
+                           resistive segments, keeping the MNA order at
+                           the node count for very large grids *)
   seed : int;          (** placement randomization *)
 }
 

@@ -192,6 +192,79 @@ let test_serve_stdio () =
   check_contains "typed error kind" "\"kind\": \"validation\"" text;
   check_contains "shutdown ack" "\"op\": \"shutdown\"" text
 
+(* gen --netlist -> engine --strategy krylov: the sparse pipeline *)
+let netlist_path =
+  Filename.concat (Filename.get_temp_dir_name ()) "mfti_cli_grid.ckt"
+
+let test_gen_netlist () =
+  let code, text =
+    run (Printf.sprintf "gen pdn --grid 10x10 --ports 2 --netlist %s"
+           netlist_path)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "netlist header" "wrote netlist: 10" text;
+  check_contains "ports" "2 ports" text;
+  Alcotest.(check bool) "netlist exists" true (Sys.file_exists netlist_path)
+
+let test_gen_refusals () =
+  let expect_64 what args =
+    let code, text = run args in
+    Alcotest.(check int) (what ^ " exits 64") 64 code;
+    check_contains what "invalid input (gen)" text
+  in
+  expect_64 "zero grid side" "gen pdn --grid 0x5 --netlist /tmp/x.ckt";
+  expect_64 "garbage grid" "gen pdn --grid 4by4 --netlist /tmp/x.ckt";
+  expect_64 "zero node budget" "gen pdn --nodes 0 --netlist /tmp/x.ckt";
+  expect_64 "no outputs" "gen pdn";
+  expect_64 "ladder has no plane" "gen ladder --netlist /tmp/x.ckt";
+  expect_64 "overfull plane"
+    "gen pdn --grid 3x3 --ports 9 --netlist /tmp/x.ckt"
+
+let test_engine_krylov () =
+  let code, text =
+    run
+      (Printf.sprintf
+         "engine %s --strategy krylov --f-lo 1e6 --f-hi 1e9 --shifts 4 \
+          --krylov-order 96"
+         netlist_path)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "netlist echoed" "netlist: 10" text;
+  check_contains "reduction ran" "krylov: order" text;
+  check_contains "adaptive rounds" "round 1: hold-out err" text;
+  check_contains "model line" "retained order:" text
+
+let test_engine_krylov_mfti_pack () =
+  let packed =
+    Filename.concat (Filename.get_temp_dir_name ()) "mfti_cli_grid.mfti"
+  in
+  let code, text =
+    run
+      (Printf.sprintf
+         "engine %s --strategy krylov+mfti --f-lo 1e6 --f-hi 1e9 \
+          --shifts 4 --krylov-order 96 --certify --pack %s"
+         netlist_path packed)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "mfti stage ran" "stage reduce" text;
+  check_contains "certified" "certificate:" text;
+  check_contains "packed" "packed mfti_cli_grid ->" text;
+  Alcotest.(check bool) "artifact exists" true (Sys.file_exists packed);
+  let code, text = run (Printf.sprintf "inspect %s" packed) in
+  Alcotest.(check int) "inspect exit code" 0 code;
+  check_contains "checksum" "checksum ok" text;
+  Sys.remove packed
+
+let test_engine_strategy_mismatch () =
+  let code, text = run (Printf.sprintf "engine %s" netlist_path) in
+  Alcotest.(check int) "dense on netlist exits 64" 64 code;
+  check_contains "mismatch" "needs --strategy krylov" text;
+  let code, text =
+    run (Printf.sprintf "engine %s --strategy krylov" workload)
+  in
+  Alcotest.(check int) "krylov on touchstone exits 64" 64 code;
+  check_contains "mismatch" "not a" text
+
 let test_diagnostics_reported () =
   let code, text = run (Printf.sprintf "fit %s" workload) in
   Alcotest.(check int) "exit code" 0 code;
@@ -213,5 +286,12 @@ let () =
          Alcotest.test_case "inspect" `Quick test_inspect;
          Alcotest.test_case "inspect corrupt" `Quick test_inspect_corrupt;
          Alcotest.test_case "serve over stdio" `Quick test_serve_stdio;
+         Alcotest.test_case "gen netlist" `Quick test_gen_netlist;
+         Alcotest.test_case "gen refusals" `Quick test_gen_refusals;
+         Alcotest.test_case "engine krylov" `Quick test_engine_krylov;
+         Alcotest.test_case "engine krylov+mfti pack" `Quick
+           test_engine_krylov_mfti_pack;
+         Alcotest.test_case "engine strategy mismatch" `Quick
+           test_engine_strategy_mismatch;
          Alcotest.test_case "diagnostics reported" `Quick
            test_diagnostics_reported ]) ]

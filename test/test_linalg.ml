@@ -657,158 +657,6 @@ let test_sylvester_singular () =
     (fun () -> ignore (Sylvester.solve_diag ~mu ~lambda f))
 
 (* ------------------------------------------------------------------ *)
-(* Sparse / Sparse_lu *)
-
-let random_sparse rng n density =
-  let b = Sparse.create ~rows:n ~cols:n in
-  for i = 0 to n - 1 do
-    (* guaranteed nonzero diagonal keeps the matrix comfortably regular *)
-    Sparse.add b i i (Cx.add (cx 3. 0.) (Rng.complex_gaussian rng));
-    for _ = 1 to density do
-      Sparse.add b i (Rng.int rng n) (Rng.complex_gaussian rng)
-    done
-  done;
-  Sparse.compress b
-
-let test_sparse_round_trip () =
-  let rng = Rng.create 211 in
-  let d = Cmat.random rng 7 5 in
-  let sp = Sparse.of_dense d in
-  Alcotest.(check bool) "dense round trip" true
-    (Cmat.equal ~tol:0. (Sparse.to_dense sp) d);
-  Alcotest.(check int) "nnz" 35 (Sparse.nnz sp)
-
-let test_sparse_duplicates_accumulate () =
-  let b = Sparse.create ~rows:2 ~cols:2 in
-  Sparse.add b 0 0 (cx 1. 0.);
-  Sparse.add b 0 0 (cx 2. 0.);
-  Sparse.add b 1 0 (cx 5. 0.);
-  let sp = Sparse.compress b in
-  Alcotest.(check int) "merged nnz" 2 (Sparse.nnz sp);
-  check_close "accumulated" 3. (Cmat.get (Sparse.to_dense sp) 0 0).Cx.re
-
-let test_sparse_mul_vec () =
-  let rng = Rng.create 213 in
-  let d = Cmat.random rng 6 6 in
-  let sp = Sparse.of_dense d in
-  let x = Cmat.random rng 6 1 in
-  let y1 = Sparse.mul_vec sp x and y2 = Cmat.mul d x in
-  check_small ~tol:1e-12 "mul_vec" (Cmat.norm_fro (Cmat.sub y1 y2))
-
-let test_sparse_scale_add () =
-  let rng = Rng.create 215 in
-  let a = Cmat.random rng 5 5 and b = Cmat.random rng 5 5 in
-  let alpha = cx 2. 1. and beta = cx 0. (-3.) in
-  let s =
-    Sparse.scale_add ~alpha (Sparse.of_dense a) ~beta (Sparse.of_dense b)
-  in
-  let expected = Cmat.add (Cmat.scale alpha a) (Cmat.scale beta b) in
-  check_small ~tol:1e-12 "alpha A + beta B"
-    (Cmat.norm_fro (Cmat.sub (Sparse.to_dense s) expected))
-
-let test_sparse_lu_matches_dense () =
-  let rng = Rng.create 217 in
-  List.iter
-    (fun (n, density) ->
-      let sp = random_sparse rng n density in
-      let d = Sparse.to_dense sp in
-      let f = Sparse_lu.factorize sp in
-      let b = Cmat.random rng n 3 in
-      let xs = Sparse_lu.solve f b in
-      let xd = Lu.solve_mat d b in
-      check_small ~tol:1e-7 "sparse = dense solve"
-        (Cmat.norm_fro (Cmat.sub xs xd) /. (1. +. Cmat.norm_fro xd));
-      (* residual check too *)
-      let resid = Cmat.sub (Cmat.mul d xs) b in
-      check_small ~tol:1e-8 "residual"
-        (Cmat.norm_fro resid /. (1. +. Cmat.norm_fro b)))
-    [ (5, 2); (20, 3); (60, 4); (120, 3) ]
-
-let test_sparse_lu_permuted_identity () =
-  (* a permutation matrix exercises the pivoting bookkeeping *)
-  let n = 8 in
-  let b = Sparse.create ~rows:n ~cols:n in
-  for i = 0 to n - 1 do
-    Sparse.add b ((i + 3) mod n) i Cx.one
-  done;
-  let sp = Sparse.compress b in
-  let f = Sparse_lu.factorize sp in
-  let rng = Rng.create 219 in
-  let rhs = Cmat.random rng n 1 in
-  let x = Sparse_lu.solve f rhs in
-  let resid = Cmat.sub (Sparse.mul_vec sp x) rhs in
-  check_small ~tol:1e-12 "permutation solve" (Cmat.norm_fro resid)
-
-let test_sparse_lu_singular () =
-  let b = Sparse.create ~rows:3 ~cols:3 in
-  Sparse.add b 0 0 Cx.one;
-  Sparse.add b 1 1 Cx.one;
-  (* column 2 empty -> structurally singular *)
-  let sp = Sparse.compress b in
-  match Sparse_lu.factorize sp with
-  | exception Sparse_lu.Singular _ -> ()
-  | _ -> Alcotest.fail "singular accepted"
-
-let test_sparse_rcm_correct_and_helpful () =
-  (* correctness of the RCM-ordered factorization on a 2-D grid, and the
-     fill should not be (much) worse than natural order *)
-  let nx = 15 in
-  let n = nx * nx in
-  let b = Sparse.create ~rows:n ~cols:n in
-  let rng = Rng.create 223 in
-  let node i j = (i * nx) + j in
-  for i = 0 to nx - 1 do
-    for j = 0 to nx - 1 do
-      Sparse.add b (node i j) (node i j) (Cx.add (cx 4. 0.) (Rng.complex_gaussian rng));
-      if i + 1 < nx then begin
-        Sparse.add b (node i j) (node (i + 1) j) (cx (-1.) 0.);
-        Sparse.add b (node (i + 1) j) (node i j) (cx (-1.) 0.)
-      end;
-      if j + 1 < nx then begin
-        Sparse.add b (node i j) (node i (j + 1)) (cx (-1.) 0.);
-        Sparse.add b (node i (j + 1)) (node i j) (cx (-1.) 0.)
-      end
-    done
-  done;
-  let sp = Sparse.compress b in
-  let rhs = Cmat.random rng n 1 in
-  let f_nat = Sparse_lu.factorize ~ordering:`Natural sp in
-  let f_rcm = Sparse_lu.factorize ~ordering:`Rcm sp in
-  let x_nat = Sparse_lu.solve f_nat rhs in
-  let x_rcm = Sparse_lu.solve f_rcm rhs in
-  check_small ~tol:1e-9 "same solution"
-    (Cmat.norm_fro (Cmat.sub x_nat x_rcm) /. (1. +. Cmat.norm_fro x_nat));
-  let resid = Cmat.sub (Sparse.mul_vec sp x_rcm) rhs in
-  check_small ~tol:1e-9 "rcm residual" (Cmat.norm_fro resid);
-  Alcotest.(check bool)
-    (Printf.sprintf "fill sane (nat %d, rcm %d)" (Sparse_lu.fill f_nat)
-       (Sparse_lu.fill f_rcm))
-    true
-    (Sparse_lu.fill f_rcm <= 2 * Sparse_lu.fill f_nat)
-
-let test_sparse_permute () =
-  let rng = Rng.create 227 in
-  let d = Cmat.random rng 6 6 in
-  let sp = Sparse.of_dense d in
-  let perm = [| 3; 1; 5; 0; 2; 4 |] in
-  let pd = Sparse.to_dense (Sparse.permute sp ~perm) in
-  for i = 0 to 5 do
-    for jcol = 0 to 5 do
-      check_small ~tol:0. "permuted entry"
-        (Cx.abs (Cx.sub (Cmat.get pd i jcol) (Cmat.get d perm.(i) perm.(jcol))))
-    done
-  done;
-  match Sparse.permute sp ~perm:[| 0; 0; 1; 2; 3; 4 |] with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "non-permutation accepted"
-
-let test_sparse_lu_fill_reported () =
-  let rng = Rng.create 221 in
-  let sp = random_sparse rng 30 2 in
-  let f = Sparse_lu.factorize sp in
-  Alcotest.(check bool) "fill >= nnz" true (Sparse_lu.fill f >= Sparse.nnz sp)
-
-(* ------------------------------------------------------------------ *)
 (* Rank rules over bare spectra (truncated-spectrum safe variants) *)
 
 let test_rank_of_values () =
@@ -1211,15 +1059,4 @@ let () =
       ("sylvester",
        [ Alcotest.test_case "solve" `Quick test_sylvester_solve;
          Alcotest.test_case "singular" `Quick test_sylvester_singular ]);
-      ("sparse",
-       [ Alcotest.test_case "round trip" `Quick test_sparse_round_trip;
-         Alcotest.test_case "duplicates" `Quick test_sparse_duplicates_accumulate;
-         Alcotest.test_case "mul_vec" `Quick test_sparse_mul_vec;
-         Alcotest.test_case "scale_add" `Quick test_sparse_scale_add;
-         Alcotest.test_case "lu matches dense" `Quick test_sparse_lu_matches_dense;
-         Alcotest.test_case "lu permutation" `Quick test_sparse_lu_permuted_identity;
-         Alcotest.test_case "lu singular" `Quick test_sparse_lu_singular;
-         Alcotest.test_case "lu fill" `Quick test_sparse_lu_fill_reported;
-         Alcotest.test_case "permute" `Quick test_sparse_permute;
-         Alcotest.test_case "rcm ordering" `Quick test_sparse_rcm_correct_and_helpful ]);
       ("properties", props) ]

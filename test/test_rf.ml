@@ -145,9 +145,9 @@ let test_mna_sparse_assembly () =
   let sys = Mna.to_descriptor circuit in
   (* G = -A, C = E *)
   check_small ~tol:1e-12 "sparse G"
-    (Cmat.norm_fro (Cmat.sub (Sparse.to_dense g) (Cmat.neg sys.Descriptor.a)));
+    (Cmat.norm_fro (Cmat.sub (Sparse.Scsr.to_dense g) (Cmat.neg sys.Descriptor.a)));
   check_small ~tol:1e-12 "sparse C"
-    (Cmat.norm_fro (Cmat.sub (Sparse.to_dense c) sys.Descriptor.e))
+    (Cmat.norm_fro (Cmat.sub (Sparse.Scsr.to_dense c) sys.Descriptor.e))
 
 (* ------------------------------------------------------------------ *)
 (* Sparams *)
