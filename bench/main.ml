@@ -23,7 +23,12 @@
                                             workload (BENCH_session.json)
      dune exec bench/main.exe -- sparse [--smoke] -- assemble / factor /
                                             Krylov-reduce a ~100k-node
-                                            plane grid (BENCH_sparse.json) *)
+                                            plane grid (BENCH_sparse.json)
+     dune exec bench/main.exe -- router [--smoke] -- sharded routing tier:
+                                            req/s at 1/2/4 replicas (cache
+                                            affinity), coalescing hit rate,
+                                            binary vs JSON frame bytes
+                                            (BENCH_router.json) *)
 
 let commands =
   [ ("fig1", Fig1.run);
@@ -38,7 +43,8 @@ let commands =
     ("serve", Serve_bench.run ?smoke:None);
     ("supervisor", Supervisor_bench.run ?smoke:None);
     ("session", Session_bench.run ?smoke:None);
-    ("sparse", Sparse_bench.run ?smoke:None) ]
+    ("sparse", Sparse_bench.run ?smoke:None);
+    ("router", Router_bench.run ?smoke:None) ]
 
 let run_all () =
   List.iter (fun (_, f) -> f ()) commands
@@ -58,6 +64,8 @@ let () =
     Session_bench.run ~smoke:(List.mem "--smoke" rest) ()
   | _ :: "sparse" :: rest ->
     Sparse_bench.run ~smoke:(List.mem "--smoke" rest) ()
+  | _ :: "router" :: rest ->
+    Router_bench.run ~smoke:(List.mem "--smoke" rest) ()
   | [ _ ] | [ _; "all" ] -> run_all ()
   | [ _; cmd ] ->
     (match List.assoc_opt cmd commands with

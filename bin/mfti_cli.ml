@@ -976,6 +976,14 @@ let socket_arg =
   in
   Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
 
+let tcp_arg =
+  let doc =
+    "Listen on TCP at $(docv) (e.g. 127.0.0.1:7070; port 0 picks an \
+     ephemeral port, printed at startup) instead of stdio.  Mutually \
+     exclusive with $(b,--socket)."
+  in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
 let cache_mb_arg =
   let doc = "Model cache budget in MiB." in
   Arg.(value & opt int 256 & info [ "cache-mb" ] ~docv:"MB" ~doc)
@@ -1029,8 +1037,8 @@ let report_quarantine server =
         (Linalg.Mfti_error.to_string q.reason))
     (Serve.Server.quarantined server)
 
-let run_serve root socket cache_mb workers queue request_timeout_ms drain_ms
-    admission =
+let run_serve root socket tcp cache_mb workers queue request_timeout_ms
+    drain_ms admission =
   guarded @@ fun () ->
   if cache_mb < 0 then invalid_arg "serve: cache budget must be >= 0";
   if workers < 1 then invalid_arg "serve: --workers must be >= 1";
@@ -1038,21 +1046,44 @@ let run_serve root socket cache_mb workers queue request_timeout_ms drain_ms
   if request_timeout_ms < 1 then
     invalid_arg "serve: --request-timeout-ms must be >= 1";
   if drain_ms < 0 then invalid_arg "serve: --drain-ms must be >= 0";
+  if socket <> None && tcp <> None then
+    invalid_arg "serve: --socket and --tcp are mutually exclusive";
   let server =
     Serve.Server.create ~cache_bytes:(cache_mb * 1024 * 1024) ~admission
       ~root ()
   in
   report_quarantine server;
-  (match socket with
+  let listen =
+    match (socket, tcp) with
+    | Some path, None -> Some (Serve.Supervisor.Unix_path path)
+    | None, Some addr ->
+      (match Serve.Router.parse_addr addr with
+       | Serve.Supervisor.Tcp _ as l -> Some l
+       | Serve.Supervisor.Unix_path _ ->
+         invalid_arg "serve: --tcp wants HOST:PORT")
+    | None, None -> None
+    | Some _, Some _ -> assert false
+  in
+  (match listen with
    | None -> ignore (Serve.Server.serve_channels server stdin stdout)
-   | Some path ->
-     Printf.eprintf "mfti serve: listening on %s (%d workers, queue %d)\n%!"
-       path workers queue;
+   | Some listen ->
      let config =
        { Serve.Supervisor.default_config with
          workers; queue; request_timeout_ms; drain_ms }
      in
-     Serve.Supervisor.run ~config server ~path);
+     let sup = Serve.Supervisor.start ~config server ~listen in
+     (match (listen, Serve.Supervisor.bound_port sup) with
+      | Serve.Supervisor.Tcp (host, _), Some port ->
+        Printf.eprintf
+          "mfti serve: listening on %s:%d (%d workers, queue %d)\n%!" host
+          port workers queue
+      | Serve.Supervisor.Unix_path path, _ ->
+        Printf.eprintf
+          "mfti serve: listening on %s (%d workers, queue %d)\n%!" path
+          workers queue
+      | _ -> ());
+     Serve.Supervisor.wait sup;
+     Serve.Supervisor.stop sup);
   Printf.eprintf "mfti serve: %s\n%!"
     (Serve.Sjson.to_string (Serve.Server.stats_json server));
   0
@@ -1061,21 +1092,120 @@ let serve_cmd =
   let info =
     Cmd.info "serve"
       ~doc:
-        "Serve eval-grid/model-info queries over stdio or a Unix socket \
-         (socket transport is supervised: worker pool, deadlines, load \
-         shedding, graceful drain)."
+        "Serve eval-grid/model-info queries over stdio, a Unix socket, or \
+         TCP (socket/TCP transports are supervised: worker pool, \
+         deadlines, load shedding, graceful drain, binary frame \
+         negotiation)."
   in
   Cmd.v info
-    Term.(const run_serve $ root_arg $ socket_arg $ cache_mb_arg
+    Term.(const run_serve $ root_arg $ socket_arg $ tcp_arg $ cache_mb_arg
           $ workers_arg $ queue_arg $ request_timeout_arg $ drain_arg
           $ admission_arg)
+
+(* ------------------------------------------------------------------ *)
+(* route: sharded, replicated serving tier *)
+
+let route_listen_arg =
+  let doc =
+    "Address clients connect to: HOST:PORT (port 0 = ephemeral, printed \
+     at startup) or a Unix socket path."
+  in
+  Arg.(required & opt (some string) None
+       & info [ "listen" ] ~docv:"ADDR" ~doc)
+
+let route_replica_arg =
+  let doc =
+    "Replica server address (HOST:PORT or socket path); repeatable.  \
+     Models shard over the replicas by consistent hashing on the model \
+     id."
+  in
+  Arg.(non_empty & opt_all string [] & info [ "replica" ] ~docv:"ADDR" ~doc)
+
+let route_vnodes_arg =
+  let doc = "Virtual nodes per replica on the hash ring." in
+  Arg.(value & opt int 64 & info [ "vnodes" ] ~docv:"N" ~doc)
+
+let route_probe_arg =
+  let doc = "Health-probe period in milliseconds." in
+  Arg.(value & opt int 200 & info [ "probe-interval-ms" ] ~docv:"MS" ~doc)
+
+let route_fail_threshold_arg =
+  let doc = "Consecutive probe failures before a replica is down." in
+  Arg.(value & opt int 3 & info [ "fail-threshold" ] ~docv:"N" ~doc)
+
+let route_failover_arg =
+  let doc =
+    "Extra ring candidates tried after a connection-level failure."
+  in
+  Arg.(value & opt int 2 & info [ "max-failover" ] ~docv:"N" ~doc)
+
+let route_hold_arg =
+  let doc =
+    "Hold a fresh eval-grid batch open this many milliseconds so \
+     concurrent requests for the same model coalesce into one upstream \
+     call (0 = only coalesce naturally-concurrent requests)."
+  in
+  Arg.(value & opt int 0 & info [ "coalesce-hold-ms" ] ~docv:"MS" ~doc)
+
+let route_conns_arg =
+  let doc = "Client connection cap; beyond it connections are shed." in
+  Arg.(value & opt int 64 & info [ "max-conns" ] ~docv:"N" ~doc)
+
+let run_route listen replicas vnodes probe_interval_ms fail_threshold
+    max_failover request_timeout_ms coalesce_hold_ms max_conns =
+  guarded @@ fun () ->
+  let listen = Serve.Router.parse_addr listen in
+  let config =
+    { Serve.Router.default_config with
+      vnodes; probe_interval_ms; fail_threshold; max_failover;
+      request_timeout_ms; coalesce_hold_ms; max_conns }
+  in
+  let rt = Serve.Router.start ~config ~listen ~replicas () in
+  (match (listen, Serve.Router.bound_port rt) with
+   | Serve.Supervisor.Tcp (host, _), Some port ->
+     Printf.eprintf "mfti route: listening on %s:%d over %d replicas\n%!"
+       host port (List.length replicas)
+   | Serve.Supervisor.Unix_path p, _ ->
+     Printf.eprintf "mfti route: listening on %s over %d replicas\n%!" p
+       (List.length replicas)
+   | _ -> ());
+  Serve.Router.wait rt;
+  Serve.Router.stop rt;
+  let s = Serve.Router.stats rt in
+  Printf.eprintf
+    "mfti route: %d requests, %d forwarded, %d failovers, %d coalesce \
+     hits, %d timeouts, %d unavailable\n%!"
+    s.Serve.Router.rt_requests s.Serve.Router.rt_forwarded
+    s.Serve.Router.rt_failovers s.Serve.Router.rt_coalesce_hits
+    s.Serve.Router.rt_timeouts s.Serve.Router.rt_unavailable;
+  0
+
+let route_cmd =
+  let info =
+    Cmd.info "route"
+      ~doc:
+        "Front a fleet of replica servers: shard models by consistent \
+         hashing, health-check and fail over between replicas, coalesce \
+         concurrent eval-grid requests, and negotiate binary frames on \
+         both sides."
+  in
+  Cmd.v info
+    Term.(const run_route $ route_listen_arg $ route_replica_arg
+          $ route_vnodes_arg $ route_probe_arg $ route_fail_threshold_arg
+          $ route_failover_arg $ request_timeout_arg $ route_hold_arg
+          $ route_conns_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fit-stream: drive a server-resident streaming fit session *)
 
 let stream_socket_arg =
-  let doc = "Unix domain socket of a running $(b,mfti serve --socket)." in
-  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  let doc =
+    "Address of a running server: the Unix socket of $(b,mfti serve \
+     --socket), or HOST:PORT for $(b,mfti serve --tcp) / $(b,mfti \
+     route).  Connection attempts retry with capped exponential \
+     backoff."
+  in
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"ADDR" ~doc)
 
 let batches_arg =
   let doc = "Stream the fitting samples in this many batches." in
@@ -1103,6 +1233,65 @@ let certify_name = function
 let stream_fail message =
   Linalg.Mfti_error.raise_error
     (Linalg.Mfti_error.Validation { context = "fit-stream"; message })
+
+(* Connect to a server address (HOST:PORT or Unix socket path) with
+   capped exponential backoff.  Giving up is a typed diagnostic naming
+   the attempt count, never a raw Unix error. *)
+let connect_with_retry ?(attempts = 5) ?(base_ms = 100) ?(cap_ms = 2_000)
+    ~fail addr_s =
+  let addr =
+    match Serve.Router.parse_addr addr_s with
+    | a -> a
+    | exception Linalg.Mfti_error.Error _ ->
+      Serve.Supervisor.Unix_path addr_s
+  in
+  let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> () in
+  let try_once () =
+    match addr with
+    | Serve.Supervisor.Unix_path p ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (match Unix.connect fd (Unix.ADDR_UNIX p) with
+       | () -> Ok fd
+       | exception Unix.Unix_error (e, _, _) ->
+         close_quiet fd;
+         Error (Unix.error_message e))
+    | Serve.Supervisor.Tcp (host, port) ->
+      let ip =
+        try Some (Unix.inet_addr_of_string host)
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } -> None
+          | h -> Some h.Unix.h_addr_list.(0)
+          | exception Not_found -> None)
+      in
+      (match ip with
+       | None -> Error ("cannot resolve host " ^ host)
+       | Some ip ->
+         let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+         (try Unix.setsockopt fd Unix.TCP_NODELAY true
+          with Unix.Unix_error _ -> ());
+         (match Unix.connect fd (Unix.ADDR_INET (ip, port)) with
+          | () -> Ok fd
+          | exception Unix.Unix_error (e, _, _) ->
+            close_quiet fd;
+            Error (Unix.error_message e)))
+  in
+  let rec go n delay_ms =
+    match try_once () with
+    | Ok fd -> fd
+    | Error msg ->
+      if n >= attempts then
+        fail
+          (Printf.sprintf
+             "gave up connecting to %s after %d attempts (capped \
+              exponential backoff): %s"
+             addr_s attempts msg)
+      else begin
+        Unix.sleepf (float_of_int delay_ms /. 1000.);
+        go (n + 1) (Stdlib.min cap_ms (delay_ms * 2))
+      end
+  in
+  go 1 base_ms
 
 let sample_json (s : Sampling.sample) =
   let p, m = Linalg.Cmat.dims s.Sampling.s in
@@ -1176,14 +1365,7 @@ let run_fit_stream path policy socket batches holdout_every width rank_tol
     | Some id -> id
     | None -> Filename.remove_extension (Filename.basename path)
   in
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (match Unix.connect sock (Unix.ADDR_UNIX socket) with
-   | () -> ()
-   | exception Unix.Unix_error (e, _, _) ->
-     (try Unix.close sock with Unix.Unix_error _ -> ());
-     stream_fail
-       (Printf.sprintf "cannot connect to %s: %s" socket
-          (Unix.error_message e)));
+  let sock = connect_with_retry ~fail:stream_fail socket in
   let ic = Unix.in_channel_of_descr sock in
   let oc = Unix.out_channel_of_descr sock in
   Fun.protect
@@ -1320,4 +1502,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ fit_cmd; engine_cmd; gen_cmd; compare_cmd; info_cmd; pack_cmd;
-            inspect_cmd; serve_cmd; fit_stream_cmd ]))
+            inspect_cmd; serve_cmd; route_cmd; fit_stream_cmd ]))

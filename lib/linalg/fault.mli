@@ -70,7 +70,26 @@
                                AMD ordering abandoned: the natural
                                (identity) permutation is returned and
                                the degradation recorded in {!Diag}, so
-                               fill blow-ups stay observable *)
+                               fill blow-ups stay observable
+    - ["router.partition"]     the routing tier treats its first
+                               configured replica as network-partitioned:
+                               requests and health probes to it fail at
+                               the connection level, exercising failover
+                               along the hash ring and the Down/rejoin
+                               path
+    - ["router.slow_replica"]  requests routed to the first configured
+                               replica are treated as having blown the
+                               upstream deadline: the client gets a
+                               typed "timeout" response and the router
+                               does NOT fail over (the work may still
+                               land there; re-running it elsewhere would
+                               double-execute)
+    - ["router.rejoin_flap"]   health probes of the first configured
+                               replica alternate failed/ok, so the
+                               replica churns Up/Suspect and the ring's
+                               rejoin logic (pool flush, backoff reset,
+                               no double-execution) is exercised
+                               repeatedly *)
 
 exception Injected of string
 (** Raised by {!check} at an armed site. *)

@@ -1,0 +1,213 @@
+open Linalg
+
+type mode = Json | Binary
+type payload = Json_text of string | Grid_body of string
+
+let tag_json = 'J'
+let tag_grid = 'G'
+
+let parse_fail message =
+  Mfti_error.raise_error
+    (Mfti_error.Parse { source = Some "frame"; line = None; message })
+
+(* ------------------------------------------------------------------ *)
+(* Binary encoding *)
+
+let put_u32 b v =
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_f64 b x =
+  let bits = Int64.bits_of_float x in
+  for i = 7 downto 0 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+  done
+
+let get_u32 s off =
+  if off + 4 > String.length s then parse_fail "truncated u32";
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let get_f64 s off =
+  if off + 8 > String.length s then parse_fail "truncated f64";
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits := Int64.logor (Int64.shift_left !bits 8)
+        (Int64.of_int (Char.code s.[off + i]))
+  done;
+  Int64.float_of_bits !bits
+
+let frame tag payload =
+  let b = Buffer.create (String.length payload + 5) in
+  put_u32 b (String.length payload + 1);
+  Buffer.add_char b tag;
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let encode_json s = frame tag_json s
+let encode_grid body = frame tag_grid body
+
+let grid_body ~meta ~grid =
+  let meta_text = Sjson.to_string meta in
+  let points = Array.length grid in
+  let p, m = if points = 0 then (0, 0) else Cmat.dims grid.(0) in
+  let b = Buffer.create (String.length meta_text + 16 + (points * p * m * 16)) in
+  put_u32 b (String.length meta_text);
+  Buffer.add_string b meta_text;
+  put_u32 b points;
+  put_u32 b p;
+  put_u32 b m;
+  Array.iter
+    (fun h ->
+      let hp, hm = Cmat.dims h in
+      if hp <> p || hm <> m then parse_fail "grid matrices disagree on dims";
+      for i = 0 to p - 1 do
+        for j = 0 to m - 1 do
+          let z = Cmat.get h i j in
+          put_f64 b z.Cx.re;
+          put_f64 b z.Cx.im
+        done
+      done)
+    grid;
+  Buffer.contents b
+
+let results_json grid =
+  Sjson.Arr
+    (Array.to_list
+       (Array.map
+          (fun h ->
+            let p, m = Cmat.dims h in
+            Sjson.Arr
+              (List.init p (fun i ->
+                   Sjson.Arr
+                     (List.init m (fun jc ->
+                          let z = Cmat.get h i jc in
+                          Sjson.Arr [ Sjson.Num z.Cx.re; Sjson.Num z.Cx.im ])))))
+          grid))
+
+let decode_grid_body body =
+  let meta_len = get_u32 body 0 in
+  if 4 + meta_len > String.length body then parse_fail "truncated grid meta";
+  let meta_text = String.sub body 4 meta_len in
+  let meta =
+    match Sjson.parse meta_text with
+    | j -> j
+    | exception Sjson.Parse_error m -> parse_fail ("grid meta: " ^ m)
+  in
+  let off = 4 + meta_len in
+  let points = get_u32 body off in
+  let p = get_u32 body (off + 4) in
+  let m = get_u32 body (off + 8) in
+  let off = off + 12 in
+  if String.length body <> off + (points * p * m * 16) then
+    parse_fail "grid payload length disagrees with its header";
+  let grid =
+    Array.init points (fun k ->
+        let h = Cmat.zeros p m in
+        let base = off + (k * p * m * 16) in
+        for i = 0 to p - 1 do
+          for j = 0 to m - 1 do
+            let e = base + (((i * m) + j) * 16) in
+            Cmat.set h i j { Cx.re = get_f64 body e; im = get_f64 body (e + 8) }
+          done
+        done;
+        h)
+  in
+  (meta, grid)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental reader *)
+
+module Reader = struct
+  type t = { buf : Buffer.t }
+
+  let create () = { buf = Buffer.create 512 }
+  let add r chunk k = Buffer.add_subbytes r.buf chunk 0 k
+  let pending r = Buffer.length r.buf
+
+  let take_rest r =
+    let s = Buffer.contents r.buf in
+    Buffer.clear r.buf;
+    s
+
+  (* drop the first [n] buffered bytes *)
+  let consume r n =
+    let s = Buffer.contents r.buf in
+    Buffer.clear r.buf;
+    Buffer.add_substring r.buf s n (String.length s - n)
+
+  let next_json r ~max_bytes =
+    let s = Buffer.contents r.buf in
+    match String.index_opt s '\n' with
+    | None ->
+      if Buffer.length r.buf > max_bytes then `Too_long else `None
+    | Some i ->
+      consume r (i + 1);
+      let line = String.sub s 0 i in
+      let line =
+        (* tolerate CRLF clients *)
+        if line <> "" && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      if String.length line > max_bytes then `Too_long else `Frame (Json_text line)
+
+  let next_binary r ~max_bytes =
+    let s = Buffer.contents r.buf in
+    let have = String.length s in
+    if have < 4 then (if have > 0 && have > max_bytes then `Too_long else `None)
+    else begin
+      let n = get_u32 s 0 in
+      if n < 1 then `Bad "binary frame with empty payload"
+      else if n + 4 > max_bytes then `Too_long
+      else if have < 4 + n then `None
+      else begin
+        let tag = s.[4] in
+        let payload = String.sub s 5 (n - 1) in
+        consume r (4 + n);
+        if tag = tag_json then `Frame (Json_text payload)
+        else if tag = tag_grid then `Frame (Grid_body payload)
+        else `Bad (Printf.sprintf "unknown frame tag 0x%02x" (Char.code tag))
+      end
+    end
+
+  let next r ~mode ~max_bytes =
+    match mode with
+    | Json -> next_json r ~max_bytes
+    | Binary -> next_binary r ~max_bytes
+end
+
+(* ------------------------------------------------------------------ *)
+(* Negotiation *)
+
+let is_hello line =
+  (* cheap reject first: almost every request is not a hello, and the
+     transports probe every line *)
+  let has_sub needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+    at 0
+  in
+  if not (has_sub "hello" line) then None
+  else
+    match Sjson.parse line with
+    | j ->
+      (match Sjson.member "op" j with
+       | Some (Sjson.Str "hello") ->
+         (match Sjson.member "frames" j with
+          | Some (Sjson.Str f) -> Some f
+          | _ -> Some "")
+       | _ -> None)
+    | exception Sjson.Parse_error _ -> None
+
+let hello_ack frames =
+  Sjson.to_string
+    (Sjson.Obj
+       [ ("ok", Sjson.Bool true);
+         ("op", Sjson.Str "hello");
+         ("frames", Sjson.Str frames) ])

@@ -1,0 +1,1308 @@
+open Linalg
+
+(* Sharded, replicated serving tier.  See router.mli for the design:
+   consistent-hash sharding, health-checked replicas with failover and
+   rejoin, per-model coalescing of concurrent eval-grid requests, and
+   frame negotiation on both sides (clients negotiate with us; we
+   negotiate binary frames with every replica so grids cross as raw
+   IEEE-754).
+
+   Concurrency model: the router is IO-bound, so everything runs on
+   systhreads — one accept loop, one health prober, one thread per
+   client connection.  One global mutex [t.mu] guards the replica set,
+   the ring, the coalescing slots, the pools and every counter; all
+   network IO happens outside it. *)
+
+(* ------------------------------------------------------------------ *)
+(* Consistent-hash ring *)
+
+module Ring = struct
+  type t = { points : (int64 * string) array }
+
+  let hash s =
+    (* FNV-1a, 64-bit.  Raw FNV has almost no avalanche on short
+       strings (one-byte keys differ in a handful of bit positions), so
+       finish with a splitmix64 mix — without it a ring of short names
+       is badly lumpy. *)
+    let h = ref 0xcbf29ce484222325L in
+    String.iter
+      (fun c ->
+        h :=
+          Int64.mul
+            (Int64.logxor !h (Int64.of_int (Char.code c)))
+            0x100000001b3L)
+      s;
+    let z = !h in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xbf58476d1ce4e5b9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94d049bb133111ebL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let make ~vnodes names =
+    if vnodes < 1 then
+      Mfti_error.raise_error
+        (Mfti_error.Validation
+           { context = "router.ring"; message = "vnodes must be >= 1" });
+    let points =
+      Array.of_list
+        (List.concat_map
+           (fun name ->
+             List.init vnodes (fun v ->
+                 (hash (Printf.sprintf "%s#%d" name v), name)))
+           names)
+    in
+    Array.sort (fun (a, _) (b, _) -> Int64.unsigned_compare a b) points;
+    { points }
+
+  let candidates t key =
+    let n = Array.length t.points in
+    if n = 0 then []
+    else begin
+      let h = hash key in
+      (* first point clockwise of [h] (unsigned), wrapping *)
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if Int64.unsigned_compare (fst t.points.(mid)) h < 0 then
+          lo := mid + 1
+        else hi := mid
+      done;
+      let start = if !lo = n then 0 else !lo in
+      let seen = Hashtbl.create 8 in
+      let out = ref [] in
+      for i = 0 to n - 1 do
+        let _, name = t.points.((start + i) mod n) in
+        if not (Hashtbl.mem seen name) then begin
+          Hashtbl.add seen name ();
+          out := name :: !out
+        end
+      done;
+      List.rev !out
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Health state machine *)
+
+module Health = struct
+  type state = Up | Suspect | Down | Draining
+  type probe = Ok | Ok_draining | Failed
+
+  let step ~fail_threshold state fails probe =
+    match probe with
+    | Ok -> (Up, 0)
+    | Ok_draining -> (Draining, 0)
+    | Failed ->
+      let fails = fails + 1 in
+      if fails >= fail_threshold then (Down, fails)
+      else (
+        match state with
+        | Up | Suspect -> (Suspect, fails)
+        | (Down | Draining) as s -> (s, fails))
+
+  let to_string = function
+    | Up -> "up"
+    | Suspect -> "suspect"
+    | Down -> "down"
+    | Draining -> "draining"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Configuration *)
+
+type config = {
+  vnodes : int;
+  probe_interval_ms : int;
+  fail_threshold : int;
+  max_failover : int;
+  connect_timeout_ms : int;
+  request_timeout_ms : int;
+  idle_timeout_ms : int;
+  max_conns : int;
+  coalesce_hold_ms : int;
+  backoff_base_ms : int;
+  backoff_cap_ms : int;
+  max_line_bytes : int;
+}
+
+let default_config =
+  { vnodes = 64;
+    probe_interval_ms = 200;
+    fail_threshold = 3;
+    max_failover = 2;
+    connect_timeout_ms = 1_000;
+    request_timeout_ms = 5_000;
+    idle_timeout_ms = 30_000;
+    max_conns = 64;
+    coalesce_hold_ms = 0;
+    backoff_base_ms = 50;
+    backoff_cap_ms = 2_000;
+    max_line_bytes = 8 * 1024 * 1024 }
+
+let validate_config c =
+  let bad what =
+    Mfti_error.raise_error
+      (Mfti_error.Validation { context = "router"; message = what })
+  in
+  if c.vnodes < 1 then bad "vnodes must be >= 1";
+  if c.probe_interval_ms < 1 then bad "probe interval must be >= 1 ms";
+  if c.fail_threshold < 1 then bad "fail threshold must be >= 1";
+  if c.max_failover < 0 then bad "max failover must be >= 0";
+  if c.connect_timeout_ms < 1 then bad "connect timeout must be >= 1 ms";
+  if c.request_timeout_ms < 1 then bad "request timeout must be >= 1 ms";
+  if c.idle_timeout_ms < 1 then bad "idle timeout must be >= 1 ms";
+  if c.max_conns < 1 then bad "connection cap must be >= 1";
+  if c.coalesce_hold_ms < 0 then bad "coalesce hold must be >= 0 ms";
+  if c.max_line_bytes < 2 then bad "frame cap must be >= 2 bytes"
+
+(* ------------------------------------------------------------------ *)
+(* Addresses *)
+
+let parse_addr s =
+  let bad () =
+    Mfti_error.raise_error
+      (Mfti_error.Validation
+         { context = "router";
+           message =
+             Printf.sprintf
+               "malformed replica address %S (want host:port or a socket \
+                path)"
+               s })
+  in
+  if s = "" then bad ();
+  if String.contains s '/' || not (String.contains s ':') then
+    Supervisor.Unix_path s
+  else
+    match String.rindex_opt s ':' with
+    | None -> Supervisor.Unix_path s
+    | Some i ->
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      (match int_of_string_opt port with
+       | Some p when p >= 0 && p <= 65535 && host <> "" ->
+         Supervisor.Tcp (host, p)
+       | _ -> bad ())
+
+(* ------------------------------------------------------------------ *)
+(* Low-level IO with deadlines *)
+
+let now () = Unix.gettimeofday ()
+let tick = 0.05
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let write_all fd s ~deadline =
+  let len = String.length s in
+  let rec go off =
+    if off >= len then `Ok
+    else
+      let t = now () in
+      if t >= deadline then `Timeout
+      else
+        match Unix.select [] [ fd ] [] (Float.min tick (deadline -. t)) with
+        | _, [], _ -> go off
+        | _ ->
+          (match Unix.write_substring fd s off (len - off) with
+           | k -> go (off + k)
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+           | exception Unix.Unix_error _ -> `Closed)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Pull one complete frame off [fd].  [stop] lets an idle client loop
+   notice a router drain between frames. *)
+let read_payload ?(stop = fun () -> false) fd reader chunk ~mode ~deadline
+    ~max_bytes =
+  let rec go () =
+    match Frame.Reader.next reader ~mode ~max_bytes with
+    | `Frame p -> `Payload p
+    | `Too_long -> `Err "frame exceeds the byte cap"
+    | `Bad m -> `Err ("malformed frame: " ^ m)
+    | `None ->
+      let t = now () in
+      if t >= deadline then
+        (if Frame.Reader.pending reader > 0 then `Timeout_partial
+         else `Timeout)
+      else if stop () && Frame.Reader.pending reader = 0 then `Eof
+      else (
+        match Unix.select [ fd ] [] [] (Float.min tick (deadline -. t)) with
+        | [], _, _ -> go ()
+        | _ ->
+          (match Unix.read fd chunk 0 (Bytes.length chunk) with
+           | 0 -> `Eof
+           | k ->
+             Frame.Reader.add reader chunk k;
+             go ()
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+           | exception Unix.Unix_error _ -> `Err "connection error")
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+  in
+  go ()
+
+let connect_addr addr ~timeout_s =
+  match addr with
+  | Supervisor.Unix_path p ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       Unix.connect fd (Unix.ADDR_UNIX p);
+       `Ok fd
+     with Unix.Unix_error (e, _, _) ->
+       close_quiet fd;
+       `Err (Unix.error_message e))
+  | Supervisor.Tcp (host, port) ->
+    let ip =
+      try Some (Unix.inet_addr_of_string host)
+      with Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } -> None
+        | h -> Some h.Unix.h_addr_list.(0)
+        | exception Not_found -> None)
+    in
+    (match ip with
+     | None -> `Err ("cannot resolve host " ^ host)
+     | Some ip ->
+       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       (try Unix.setsockopt fd Unix.TCP_NODELAY true
+        with Unix.Unix_error _ -> ());
+       Unix.set_nonblock fd;
+       (match Unix.connect fd (Unix.ADDR_INET (ip, port)) with
+        | () ->
+          Unix.clear_nonblock fd;
+          `Ok fd
+        | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) ->
+          (match Unix.select [] [ fd ] [] timeout_s with
+           | _, _ :: _, _ ->
+             (match Unix.getsockopt_error fd with
+              | None ->
+                Unix.clear_nonblock fd;
+                `Ok fd
+              | Some e ->
+                close_quiet fd;
+                `Err (Unix.error_message e))
+           | _ ->
+             close_quiet fd;
+             `Err "connect timed out"
+           | exception Unix.Unix_error (e, _, _) ->
+             close_quiet fd;
+             `Err (Unix.error_message e))
+        | exception Unix.Unix_error (e, _, _) ->
+          close_quiet fd;
+          `Err (Unix.error_message e)))
+
+(* ------------------------------------------------------------------ *)
+(* Upstream connections: pooled, binary-negotiated *)
+
+type rconn = {
+  u_fd : Unix.file_descr;
+  u_rd : Frame.Reader.t;
+  u_chunk : bytes;
+}
+
+let hello_binary_line =
+  Sjson.to_string
+    (Sjson.Obj
+       [ ("op", Sjson.Str "hello"); ("frames", Sjson.Str "binary") ])
+
+let open_rconn addr ~cfg =
+  let timeout_s = float_of_int cfg.connect_timeout_ms /. 1000. in
+  match connect_addr addr ~timeout_s with
+  | `Err m -> `Err m
+  | `Ok fd ->
+    let rc = { u_fd = fd; u_rd = Frame.Reader.create ();
+               u_chunk = Bytes.create 65536 } in
+    let deadline = now () +. timeout_s in
+    (match write_all fd (hello_binary_line ^ "\n") ~deadline with
+     | `Timeout | `Closed ->
+       close_quiet fd;
+       `Err "hello write failed"
+     | `Ok ->
+       (match
+          read_payload fd rc.u_rd rc.u_chunk ~mode:Frame.Json ~deadline
+            ~max_bytes:cfg.max_line_bytes
+        with
+        | `Payload (Frame.Json_text ack) ->
+          let ok =
+            match Sjson.parse ack with
+            | j -> Sjson.member "ok" j = Some (Sjson.Bool true)
+            | exception Sjson.Parse_error _ -> false
+          in
+          if ok then `Ok rc
+          else begin
+            close_quiet fd;
+            `Err "replica refused binary frames"
+          end
+        | _ ->
+          close_quiet fd;
+          `Err "no hello acknowledgement"))
+
+(* One request/response round trip over a binary-negotiated connection. *)
+let rconn_request rc line ~deadline ~max_bytes =
+  match write_all rc.u_fd (Frame.encode_json line) ~deadline with
+  | `Timeout -> `Timeout
+  | `Closed -> `Conn_err "write failed"
+  | `Ok ->
+    (match
+       read_payload rc.u_fd rc.u_rd rc.u_chunk ~mode:Frame.Binary ~deadline
+         ~max_bytes
+     with
+     | `Payload (Frame.Json_text s) -> `Json s
+     | `Payload (Frame.Grid_body b) -> `Grid b
+     | `Timeout | `Timeout_partial -> `Timeout
+     | `Eof -> `Conn_err "connection closed mid-response"
+     | `Err m -> `Conn_err m)
+
+(* ------------------------------------------------------------------ *)
+(* Replicas *)
+
+type replica = {
+  r_name : string;
+  r_addr : Supervisor.listener;
+  r_faulted : bool;             (* first configured replica: chaos target *)
+  mutable r_state : Health.state;
+  mutable r_fails : int;
+  mutable r_pool : rconn list;
+  mutable r_next_attempt : float;
+  mutable r_backoff_ms : int;
+  mutable r_served : int;
+  mutable r_errors : int;
+  mutable r_rejoins : int;
+  mutable r_flap : int;         (* router.rejoin_flap probe counter *)
+}
+
+let pool_cap = 4
+
+(* ------------------------------------------------------------------ *)
+(* Coalescing *)
+
+(* The outcome of one upstream eval-grid batch, shared by its waiters:
+   the replica's meta fields + matrices over the merged grid, or an
+   error response text relayed to everyone. *)
+type gres =
+  | Gok of (string * Sjson.t) list * Cmat.t array * float array
+  | Gtext of string
+
+type batch = {
+  b_cond : Condition.t;
+  mutable b_freqs : float array list;   (* one entry per waiter *)
+  mutable b_running : bool;
+  mutable b_result : gres option;
+}
+
+type slot = { mutable open_batch : batch option }
+
+(* ------------------------------------------------------------------ *)
+(* Router state *)
+
+type replica_snapshot = {
+  rp_name : string;
+  rp_state : Health.state;
+  rp_fails : int;
+  rp_served : int;
+  rp_errors : int;
+  rp_rejoins : int;
+}
+
+type snapshot = {
+  rt_requests : int;
+  rt_forwarded : int;
+  rt_failovers : int;
+  rt_timeouts : int;
+  rt_unavailable : int;
+  rt_shed : int;
+  rt_coalesce_batches : int;
+  rt_coalesce_hits : int;
+  rt_probes : int;
+  rt_conns : int;
+  rt_draining : bool;
+  rt_replicas : replica_snapshot list;
+}
+
+type t = {
+  config : config;
+  listen : Supervisor.listener;
+  listen_fd : Unix.file_descr;
+  bound : int option;
+  mu : Mutex.t;
+  mutable replicas : replica list;      (* configured order *)
+  mutable ring : Ring.t;
+  slots : (string, slot) Hashtbl.t;
+  mutable session_rr : int;             (* fit-open round-robin cursor *)
+  mutable stopping : bool;
+  mutable stopped : bool;
+  mutable conns : int;
+  mutable c_requests : int;
+  mutable c_forwarded : int;
+  mutable c_failovers : int;
+  mutable c_timeouts : int;
+  mutable c_unavailable : int;
+  mutable c_shed : int;
+  mutable c_batches : int;
+  mutable c_hits : int;
+  mutable c_probes : int;
+  mutable threads : Thread.t list;
+  mutable accept_thread : Thread.t option;
+  mutable health_thread : Thread.t option;
+}
+
+let locked t f = Mutex.protect t.mu f
+
+let find_replica t name =
+  List.find_opt (fun r -> r.r_name = name) t.replicas
+
+(* ------------------------------------------------------------------ *)
+(* Health bookkeeping (callers hold t.mu) *)
+
+let flush_pool r =
+  List.iter (fun rc -> close_quiet rc.u_fd) r.r_pool;
+  r.r_pool <- []
+
+let note_transition r was =
+  if r.r_state = Health.Up && was <> Health.Up then begin
+    if was = Health.Down then r.r_rejoins <- r.r_rejoins + 1;
+    r.r_backoff_ms <- 0;
+    r.r_next_attempt <- 0.;
+    (* pooled fds predate the outage; a restarted replica has new ones *)
+    flush_pool r
+  end
+
+let note_failure t r =
+  let was = r.r_state in
+  let st, fails =
+    Health.step ~fail_threshold:t.config.fail_threshold r.r_state r.r_fails
+      Health.Failed
+  in
+  r.r_state <- st;
+  r.r_fails <- fails;
+  r.r_errors <- r.r_errors + 1;
+  r.r_backoff_ms <-
+    Stdlib.min t.config.backoff_cap_ms
+      (Stdlib.max t.config.backoff_base_ms (r.r_backoff_ms * 2));
+  (* deterministic per-replica jitter so a fleet of routers does not
+     hammer a recovering replica in lockstep *)
+  let jit = Int64.to_int (Int64.logand (Ring.hash r.r_name) 0xfL) in
+  r.r_next_attempt <- now () +. (float_of_int (r.r_backoff_ms + jit) /. 1000.);
+  flush_pool r;
+  ignore was
+
+let note_success r =
+  (* request-path success: resurrect Suspect/Down, but leave Draining
+     alone — the replica asked to wind down *)
+  if r.r_state <> Health.Draining then begin
+    let was = r.r_state in
+    r.r_state <- Health.Up;
+    r.r_fails <- 0;
+    note_transition r was
+  end
+
+let apply_probe t r probe =
+  let was = r.r_state in
+  let st, fails =
+    Health.step ~fail_threshold:t.config.fail_threshold r.r_state r.r_fails
+      probe
+  in
+  r.r_state <- st;
+  r.r_fails <- fails;
+  note_transition r was
+
+(* ------------------------------------------------------------------ *)
+(* Upstream calls *)
+
+let take_conn t r =
+  match
+    locked t (fun () ->
+        match r.r_pool with
+        | [] -> None
+        | c :: rest ->
+          r.r_pool <- rest;
+          Some c)
+  with
+  | Some c -> `Ok c
+  | None -> open_rconn r.r_addr ~cfg:t.config
+
+let put_conn t r rc =
+  locked t (fun () ->
+      if (not t.stopping) && List.length r.r_pool < pool_cap
+         && r.r_state <> Health.Down
+      then r.r_pool <- rc :: r.r_pool
+      else close_quiet rc.u_fd)
+
+(* One attempt against one replica: fault sites first, then the wire.
+   [`Timeout] is terminal (no failover — the work may still land);
+   [`Conn_err] lets the caller try the next candidate. *)
+let call_replica t r line =
+  if r.r_faulted && Fault.armed "router.partition" then
+    `Conn_err "injected partition"
+  else if r.r_faulted && Fault.armed "router.slow_replica" then `Timeout
+  else
+    match take_conn t r with
+    | `Err m -> `Conn_err m
+    | `Ok rc ->
+      let deadline =
+        now () +. (float_of_int t.config.request_timeout_ms /. 1000.)
+      in
+      (match
+         rconn_request rc line ~deadline ~max_bytes:t.config.max_line_bytes
+       with
+       | (`Json _ | `Grid _) as ok ->
+         put_conn t r rc;
+         locked t (fun () ->
+             r.r_served <- r.r_served + 1;
+             note_success r);
+         ok
+       | `Timeout ->
+         close_quiet rc.u_fd;
+         `Timeout
+       | `Conn_err m ->
+         close_quiet rc.u_fd;
+         `Conn_err m)
+
+(* Route [line] by [key] along the ring with bounded failover. *)
+let exec_upstream ?attempts t ~key line =
+  let max_attempts =
+    match attempts with Some n -> n | None -> 1 + t.config.max_failover
+  in
+  let cands = locked t (fun () -> Ring.candidates t.ring key) in
+  let tried = ref 0 in
+  let rec go = function
+    | [] ->
+      locked t (fun () -> t.c_unavailable <- t.c_unavailable + 1);
+      `Unavailable !tried
+    | name :: rest ->
+      if !tried >= max_attempts then begin
+        locked t (fun () -> t.c_unavailable <- t.c_unavailable + 1);
+        `Unavailable !tried
+      end
+      else begin
+        let r_opt = locked t (fun () -> find_replica t name) in
+        match r_opt with
+        | None -> go rest
+        | Some r ->
+          let eligible =
+            locked t (fun () ->
+                match r.r_state with
+                | Health.Down | Health.Draining -> false
+                | Health.Up -> true
+                | Health.Suspect -> now () >= r.r_next_attempt)
+          in
+          if not eligible then go rest
+          else begin
+            if !tried > 0 then
+              locked t (fun () -> t.c_failovers <- t.c_failovers + 1);
+            incr tried;
+            locked t (fun () -> t.c_forwarded <- t.c_forwarded + 1);
+            match call_replica t r line with
+            | `Json s -> `Json s
+            | `Grid b -> `Grid b
+            | `Timeout ->
+              locked t (fun () -> t.c_timeouts <- t.c_timeouts + 1);
+              `Timeout
+            | `Conn_err _ ->
+              locked t (fun () -> note_failure t r);
+              go rest
+          end
+      end
+  in
+  go cands
+
+(* A single-replica call (session stickiness), no ring walk. *)
+let exec_on_replica t r line =
+  locked t (fun () -> t.c_forwarded <- t.c_forwarded + 1);
+  match call_replica t r line with
+  | `Json s -> `Json s
+  | `Grid b -> `Grid b
+  | `Timeout ->
+    locked t (fun () -> t.c_timeouts <- t.c_timeouts + 1);
+    `Timeout
+  | `Conn_err _ ->
+    locked t (fun () ->
+        note_failure t r;
+        t.c_unavailable <- t.c_unavailable + 1);
+    `Unavailable 1
+
+(* ------------------------------------------------------------------ *)
+(* Typed local responses *)
+
+let timeout_resp ?op ms =
+  Server.protocol_error ?op ~kind:"timeout"
+    ~message:(Printf.sprintf "upstream replica deadline exceeded (%d ms)" ms)
+    ()
+
+let unavailable_resp ?op tried =
+  Server.protocol_error ?op ~kind:"unavailable"
+    ~message:
+      (Printf.sprintf
+         "no live replica could answer (attempted %d); retry with backoff"
+         tried)
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Coalesced eval-grid *)
+
+let merge_freqs sets =
+  let all = Array.concat sets in
+  let l = List.sort_uniq Float.compare (Array.to_list all) in
+  Array.of_list l
+
+let find_idx merged f =
+  let lo = ref 0 and hi = ref (Array.length merged - 1) in
+  let found = ref (-1) in
+  while !lo <= !hi && !found < 0 do
+    let mid = (!lo + !hi) / 2 in
+    let c = Float.compare merged.(mid) f in
+    if c = 0 then found := mid
+    else if c < 0 then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let grid_request ~model freqs =
+  Sjson.to_string
+    (Sjson.Obj
+       [ ("op", Sjson.Str "eval-grid");
+         ("model", Sjson.Str model);
+         ( "freqs",
+           Sjson.Arr
+             (Array.to_list (Array.map (fun f -> Sjson.Num f) freqs)) ) ])
+
+let exec_grid t ~model merged =
+  let line = grid_request ~model merged in
+  match exec_upstream t ~key:model line with
+  | `Grid body ->
+    (match Frame.decode_grid_body body with
+     | Sjson.Obj fields, grid -> Gok (fields, grid, merged)
+     | _ ->
+       Gtext
+         (Sjson.to_string
+            (Server.protocol_error ~op:"eval-grid" ~kind:"parse"
+               ~message:"replica grid meta is not an object" ()))
+     | exception Mfti_error.Error e ->
+       Gtext (Sjson.to_string (Server.error_response ~op:"eval-grid" e)))
+  | `Json s -> Gtext s
+  | `Timeout ->
+    Gtext
+      (Sjson.to_string (timeout_resp ~op:"eval-grid" t.config.request_timeout_ms))
+  | `Unavailable tried ->
+    Gtext (Sjson.to_string (unavailable_resp ~op:"eval-grid" tried))
+
+(* Submit one eval-grid request, riding a shared batch when one is
+   forming for the same model.  Returns this waiter's share. *)
+let submit_grid t ~model ~freqs =
+  Mutex.lock t.mu;
+  let slot =
+    match Hashtbl.find_opt t.slots model with
+    | Some s -> s
+    | None ->
+      let s = { open_batch = None } in
+      Hashtbl.add t.slots model s;
+      s
+  in
+  let result =
+    match slot.open_batch with
+    | Some b when not b.b_running ->
+      (* follower: join the forming batch, wait for its leader *)
+      b.b_freqs <- freqs :: b.b_freqs;
+      t.c_hits <- t.c_hits + 1;
+      while b.b_result = None do
+        Condition.wait b.b_cond t.mu
+      done;
+      Mutex.unlock t.mu;
+      (match b.b_result with Some r -> r | None -> assert false)
+    | _ ->
+      (* leader: open a batch, optionally hold it so concurrent
+         requests can pile in, then run the merged call *)
+      let b =
+        { b_cond = Condition.create (); b_freqs = [ freqs ];
+          b_running = false; b_result = None }
+      in
+      slot.open_batch <- Some b;
+      t.c_batches <- t.c_batches + 1;
+      if t.config.coalesce_hold_ms > 0 then begin
+        Mutex.unlock t.mu;
+        Unix.sleepf (float_of_int t.config.coalesce_hold_ms /. 1000.);
+        Mutex.lock t.mu
+      end;
+      b.b_running <- true;
+      (match slot.open_batch with
+       | Some b' when b' == b -> slot.open_batch <- None
+       | _ -> ());
+      let merged = merge_freqs b.b_freqs in
+      Mutex.unlock t.mu;
+      let res = exec_grid t ~model merged in
+      Mutex.lock t.mu;
+      b.b_result <- Some res;
+      Condition.broadcast b.b_cond;
+      Mutex.unlock t.mu;
+      res
+  in
+  (* demultiplex this waiter's frequencies back out *)
+  match result with
+  | Gtext s -> `Text s
+  | Gok (fields, grid, merged) ->
+    let ok = ref true in
+    let mine =
+      Array.map
+        (fun f ->
+          let i = find_idx merged f in
+          if i < 0 then begin
+            ok := false;
+            Cmat.zeros 0 0
+          end
+          else grid.(i))
+        freqs
+    in
+    if not !ok then
+      `Text
+        (Sjson.to_string
+           (Server.protocol_error ~op:"eval-grid" ~kind:"parse"
+              ~message:"merged grid is missing a requested frequency" ()))
+    else
+      let fields =
+        List.map
+          (fun (k, v) ->
+            if k = "points" then
+              (k, Sjson.Num (float_of_int (Array.length freqs)))
+            else (k, v))
+          fields
+      in
+      `Grid_meta (fields, mine)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let stats t =
+  locked t (fun () ->
+      { rt_requests = t.c_requests;
+        rt_forwarded = t.c_forwarded;
+        rt_failovers = t.c_failovers;
+        rt_timeouts = t.c_timeouts;
+        rt_unavailable = t.c_unavailable;
+        rt_shed = t.c_shed;
+        rt_coalesce_batches = t.c_batches;
+        rt_coalesce_hits = t.c_hits;
+        rt_probes = t.c_probes;
+        rt_conns = t.conns;
+        rt_draining = t.stopping;
+        rt_replicas =
+          List.map
+            (fun r ->
+              { rp_name = r.r_name;
+                rp_state = r.r_state;
+                rp_fails = r.r_fails;
+                rp_served = r.r_served;
+                rp_errors = r.r_errors;
+                rp_rejoins = r.r_rejoins })
+            t.replicas })
+
+let stats_json t =
+  let s = stats t in
+  let n x = Sjson.Num (float_of_int x) in
+  Sjson.Obj
+    [ ("ok", Sjson.Bool true);
+      ("op", Sjson.Str "stats");
+      ( "router",
+        Sjson.Obj
+          [ ("requests", n s.rt_requests);
+            ("forwarded", n s.rt_forwarded);
+            ("failovers", n s.rt_failovers);
+            ("timeouts", n s.rt_timeouts);
+            ("unavailable", n s.rt_unavailable);
+            ("shed", n s.rt_shed);
+            ("coalesce_batches", n s.rt_coalesce_batches);
+            ("coalesce_hits", n s.rt_coalesce_hits);
+            ("probes", n s.rt_probes);
+            ("conns", n s.rt_conns);
+            ("draining", Sjson.Bool s.rt_draining);
+            ( "replicas",
+              Sjson.Arr
+                (List.map
+                   (fun r ->
+                     Sjson.Obj
+                       [ ("name", Sjson.Str r.rp_name);
+                         ("state", Sjson.Str (Health.to_string r.rp_state));
+                         ("fails", n r.rp_fails);
+                         ("served", n r.rp_served);
+                         ("errors", n r.rp_errors);
+                         ("rejoins", n r.rp_rejoins) ])
+                   s.rt_replicas) ) ] ) ]
+
+(* ------------------------------------------------------------------ *)
+(* Health prober *)
+
+let probe_replica t r =
+  if r.r_faulted && Fault.armed "router.partition" then Health.Failed
+  else if r.r_faulted && Fault.armed "router.rejoin_flap" then begin
+    let odd =
+      locked t (fun () ->
+          r.r_flap <- r.r_flap + 1;
+          r.r_flap land 1 = 1)
+    in
+    if odd then Health.Failed else Health.Ok
+  end
+  else begin
+    let timeout_s = float_of_int t.config.connect_timeout_ms /. 1000. in
+    match connect_addr r.r_addr ~timeout_s with
+    | `Err _ -> Health.Failed
+    | `Ok fd ->
+      let deadline = now () +. timeout_s in
+      let ping =
+        Sjson.to_string (Sjson.Obj [ ("op", Sjson.Str "ping") ]) ^ "\n"
+      in
+      let verdict =
+        match write_all fd ping ~deadline with
+        | `Timeout | `Closed -> Health.Failed
+        | `Ok ->
+          let rd = Frame.Reader.create () in
+          let chunk = Bytes.create 4096 in
+          (match
+             read_payload fd rd chunk ~mode:Frame.Json ~deadline
+               ~max_bytes:t.config.max_line_bytes
+           with
+           | `Payload (Frame.Json_text s) ->
+             (match Sjson.parse s with
+              | j when Sjson.member "ok" j = Some (Sjson.Bool true) ->
+                if Sjson.member "draining" j = Some (Sjson.Bool true) then
+                  Health.Ok_draining
+                else Health.Ok
+              | _ -> Health.Failed
+              | exception Sjson.Parse_error _ -> Health.Failed)
+           | _ -> Health.Failed)
+      in
+      close_quiet fd;
+      verdict
+  end
+
+let health_loop t () =
+  let interval = float_of_int t.config.probe_interval_ms /. 1000. in
+  let rec go () =
+    if t.stopping then ()
+    else begin
+      let reps = locked t (fun () -> t.replicas) in
+      List.iter
+        (fun r ->
+          if not t.stopping then begin
+            let probe = probe_replica t r in
+            locked t (fun () ->
+                t.c_probes <- t.c_probes + 1;
+                apply_probe t r probe)
+          end)
+        reps;
+      let until = now () +. interval in
+      while now () < until && not t.stopping do
+        Unix.sleepf (Float.min tick (until -. now ()))
+      done;
+      go ()
+    end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Client-facing dispatch *)
+
+type reply =
+  | Rtext of string
+  | Rgrid_meta of (string * Sjson.t) list * Cmat.t array
+  | Rgrid_body of string
+
+let reply_bytes ~mode = function
+  | Rtext s ->
+    (match mode with
+     | Frame.Json -> s ^ "\n"
+     | Frame.Binary -> Frame.encode_json s)
+  | Rgrid_meta (fields, grid) ->
+    (match mode with
+     | Frame.Binary ->
+       Frame.encode_grid (Frame.grid_body ~meta:(Sjson.Obj fields) ~grid)
+     | Frame.Json ->
+       Sjson.to_string
+         (Sjson.Obj (fields @ [ ("results", Frame.results_json grid) ]))
+       ^ "\n")
+  | Rgrid_body body ->
+    (match mode with
+     | Frame.Binary -> Frame.encode_grid body
+     | Frame.Json ->
+       (* a JSON client behind a binary upstream: re-render from bits *)
+       (match Frame.decode_grid_body body with
+        | Sjson.Obj fields, grid ->
+          Sjson.to_string
+            (Sjson.Obj (fields @ [ ("results", Frame.results_json grid) ]))
+          ^ "\n"
+        | _ | (exception Mfti_error.Error _) ->
+          Sjson.to_string
+            (Server.protocol_error ~op:"eval-grid" ~kind:"parse"
+               ~message:"replica grid body is damaged" ())
+          ^ "\n"))
+
+let member_str req k =
+  match Sjson.member k req with Some (Sjson.Str s) -> Some s | _ -> None
+
+let freqs_of req =
+  match Sjson.member "freqs" req with
+  | Some (Sjson.Arr l) ->
+    let ok = List.for_all (function Sjson.Num _ -> true | _ -> false) l in
+    if ok && l <> [] then
+      Some
+        (Array.of_list
+           (List.map (function Sjson.Num f -> f | _ -> 0.) l))
+    else None
+  | _ -> None
+
+let upstream_reply ?op t = function
+  | `Json s -> Rtext s
+  | `Grid b -> Rgrid_body b
+  | `Timeout ->
+    Rtext (Sjson.to_string (timeout_resp ?op t.config.request_timeout_ms))
+  | `Unavailable tried -> Rtext (Sjson.to_string (unavailable_resp ?op tried))
+
+let pick_session_replica t =
+  locked t (fun () ->
+      let arr = Array.of_list t.replicas in
+      let n = Array.length arr in
+      if n = 0 then None
+      else begin
+        let k = t.session_rr in
+        t.session_rr <- t.session_rr + 1;
+        let rec find i =
+          if i >= n then None
+          else
+            let r = arr.((k + i) mod n) in
+            if r.r_state = Health.Up then Some r else find (i + 1)
+        in
+        find 0
+      end)
+
+let op_register t req =
+  match member_str req "replica" with
+  | None ->
+    Rtext
+      (Sjson.to_string
+         (Server.protocol_error ~op:"register" ~kind:"validation"
+            ~message:"register needs a \"replica\" address" ()))
+  | Some addr_s ->
+    (match parse_addr addr_s with
+     | exception Mfti_error.Error e ->
+       Rtext (Sjson.to_string (Server.error_response ~op:"register" e))
+     | addr ->
+       let count =
+         locked t (fun () ->
+             (match find_replica t addr_s with
+              | Some _ -> ()       (* idempotent re-register *)
+              | None ->
+                let r =
+                  { r_name = addr_s; r_addr = addr; r_faulted = false;
+                    r_state = Health.Suspect; r_fails = 0; r_pool = [];
+                    r_next_attempt = 0.; r_backoff_ms = 0; r_served = 0;
+                    r_errors = 0; r_rejoins = 0; r_flap = 0 }
+                in
+                t.replicas <- t.replicas @ [ r ];
+                t.ring <-
+                  Ring.make ~vnodes:t.config.vnodes
+                    (List.map (fun r -> r.r_name) t.replicas));
+             List.length t.replicas)
+       in
+       Rtext
+         (Sjson.to_string
+            (Sjson.Obj
+               [ ("ok", Sjson.Bool true);
+                 ("op", Sjson.Str "register");
+                 ("replicas", Sjson.Num (float_of_int count)) ])))
+
+(* [pinned] is the connection's sticky session replica (set by the
+   first successful fit-open).  Returns the reply plus a stop flag. *)
+let dispatch t ~pinned line =
+  locked t (fun () -> t.c_requests <- t.c_requests + 1);
+  match Sjson.parse line with
+  | exception Sjson.Parse_error _ ->
+    (* let a replica render the typed parse error so clients see the
+       exact same diagnostics with or without a router in front *)
+    (upstream_reply t (exec_upstream t ~key:"" line), false)
+  | req ->
+    let op = member_str req "op" in
+    (match op with
+     | Some "ping" ->
+       ( Rtext
+           (Sjson.to_string
+              (Sjson.Obj
+                 [ ("ok", Sjson.Bool true);
+                   ("op", Sjson.Str "ping");
+                   ("draining", Sjson.Bool t.stopping) ])),
+         false )
+     | Some "stats" -> (Rtext (Sjson.to_string (stats_json t)), false)
+     | Some "register" -> (op_register t req, false)
+     | Some "shutdown" ->
+       ( Rtext
+           (Sjson.to_string
+              (Sjson.Obj
+                 [ ("ok", Sjson.Bool true); ("op", Sjson.Str "shutdown") ])),
+         true )
+     | Some "eval-grid" ->
+       (match (member_str req "model", freqs_of req) with
+        | Some model, Some freqs ->
+          (match submit_grid t ~model ~freqs with
+           | `Text s -> (Rtext s, false)
+           | `Grid_meta (fields, grid) -> (Rgrid_meta (fields, grid), false))
+        | _ ->
+          (* malformed eval-grid: forward for the replica's typed error *)
+          let key = Option.value ~default:"" (member_str req "model") in
+          (upstream_reply ~op:"eval-grid" t (exec_upstream t ~key line), false))
+     | Some o
+       when String.length o >= 4 && String.sub o 0 4 = "fit-" ->
+       (* session ops are connection-sticky *)
+       (match !pinned with
+        | Some name ->
+          (match locked t (fun () -> find_replica t name) with
+           | Some r -> (upstream_reply ~op:o t (exec_on_replica t r line), false)
+           | None -> (Rtext (Sjson.to_string (unavailable_resp ~op:o 0)), false))
+        | None ->
+          if o = "fit-open" then (
+            match pick_session_replica t with
+            | None ->
+              (Rtext (Sjson.to_string (unavailable_resp ~op:o 0)), false)
+            | Some r ->
+              let res = exec_on_replica t r line in
+              (match res with
+               | `Json _ -> pinned := Some r.r_name
+               | _ -> ());
+              (upstream_reply ~op:o t res, false))
+          else
+            let key = Option.value ~default:"" (member_str req "session") in
+            (upstream_reply ~op:o t (exec_upstream ~attempts:1 t ~key line), false))
+     | _ ->
+       let key = Option.value ~default:"" (member_str req "model") in
+       (upstream_reply ?op t (exec_upstream t ~key line), false))
+
+(* ------------------------------------------------------------------ *)
+(* Drain *)
+
+let request_stop t =
+  locked t (fun () -> t.stopping <- true)
+
+(* ------------------------------------------------------------------ *)
+(* Client connections *)
+
+let client_loop t conn () =
+  let cfg = t.config in
+  let reader = Frame.Reader.create () in
+  let chunk = Bytes.create 65536 in
+  let mode = ref Frame.Json in
+  let pinned = ref None in
+  let idle_s = float_of_int cfg.idle_timeout_ms /. 1000. in
+  let req_s = float_of_int cfg.request_timeout_ms /. 1000. in
+  let send reply =
+    write_all conn (reply_bytes ~mode:!mode reply)
+      ~deadline:(now () +. req_s)
+  in
+  let rec loop () =
+    match
+      read_payload conn reader chunk ~mode:!mode
+        ~deadline:(now () +. idle_s) ~max_bytes:cfg.max_line_bytes
+        ~stop:(fun () -> t.stopping)
+    with
+    | `Eof | `Timeout -> ()          (* idle expiry / drain: silent close *)
+    | `Timeout_partial ->
+      ignore
+        (send
+           (Rtext
+              (Sjson.to_string
+                 (Server.protocol_error ~kind:"timeout"
+                    ~message:
+                      (Printf.sprintf "request frame deadline exceeded (%d ms)"
+                         cfg.idle_timeout_ms)
+                    ()))))
+    | `Err msg ->
+      ignore
+        (send
+           (Rtext
+              (Sjson.to_string
+                 (Server.protocol_error ~kind:"parse" ~message:msg ()))))
+    | `Payload (Frame.Grid_body _) ->
+      ignore
+        (send
+           (Rtext
+              (Sjson.to_string
+                 (Server.protocol_error ~kind:"parse"
+                    ~message:"grid frames are response-only" ()))))
+    | `Payload (Frame.Json_text "") -> loop ()
+    | `Payload (Frame.Json_text line) ->
+      (match Frame.is_hello line with
+       | Some frames ->
+         let reply, next_mode =
+           match frames with
+           | "binary" -> (Frame.hello_ack "binary", Some Frame.Binary)
+           | "json" -> (Frame.hello_ack "json", Some Frame.Json)
+           | other ->
+             ( Sjson.to_string
+                 (Server.protocol_error ~op:"hello" ~kind:"validation"
+                    ~message:
+                      (Printf.sprintf
+                         "unknown frames value %S (want \"json\" or \
+                          \"binary\")"
+                         other)
+                    ()),
+               None )
+         in
+         (match send (Rtext reply) with
+          | `Ok ->
+            (match next_mode with Some m -> mode := m | None -> ());
+            loop ()
+          | `Closed | `Timeout -> ())
+       | None ->
+         let reply, stop = dispatch t ~pinned line in
+         (match send reply with
+          | `Ok -> if stop then request_stop t else loop ()
+          | `Closed | `Timeout -> ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      close_quiet conn;
+      locked t (fun () -> t.conns <- t.conns - 1))
+    loop
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop *)
+
+let shed t conn =
+  locked t (fun () -> t.c_shed <- t.c_shed + 1);
+  ignore
+    (write_all conn
+       (Sjson.to_string
+          (Server.protocol_error ~kind:"overloaded"
+             ~message:"router connection cap reached; retry with backoff" ())
+        ^ "\n")
+       ~deadline:(now () +. 1.0));
+  close_quiet conn
+
+let accept_loop t () =
+  let rec go () =
+    if t.stopping then ()
+    else
+      match Unix.select [ t.listen_fd ] [] [] tick with
+      | [], _, _ -> go ()
+      | _ ->
+        (match Unix.accept t.listen_fd with
+         | conn, _ ->
+           (match t.listen with
+            | Supervisor.Tcp _ ->
+              (try Unix.setsockopt conn Unix.TCP_NODELAY true
+               with Unix.Unix_error _ -> ())
+            | Supervisor.Unix_path _ -> ());
+           let admitted =
+             locked t (fun () ->
+                 if t.stopping || t.conns >= t.config.max_conns then false
+                 else begin
+                   t.conns <- t.conns + 1;
+                   true
+                 end)
+           in
+           if admitted then begin
+             let th = Thread.create (client_loop t conn) () in
+             locked t (fun () -> t.threads <- th :: t.threads)
+           end
+           else shed t conn;
+           go ()
+         | exception
+             Unix.Unix_error
+               ( ( Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK
+                 | Unix.ECONNABORTED ),
+                 _,
+                 _ ) ->
+           go ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  (try go () with _ -> ());
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let start ?(config = default_config) ~listen ~replicas () =
+  validate_config config;
+  let bad what =
+    Mfti_error.raise_error
+      (Mfti_error.Validation { context = "router"; message = what })
+  in
+  if replicas = [] then bad "at least one replica is required";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      if Hashtbl.mem seen a then
+        bad (Printf.sprintf "duplicate replica address %S" a);
+      Hashtbl.add seen a ())
+    replicas;
+  let reps =
+    List.mapi
+      (fun i a ->
+        { r_name = a; r_addr = parse_addr a; r_faulted = i = 0;
+          r_state = Health.Up; r_fails = 0; r_pool = [];
+          r_next_attempt = 0.; r_backoff_ms = 0; r_served = 0;
+          r_errors = 0; r_rejoins = 0; r_flap = 0 })
+      replicas
+  in
+  let listen_fd, bound =
+    match listen with
+    | Supervisor.Unix_path path -> (Server.bind_unix ~path, None)
+    | Supervisor.Tcp (host, port) ->
+      let fd, p = Server.bind_tcp ~host ~port in
+      (fd, Some p)
+  in
+  let t =
+    { config; listen; listen_fd; bound;
+      mu = Mutex.create ();
+      replicas = reps;
+      ring = Ring.make ~vnodes:config.vnodes replicas;
+      slots = Hashtbl.create 32;
+      session_rr = 0;
+      stopping = false; stopped = false;
+      conns = 0;
+      c_requests = 0; c_forwarded = 0; c_failovers = 0; c_timeouts = 0;
+      c_unavailable = 0; c_shed = 0; c_batches = 0; c_hits = 0;
+      c_probes = 0;
+      threads = []; accept_thread = None; health_thread = None }
+  in
+  t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  t.health_thread <- Some (Thread.create (health_loop t) ());
+  t
+
+let bound_port t = t.bound
+
+let wait t =
+  let rec go () =
+    if not (locked t (fun () -> t.stopping)) then begin
+      Unix.sleepf tick;
+      go ()
+    end
+  in
+  go ()
+
+let stop t =
+  if t.stopped then ()
+  else begin
+    request_stop t;
+    (* let in-flight client connections notice the drain *)
+    let deadline = now () +. 2.0 in
+    let rec wait_conns () =
+      if locked t (fun () -> t.conns) > 0 && now () < deadline then begin
+        Unix.sleepf 0.02;
+        wait_conns ()
+      end
+    in
+    wait_conns ();
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (match t.health_thread with Some th -> Thread.join th | None -> ());
+    List.iter Thread.join (locked t (fun () -> t.threads));
+    locked t (fun () -> List.iter flush_pool t.replicas);
+    (match t.listen with
+     | Supervisor.Unix_path path ->
+       (try Unix.unlink path with Unix.Unix_error _ -> ())
+     | Supervisor.Tcp _ -> ());
+    t.stopped <- true
+  end
+
+let run ?config ~listen ~replicas () =
+  let t = start ?config ~listen ~replicas () in
+  wait t;
+  stop t

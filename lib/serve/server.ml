@@ -58,6 +58,7 @@ type t = {
   mutable errors : int;
   mutable bytes_in : int;
   mutable bytes_out : int;
+  mutable conn_drops : int;
   mutable admission_refused : int;
   mutable admission_warned : int;
   mutable sessions_opened : int;
@@ -93,7 +94,7 @@ let create ?(cache_bytes = 256 * 1024 * 1024) ?(recover = true)
     next_session = 0;
     draining = false;
     extra_stats = (fun () -> []);
-    requests = 0; errors = 0; bytes_in = 0; bytes_out = 0;
+    requests = 0; errors = 0; bytes_in = 0; bytes_out = 0; conn_drops = 0;
     admission_refused = 0; admission_warned = 0;
     sessions_opened = 0; sessions_finalized = 0; sessions_expired = 0;
     sessions_refused = 0; session_samples = 0; session_suggests = 0 }
@@ -331,29 +332,30 @@ let op_model_info t req =
       ("certificate", certificate_json m);
       ("cached", Sjson.Bool cached) ]
 
-let matrix_json h =
-  let p, m = Cmat.dims h in
-  Sjson.Arr
-    (List.init p (fun i ->
-         Sjson.Arr
-           (List.init m (fun jc ->
-                let z = Cmat.get h i jc in
-                Sjson.Arr [ Sjson.Num z.Cx.re; Sjson.Num z.Cx.im ]))))
-
+(* eval-grid computes meta fields and the raw grid separately so the
+   transport can render either the JSON "results" array or the binary
+   frame body without paying for the other *)
 let op_eval_grid t req =
   let id = str_field req "model" in
   let freqs = freqs_field req in
   let (_, compiled), cached = get_model t id in
   let grid = Compiled.eval_grid compiled freqs in
-  Sjson.Obj
+  let meta =
     [ ("ok", Sjson.Bool true);
       ("op", Sjson.Str "eval-grid");
       ("model", Sjson.Str id);
       ("points", Sjson.Num (float_of_int (Array.length freqs)));
       ("outputs", Sjson.Num (float_of_int (Compiled.outputs compiled)));
       ("inputs", Sjson.Num (float_of_int (Compiled.inputs compiled)));
-      ("cached", Sjson.Bool cached);
-      ("results", Sjson.Arr (Array.to_list (Array.map matrix_json grid))) ]
+      ("cached", Sjson.Bool cached) ]
+  in
+  (meta, grid)
+
+let op_ping t =
+  Sjson.Obj
+    [ ("ok", Sjson.Bool true);
+      ("op", Sjson.Str "ping");
+      ("draining", Sjson.Bool (locked t (fun () -> t.draining))) ]
 
 let stats_json t =
   (* snapshot under the lock; render (and call the supervisor's stats
@@ -386,6 +388,7 @@ let stats_json t =
           ("errors", Sjson.Num (float_of_int t.errors));
           ("bytes_in", Sjson.Num (float_of_int t.bytes_in));
           ("bytes_out", Sjson.Num (float_of_int t.bytes_out));
+          ("conn_drops", Sjson.Num (float_of_int t.conn_drops));
           ("quarantined", Sjson.Num (float_of_int (List.length t.quarantined)));
           ( "admission",
             Sjson.Obj
@@ -802,18 +805,28 @@ let op_fit_finalize t req =
 let shutdown_response =
   Sjson.Obj [ ("ok", Sjson.Bool true); ("op", Sjson.Str "shutdown") ]
 
+(* an op either yields an ordinary JSON response or (eval-grid only)
+   meta fields plus the raw grid, rendered per the connection's frame
+   mode by [handle_request] *)
+type outcome =
+  | Json_out of Sjson.t
+  | Grid_out of (string * Sjson.t) list * Cmat.t array
+
 let dispatch t req =
   match str_field req "op" with
-  | "list-models" -> (op_list_models t, false)
-  | "model-info" -> (op_model_info t req, false)
-  | "eval-grid" -> (op_eval_grid t req, false)
-  | "fit-open" -> (op_fit_open t req, false)
-  | "fit-add-samples" -> (op_fit_add t req, false)
-  | "fit-status" -> (op_fit_status t req, false)
-  | "fit-suggest" -> (op_fit_suggest t req, false)
-  | "fit-finalize" -> (op_fit_finalize t req, false)
-  | "stats" -> (stats_json t, false)
-  | "shutdown" -> (shutdown_response, true)
+  | "list-models" -> (Json_out (op_list_models t), false)
+  | "model-info" -> (Json_out (op_model_info t req), false)
+  | "eval-grid" ->
+    let meta, grid = op_eval_grid t req in
+    (Grid_out (meta, grid), false)
+  | "fit-open" -> (Json_out (op_fit_open t req), false)
+  | "fit-add-samples" -> (Json_out (op_fit_add t req), false)
+  | "fit-status" -> (Json_out (op_fit_status t req), false)
+  | "fit-suggest" -> (Json_out (op_fit_suggest t req), false)
+  | "fit-finalize" -> (Json_out (op_fit_finalize t req), false)
+  | "stats" -> (Json_out (stats_json t), false)
+  | "ping" -> (Json_out (op_ping t), false)
+  | "shutdown" -> (Json_out shutdown_response, true)
   | op -> invalid ("unknown op " ^ String.escaped op)
 
 (* call with [t.lock] held *)
@@ -825,13 +838,15 @@ let op_stat t op =
     Hashtbl.add t.ops op s;
     s
 
-let handle_line t line =
+type reply = Text of string | Grid of string
+
+let handle_request t ~binary line =
   locked t (fun () ->
       t.requests <- t.requests + 1;
       t.bytes_in <- t.bytes_in + String.length line + 1);
   let t0 = Unix.gettimeofday () in
   let op_name = ref "invalid" in
-  let response, stop =
+  let outcome, stop =
     match Sjson.parse line with
     | req ->
       (match Sjson.member "op" req with
@@ -841,17 +856,38 @@ let handle_line t line =
          response — a request can never kill the serve loop *)
       (match Mfti_error.guard ~context:"serve" (fun () -> dispatch t req) with
        | Ok r -> r
-       | Error e -> (error_response ~op:!op_name e, false))
+       | Error e -> (Json_out (error_response ~op:!op_name e), false))
     | exception Sjson.Parse_error m ->
-      ( error_response
-          (Mfti_error.Parse { source = None; line = None; message = m }),
+      ( Json_out
+          (error_response
+             (Mfti_error.Parse { source = None; line = None; message = m })),
         false )
   in
   let dt = Unix.gettimeofday () -. t0 in
   let failed =
-    match Sjson.member "ok" response with Some (Sjson.Bool true) -> false | _ -> true
+    match outcome with
+    | Grid_out _ -> false
+    | Json_out response ->
+      (match Sjson.member "ok" response with
+       | Some (Sjson.Bool true) -> false
+       | _ -> true)
   in
-  let text = Sjson.to_string response in
+  let reply =
+    match outcome with
+    | Json_out response -> Text (Sjson.to_string response)
+    | Grid_out (meta, grid) ->
+      if binary then Grid (Frame.grid_body ~meta:(Sjson.Obj meta) ~grid)
+      else
+        Text
+          (Sjson.to_string
+             (Sjson.Obj
+                (meta @ [ ("results", Frame.results_json grid) ])))
+  in
+  let out_bytes =
+    match reply with
+    | Text s -> String.length s + 1
+    | Grid body -> String.length body + 5
+  in
   locked t (fun () ->
       let s = op_stat t !op_name in
       s.count <- s.count + 1;
@@ -861,11 +897,50 @@ let handle_line t line =
         t.errors <- t.errors + 1;
         s.op_errors <- s.op_errors + 1
       end;
-      t.bytes_out <- t.bytes_out + String.length text + 1);
-  (text, stop)
+      t.bytes_out <- t.bytes_out + out_bytes);
+  (reply, stop)
+
+let handle_line t line =
+  match handle_request t ~binary:false line with
+  | Text s, stop -> (s, stop)
+  | Grid _, _ -> assert false (* ~binary:false never yields a grid *)
 
 (* ------------------------------------------------------------------ *)
 (* Transports *)
+
+(* Large responses (a 1024-point 8-port grid is ~1 MB of JSON) are
+   written in bounded chunks with a flush between, so a client that
+   stops reading or vanishes surfaces as [Sys_error] (EPIPE under the
+   channel) on some chunk boundary — counted as a typed connection
+   drop, never an exception escaping the serve loop. *)
+let write_chunk_bytes = 64 * 1024
+
+let write_response t oc text =
+  let len = String.length text in
+  let rec go off =
+    if off >= len then
+      match
+        output_char oc '\n';
+        flush oc
+      with
+      | () -> `Ok
+      | exception Sys_error _ -> `Closed
+    else
+      let n = Stdlib.min write_chunk_bytes (len - off) in
+      match
+        output_substring oc text off n;
+        flush oc
+      with
+      | () -> go (off + n)
+      | exception Sys_error _ -> `Closed
+  in
+  match go 0 with
+  | `Ok -> `Ok
+  | `Closed ->
+    locked t (fun () -> t.conn_drops <- t.conn_drops + 1);
+    `Closed
+
+let note_conn_drop t = locked t (fun () -> t.conn_drops <- t.conn_drops + 1)
 
 let serve_channels t ic oc =
   let rec loop () =
@@ -873,10 +948,9 @@ let serve_channels t ic oc =
     | "" -> loop ()  (* blank keep-alive lines are ignored *)
     | line ->
       let response, stop = handle_line t line in
-      output_string oc response;
-      output_char oc '\n';
-      flush oc;
-      if stop then `Stop else loop ()
+      (match write_response t oc response with
+       | `Ok -> if stop then `Stop else loop ()
+       | `Closed -> `Eof)
     | exception End_of_file -> `Eof
   in
   loop ()
@@ -920,6 +994,43 @@ let bind_unix ~path =
 let release_unix ~path sock =
   (try Unix.close sock with Unix.Unix_error _ -> ());
   try Unix.unlink path with Unix.Unix_error _ -> ()
+
+(* TCP listener beside the Unix-socket path.  Port 0 asks the kernel
+   for an ephemeral port; the actual bound port is returned so tests
+   and replica fleets can avoid collisions.  SO_REUSEADDR lets a
+   restarted replica rebind its address immediately — rejoin must not
+   wait out TIME_WAIT. *)
+let bind_tcp ~host ~port =
+  if port < 0 || port > 0xffff then
+    invalid (Printf.sprintf "tcp port %d out of range" port);
+  let addr =
+    match Unix.inet_addr_of_string host with
+    | a -> a
+    | exception Failure _ ->
+      (match Unix.gethostbyname host with
+       | { Unix.h_addr_list = [||]; _ } ->
+         invalid ("cannot resolve host " ^ host)
+       | h -> h.Unix.h_addr_list.(0)
+       | exception Not_found -> invalid ("cannot resolve host " ^ host))
+  in
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    Unix.bind sock (Unix.ADDR_INET (addr, port));
+    Unix.listen sock 64;
+    (match Unix.getsockname sock with
+     | Unix.ADDR_INET (_, p) -> p
+     | _ -> port)
+  with
+  | bound -> (sock, bound)
+  | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    invalid (Printf.sprintf "tcp address %s:%d already in use" host port)
+  | exception e ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    raise e
 
 let serve_unix_socket t ~path =
   let sock = bind_unix ~path in

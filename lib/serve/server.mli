@@ -21,7 +21,17 @@
       ["results"] is one [p x m] matrix per frequency, each entry a
       [[re, im]] pair, bit-exact (the emitter round-trips floats).
     - [{"op":"stats"}] — counters snapshot (see {!stats_json}).
+    - [{"op":"ping"}] — liveness probe: [{"ok":true,"op":"ping",
+      "draining":B}].  The {!Router}'s health checks use it; the
+      ["draining"] flag lets the ring mark a draining replica before
+      its listener goes away.
     - [{"op":"shutdown"}] — acknowledge and stop the serve loop.
+
+    Connections through the concurrent transports ({!Supervisor},
+    {!Router}) may additionally negotiate length-prefixed {b binary
+    frames} with [{"op":"hello","frames":"binary"}] — see {!Frame}.
+    The negotiation never reaches this module; {!handle_request} is
+    merely told which rendering the transport wants.
 
     {2 Streaming fit sessions}
 
@@ -160,6 +170,24 @@ val set_stats_hook : t -> (unit -> (string * Sjson.t) list) -> unit
     several domains concurrently. *)
 val handle_line : t -> string -> string * bool
 
+(** A rendered response: JSON text, or (binary connections only) the
+    body of a {!Frame} grid frame. *)
+type reply = Text of string | Grid of string
+
+(** [handle_request t ~binary line] is {!handle_line} generalized over
+    the connection's frame mode: with [~binary:true] a successful
+    [eval-grid] renders as [Grid] (raw IEEE-754 matrix data, see
+    {!Frame.grid_body}) instead of the JSON ["results"] array; every
+    other response — including every error — stays [Text].  With
+    [~binary:false] it never returns [Grid]. *)
+val handle_request : t -> binary:bool -> string -> reply * bool
+
+(** [error_response ?op e] is the standard typed rendering of a
+    pipeline error — [{"ok":false,"error":{"kind":K,"message":M}}] with
+    [K] from the {!Linalg.Mfti_error} taxonomy.  Exposed so the
+    {!Router} renders errors it catches exactly as a replica would. *)
+val error_response : ?op:string -> Linalg.Mfti_error.t -> Sjson.t
+
 (** [protocol_error ~kind ~message ()] builds the standard
     [{"ok":false,"error":{...}}] response for protocol-level conditions
     outside the {!Linalg.Mfti_error} taxonomy — the supervisor's
@@ -184,6 +212,15 @@ val bind_unix : path:string -> Unix.file_descr
     the path we own.  Never raises. *)
 val release_unix : path:string -> Unix.file_descr -> unit
 
+(** [bind_tcp ~host ~port] binds and listens on a TCP address and
+    returns the socket with the actual bound port (useful with
+    [~port:0], which picks an ephemeral port).  [SO_REUSEADDR] is set
+    so a restarted replica rebinds without waiting out TIME_WAIT; a
+    busy address or unresolvable host is a typed
+    {!Linalg.Mfti_error.Validation} error.  SIGPIPE is set to
+    ignore. *)
+val bind_tcp : host:string -> port:int -> Unix.file_descr * int
+
 (** Bind a Unix domain socket at [path] (via {!bind_unix}), accept
     connections sequentially, and serve each until EOF.  Per-connection
     channels are closed through [Fun.protect] (output first, flushing
@@ -197,3 +234,9 @@ val serve_unix_socket : t -> path:string -> unit
     latency totals and maxima (seconds), bytes in/out, cache
     hits/misses/evictions/residency, uptime. *)
 val stats_json : t -> Sjson.t
+
+(** Record a client vanishing mid-response (EPIPE / reset during a
+    write).  The channel loops count their own; the {!Supervisor} and
+    {!Router} transports call this so ["conn_drops"] in {!stats_json}
+    covers every transport. *)
+val note_conn_drop : t -> unit

@@ -76,10 +76,13 @@ type snapshot = {
 
 type runner = Dom of unit Domain.t | Thr of Thread.t
 
+type listener = Unix_path of string | Tcp of string * int
+
 type t = {
   server : Server.t;
   config : config;
-  path : string;
+  listen : listener;
+  bound : int option;                   (* actual TCP port *)
   listen_fd : Unix.file_descr;
   mu : Mutex.t;
   nonempty : Condition.t;               (* queue gained work, or draining *)
@@ -131,7 +134,10 @@ let write_all_deadline fd s ~deadline =
   go 0
 
 (* ------------------------------------------------------------------ *)
-(* Frame reader: accumulate bytes, hand out newline-delimited frames.
+(* Frame reader: accumulate bytes, hand out complete frames under the
+   connection's negotiated mode — newline-delimited JSON lines, or
+   length-prefixed binary frames ({!Frame.Reader} owns the buffering
+   and extraction for both).
 
    Deadline policy: an *idle* connection (no partial frame pending) may
    sit for [idle_timeout_ms]; once the first byte of a frame arrives,
@@ -141,41 +147,28 @@ let write_all_deadline fd s ~deadline =
    deterministically, without real clock time. *)
 
 type frame =
-  [ `Line of string      (* complete frame, newline stripped *)
+  [ `Line of string      (* complete request payload (JSON text) *)
   | `Timeout_idle        (* keep-alive expired with no frame pending *)
   | `Timeout_partial     (* client stalled mid-frame *)
   | `Eof
   | `Too_long
+  | `Bad of string       (* malformed binary frame; stream is lost *)
   | `Drain ]             (* draining and nothing buffered *)
 
-let buffered_line buf =
-  let s = Buffer.contents buf in
-  match String.index_opt s '\n' with
-  | None -> None
-  | Some i ->
-    Buffer.clear buf;
-    Buffer.add_substring buf s (i + 1) (String.length s - i - 1);
-    let line = String.sub s 0 i in
-    let line =
-      (* tolerate CRLF clients *)
-      if line <> "" && line.[String.length line - 1] = '\r' then
-        String.sub line 0 (String.length line - 1)
-      else line
-    in
-    Some line
-
-let read_frame t conn buf chunk : frame =
+let read_frame t conn reader chunk ~mode : frame =
   let cfg = t.config in
   let started = now () in
   let idle_deadline = started +. (float_of_int cfg.idle_timeout_ms /. 1000.) in
   let frame_deadline = ref None in      (* set when the frame starts *)
   let rec go () =
-    match buffered_line buf with
-    | Some line -> `Line line
-    | None ->
-      if Buffer.length buf > cfg.max_line_bytes then `Too_long
-      else begin
-        let partial = Buffer.length buf > 0 in
+    match Frame.Reader.next reader ~mode ~max_bytes:cfg.max_line_bytes with
+    | `Frame (Frame.Json_text line) -> `Line line
+    | `Frame (Frame.Grid_body _) -> `Bad "grid frames are response-only"
+    | `Too_long -> `Too_long
+    | `Bad m -> `Bad m
+    | `None ->
+      begin
+        let partial = Frame.Reader.pending reader > 0 in
         if partial && !frame_deadline = None then
           frame_deadline :=
             Some (now () +. (float_of_int cfg.request_timeout_ms /. 1000.));
@@ -196,16 +189,16 @@ let read_frame t conn buf chunk : frame =
             | _ ->
               (match Unix.read conn chunk 0 (Bytes.length chunk) with
                | 0 ->
-                 (* EOF with a trailing unterminated line: serve it, the
-                    way [input_line] would on the stdio transport *)
-                 if partial then begin
-                   let line = Buffer.contents buf in
-                   Buffer.clear buf;
-                   `Line line
-                 end
+                 (* EOF with a trailing unterminated JSON line: serve
+                    it, the way [input_line] would on the stdio
+                    transport.  A truncated binary frame at EOF is just
+                    EOF — its length prefix promised bytes that never
+                    came. *)
+                 if partial && mode = Frame.Json then
+                   `Line (Frame.Reader.take_rest reader)
                  else `Eof
                | k ->
-                 Buffer.add_subbytes buf chunk 0 k;
+                 Frame.Reader.add reader chunk k;
                  go ()
                | exception
                    Unix.Unix_error
@@ -220,9 +213,21 @@ let read_frame t conn buf chunk : frame =
 (* ------------------------------------------------------------------ *)
 (* Typed protocol responses for supervisor-level conditions *)
 
-let send_response conn ~deadline json =
-  ignore
-    (write_all_deadline conn (Sjson.to_string json ^ "\n") ~deadline)
+(* Render a reply under the connection's frame mode.  JSON-lines mode
+   never sees [Server.Grid] — {!Server.handle_request} only produces it
+   when asked for binary rendering. *)
+let reply_bytes ~mode (reply : Server.reply) =
+  match (mode, reply) with
+  | Frame.Json, Server.Text s -> s ^ "\n"
+  | Frame.Binary, Server.Text s -> Frame.encode_json s
+  | Frame.Binary, Server.Grid body -> Frame.encode_grid body
+  | Frame.Json, Server.Grid _ -> assert false
+
+let send_reply conn ~mode ~deadline reply =
+  write_all_deadline conn (reply_bytes ~mode reply) ~deadline
+
+let send_response ?(mode = Frame.Json) conn ~deadline json =
+  ignore (send_reply conn ~mode ~deadline (Server.Text (Sjson.to_string json)))
 
 let overloaded_response queue =
   Server.protocol_error ~kind:"overloaded"
@@ -258,19 +263,26 @@ let handle_conn t i conn =
   Parallel.with_sequential @@ fun () ->
   let cfg = t.config in
   let ws = t.wstats.(i) in
-  let buf = Buffer.create 512 in
+  let reader = Frame.Reader.create () in
   let chunk = Bytes.create 4096 in
+  let mode = ref Frame.Json in
   let req_timeout_s = float_of_int cfg.request_timeout_ms /. 1000. in
   let rec serve_loop () =
-    match read_frame t conn buf chunk with
+    match read_frame t conn reader chunk ~mode:!mode with
     | `Drain | `Eof -> ()
     | `Too_long ->
-      send_response conn ~deadline:(now () +. req_timeout_s)
+      send_response ~mode:!mode conn ~deadline:(now () +. req_timeout_s)
         (Server.protocol_error ~kind:"validation"
            ~message:
              (Printf.sprintf "request frame exceeds the %d-byte cap"
                 cfg.max_line_bytes)
            ())
+    | `Bad msg ->
+      (* the stream is desynchronized past a malformed binary frame:
+         answer with a typed error and close *)
+      send_response ~mode:!mode conn ~deadline:(now () +. req_timeout_s)
+        (Server.protocol_error ~kind:"parse"
+           ~message:("malformed frame: " ^ msg) ())
     | `Timeout_idle ->
       Mutex.lock t.mu;
       t.s_idle_timeouts <- t.s_idle_timeouts + 1;
@@ -280,53 +292,90 @@ let handle_conn t i conn =
       Mutex.lock t.mu;
       t.s_read_timeouts <- t.s_read_timeouts + 1;
       Mutex.unlock t.mu;
-      send_response conn ~deadline:(now () +. req_timeout_s)
+      send_response ~mode:!mode conn ~deadline:(now () +. req_timeout_s)
         (timeout_response "request frame" cfg.request_timeout_ms)
     | `Line "" -> serve_loop ()       (* blank keep-alive lines *)
     | `Line line ->
-      let t0 = now () in
-      (* deterministic chaos: a handler that dies mid-connection; the
-         worker's supervisor loop catches, counts a restart, and backs
-         off *)
-      Fault.check "serve.conn_drop";
-      (* deterministic chaos: a request that blows its deadline *)
-      if Fault.armed "serve.stall" then Unix.sleepf (2. *. req_timeout_s);
-      let response, stop = Server.handle_line t.server line in
-      let dt = now () -. t0 in
-      let response =
-        if dt > req_timeout_s then begin
-          Mutex.lock t.mu;
-          t.s_request_timeouts <- t.s_request_timeouts + 1;
-          Mutex.unlock t.mu;
-          let op =
-            match Sjson.parse line with
-            | req ->
-              (match Sjson.member "op" req with
-               | Some (Sjson.Str op) -> Some op
-               | _ -> None)
-            | exception Sjson.Parse_error _ -> None
-          in
-          Sjson.to_string
-            (timeout_response ?op "request" cfg.request_timeout_ms)
-        end
-        else response
-      in
-      Mutex.lock t.mu;
-      ws.served <- ws.served + 1;
-      ws.w_total_s <- ws.w_total_s +. dt;
-      if dt > ws.w_max_s then ws.w_max_s <- dt;
-      Mutex.unlock t.mu;
-      (match
-         write_all_deadline conn (response ^ "\n")
-           ~deadline:(now () +. req_timeout_s)
-       with
-       | `Ok -> if stop then request_stop t else serve_loop ()
-       | `Closed -> ()
-       | `Timeout ->
-         (* client stopped reading: count it as a read-side stall *)
+      (match Frame.is_hello line with
+       | Some frames ->
+         (* frame negotiation is transport-level: ack in the old mode,
+            then switch.  An unknown value is a typed refusal and the
+            mode stays put. *)
+         let reply, next_mode =
+           match frames with
+           | "binary" -> (Frame.hello_ack "binary", Some Frame.Binary)
+           | "json" -> (Frame.hello_ack "json", Some Frame.Json)
+           | other ->
+             ( Sjson.to_string
+                 (Server.protocol_error ~op:"hello" ~kind:"validation"
+                    ~message:
+                      (Printf.sprintf
+                         "unknown frames value %S (want \"json\" or \
+                          \"binary\")"
+                         other)
+                    ()),
+               None )
+         in
+         (match
+            send_reply conn ~mode:!mode
+              ~deadline:(now () +. req_timeout_s)
+              (Server.Text reply)
+          with
+          | `Ok ->
+            (match next_mode with Some m -> mode := m | None -> ());
+            serve_loop ()
+          | `Closed -> Server.note_conn_drop t.server
+          | `Timeout -> ())
+       | None ->
+         let t0 = now () in
+         (* deterministic chaos: a handler that dies mid-connection; the
+            worker's supervisor loop catches, counts a restart, and
+            backs off *)
+         Fault.check "serve.conn_drop";
+         (* deterministic chaos: a request that blows its deadline *)
+         if Fault.armed "serve.stall" then Unix.sleepf (2. *. req_timeout_s);
+         let reply, stop =
+           Server.handle_request t.server
+             ~binary:(!mode = Frame.Binary) line
+         in
+         let dt = now () -. t0 in
+         let reply =
+           if dt > req_timeout_s then begin
+             Mutex.lock t.mu;
+             t.s_request_timeouts <- t.s_request_timeouts + 1;
+             Mutex.unlock t.mu;
+             let op =
+               match Sjson.parse line with
+               | req ->
+                 (match Sjson.member "op" req with
+                  | Some (Sjson.Str op) -> Some op
+                  | _ -> None)
+               | exception Sjson.Parse_error _ -> None
+             in
+             Server.Text
+               (Sjson.to_string
+                  (timeout_response ?op "request" cfg.request_timeout_ms))
+           end
+           else reply
+         in
          Mutex.lock t.mu;
-         t.s_read_timeouts <- t.s_read_timeouts + 1;
-         Mutex.unlock t.mu)
+         ws.served <- ws.served + 1;
+         ws.w_total_s <- ws.w_total_s +. dt;
+         if dt > ws.w_max_s then ws.w_max_s <- dt;
+         Mutex.unlock t.mu;
+         (match
+            send_reply conn ~mode:!mode reply
+              ~deadline:(now () +. req_timeout_s)
+          with
+          | `Ok -> if stop then request_stop t else serve_loop ()
+          | `Closed ->
+            (* the client vanished mid-response: typed, counted *)
+            Server.note_conn_drop t.server
+          | `Timeout ->
+            (* client stopped reading: count it as a read-side stall *)
+            Mutex.lock t.mu;
+            t.s_read_timeouts <- t.s_read_timeouts + 1;
+            Mutex.unlock t.mu))
   in
   serve_loop ()
 
@@ -410,6 +459,12 @@ let accept_loop t () =
       | _ ->
         (match Unix.accept t.listen_fd with
          | conn, _ ->
+           (* request/response protocol: Nagle would add 40 ms stalls *)
+           (match t.listen with
+            | Tcp _ ->
+              (try Unix.setsockopt conn Unix.TCP_NODELAY true
+               with Unix.Unix_error _ -> ())
+            | Unix_path _ -> ());
            Mutex.lock t.mu;
            t.s_accepted <- t.s_accepted + 1;
            let decision =
@@ -548,11 +603,17 @@ let validate_config c =
   if c.drain_ms < 0 then bad "drain deadline must be >= 0 ms";
   if c.max_line_bytes < 2 then bad "frame cap must be >= 2 bytes"
 
-let start ?(config = default_config) server ~path =
+let start ?(config = default_config) server ~listen =
   validate_config config;
-  let listen_fd = Server.bind_unix ~path in
+  let listen_fd, bound =
+    match listen with
+    | Unix_path path -> (Server.bind_unix ~path, None)
+    | Tcp (host, port) ->
+      let fd, p = Server.bind_tcp ~host ~port in
+      (fd, Some p)
+  in
   let t =
-    { server; config; path; listen_fd;
+    { server; config; listen; bound; listen_fd;
       mu = Mutex.create ();
       nonempty = Condition.create ();
       queue = Queue.create ();
@@ -606,19 +667,26 @@ let stop t =
     Mutex.unlock t.mu;
     (match t.accept_runner with Some r -> join r | None -> ());
     List.iter join t.runners;
-    (try Unix.unlink t.path with Unix.Unix_error _ -> ());
+    (match t.listen with
+     | Unix_path path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+     | Tcp _ -> ());
     t.stopped <- true
   end
 
-let run ?config server ~path =
-  let t = start ?config server ~path in
-  (* block until a shutdown request initiates the drain *)
-  let rec wait () =
+let bound_port t = t.bound
+
+(* block until a shutdown request initiates the drain *)
+let wait t =
+  let rec go () =
     let stopping = Mutex.protect t.mu (fun () -> t.stopping) in
     if not stopping then begin
       Unix.sleepf tick;
-      wait ()
+      go ()
     end
   in
-  wait ();
+  go ()
+
+let run ?config server ~listen =
+  let t = start ?config server ~listen in
+  wait t;
   stop t

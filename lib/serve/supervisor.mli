@@ -1,11 +1,13 @@
-(** Supervised concurrent serving over a Unix domain socket.
+(** Supervised concurrent serving over a Unix domain socket or TCP.
 
     {!Server.serve_unix_socket} serves one connection at a time with no
     deadlines; this module is the production tier on top of the same
-    {!Server.handle_line} core:
+    {!Server.handle_request} core:
 
-    - one accept loop owns the listening socket (bound race-free via
-      {!Server.bind_unix}) and feeds a {b bounded admission queue};
+    - one accept loop owns the listening socket — a Unix domain path
+      (bound race-free via {!Server.bind_unix}) or a TCP address
+      ({!Server.bind_tcp}; [~port:0] picks an ephemeral port, reported
+      by {!bound_port}) — and feeds a {b bounded admission queue};
     - a fixed pool of workers — OCaml 5 domains, falling back to
       threads when the domain budget is exhausted — pops connections
       and serves them, each evaluation wrapped in
@@ -48,6 +50,13 @@
     their worker until they finish or the [drain_ms] deadline
     force-closes them — an in-flight [fit-finalize] either lands a
     complete artifact or leaves none (the artifact write is atomic).
+
+    {b Frame negotiation}: every connection starts in JSON-lines mode;
+    a [{"op":"hello","frames":"binary"}] request is intercepted here
+    (it never reaches the server), acknowledged in the old framing, and
+    switches the connection to length-prefixed binary frames — see
+    {!Frame}.  Under binary framing a successful [eval-grid] response
+    carries its matrices as raw IEEE-754 instead of JSON text.
 
     Fault sites (see {!Linalg.Fault}) exercised by the chaos suite:
     ["serve.slow_client"] forces the partial-frame deadline,
@@ -101,21 +110,31 @@ type snapshot = {
   per_worker : worker_snapshot array;
 }
 
-(** [start server ~path] binds [path] (race-free, typed error if a live
-    server owns it), spawns the accept loop and workers, registers the
-    stats hook, and returns immediately.  Raises
+(** Where to listen: a Unix domain socket path, or a TCP host/port
+    (host resolved by {!Server.bind_tcp}; port [0] = ephemeral). *)
+type listener = Unix_path of string | Tcp of string * int
+
+(** [start server ~listen] binds the listener (race-free, typed error
+    if the address is taken), spawns the accept loop and workers,
+    registers the stats hook, and returns immediately.  Raises
     {!Linalg.Mfti_error.Error} ([Validation]) on a nonsensical
     [config]. *)
-val start : ?config:config -> Server.t -> path:string -> t
+val start : ?config:config -> Server.t -> listen:listener -> t
+
+(** The actual TCP port bound, once started ([None] for a Unix
+    listener).  Useful with [Tcp (host, 0)]. *)
+val bound_port : t -> int option
 
 (** Consistent counter snapshot (also published as the ["supervisor"]
     object in ["stats"] responses). *)
 val stats : t -> snapshot
 
+(** Block until a client's [{"op":"shutdown"}] initiates the drain. *)
+val wait : t -> unit
+
 (** Graceful drain then forced shutdown; joins every runner and removes
-    the socket file.  Idempotent. *)
+    the socket file (Unix listeners).  Idempotent. *)
 val stop : t -> unit
 
-(** [run server ~path] is {!start}, block until a client's
-    [{"op":"shutdown"}] initiates the drain, then {!stop}. *)
-val run : ?config:config -> Server.t -> path:string -> unit
+(** [run server ~listen] is {!start}, {!wait}, then {!stop}. *)
+val run : ?config:config -> Server.t -> listen:listener -> unit

@@ -1,28 +1,93 @@
-(* CI smoke driver for the supervised socket transport.
+(* CI smoke driver for the supervised socket/TCP transports and the
+   routing tier.
 
-   Usage: smoke_clients.exe SOCKET MODEL
-          smoke_clients.exe --lines SOCKET
+   Usage: smoke_clients.exe ADDR MODEL
+          smoke_clients.exe --lines ADDR
+          smoke_clients.exe --blast N ADDR MODEL
 
-   Default mode attacks a running `mfti serve --socket SOCKET` with
-   four concurrent clients: one stalls mid-frame (and must be timed
-   out with a typed "timeout" response), three issue well-formed
-   requests (and must all complete).  A final client checks the stats
-   op reports the timeout, then sends the shutdown request so the
-   server drains.  Exit 0 only when every expectation holds; failures
-   print to stderr.
+   ADDR is a Unix socket path, or HOST:PORT (no '/') for TCP.  Every
+   connection retries with capped exponential backoff and dies with a
+   typed "gave up after N attempts" diagnostic, so a briefly-restarting
+   server does not flake the suite.
+
+   Default mode attacks a running server with four concurrent clients:
+   one stalls mid-frame (and must be timed out with a typed "timeout"
+   response), three issue well-formed requests (and must all
+   complete).  A final client checks the stats op reports the timeout,
+   then sends the shutdown request so the server drains.
 
    --lines is a plain pipe client: each stdin line is sent over one
    connection and the response line printed to stdout — the socket
-   equivalent of piping requests into a stdio server. *)
+   equivalent of piping requests into a stdio server.
+
+   --blast fires N concurrent identical eval-grid requests (one thread
+   per client) and asserts every response is byte-identical — the
+   router's coalescing demux must be invisible to clients.  Exit 0
+   only when every expectation holds; failures print to stderr. *)
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
 
-let connect path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX path)
-   with Unix.Unix_error (e, _, _) ->
-     die "connect %s: %s" path (Unix.error_message e));
-  fd
+(* ADDR with a ':' and no '/' is HOST:PORT; anything else a socket path *)
+let parse_addr s =
+  if String.contains s '/' || not (String.contains s ':') then `Unix s
+  else
+    match String.rindex_opt s ':' with
+    | None -> `Unix s
+    | Some i ->
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      (match int_of_string_opt port with
+       | Some p when p >= 0 && p <= 65535 && host <> "" -> `Tcp (host, p)
+       | _ -> die "malformed address %S (want host:port or a path)" s)
+
+let connect_once addr =
+  match addr with
+  | `Unix path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (match Unix.connect fd (Unix.ADDR_UNIX path) with
+     | () -> Ok fd
+     | exception Unix.Unix_error (e, _, _) ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       Error (Unix.error_message e))
+  | `Tcp (host, port) ->
+    let ip =
+      try Some (Unix.inet_addr_of_string host)
+      with Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } -> None
+        | h -> Some h.Unix.h_addr_list.(0)
+        | exception Not_found -> None)
+    in
+    (match ip with
+     | None -> Error ("cannot resolve host " ^ host)
+     | Some ip ->
+       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       (try Unix.setsockopt fd Unix.TCP_NODELAY true
+        with Unix.Unix_error _ -> ());
+       (match Unix.connect fd (Unix.ADDR_INET (ip, port)) with
+        | () -> Ok fd
+        | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error (Unix.error_message e)))
+
+(* capped exponential backoff; giving up is a typed diagnostic *)
+let connect ?(attempts = 5) ?(base_ms = 100) ?(cap_ms = 2000) addr_s =
+  let addr = parse_addr addr_s in
+  let rec go n delay_ms =
+    match connect_once addr with
+    | Ok fd -> fd
+    | Error msg ->
+      if n >= attempts then
+        die
+          "gave up connecting to %s after %d attempts (capped exponential \
+           backoff): %s"
+          addr_s attempts msg
+      else begin
+        Unix.sleepf (float_of_int delay_ms /. 1000.);
+        go (n + 1) (min cap_ms (delay_ms * 2))
+      end
+  in
+  go 1 base_ms
 
 let send_raw fd s =
   let n = String.length s in
@@ -81,12 +146,47 @@ let run_lines socket =
    with End_of_file -> ());
   Unix.close fd
 
+(* N concurrent identical eval-grid clients; responses must be
+   byte-identical (the router's coalescing demux is invisible) *)
+let run_blast n addr model =
+  if n < 1 then die "--blast wants N >= 1";
+  let req =
+    Printf.sprintf
+      "{\"op\":\"eval-grid\",\"model\":%S,\"freqs\":[1e6,2e6,5e6,1e7]}\n"
+      model
+  in
+  let results = Array.make n "" in
+  let threads =
+    Array.init n (fun i ->
+        Thread.create
+          (fun () ->
+            let fd = connect addr in
+            send_raw fd req;
+            results.(i) <- recv_line ~timeout:30.0 fd
+                (Printf.sprintf "blast client %d" i);
+            Unix.close fd)
+          ())
+  in
+  Array.iter Thread.join threads;
+  Array.iteri
+    (fun i r ->
+      expect_ok (Printf.sprintf "blast client %d" i) r;
+      if r <> results.(0) then
+        die "blast client %d: response differs from client 0:\n%s\nvs\n%s" i
+          r results.(0))
+    results;
+  Printf.printf "blast: %d/%d identical ok responses\n%!" n n
+
 let () =
   let socket, model =
     match Sys.argv with
     | [| _; "--lines"; s |] -> run_lines s; exit 0
+    | [| _; "--blast"; n; s; m |] ->
+      (match int_of_string_opt n with
+       | Some n -> run_blast n s m; exit 0
+       | None -> die "--blast wants a numeric count, got %S" n)
     | [| _; s; m |] -> (s, m)
-    | _ -> die "usage: smoke_clients [--lines] SOCKET [MODEL]"
+    | _ -> die "usage: smoke_clients [--lines | --blast N] ADDR [MODEL]"
   in
   (* client 1: stalls mid-frame *)
   let slow = connect socket in

@@ -1005,6 +1005,330 @@ let test_session_fault_sites () =
   Alcotest.(check bool) "finalize works once disarmed" true (j_bool "ok" jf)
 
 (* ------------------------------------------------------------------ *)
+(* Frame codec: binary grid bodies, incremental reader, negotiation *)
+
+let test_frame_grid_body_roundtrip () =
+  let meta =
+    Sjson.Obj
+      [ ("ok", Sjson.Bool true);
+        ("op", Sjson.Str "eval-grid");
+        ("model", Sjson.Str "alpha");
+        ("points", Sjson.Num 3.) ]
+  in
+  let mk seed =
+    let m = Cmat.zeros 2 3 in
+    for i = 0 to 1 do
+      for j = 0 to 2 do
+        Cmat.set m i j
+          (Cx.make
+             (float_of_int ((seed * 7) + (i * 3) + j) *. 1.25e-3)
+             (-1. /. float_of_int (seed + i + j + 1)))
+      done
+    done;
+    m
+  in
+  let grid = [| mk 1; mk 2; mk 3 |] in
+  (* adversarial floats must survive bitwise: -0., denormal, huge *)
+  Cmat.set grid.(0) 0 0 (Cx.make (-0.) 4.9e-324);
+  Cmat.set grid.(1) 1 2 (Cx.make 1.797e308 (-2.2250738585072014e-308));
+  let body = Frame.grid_body ~meta ~grid in
+  let meta', grid' = Frame.decode_grid_body body in
+  Alcotest.(check string) "meta text survives" (Sjson.to_string meta)
+    (Sjson.to_string meta');
+  Alcotest.(check int) "points survive" 3 (Array.length grid');
+  Array.iteri
+    (fun k m -> same_mat (Printf.sprintf "grid[%d]" k) m grid'.(k))
+    grid;
+  (* a damaged body is a typed parse error, never an escaping exception *)
+  (match Frame.decode_grid_body (String.sub body 0 (String.length body - 5)) with
+   | _ -> Alcotest.fail "truncated grid body accepted"
+   | exception Mfti_error.Error (Mfti_error.Parse _) -> ());
+  match Frame.decode_grid_body "xy" with
+  | _ -> Alcotest.fail "garbage grid body accepted"
+  | exception Mfti_error.Error (Mfti_error.Parse _) -> ()
+
+let feed_bytes r s =
+  (* one byte at a time: the reader must reassemble across any split *)
+  String.iter
+    (fun c -> Frame.Reader.add r (Bytes.make 1 c) 1)
+    s
+
+let test_frame_reader_json () =
+  let r = Frame.Reader.create () in
+  feed_bytes r "{\"op\": \"ping\"}\r\n{\"op\": \"stats\"}\ntail";
+  (match Frame.Reader.next r ~mode:Frame.Json ~max_bytes:1024 with
+   | `Frame (Frame.Json_text "{\"op\": \"ping\"}") -> ()
+   | _ -> Alcotest.fail "CRLF line not stripped and framed");
+  (match Frame.Reader.next r ~mode:Frame.Json ~max_bytes:1024 with
+   | `Frame (Frame.Json_text "{\"op\": \"stats\"}") -> ()
+   | _ -> Alcotest.fail "second line not framed");
+  (match Frame.Reader.next r ~mode:Frame.Json ~max_bytes:1024 with
+   | `None -> ()
+   | _ -> Alcotest.fail "incomplete line must wait for more bytes");
+  Alcotest.(check string) "EOF drains the unterminated tail" "tail"
+    (Frame.Reader.take_rest r);
+  (* an endless unterminated line trips the cap instead of buffering *)
+  let r = Frame.Reader.create () in
+  feed_bytes r (String.make 64 'x');
+  (match Frame.Reader.next r ~mode:Frame.Json ~max_bytes:32 with
+   | `Too_long -> ()
+   | _ -> Alcotest.fail "oversized line not rejected")
+
+let test_frame_reader_binary () =
+  let r = Frame.Reader.create () in
+  feed_bytes r (Frame.encode_json "{\"a\": 1}" ^ Frame.encode_grid "BODY");
+  (match Frame.Reader.next r ~mode:Frame.Binary ~max_bytes:1024 with
+   | `Frame (Frame.Json_text "{\"a\": 1}") -> ()
+   | _ -> Alcotest.fail "json frame not reassembled from byte dribble");
+  (match Frame.Reader.next r ~mode:Frame.Binary ~max_bytes:1024 with
+   | `Frame (Frame.Grid_body "BODY") -> ()
+   | _ -> Alcotest.fail "grid frame not reassembled");
+  (match Frame.Reader.next r ~mode:Frame.Binary ~max_bytes:1024 with
+   | `None -> ()
+   | _ -> Alcotest.fail "empty buffer must report `None");
+  (* unknown tag and empty payload are malformed, typed `Bad *)
+  let r = Frame.Reader.create () in
+  feed_bytes r "\x00\x00\x00\x02Zp";
+  (match Frame.Reader.next r ~mode:Frame.Binary ~max_bytes:1024 with
+   | `Bad _ -> ()
+   | _ -> Alcotest.fail "unknown tag accepted");
+  let r = Frame.Reader.create () in
+  feed_bytes r "\x00\x00\x00\x00";
+  (match Frame.Reader.next r ~mode:Frame.Binary ~max_bytes:1024 with
+   | `Bad _ -> ()
+   | _ -> Alcotest.fail "empty payload accepted");
+  (* a frame larger than the cap is rejected before it is buffered *)
+  let r = Frame.Reader.create () in
+  feed_bytes r "\x00\x10\x00\x00J";
+  (match Frame.Reader.next r ~mode:Frame.Binary ~max_bytes:1024 with
+   | `Too_long -> ()
+   | _ -> Alcotest.fail "oversized frame not rejected")
+
+let test_frame_hello () =
+  Alcotest.(check (option string)) "binary hello"
+    (Some "binary")
+    (Frame.is_hello "{\"op\": \"hello\", \"frames\": \"binary\"}");
+  Alcotest.(check (option string)) "json hello"
+    (Some "json")
+    (Frame.is_hello "{\"op\": \"hello\", \"frames\": \"json\"}");
+  Alcotest.(check (option string)) "missing frames field"
+    (Some "")
+    (Frame.is_hello "{\"op\": \"hello\"}");
+  Alcotest.(check (option string)) "not a hello"
+    None
+    (Frame.is_hello "{\"op\": \"ping\"}");
+  Alcotest.(check (option string)) "hello as a value only"
+    None
+    (Frame.is_hello "{\"op\": \"eval\", \"model\": \"hello\"}");
+  let ack = Frame.hello_ack "binary" in
+  (match Sjson.parse ack with
+   | j ->
+     Alcotest.(check bool) "ack ok" true
+       (Sjson.member "ok" j = Some (Sjson.Bool true));
+     Alcotest.(check bool) "ack frames" true
+       (Sjson.member "frames" j = Some (Sjson.Str "binary"))
+   | exception Sjson.Parse_error m -> Alcotest.failf "bad ack: %s" m)
+
+(* ------------------------------------------------------------------ *)
+(* Transports: TCP listener, binary negotiation end-to-end, drops *)
+
+let send_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+(* pull the next frame through a client-side Frame.Reader *)
+let next_frame ?(timeout = 10.0) fd r ~mode =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Frame.Reader.next r ~mode ~max_bytes:(1 lsl 24) with
+    | `Frame p -> p
+    | `Too_long -> Alcotest.fail "client reader: frame too long"
+    | `Bad m -> Alcotest.failf "client reader: %s" m
+    | `None ->
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0. then Alcotest.fail "no frame within deadline"
+      else (
+        match Unix.select [ fd ] [] [] left with
+        | [], _, _ -> go ()
+        | _ ->
+          (match Unix.read fd chunk 0 (Bytes.length chunk) with
+           | 0 -> Alcotest.fail "connection closed mid-frame"
+           | k ->
+             Frame.Reader.add r chunk k;
+             go ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+  in
+  go ()
+
+let expect_text what = function
+  | Frame.Json_text s -> s
+  | Frame.Grid_body _ -> Alcotest.failf "%s: unexpected grid frame" what
+
+let transport_config =
+  { Supervisor.default_config with
+    workers = 2; queue = 8; request_timeout_ms = 4_000;
+    idle_timeout_ms = 10_000; drain_ms = 500 }
+
+let with_transport listen f =
+  let dir = fresh_dir () in
+  Artifact.save (Filename.concat dir "alpha.mfti")
+    (artifact_of ~name:"alpha" (sys_of 3));
+  let srv = Server.create ~root:dir () in
+  let sup = Supervisor.start ~config:transport_config srv ~listen in
+  Fun.protect
+    ~finally:(fun () -> try Supervisor.stop sup with _ -> ())
+    (fun () -> f sup)
+
+let test_supervisor_tcp () =
+  with_transport (Supervisor.Tcp ("127.0.0.1", 0)) @@ fun sup ->
+  let port =
+    match Supervisor.bound_port sup with
+    | Some p -> p
+    | None -> Alcotest.fail "TCP listener reported no bound port"
+  in
+  if port <= 0 then Alcotest.failf "nonsense bound port %d" port;
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd
+        (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+      let r = Frame.Reader.create () in
+      (* ping is answered without touching any model *)
+      send_all fd "{\"op\": \"ping\"}\n";
+      let l = expect_text "ping" (next_frame fd r ~mode:Frame.Json) in
+      let j = Sjson.parse l in
+      Alcotest.(check bool) "ping ok" true
+        (Sjson.member "ok" j = Some (Sjson.Bool true));
+      Alcotest.(check bool) "ping not draining" true
+        (Sjson.member "draining" j = Some (Sjson.Bool false));
+      (* a real model round-trip over TCP *)
+      send_all fd "{\"op\": \"model-info\", \"model\": \"alpha\"}\n";
+      let l = expect_text "model-info" (next_frame fd r ~mode:Frame.Json) in
+      let j = Sjson.parse l in
+      Alcotest.(check bool) "model-info ok" true
+        (Sjson.member "ok" j = Some (Sjson.Bool true)))
+
+let test_supervisor_binary_negotiation () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "b.sock" in
+  with_transport (Supervisor.Unix_path path) @@ fun _sup ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let r = Frame.Reader.create () in
+      let grid_req =
+        "{\"op\": \"eval-grid\", \"model\": \"alpha\", \"freqs\": [1e3, 1e5]}"
+      in
+      (* reference response in plain JSON-lines mode (warm the cache
+         first so the cached flag matches across framings) *)
+      send_all fd (grid_req ^ "\n");
+      ignore (expect_text "warm" (next_frame fd r ~mode:Frame.Json));
+      send_all fd (grid_req ^ "\n");
+      let json_line =
+        expect_text "json grid" (next_frame fd r ~mode:Frame.Json)
+      in
+      (* negotiate: ack arrives in the OLD framing *)
+      send_all fd "{\"op\": \"hello\", \"frames\": \"binary\"}\n";
+      let ack =
+        expect_text "hello ack" (next_frame fd r ~mode:Frame.Json)
+      in
+      Alcotest.(check string) "ack text" (Frame.hello_ack "binary") ack;
+      (* same request as a binary frame; response is a grid frame whose
+         re-rendered JSON is byte-identical to the JSON-lines response *)
+      send_all fd (Frame.encode_json grid_req);
+      (match next_frame fd r ~mode:Frame.Binary with
+       | Frame.Grid_body body ->
+         let meta, grid = Frame.decode_grid_body body in
+         let fields =
+           match meta with
+           | Sjson.Obj fs -> fs
+           | _ -> Alcotest.fail "grid meta is not an object"
+         in
+         let rendered =
+           Sjson.to_string
+             (Sjson.Obj (fields @ [ ("results", Frame.results_json grid) ]))
+         in
+         Alcotest.(check string)
+           "binary grid re-renders byte-identical to the JSON response"
+           json_line rendered
+       | Frame.Json_text l ->
+         Alcotest.failf "expected a grid frame, got text: %s" l);
+      (* non-grid ops stay JSON text, framed *)
+      send_all fd (Frame.encode_json "{\"op\": \"ping\"}");
+      let l = expect_text "binary ping" (next_frame fd r ~mode:Frame.Binary) in
+      let j = Sjson.parse l in
+      Alcotest.(check bool) "binary ping ok" true
+        (Sjson.member "ok" j = Some (Sjson.Bool true));
+      (* switch back: ack arrives as a binary frame, then plain lines *)
+      send_all fd (Frame.encode_json "{\"op\": \"hello\", \"frames\": \"json\"}");
+      let ack =
+        expect_text "json ack" (next_frame fd r ~mode:Frame.Binary)
+      in
+      Alcotest.(check string) "ack back" (Frame.hello_ack "json") ack;
+      send_all fd "{\"op\": \"ping\"}\n";
+      let l = expect_text "line ping" (next_frame fd r ~mode:Frame.Json) in
+      Alcotest.(check bool) "line ping ok" true
+        (Sjson.member "ok" (Sjson.parse l) = Some (Sjson.Bool true));
+      (* an unknown framing is a typed refusal, mode unchanged *)
+      send_all fd "{\"op\": \"hello\", \"frames\": \"morse\"}\n";
+      let l = expect_text "bad hello" (next_frame fd r ~mode:Frame.Json) in
+      let j = Sjson.parse l in
+      (match Sjson.member "error" j with
+       | Some err ->
+         Alcotest.(check bool) "typed validation" true
+           (Sjson.member "kind" err = Some (Sjson.Str "validation"))
+       | None -> Alcotest.failf "bad hello not refused: %s" l))
+
+let test_supervisor_conn_drop_typed () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "d.sock" in
+  with_transport (Supervisor.Unix_path path) @@ fun _sup ->
+  (* request a grid big enough to guarantee chunked writes (> 64 KiB),
+     then slam the connection before reading: the server's write hits
+     EPIPE/ECONNRESET mid-stream and must record a typed conn drop *)
+  let freqs =
+    String.concat ", " (List.init 3000 (fun i -> Printf.sprintf "%d" (1000 + i)))
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  send_all fd
+    (Printf.sprintf "{\"op\": \"eval-grid\", \"model\": \"alpha\", \"freqs\": [%s]}\n"
+       freqs);
+  Unix.close fd;
+  (* the drop lands asynchronously; poll stats until it is counted *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec poll () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let drops =
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          let r = Frame.Reader.create () in
+          send_all fd "{\"op\": \"stats\"}\n";
+          let l = expect_text "stats" (next_frame fd r ~mode:Frame.Json) in
+          match Sjson.member "conn_drops" (Sjson.parse l) with
+          | Some (Sjson.Num n) -> int_of_float n
+          | _ -> Alcotest.failf "stats missing conn_drops: %s" l)
+    in
+    if drops >= 1 then ()
+    else if Unix.gettimeofday () >= deadline then
+      Alcotest.fail "connection drop never counted"
+    else begin
+      Unix.sleepf 0.05;
+      poll ()
+    end
+  in
+  poll ()
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "serve"
@@ -1074,4 +1398,18 @@ let () =
       ("concurrency",
        [ Alcotest.test_case "bind_unix race" `Quick test_bind_unix_race;
          Alcotest.test_case "lru exact under domains" `Quick
-           test_lru_concurrent_exact ]) ]
+           test_lru_concurrent_exact ]);
+      ("frame",
+       [ Alcotest.test_case "grid body bitwise round trip" `Quick
+           test_frame_grid_body_roundtrip;
+         Alcotest.test_case "json reader" `Quick test_frame_reader_json;
+         Alcotest.test_case "binary reader" `Quick test_frame_reader_binary;
+         Alcotest.test_case "hello negotiation parsing" `Quick
+           test_frame_hello ]);
+      ("transport",
+       [ Alcotest.test_case "tcp listener end-to-end" `Quick
+           test_supervisor_tcp;
+         Alcotest.test_case "binary frames bit-identical" `Quick
+           test_supervisor_binary_negotiation;
+         Alcotest.test_case "client drop counted typed" `Quick
+           test_supervisor_conn_drop_typed ]) ]
